@@ -1,0 +1,74 @@
+"""Ablation: BBRS (global-skyline pruning) vs naive reverse skyline.
+
+The pruning is what makes the monochromatic reverse-skyline computation
+tractable: only a handful of candidates survive per query instead of
+running one window query per customer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.scan import ScanIndex
+from repro.skyline.global_skyline import global_skyline_candidates
+from repro.skyline.reverse import reverse_skyline_bbrs, reverse_skyline_naive
+
+N = 5_000
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(21)
+    pts = rng.uniform(0, 1, size=(N, 2))
+    queries = pts[rng.integers(0, N, size=10)] + rng.normal(
+        0, 0.01, size=(10, 2)
+    )
+    return ScanIndex(pts), pts, queries
+
+
+def test_ablation_rsl_naive(benchmark, case):
+    idx, pts, queries = case
+    benchmark.pedantic(
+        lambda: [
+            reverse_skyline_naive(idx, pts, q, self_exclude=True)
+            for q in queries[:2]
+        ],
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_ablation_rsl_bbrs(benchmark, case):
+    idx, pts, queries = case
+    benchmark(
+        lambda: [
+            reverse_skyline_bbrs(idx, pts, q, self_exclude=True)
+            for q in queries
+        ]
+    )
+
+
+def test_ablation_pruning_rate(benchmark, case):
+    """Candidates per query after pruning vs the full customer count."""
+    _idx, pts, queries = case
+
+    def run():
+        return [
+            global_skyline_candidates(pts, pts, q, self_exclude=True).size
+            for q in queries
+        ]
+
+    sizes = benchmark(run)
+    benchmark.extra_info["mean_candidates"] = float(np.mean(sizes))
+    benchmark.extra_info["customers"] = N
+    assert max(sizes) < N * 0.05  # >95% pruned on uniform data.
+
+
+def test_ablation_bbrs_equals_naive(case):
+    idx, pts, queries = case
+    for q in queries[:3]:
+        assert np.array_equal(
+            reverse_skyline_naive(idx, pts, q, self_exclude=True),
+            reverse_skyline_bbrs(idx, pts, q, self_exclude=True),
+        )

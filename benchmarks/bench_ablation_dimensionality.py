@@ -1,0 +1,68 @@
+"""Ablation: the why-not pipeline beyond the paper's two dimensions.
+
+The paper evaluates on (price, mileage) only; our substrates are any-d
+and the safe region falls back to a conservative construction for d > 2
+(DESIGN.md §6).  This bench measures how the pipeline scales with
+dimensionality and asserts that the conservative region still never
+loses a customer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WhyNotEngine
+from repro.data.synthetic import generate_uniform
+from repro.data.workload import build_workload
+
+
+# Reverse skylines grow quickly with dimensionality (the curse of
+# dimensionality applies to dominance), so each d gets its own |RSL|
+# targets and the workload builder accepts the first sizes it finds.
+TARGETS_BY_DIM = {2: (1, 2, 3), 3: tuple(range(10, 31)), 4: tuple(range(35, 71))}
+
+
+def make_case(dim, n=800, seed=5):
+    ds = generate_uniform(n, dim=dim, seed=seed)
+    engine = WhyNotEngine(ds.points, backend="scan", bounds=ds.bounds)
+    workload = build_workload(
+        engine, targets=TARGETS_BY_DIM[dim], seed=seed, patience=120
+    )
+    return engine, workload[:3]
+
+
+@pytest.mark.parametrize("dim", [2, 3, 4])
+def test_ablation_pipeline_by_dimension(benchmark, dim):
+    engine, workload = make_case(dim)
+    if not workload:
+        pytest.skip(f"no workload found in {dim}-d")
+
+    def run():
+        out = []
+        for wq in workload:
+            mwp = engine.modify_why_not_point(wq.why_not_position, wq.query)
+            mwq = engine.modify_both(wq.why_not_position, wq.query)
+            out.append((mwp.best().cost, mwq.cost))
+        return out
+
+    rows = benchmark(run)
+    benchmark.extra_info["dim"] = dim
+    benchmark.extra_info["rows"] = [(round(a, 6), round(b, 6)) for a, b in rows]
+    for mwp_cost, mwq_cost in rows:
+        assert mwq_cost <= mwp_cost + 1e-9
+
+
+@pytest.mark.parametrize("dim", [3, 4])
+def test_ablation_conservative_safe_region_loses_nobody(dim):
+    """Lemma 2 under the d>2 conservative construction."""
+    engine, workload = make_case(dim)
+    if not workload:
+        pytest.skip(f"no workload found in {dim}-d")
+    rng = np.random.default_rng(0)
+    for wq in workload:
+        sr = engine.safe_region(wq.query)
+        if sr.region.is_empty():
+            continue
+        for q_star in sr.region.sample_points(rng, 10):
+            assert engine.lost_customers(wq.query, q_star).size == 0

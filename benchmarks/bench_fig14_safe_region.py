@@ -1,0 +1,48 @@
+"""Figure 14 — reverse-skyline size vs safe-region area on CarDB.
+
+Benchmarks the exact safe-region construction and records the
+(|RSL|, normalised area) series; asserts the paper's headline shape:
+the safe region shrinks as the reverse skyline grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import fresh_engine_like
+
+
+def test_fig14_safe_region_area_series(benchmark, cardb_engine, cardb_workload):
+    universe = cardb_engine.bounds.volume()
+
+    def run():
+        engine = fresh_engine_like(cardb_engine)  # Cold SR cache.
+        series = []
+        for wq in cardb_workload:
+            sr = engine.safe_region(wq.query)
+            series.append((wq.rsl_size, sr.area() / universe))
+        return series
+
+    series = benchmark(run)
+    benchmark.extra_info["series"] = [(s, float(f"{a:.6g}")) for s, a in series]
+    sizes = np.array([s for s, _ in series], dtype=float)
+    areas = np.array([a for _, a in series])
+    assert np.all(areas >= 0) and np.all(areas <= 1.0)
+    if len(series) >= 4:
+        # Downward trend: no positive correlation, and the largest-RSL
+        # query has a smaller region than the smallest-RSL one.
+        assert np.corrcoef(sizes, areas)[0, 1] < 0.3
+        assert areas[np.argmax(sizes)] <= areas[np.argmin(sizes)] + 1e-12
+
+
+def test_fig14_single_safe_region_cost(benchmark, cardb_engine, cardb_workload):
+    """Cost of one exact safe-region construction at the largest |RSL|."""
+    biggest = max(cardb_workload, key=lambda wq: wq.rsl_size)
+
+    def run():
+        engine = fresh_engine_like(cardb_engine)
+        return engine.safe_region(biggest.query).area()
+
+    area = benchmark(run)
+    benchmark.extra_info["rsl_size"] = biggest.rsl_size
+    assert area >= 0.0

@@ -1,0 +1,81 @@
+"""Figure 15 — execution time of MWP, MQP, SR and MWQ.
+
+One benchmark per phase over the same workload; the paper's shapes are
+asserted at the end: MWP and MQP are orders of magnitude cheaper than
+MWQ, whose cost is dominated by the safe-region construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import fresh_engine_like
+
+
+def test_fig15_mwp_phase(benchmark, cardb_engine, cardb_workload):
+    benchmark(
+        lambda: [
+            cardb_engine.modify_why_not_point(wq.why_not_position, wq.query)
+            for wq in cardb_workload
+        ]
+    )
+
+
+def test_fig15_mqp_phase(benchmark, cardb_engine, cardb_workload):
+    benchmark(
+        lambda: [
+            cardb_engine.modify_query_point(wq.why_not_position, wq.query)
+            for wq in cardb_workload
+        ]
+    )
+
+
+def test_fig15_sr_phase(benchmark, cardb_engine, cardb_workload):
+    def run():
+        engine = fresh_engine_like(cardb_engine)
+        for wq in cardb_workload:
+            engine.safe_region(wq.query)
+
+    benchmark(run)
+
+
+def test_fig15_mwq_phase(benchmark, cardb_engine, cardb_workload):
+    def run():
+        engine = fresh_engine_like(cardb_engine)
+        for wq in cardb_workload:
+            engine.modify_both(wq.why_not_position, wq.query)
+
+    benchmark(run)
+
+
+def test_fig15_shapes(benchmark, cardb_engine, cardb_workload):
+    """SR dominates MWQ; MWP/MQP are far cheaper (the figure's story)."""
+
+    def run():
+        engine = fresh_engine_like(cardb_engine)
+        timings = {"MWP": 0.0, "MQP": 0.0, "SR": 0.0, "MWQ_rest": 0.0}
+        for wq in cardb_workload:
+            t0 = time.perf_counter()
+            engine.modify_why_not_point(wq.why_not_position, wq.query)
+            timings["MWP"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            engine.modify_query_point(wq.why_not_position, wq.query)
+            timings["MQP"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            engine.safe_region(wq.query)
+            timings["SR"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            engine.modify_both(wq.why_not_position, wq.query)
+            timings["MWQ_rest"] += time.perf_counter() - t0
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=3, iterations=1)
+    mwq_total = timings["SR"] + timings["MWQ_rest"]
+    benchmark.extra_info["seconds"] = {
+        k: float(f"{v:.6g}") for k, v in timings.items()
+    }
+    assert timings["SR"] > timings["MWP"]
+    assert mwq_total > timings["MWP"]
+    assert mwq_total > timings["MQP"]
+    # "most of the execution time of MWQ is spent computing SR(q)".
+    assert timings["SR"] >= 0.5 * mwq_total

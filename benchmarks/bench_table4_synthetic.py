@@ -1,0 +1,50 @@
+"""Table IV — quality of MWP / MQP / MWQ on UN / CO / AC synthetic data.
+
+One benchmark per distribution, timing the full three-method comparison
+and asserting the paper's shape (MWQ never worse than MWP).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workload import build_workload
+
+from conftest import BENCH_SEED, build_engine
+
+
+def _compare(engine, workload):
+    rows = []
+    for wq in workload:
+        mwp = engine.modify_why_not_point(wq.why_not_position, wq.query).best().cost
+        mqp_result = engine.modify_query_point(wq.why_not_position, wq.query)
+        mqp = min(
+            engine.mqp_total_cost(wq.query, cand.point)
+            for cand in mqp_result.candidates
+        )
+        mwq = engine.modify_both(wq.why_not_position, wq.query).cost
+        rows.append((wq.rsl_size, mwp, mqp, mwq))
+    return rows
+
+
+@pytest.fixture(
+    scope="module",
+    params=["uniform_dataset", "correlated_dataset", "anticorrelated_dataset"],
+)
+def synthetic_case(request):
+    dataset = request.getfixturevalue(request.param)
+    engine = build_engine(dataset)
+    workload = build_workload(engine, targets=(1, 2, 3, 4), seed=BENCH_SEED)
+    assert workload
+    return dataset.name, engine, workload
+
+
+def test_table4_three_methods(benchmark, synthetic_case):
+    name, engine, workload = synthetic_case
+    rows = benchmark(_compare, engine, workload)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["rows"] = [
+        (s, round(a, 9), round(b, 9), round(c, 9)) for s, a, b, c in rows
+    ]
+    for _s, mwp, _mqp, mwq in rows:
+        assert mwq <= mwp + 1e-9

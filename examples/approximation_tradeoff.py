@@ -1,0 +1,74 @@
+"""The approximation trade-off of Section VI.B: speed vs answer quality.
+
+Sweeps the sampling parameter k of the approximate safe region and
+reports, against the exact pipeline: online time, safe-region area
+retained, and the Eqn.-11 cost of the Approx-MWQ answer.
+
+Run with:  python examples/approximation_tradeoff.py [n_points]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import WhyNotEngine
+from repro.data.cardb import generate_cardb
+from repro.data.workload import build_workload
+
+
+def main(n: int = 3000) -> None:
+    dataset = generate_cardb(n, seed=17)
+    engine = WhyNotEngine(dataset.points, bounds=dataset.bounds)
+    workload = build_workload(engine, targets=range(3, 11), seed=17)
+    if not workload:
+        raise SystemExit("no workload queries found; try a larger n")
+    print(f"{len(workload)} why-not queries over {dataset.name} "
+          f"(|RSL| = {[wq.rsl_size for wq in workload]}).\n")
+
+    # Exact baseline.
+    t0 = time.perf_counter()
+    exact_costs = []
+    exact_areas = []
+    for wq in workload:
+        sr = engine.safe_region(wq.query)
+        exact_areas.append(sr.area())
+        exact_costs.append(
+            engine.modify_both(wq.why_not_position, wq.query).cost
+        )
+    exact_time = time.perf_counter() - t0
+    print(f"exact MWQ: {exact_time:.2f}s online, "
+          f"mean cost {np.mean(exact_costs):.6f}\n")
+
+    print(f"{'k':>4} {'online s':>9} {'speedup':>8} {'area kept':>10} "
+          f"{'mean cost':>10} {'cost vs exact':>14}")
+    for k in (2, 5, 10, 20, 50):
+        store = engine.approx_store(k)
+        for wq in workload:  # Offline pass, excluded from timing.
+            store.precompute(wq.rsl_positions.tolist())
+        t0 = time.perf_counter()
+        costs = []
+        kept = []
+        for wq, exact_area in zip(workload, exact_areas):
+            sr = engine.safe_region(wq.query, approximate=True, k=k)
+            kept.append(sr.area() / exact_area if exact_area else 1.0)
+            costs.append(
+                engine.modify_both(
+                    wq.why_not_position, wq.query, approximate=True, k=k
+                ).cost
+            )
+        online = time.perf_counter() - t0
+        print(
+            f"{k:>4} {online:>9.2f} {exact_time / max(online, 1e-9):>7.1f}x "
+            f"{np.mean(kept):>9.1%} {np.mean(costs):>10.6f} "
+            f"{np.mean(costs) - np.mean(exact_costs):>+14.6f}"
+        )
+
+    print("\nLarger k keeps more of the safe region (better answers) at a")
+    print("higher online cost — the knob of the paper's Tables V-VI.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

@@ -1,0 +1,73 @@
+"""A win-back campaign: many why-not questions against one product.
+
+Uses the batch API (one safe-region construction amortised over every
+question, the Section-VI reuse) and the relaxation analysis (which
+existing customer is 'blocking' the most repositioning freedom).
+
+Run with:  python examples/customer_win_back.py [n_listings]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import WhyNotEngine, answer_why_not_batch, relaxation_analysis
+from repro.data.cardb import generate_cardb
+
+
+def main(n: int = 3000) -> None:
+    dataset = generate_cardb(n, seed=29)
+    engine = WhyNotEngine(dataset.points, bounds=dataset.bounds)
+    rng = np.random.default_rng(8)
+
+    listing = np.median(dataset.points, axis=0) * np.array([0.98, 1.03])
+    members = engine.reverse_skyline(listing)
+    print(
+        f"Listing [${listing[0]:,.0f}, {listing[1]:,.0f} mi] has "
+        f"{members.size} interested customers out of {n}.\n"
+    )
+
+    # The campaign targets: the nearest non-members by preference.
+    member_set = set(members.tolist())
+    norm = engine.normalizer.normalize(engine.customers)
+    target = engine.normalizer.normalize(listing)
+    order = np.argsort(np.abs(norm - target).sum(axis=1))
+    prospects = [
+        int(j)
+        for j in order
+        if int(j) not in member_set
+        and not engine.explain(int(j), listing).is_member
+    ][:8]
+    print(f"Campaign targets: customers {prospects}\n")
+
+    start = time.perf_counter()
+    answers = answer_why_not_batch(engine, prospects, listing)
+    elapsed = time.perf_counter() - start
+    zero_cost = sum(1 for a in answers if a.best_cost() == 0.0)
+    print(f"Answered {len(answers)} why-not questions in {elapsed:.2f}s "
+          "(one shared safe region):")
+    for prospect, answer in zip(prospects, answers):
+        print(f"  #{prospect}: {answer.recommendation()}")
+    print(f"\n{zero_cost}/{len(answers)} prospects are winnable at zero cost "
+          "(case C1).\n")
+
+    options = relaxation_analysis(engine, listing)
+    if options:
+        print("If the campaign needs more room, sacrificing one existing")
+        print("customer buys the following repositioning area:")
+        universe = engine.bounds.volume()
+        for option in options[:5]:
+            print(
+                f"  drop customer #{option.member_position}: safe area "
+                f"{option.area / universe:.2e} of the market "
+                f"(+{option.area_gain / universe:.2e})"
+            )
+        binding = options[0]
+        print(f"\nMost binding customer: #{binding.member_position}.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

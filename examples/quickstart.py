@@ -1,0 +1,92 @@
+"""Quickstart: the paper's running example, end to end.
+
+Reproduces Sections II-V on the eight-car table of Fig. 1(a): reverse
+skyline, why-not explanation, and all three modification strategies.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import WhyNotEngine
+from repro.data.paperdata import paper_dataset, paper_query
+
+
+def fmt(point: np.ndarray) -> str:
+    return f"(price ${point[0]:.1f}K, mileage {point[1]:.1f}K miles)"
+
+
+def main() -> None:
+    dataset = paper_dataset()
+    engine = WhyNotEngine(dataset.points, bounds=dataset.bounds)
+    q = paper_query()
+
+    print("=== The dealer's question =========================================")
+    print(f"A dealer wants to market a car q {fmt(q)}.")
+    print("Each of the 8 data points acts as both a product on the market")
+    print("and a customer preference (the paper's monochromatic setting).\n")
+
+    rsl = engine.reverse_skyline(q)
+    names = ", ".join(f"c{i + 1}" for i in rsl)
+    print(f"Reverse skyline of q: {{{names}}} — these customers would")
+    print("consider q among their preferred cars.\n")
+
+    print("=== Why not customer c1? ==========================================")
+    explanation = engine.explain(0, q)
+    print(explanation.describe(), "\n")
+
+    print("--- Option A: negotiate with the customer (MWP, Algorithm 1) -----")
+    for cand in engine.modify_why_not_point(0, q):
+        move = cand.point - dataset.points[0]
+        parts = []
+        if move[0]:
+            parts.append(f"accept paying ${abs(move[0]):.1f}K more")
+        if move[1]:
+            parts.append(f"accept {abs(move[1]):.1f}K more miles")
+        print(
+            f"  move c1 to {fmt(cand.point)} — {' and '.join(parts)}"
+            f"  [cost {cand.cost:.4f}, verified={cand.verified}]"
+        )
+
+    print("\n--- Option B: change the car (MQP, Algorithm 2) -------------------")
+    for cand in engine.modify_query_point(0, q):
+        move = cand.point - q
+        parts = []
+        if move[0]:
+            parts.append(f"cut the price by ${abs(move[0]):.1f}K")
+        if move[1]:
+            parts.append(f"find one with {abs(move[1]):.1f}K fewer miles")
+        print(
+            f"  move q to {fmt(cand.point)} — {' and '.join(parts)}"
+            f"  [movement cost {cand.cost:.4f}]"
+        )
+
+    print("\n--- But do we keep the existing customers? ------------------------")
+    sr = engine.safe_region(q)
+    print(f"The safe region of q has {len(sr.region)} rectangle(s),")
+    print(f"area {sr.area():.1f} (price-K x mileage-K units). Anywhere inside,")
+    print("q keeps every current reverse-skyline customer:")
+    for box in sr.region:
+        print(f"    price {box.lo[0]:.1f}-{box.hi[0]:.1f}K, "
+              f"mileage {box.lo[1]:.1f}-{box.hi[1]:.1f}K")
+
+    print("\n--- Option C: the safe combination (MWQ, Algorithm 4) -------------")
+    result = engine.modify_both(0, q)
+    print(f"Case: {result.case.value} "
+          "(the customer's anti-dominance region meets the safe region)")
+    best = result.best_query_candidate()
+    print(f"Move q to {fmt(best.point)} — zero-cost: c1 joins the reverse")
+    print("skyline and no existing customer is lost.")
+    assert engine.is_member(0, best.point)
+
+    print("\n--- Another why-not: customer c7 ----------------------------------")
+    result7 = engine.modify_both(6, q)
+    best7 = result7.best_query_candidate()
+    print(f"Case {result7.case.value}: move q to {fmt(best7.point)} "
+          "(the paper's Section V example: q* = (8.5K, 60K)).")
+
+
+if __name__ == "__main__":
+    main()

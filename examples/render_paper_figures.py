@@ -1,0 +1,61 @@
+"""Regenerate the paper's geometric figures as SVG files.
+
+Renders the worked example's constructions (Figures 1, 4, 6-9, 11-13
+equivalents) from live library output into ``./figures/``.
+
+Run with:  python examples/render_paper_figures.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro import WhyNotEngine
+from repro.data.paperdata import paper_dataset, paper_query
+from repro.viz import (
+    render_modification_figure,
+    render_safe_region_figure,
+    render_scene_figure,
+    render_window_figure,
+)
+
+
+def main(out_dir: str = "figures") -> None:
+    target = pathlib.Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+
+    dataset = paper_dataset()
+    engine = WhyNotEngine(dataset.points, bounds=dataset.bounds)
+    q = paper_query()
+    c1 = 0   # The why-not customer of Sections III-V.
+    c7 = 6   # The overlap-case customer of the Section-V example.
+
+    figures = {
+        "fig01_reverse_skyline.svg": render_scene_figure(engine, q),
+        "fig04_window_c1.svg": render_window_figure(engine, c1, q),
+        "fig06_mwp_movements.svg": render_modification_figure(
+            engine, c1, q, method="mwp"
+        ),
+        "fig09_mqp_movements.svg": render_modification_figure(
+            engine, c1, q, method="mqp"
+        ),
+        "fig11_safe_region.svg": render_safe_region_figure(engine, q),
+        "fig12_overlap_c7.svg": render_safe_region_figure(engine, q, why_not=c7),
+        "fig13_mwq_c1.svg": render_modification_figure(
+            engine, c1, q, method="mwq"
+        ),
+        "fig16_approx_safe_region.svg": render_safe_region_figure(
+            engine, q, approximate=True, k=2
+        ),
+    }
+    for name, scene in figures.items():
+        path = target / name
+        scene.save(str(path))
+        print(f"wrote {path}")
+
+    print(f"\n{len(figures)} SVG figures in {target}/ — open them in any browser.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

@@ -1,0 +1,6 @@
+"""Setup shim for environments without the ``wheel`` package (legacy
+editable installs via ``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""Library-wide configuration objects.
+
+The most consequential knob is :class:`DominancePolicy`: the paper's formal
+definitions use *weak* dominance (``<=`` everywhere, ``<`` somewhere) while
+its constructive algorithms place answers exactly on window boundaries, which
+is only consistent when a point excludes the query from a dynamic skyline if
+it is *strictly* closer in every dimension (the open-window test).  See
+DESIGN.md section 2 for the full analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DominancePolicy(enum.Enum):
+    """How boundary ties are treated when one point excludes another.
+
+    ``WEAK``
+        ``p`` excludes ``q`` w.r.t. ``c`` when ``|c-p| <= |c-q|`` in every
+        dimension and ``<`` in at least one (textbook Definition 2).
+
+    ``STRICT``
+        ``p`` excludes ``q`` w.r.t. ``c`` only when ``|c-p| < |c-q|`` in
+        every dimension (the open-window semantics that the paper's worked
+        examples follow).  Under this policy a point placed exactly on the
+        window boundary is safe.
+    """
+
+    WEAK = "weak"
+    STRICT = "strict"
+
+
+@dataclass(frozen=True)
+class WhyNotConfig:
+    """Settings shared by the why-not modification algorithms.
+
+    Attributes
+    ----------
+    policy:
+        Dominance policy used to *verify* candidate answers.  ``STRICT``
+        matches the paper's worked examples; candidates produced by
+        Algorithms 1-2 sit exactly on window boundaries.
+    sort_dim:
+        The dimension used to sort the merge lists in Algorithms 1-3
+        (the paper's arbitrary dimension *i*).
+    margin:
+        Optional relative nudge (fraction of the per-dimension movement)
+        applied past each boundary so candidates also verify under the
+        ``WEAK`` policy.  ``0.0`` reproduces the paper's formulas verbatim.
+    verify:
+        When true, each candidate is checked against the index before it is
+        returned; unverifiable candidates are flagged, never silently kept.
+    """
+
+    policy: DominancePolicy = DominancePolicy.STRICT
+    sort_dim: int = 0
+    margin: float = 0.0
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sort_dim < 0:
+            raise ValueError("sort_dim must be non-negative")
+        if not 0.0 <= self.margin < 1.0:
+            raise ValueError("margin must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weight vectors for the cost model of Eqn. (9)/(11).
+
+    ``alpha`` weights movement of the query point, ``beta`` movement of the
+    why-not (or lost-customer) points.  ``None`` means equal weights summing
+    to one over the dimensionality, which is the setting of Section VI.
+    """
+
+    alpha: tuple[float, ...] | None = None
+    beta: tuple[float, ...] | None = None
+
+    def resolved(self, dim: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Return concrete ``(alpha, beta)`` tuples for ``dim`` dimensions."""
+        default = tuple(1.0 / dim for _ in range(dim))
+        alpha = self.alpha if self.alpha is not None else default
+        beta = self.beta if self.beta is not None else default
+        if len(alpha) != dim or len(beta) != dim:
+            raise ValueError(
+                f"weight vectors must have length {dim}, "
+                f"got alpha={len(alpha)}, beta={len(beta)}"
+            )
+        if any(w < 0 for w in alpha) or any(w < 0 for w in beta):
+            raise ValueError("weights must be non-negative")
+        return tuple(alpha), tuple(beta)
+
+
+@dataclass(frozen=True)
+class RTreeConfig:
+    """Parameters of the R*-tree.
+
+    The paper uses 1536-byte pages; with 2-D float64 rectangles plus a child
+    pointer (40 bytes/entry) that is ~38 entries per node, so the defaults
+    mirror the paper's fanout while remaining configurable.
+    """
+
+    max_entries: int = 38
+    min_fill: float = 0.4
+    reinsert_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if not 0.0 < self.min_fill <= 0.5:
+            raise ValueError("min_fill must lie in (0, 0.5]")
+        if not 0.0 <= self.reinsert_fraction < 1.0:
+            raise ValueError("reinsert_fraction must lie in [0, 1)")
+
+    @property
+    def min_entries(self) -> int:
+        return max(2, int(self.max_entries * self.min_fill))
+
+
+DEFAULT_CONFIG = WhyNotConfig()
+DEFAULT_WEIGHTS = CostWeights()
+DEFAULT_RTREE = RTreeConfig()

@@ -1,0 +1,58 @@
+"""The paper's contribution: answering why-not questions in reverse
+skyline queries.
+
+* :mod:`repro.core.explain` — aspect 1, the ``Λ`` explanation;
+* :mod:`repro.core.mwp` — Algorithm 1, modify the why-not point;
+* :mod:`repro.core.mqp` — Algorithm 2, modify the query point;
+* :mod:`repro.core.safe_region` — Algorithm 3, the exact safe region;
+* :mod:`repro.core.mwq` — Algorithm 4, modify both under the safe region;
+* :mod:`repro.core.approx` — the approximate safe region (Section VI.B);
+* :mod:`repro.core.engine` — the :class:`WhyNotEngine` facade.
+"""
+
+from repro.core.answer import (
+    Candidate,
+    Explanation,
+    ModificationResult,
+    MWQCase,
+    MWQResult,
+)
+from repro.core.approx import ApproximateDSLStore, approximate_anti_dominance_region
+from repro.core.batch import WhyNotAnswer, answer_why_not, answer_why_not_batch
+from repro.core.cost import MinMaxNormalizer
+from repro.core.engine import WhyNotEngine
+from repro.core.explain import explain_why_not
+from repro.core.mqp import modify_query_point
+from repro.core.mwp import modify_why_not_point
+from repro.core.mwq import modify_query_and_why_not_point
+from repro.core.relaxation import (
+    RelaxationOption,
+    leave_one_out_regions,
+    relaxation_analysis,
+)
+from repro.core.safe_region import SafeRegion, anti_dominance_region, compute_safe_region
+
+__all__ = [
+    "Candidate",
+    "Explanation",
+    "ModificationResult",
+    "MWQCase",
+    "MWQResult",
+    "MinMaxNormalizer",
+    "WhyNotEngine",
+    "explain_why_not",
+    "modify_why_not_point",
+    "modify_query_point",
+    "modify_query_and_why_not_point",
+    "SafeRegion",
+    "anti_dominance_region",
+    "compute_safe_region",
+    "ApproximateDSLStore",
+    "approximate_anti_dominance_region",
+    "WhyNotAnswer",
+    "answer_why_not",
+    "answer_why_not_batch",
+    "RelaxationOption",
+    "leave_one_out_regions",
+    "relaxation_analysis",
+]

@@ -1,0 +1,106 @@
+"""The sorted-merge ("staircase") candidate construction shared by
+Algorithms 1 and 2.
+
+Both algorithms reduce to the same scheme once movement is expressed in
+per-dimension *distance space*:
+
+* MWP (Algorithm 1): the moved point ``c_t*`` must satisfy, for every
+  frontier product ``e``, ``∃ dim d: |c_t* - q|_d <= |q - e|_d / 2`` —
+  i.e. the distance vector ``v = |c_t* - q|`` must stay below the midpoint
+  vector ``V_e = |q - e| / 2`` in at least one dimension.  Minimising the
+  movement ``|c_t - c_t*|`` means maximising ``v`` component-wise.
+
+* MQP (Algorithm 2): the moved query ``q*`` must satisfy, for every
+  frontier ``f`` of ``Λ ∩ DSL(c_t)``, ``∃ d: |c_t - q*|_d <= |c_t - f|_d``
+  — the distance vector ``w = |c_t - q*|`` must stay below ``T_f =
+  |c_t - f|`` somewhere.  Minimising ``|q - q*|`` again means maximising
+  ``w`` component-wise (``w`` is capped by ``|c_t - q|``).
+
+Because the frontier vectors form an antichain, the maximal feasible
+vectors in 2-D are exactly: the per-dimension maxima of adjacent pairs in
+the sort order (the paper's Eqns. 2/5 read in distance space), plus the
+two clipped end entries (Eqns. 3/6).  For ``d > 2`` the same construction
+yields valid but possibly non-exhaustive candidates; the always-feasible
+component-wise *minimum* over all frontiers is appended as a fallback so a
+verified answer always exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["staircase_distance_candidates"]
+
+
+def staircase_distance_candidates(
+    frontier_vectors: np.ndarray,
+    cap: np.ndarray,
+    sort_dim: int,
+) -> np.ndarray:
+    """Maximal feasible distance vectors for the staircase covering problem.
+
+    Parameters
+    ----------
+    frontier_vectors:
+        ``(m, d)`` matrix of per-frontier threshold vectors (``V`` for MWP,
+        ``T`` for MQP); assumed pairwise non-dominated (an antichain).
+    cap:
+        Component-wise upper bound on any feasible vector (``|q - c_t|``:
+        neither point may move past the other).
+    sort_dim:
+        The paper's arbitrary sort dimension *i*.
+
+    Returns
+    -------
+    ``(k, d)`` matrix of candidate distance vectors, deduplicated.  Each
+    row ``v`` satisfies: for every frontier row ``V_l`` there is a
+    dimension ``d`` with ``v[d] <= V_l[d]`` (verified exactly for 2-D; for
+    higher dimensions the appended fallback row guarantees at least one
+    feasible candidate).
+    """
+    vectors = np.asarray(frontier_vectors, dtype=np.float64)
+    cap = np.asarray(cap, dtype=np.float64)
+    m, dim = vectors.shape
+    if not 0 <= sort_dim < dim:
+        raise ValueError(f"sort_dim {sort_dim} out of range for dim {dim}")
+    capped = np.minimum(vectors, cap)
+
+    # Sort by the threshold in the sort dimension, descending: the first
+    # entry is the frontier most permissive along dim i (the paper's
+    # coordinate-ascending order in its canonical orientation).
+    order = np.argsort(-capped[:, sort_dim], kind="stable")
+    sorted_vecs = capped[order]
+
+    candidates: list[np.ndarray] = []
+
+    # First entry, clipped along the sort dimension (Eqn. 3 first / Eqn. 6
+    # z_1): the sort-dim distance is released to the cap (the point keeps
+    # its original coordinate there) and coverage of *all* frontiers comes
+    # from the remaining dimensions of the first entry, which carries the
+    # smallest thresholds there.
+    first = sorted_vecs[0].copy()
+    first[sort_dim] = cap[sort_dim]
+    candidates.append(first)
+
+    # Adjacent pair merges (Eqns. 2/5): component-wise maximum in distance
+    # space; the pair's two members are covered at their tie dimensions and
+    # the sort order covers everyone else in 2-D.
+    for left, right in zip(sorted_vecs[:-1], sorted_vecs[1:]):
+        candidates.append(np.maximum(left, right))
+
+    # Last entry, clipped along every non-sort dimension (Eqn. 3 last /
+    # Eqn. 6 z_|M|): coverage of all frontiers comes from the sort
+    # dimension, where the last entry carries the smallest threshold.
+    last = sorted_vecs[-1].copy()
+    keep = last[sort_dim]
+    last[:] = cap
+    last[sort_dim] = keep
+    candidates.append(last)
+
+    if dim > 2:
+        # Unconditionally feasible fallback: below every frontier in every
+        # dimension.
+        candidates.append(capped.min(axis=0))
+
+    stacked = np.minimum(np.vstack(candidates), cap)
+    return np.unique(stacked, axis=0)

@@ -1,0 +1,62 @@
+"""Tolerance-aware verification of modification answers.
+
+Algorithms 1, 2 and 4 place their answers exactly on window boundaries,
+where the strict window test is one floating-point rounding away from
+flipping.  Verification therefore re-implements the window membership test
+with a small relative tolerance: a product only disqualifies the answer
+when it is *clearly* inside the forbidden zone.  The tolerance affects the
+returned flags only — never the algorithms' outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DominancePolicy
+from repro.geometry.box import Box
+from repro.geometry.point import as_point
+from repro.index.base import SpatialIndex
+
+__all__ = ["verify_membership", "VERIFY_RTOL"]
+
+VERIFY_RTOL = 1e-12
+
+
+def verify_membership(
+    index: SpatialIndex,
+    center: Sequence[float],
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.STRICT,
+    exclude: Sequence[int] = (),
+    rtol: float = VERIFY_RTOL,
+) -> bool:
+    """True when ``center`` is in ``RSL(query)`` up to rounding tolerance.
+
+    Under ``STRICT`` a product must be closer than the query by more than
+    the slack in *every* dimension to count as a blocker; under ``WEAK`` it
+    must be within slack of the closed window everywhere and clearly closer
+    somewhere.  The slack scales with the coordinate magnitude — the size
+    of floating-point rounding in the distance arithmetic — so it forgives
+    1-ulp boundary flips without swallowing deliberate margins.
+    """
+    c = as_point(center, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    radii = np.abs(c - q)
+    scale = max(1.0, float(np.max(np.abs(c))), float(np.max(np.abs(q))))
+    slack = rtol * scale
+    hits = index.range_indices(Box(c - radii - slack, c + radii + slack))
+    excluded = np.asarray(tuple(exclude), dtype=np.int64)
+    if excluded.size:
+        hits = hits[~np.isin(hits, excluded)]
+    if hits.size == 0:
+        return True
+    dists = np.abs(index.points[hits] - c)
+    if policy is DominancePolicy.STRICT:
+        blocking = np.all(dists < radii - slack, axis=1)
+    else:
+        blocking = np.all(dists <= radii + slack, axis=1) & np.any(
+            dists < radii - slack, axis=1
+        )
+    return not bool(blocking.any())

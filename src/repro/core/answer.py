@@ -1,0 +1,185 @@
+"""Result types returned by the why-not algorithms.
+
+Every algorithm returns structured, self-describing objects rather than raw
+arrays: a ``Candidate`` is one proposed relocation with its cost and
+verification status, a ``ModificationResult`` bundles the candidates of one
+method, and ``MWQResult`` adds the safe-region case analysis of Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Candidate",
+    "Explanation",
+    "ModificationResult",
+    "MWQCase",
+    "MWQResult",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One proposed new location for a point.
+
+    Attributes
+    ----------
+    point:
+        Proposed coordinates (original data space).
+    cost:
+        Normalised weighted-L1 movement cost (Eqn. 11); ``nan`` when no
+        normaliser was supplied.
+    verified:
+        ``True`` when the candidate was checked against the index and
+        achieves its goal under the configured dominance policy, ``False``
+        when checked and failing, ``None`` when verification was skipped.
+    """
+
+    point: np.ndarray
+    cost: float = float("nan")
+    verified: bool | None = None
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.point, dtype=np.float64)
+        arr.flags.writeable = False
+        object.__setattr__(self, "point", arr)
+
+    def with_cost(self, cost: float) -> "Candidate":
+        return Candidate(self.point, cost, self.verified)
+
+    def with_verified(self, verified: bool) -> "Candidate":
+        return Candidate(self.point, self.cost, verified)
+
+    def __repr__(self) -> str:
+        coords = ", ".join(f"{v:g}" for v in self.point)
+        cost = "n/a" if np.isnan(self.cost) else f"{self.cost:.6f}"
+        return f"Candidate(({coords}), cost={cost}, verified={self.verified})"
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Aspect-1 answer: *why* is the point not in the reverse skyline.
+
+    ``culprit_positions`` are index positions of the ``Λ`` set — the
+    products the customer prefers over the query — and ``culprits`` their
+    coordinates.  An empty ``Λ`` means the point *is* in the reverse
+    skyline and there is nothing to explain.
+    """
+
+    why_not: np.ndarray
+    query: np.ndarray
+    culprit_positions: np.ndarray
+    culprits: np.ndarray
+
+    @property
+    def is_member(self) -> bool:
+        return self.culprit_positions.size == 0
+
+    def describe(self) -> str:
+        """Human-readable rendering in the paper's wording."""
+        if self.is_member:
+            return (
+                "The point is already in the reverse skyline of the query: "
+                "no competing product lies inside its window."
+            )
+        rows = "; ".join(
+            "(" + ", ".join(f"{v:g}" for v in row) + ")" for row in self.culprits
+        )
+        return (
+            f"The customer finds {self.culprit_positions.size} product(s) "
+            f"more interesting than the query: {rows}. Deleting them would "
+            "admit the customer into the reverse skyline (Lemma 1)."
+        )
+
+
+@dataclass
+class ModificationResult:
+    """Candidates proposed by one modification method (MWP or MQP)."""
+
+    method: str
+    why_not: np.ndarray
+    query: np.ndarray
+    candidates: list[Candidate] = field(default_factory=list)
+    lambda_positions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    frontier_positions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the why-not point was already a member (empty ``Λ``)."""
+        return self.lambda_positions.size == 0
+
+    def best(self) -> Candidate | None:
+        """Cheapest verified candidate (or cheapest overall when costs or
+        verification are unavailable)."""
+        pool = [c for c in self.candidates if c.verified is not False]
+        if not pool:
+            pool = list(self.candidates)
+        if not pool:
+            return None
+        if all(np.isnan(c.cost) for c in pool):
+            return pool[0]
+        return min(pool, key=lambda c: (np.isnan(c.cost), c.cost))
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return iter(self.candidates)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+class MWQCase(enum.Enum):
+    """The two cases of Table I."""
+
+    OVERLAP = "C1"          # anti-dominance region of c_t intersects SR(q)
+    DISJOINT = "C2"         # it does not: both points must move
+    ALREADY_MEMBER = "member"  # nothing to do
+
+
+@dataclass
+class MWQResult:
+    """Output of Algorithm 4 (modify query and why-not point).
+
+    In case C1 only the query point moves (``query_candidates``; why-not
+    candidates empty; cost 0 by Eqn. 10).  In case C2 the query point moves
+    to a safe-region corner and the why-not point moves per Algorithm 1
+    (``pairs`` holds matched ``(q*, c_t*)`` pairs with their Eqn.-11 score).
+    """
+
+    case: MWQCase
+    why_not: np.ndarray
+    query: np.ndarray
+    query_candidates: list[Candidate] = field(default_factory=list)
+    pairs: list[tuple[Candidate, Candidate]] = field(default_factory=list)
+
+    @property
+    def cost(self) -> float:
+        """The Eqn.-11 score of the best answer (0 in case C1)."""
+        if self.case in (MWQCase.OVERLAP, MWQCase.ALREADY_MEMBER):
+            return 0.0
+        best = self.best_pair()
+        return best[1].cost if best is not None else float("nan")
+
+    def best_query_candidate(self) -> Candidate | None:
+        if not self.query_candidates:
+            return None
+        return min(
+            self.query_candidates,
+            key=lambda c: (np.isnan(c.cost), c.cost),
+        )
+
+    def best_pair(self) -> tuple[Candidate, Candidate] | None:
+        pool = [p for p in self.pairs if p[1].verified is not False]
+        if not pool:
+            pool = list(self.pairs)
+        if not pool:
+            return None
+        return min(pool, key=lambda p: (np.isnan(p[1].cost), p[1].cost))

@@ -1,0 +1,118 @@
+"""Composite answers and batch why-not answering.
+
+Two conveniences the paper motivates but leaves to the reader:
+
+* :func:`answer_why_not` — one call returning the explanation and all
+  three modification strategies with a recommendation, the shape a
+  downstream application actually wants;
+* :func:`answer_why_not_batch` — many why-not questions against the same
+  query.  Section VI notes that the safe region "does not need to be
+  recomputed to answer another why-not question for the same query
+  point"; the batch path exploits exactly that reuse (the engine caches
+  ``SR(q)`` per query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.answer import (
+    Candidate,
+    Explanation,
+    ModificationResult,
+    MWQCase,
+    MWQResult,
+)
+from repro.core.engine import WhyNotEngine
+
+__all__ = ["WhyNotAnswer", "answer_why_not", "answer_why_not_batch"]
+
+
+@dataclass
+class WhyNotAnswer:
+    """Everything the system knows about one why-not question."""
+
+    why_not: "int | np.ndarray"
+    query: np.ndarray
+    explanation: Explanation
+    mwp: ModificationResult
+    mqp: ModificationResult
+    mwq: MWQResult
+
+    @property
+    def already_member(self) -> bool:
+        return self.explanation.is_member
+
+    def recommendation(self) -> str:
+        """A one-line verdict in the paper's terms."""
+        if self.already_member:
+            return "already a reverse-skyline member; nothing to do"
+        if self.mwq.case is MWQCase.OVERLAP:
+            best = self.mwq.best_query_candidate()
+            coords = ", ".join(f"{v:g}" for v in best.point)
+            return (
+                f"move the query to ({coords}) — zero cost, keeps every "
+                "existing reverse-skyline point (case C1)"
+            )
+        pair = self.mwq.best_pair()
+        if pair is None:
+            best = self.mwp.best()
+            coords = ", ".join(f"{v:g}" for v in best.point)
+            return f"move the why-not point to ({coords}) (MWP fallback)"
+        q_cand, c_cand = pair
+        q_coords = ", ".join(f"{v:g}" for v in q_cand.point)
+        c_coords = ", ".join(f"{v:g}" for v in c_cand.point)
+        return (
+            f"move the query to ({q_coords}) inside its safe region and "
+            f"the why-not point to ({c_coords}) at cost {c_cand.cost:.6f} "
+            "(case C2)"
+        )
+
+    def best_cost(self) -> float:
+        """The Eqn.-11 cost of the recommended answer."""
+        if self.already_member:
+            return 0.0
+        return self.mwq.cost
+
+
+def answer_why_not(
+    engine: WhyNotEngine,
+    why_not: "int | Sequence[float]",
+    query: Sequence[float],
+    approximate: bool = False,
+    k: int = 10,
+) -> WhyNotAnswer:
+    """Run the full pipeline for one why-not question."""
+    q = np.asarray(query, dtype=np.float64)
+    return WhyNotAnswer(
+        why_not=why_not,
+        query=q,
+        explanation=engine.explain(why_not, q),
+        mwp=engine.modify_why_not_point(why_not, q),
+        mqp=engine.modify_query_point(why_not, q),
+        mwq=engine.modify_both(why_not, q, approximate=approximate, k=k),
+    )
+
+
+def answer_why_not_batch(
+    engine: WhyNotEngine,
+    why_nots: Sequence["int | Sequence[float]"],
+    query: Sequence[float],
+    approximate: bool = False,
+    k: int = 10,
+) -> list[WhyNotAnswer]:
+    """Answer several why-not questions for the same query.
+
+    The first answer pays for the safe-region construction; the engine's
+    per-query cache makes every subsequent answer reuse it, exactly the
+    amortisation Section VI describes.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    engine.safe_region(q, approximate=approximate, k=k)  # Warm the cache once.
+    return [
+        answer_why_not(engine, why_not, q, approximate=approximate, k=k)
+        for why_not in why_nots
+    ]

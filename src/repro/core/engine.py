@@ -1,0 +1,401 @@
+"""The :class:`WhyNotEngine` facade.
+
+One object owning the product index, customer matrix, cost normaliser and
+caches, exposing the full pipeline of the paper:
+
+>>> engine = WhyNotEngine(products)            # monochromatic, like Fig. 1
+>>> engine.reverse_skyline(q)                  # RSL(q) via BBRS
+>>> engine.explain(c_t, q)                     # aspect 1: the Λ set
+>>> engine.modify_why_not_point(c_t, q)        # Algorithm 1 (MWP)
+>>> engine.modify_query_point(c_t, q)          # Algorithm 2 (MQP)
+>>> engine.safe_region(q)                      # Algorithm 3 (exact SR)
+>>> engine.modify_both(c_t, q)                 # Algorithm 4 (MWQ)
+>>> engine.modify_both(c_t, q, approximate=True, k=10)   # Approx-MWQ
+
+Customers may be addressed by row position (which enables monochromatic
+self-exclusion) or by raw coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import CostWeights, DominancePolicy, WhyNotConfig
+from repro.core.answer import Explanation, ModificationResult, MWQResult
+from repro.core.approx import ApproximateDSLStore
+from repro.core.cost import MinMaxNormalizer
+from repro.core.explain import explain_why_not
+from repro.core.mqp import modify_query_point
+from repro.core.mwp import modify_why_not_point
+from repro.core.mwq import modify_query_and_why_not_point
+from repro.core.safe_region import SafeRegion, compute_safe_region
+from repro.core._verify import verify_membership
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.point import as_point, as_points
+from repro.index.base import SpatialIndex
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+from repro.index.scan import ScanIndex
+from repro.skyline.reverse import reverse_skyline_bbrs
+
+__all__ = ["WhyNotEngine"]
+
+
+class WhyNotEngine:
+    """End-to-end why-not answering over one product / customer universe.
+
+    Parameters
+    ----------
+    products:
+        ``(n, d)`` product matrix ``P``.
+    customers:
+        ``(m, d)`` customer matrix ``C``; ``None`` selects the
+        monochromatic convention of the paper's experiments (the same
+        points serve as products and customers, with self-exclusion).
+    backend:
+        ``"rtree"`` (the paper's access method), ``"scan"`` (vectorised
+        oracle, fastest for bulk sweeps), ``"grid"`` (uniform grid), or
+        ``"kdtree"`` (median-split k-d tree).
+    config:
+        Dominance policy / sort dimension / margin / verification.
+    weights:
+        Alpha/beta cost weights (equal, summing to 1, by default).
+    bounds:
+        Data universe for normalisation and region clipping; derived from
+        the data when absent.
+    """
+
+    def __init__(
+        self,
+        products: np.ndarray,
+        customers: np.ndarray | None = None,
+        backend: str = "rtree",
+        config: WhyNotConfig | None = None,
+        weights: CostWeights | None = None,
+        bounds: Box | None = None,
+    ) -> None:
+        prods = as_points(products)
+        if prods.shape[0] == 0:
+            raise EmptyDatasetError("the product set must not be empty")
+        self.monochromatic = customers is None
+        custs = prods if customers is None else as_points(customers, dim=prods.shape[1])
+        self.products = prods
+        self.customers = custs
+        self._backend = backend
+        self.config = config or WhyNotConfig()
+        self._weights = weights or CostWeights()
+        self.alpha, self.beta = self._weights.resolved(prods.shape[1])
+        if backend == "rtree":
+            self.index: SpatialIndex = RTree(prods)
+        elif backend == "scan":
+            self.index = ScanIndex(prods)
+        elif backend == "grid":
+            self.index = GridIndex(prods)
+        elif backend == "kdtree":
+            self.index = KDTree(prods)
+        else:
+            raise InvalidParameterError(
+                f"unknown backend {backend!r}; use 'rtree', 'scan', 'grid' "
+                "or 'kdtree'"
+            )
+        if bounds is None:
+            stacked = np.vstack([prods, custs])
+            bounds = Box(stacked.min(axis=0), stacked.max(axis=0))
+        self.bounds = bounds
+        self.normalizer = MinMaxNormalizer(bounds.lo, bounds.hi)
+        self._rsl_cache: dict[bytes, np.ndarray] = {}
+        self._sr_cache: dict[bytes, SafeRegion] = {}
+        self._approx_sr_cache: dict[tuple[bytes, int], SafeRegion] = {}
+        self._approx_stores: dict[int, ApproximateDSLStore] = {}
+
+    # ------------------------------------------------------------------
+    # Addressing helpers
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.products.shape[1]
+
+    def _resolve_customer(
+        self, why_not: "int | Sequence[float]"
+    ) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Map a customer position or raw point to ``(point, exclusions)``.
+
+        Positions get monochromatic self-exclusion; raw coordinates do not
+        (the caller is asking about a hypothetical customer).
+        """
+        if isinstance(why_not, (int, np.integer)):
+            position = int(why_not)
+            if not 0 <= position < self.customers.shape[0]:
+                raise InvalidParameterError(
+                    f"customer position {position} out of range"
+                )
+            point = self.customers[position]
+            exclude = (position,) if self.monochromatic else ()
+            return point, exclude
+        return as_point(why_not, dim=self.dim), ()
+
+    def _geometry_bounds(self, query: np.ndarray) -> Box:
+        """Universe box guaranteed to contain the query point."""
+        if self.bounds.contains_point(query):
+            return self.bounds
+        return Box(
+            np.minimum(self.bounds.lo, query), np.maximum(self.bounds.hi, query)
+        )
+
+    # ------------------------------------------------------------------
+    # Reverse skyline
+    # ------------------------------------------------------------------
+    def reverse_skyline(self, query: Sequence[float]) -> np.ndarray:
+        """``RSL(query)`` as positions into the customer matrix (BBRS)."""
+        q = as_point(query, dim=self.dim)
+        key = q.tobytes()
+        cached = self._rsl_cache.get(key)
+        if cached is None:
+            cached = reverse_skyline_bbrs(
+                self.index,
+                self.customers,
+                q,
+                policy=self.config.policy,
+                self_exclude=self.monochromatic,
+            )
+            self._rsl_cache[key] = cached
+        return cached
+
+    def is_member(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> bool:
+        """Membership of one customer in ``RSL(query)``."""
+        point, exclude = self._resolve_customer(why_not)
+        q = as_point(query, dim=self.dim)
+        return verify_membership(
+            self.index, point, q, self.config.policy, exclude, rtol=0.0
+        )
+
+    # ------------------------------------------------------------------
+    # The four why-not methods
+    # ------------------------------------------------------------------
+    def explain(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> Explanation:
+        """Aspect 1: the ``Λ`` set of products blocking membership."""
+        point, exclude = self._resolve_customer(why_not)
+        return explain_why_not(
+            self.index, point, query, self.config.policy, exclude
+        )
+
+    def modify_why_not_point(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> ModificationResult:
+        """Algorithm 1 (MWP) with normalised costs."""
+        point, exclude = self._resolve_customer(why_not)
+        return modify_why_not_point(
+            self.index,
+            point,
+            query,
+            config=self.config,
+            weights=self.beta,
+            normalizer=self.normalizer,
+            exclude=exclude,
+        )
+
+    def modify_query_point(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> ModificationResult:
+        """Algorithm 2 (MQP) with normalised movement costs."""
+        point, exclude = self._resolve_customer(why_not)
+        return modify_query_point(
+            self.index,
+            point,
+            query,
+            config=self.config,
+            weights=self.alpha,
+            normalizer=self.normalizer,
+            exclude=exclude,
+        )
+
+    def safe_region(
+        self,
+        query: Sequence[float],
+        approximate: bool = False,
+        k: int = 10,
+    ) -> SafeRegion:
+        """Algorithm 3 (exact) or the Section-VI.B approximation."""
+        q = as_point(query, dim=self.dim)
+        key = q.tobytes()
+        if approximate:
+            cached = self._approx_sr_cache.get((key, k))
+            if cached is None:
+                store = self.approx_store(k)
+                cached = store.safe_region(
+                    q, self.reverse_skyline(q), self._geometry_bounds(q)
+                )
+                self._approx_sr_cache[(key, k)] = cached
+            return cached
+        cached = self._sr_cache.get(key)
+        if cached is None:
+            cached = compute_safe_region(
+                self.index,
+                self.customers,
+                q,
+                self.reverse_skyline(q),
+                self._geometry_bounds(q),
+                config=self.config,
+                self_exclude=self.monochromatic,
+            )
+            self._sr_cache[key] = cached
+        return cached
+
+    def modify_both(
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        approximate: bool = False,
+        k: int = 10,
+    ) -> MWQResult:
+        """Algorithm 4 (MWQ), optionally on the approximate safe region."""
+        point, exclude = self._resolve_customer(why_not)
+        q = as_point(query, dim=self.dim)
+        region = self.safe_region(q, approximate=approximate, k=k)
+        return modify_query_and_why_not_point(
+            self.index,
+            point,
+            q,
+            safe_region=region,
+            bounds=self._geometry_bounds(q),
+            config=self.config,
+            weights=self.beta,
+            normalizer=self.normalizer,
+            exclude=exclude,
+        )
+
+    def approx_store(self, k: int = 10) -> ApproximateDSLStore:
+        """The (cached) pre-computed sampled-DSL store for parameter ``k``."""
+        store = self._approx_stores.get(k)
+        if store is None:
+            store = ApproximateDSLStore(
+                self.index,
+                self.customers,
+                k=k,
+                config=self.config,
+                self_exclude=self.monochromatic,
+            )
+            self._approx_stores[k] = store
+        return store
+
+    def without_products(
+        self, positions: Sequence[int]
+    ) -> "tuple[WhyNotEngine, np.ndarray]":
+        """A what-if engine with the given products deleted.
+
+        Directly supports the paper's first aspect: deleting the ``Λ``
+        culprits admits the why-not point (Lemma 1); this builds the
+        counterfactual market so the claim can be *checked*, e.g.::
+
+            culprits = engine.explain(c_t, q).culprit_positions
+            reduced, mapping = engine.without_products(culprits)
+            assert reduced.is_member(mapping[c_t], q)
+
+        Returns the new engine plus a position-mapping array: old product
+        position -> new position (``-1`` for deleted rows).  In the
+        monochromatic setting the customer matrix shrinks identically.
+        """
+        drop = {int(p) for p in positions}
+        for position in drop:
+            if not 0 <= position < self.products.shape[0]:
+                raise InvalidParameterError(
+                    f"product position {position} out of range"
+                )
+        keep = np.array(
+            [i for i in range(self.products.shape[0]) if i not in drop],
+            dtype=np.int64,
+        )
+        if keep.size == 0:
+            raise EmptyDatasetError("cannot delete every product")
+        mapping = np.full(self.products.shape[0], -1, dtype=np.int64)
+        mapping[keep] = np.arange(keep.size)
+        reduced = WhyNotEngine(
+            self.products[keep],
+            customers=None if self.monochromatic else self.customers,
+            backend=self._backend,
+            config=self.config,
+            weights=self._weights,
+            bounds=self.bounds,
+        )
+        return reduced, mapping
+
+    def lost_customers(
+        self, query: Sequence[float], refined_query: Sequence[float]
+    ) -> np.ndarray:
+        """Existing reverse-skyline members that would be lost by moving
+        ``query`` to ``refined_query``.
+
+        Quantifies the side effect of leaving the safe region (the paper's
+        Section V.B remark on truncating/expanding it): positions into the
+        customer matrix, empty when the move is safe.
+        """
+        q = as_point(query, dim=self.dim)
+        q_star = as_point(refined_query, dim=self.dim)
+        lost = []
+        for position in self.reverse_skyline(q):
+            point, exclude = self._resolve_customer(int(position))
+            if not verify_membership(
+                self.index, point, q_star, self.config.policy, exclude
+            ):
+                lost.append(int(position))
+        return np.asarray(lost, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Experiment cost model (Section VI.A)
+    # ------------------------------------------------------------------
+    def why_not_movement_cost(
+        self, original: Sequence[float], moved: Sequence[float]
+    ) -> float:
+        """Eqn. (11): normalised beta-weighted movement of the why-not point."""
+        return self.normalizer.cost(original, moved, self.beta)
+
+    def query_movement_cost(
+        self, original: Sequence[float], moved: Sequence[float]
+    ) -> float:
+        """Normalised alpha-weighted movement of the query point."""
+        return self.normalizer.cost(original, moved, self.alpha)
+
+    def mqp_total_cost(
+        self, query: Sequence[float], refined_query: Sequence[float]
+    ) -> float:
+        """The experiment cost of an MQP answer (Section VI.A):
+
+        ``alpha . |q' - q*| + sum over lost customers of beta . |c_l - c_l*|``
+
+        where ``q'`` is the closest safe-region point to ``q*`` and each
+        lost customer's repair ``c_l*`` is its cheapest Algorithm-1 move
+        w.r.t. the refined query.
+        """
+        q = as_point(query, dim=self.dim)
+        q_star = as_point(refined_query, dim=self.dim)
+        region = self.safe_region(q)
+        anchor = region.region.nearest_point_to(q_star)
+        if anchor is None:
+            anchor = q
+        total = self.normalizer.cost(anchor, q_star, self.alpha)
+        for position in self.reverse_skyline(q):
+            point, exclude = self._resolve_customer(int(position))
+            if verify_membership(
+                self.index, point, q_star, self.config.policy, exclude
+            ):
+                continue  # Customer retained; no penalty.
+            repair = modify_why_not_point(
+                self.index,
+                point,
+                q_star,
+                config=self.config,
+                weights=self.beta,
+                normalizer=self.normalizer,
+                exclude=exclude,
+            ).best()
+            if repair is not None:
+                total += repair.cost
+        return total

@@ -1,0 +1,122 @@
+"""Algorithm 2 — Modify the Query Point (MQP).
+
+Move the query product ``q`` toward the why-not customer ``c_t`` until it
+enters the customer's dynamic skyline:
+
+1. ``Λ ← window_query(c_t, q)``;
+2. ``F ← Λ ∩ DSL(c_t)``: members not dynamically dominated w.r.t. ``c_t``
+   by another member (computable without the full ``DSL(c_t)``, steps 3-5);
+3. the refined query must reach the dynamic-skyline staircase of ``c_t``:
+   its distance vector ``|c_t - q*|`` has to drop to a frontier's distance
+   in at least one dimension.  The sorted merge of the frontier distance
+   vectors (Eqns. 5-6) yields the non-dominated candidate locations.
+
+Unlike Algorithm 1, the candidates here align the query with frontier
+*coordinates* (mirrored to the query's side of the customer when a
+frontier lies on the opposite side).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import WhyNotConfig
+from repro.core._staircase import staircase_distance_candidates
+from repro.core._verify import verify_membership
+from repro.core.answer import Candidate, ModificationResult
+from repro.core.cost import MinMaxNormalizer
+from repro.geometry.point import as_point
+from repro.geometry.transform import to_query_space
+from repro.index.base import SpatialIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.window import lambda_set
+
+__all__ = ["modify_query_point", "mqp_candidate_points"]
+
+
+def mqp_candidate_points(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    config: WhyNotConfig,
+    exclude: Sequence[int] = (),
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw Algorithm-2 computation.
+
+    Returns ``(candidates, lambda_positions, frontier_positions)``; the
+    candidate matrix is empty when ``c_t`` is already a member.
+    """
+    c_t = as_point(why_not, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    lam = lambda_set(index, c_t, q, config.policy, exclude)
+    if lam.size == 0:
+        return np.empty((0, index.dim)), lam, lam
+
+    # F = Λ ∩ DSL(c_t): minimal distance vectors from c_t within Λ.
+    lam_points = index.points[lam]
+    from_ct = to_query_space(lam_points, c_t)
+    frontier_local = skyline_indices(from_ct)
+    frontier = lam[frontier_local]
+
+    thresholds = from_ct[frontier_local]
+    if config.margin > 0.0:
+        thresholds = thresholds * (1.0 - config.margin)
+    cap = np.abs(q - c_t)
+    vectors = staircase_distance_candidates(thresholds, cap, config.sort_dim)
+
+    # q* sits on q's side of c_t at distance w; where q ties c_t the
+    # coordinate collapses onto both.
+    direction = np.sign(q - c_t)
+    candidates = c_t + direction * vectors
+    return candidates, lam, frontier
+
+
+def modify_query_point(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    config: WhyNotConfig | None = None,
+    weights: Sequence[float] | None = None,
+    normalizer: MinMaxNormalizer | None = None,
+    exclude: Sequence[int] = (),
+) -> ModificationResult:
+    """Full MQP: refined query locations with costs and verification.
+
+    Costs reported here are the plain movement ``alpha . |q - q*|`` of
+    Eqn. (9); the lost-customer penalty of Section VI.A is a property of a
+    whole experiment (it needs ``RSL(q)`` and ``SR(q)``) and lives in
+    :meth:`repro.core.engine.WhyNotEngine.mqp_total_cost`.
+    """
+    config = config or WhyNotConfig()
+    c_t = as_point(why_not, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    points, lam, frontier = mqp_candidate_points(index, c_t, q, config, exclude)
+    result = ModificationResult(
+        method="MQP",
+        why_not=c_t,
+        query=q,
+        lambda_positions=lam,
+        frontier_positions=frontier,
+    )
+    if lam.size == 0:
+        result.candidates.append(Candidate(q, cost=0.0, verified=True))
+        return result
+
+    w = np.asarray(
+        weights if weights is not None else np.full(index.dim, 1.0 / index.dim),
+        dtype=np.float64,
+    )
+    for point in points:
+        if normalizer is not None:
+            cost = normalizer.cost(q, point, w)
+        else:
+            cost = float(np.sum(w * np.abs(q - point)))
+        verified: bool | None = None
+        if config.verify:
+            # q* must enter DSL(c_t): the window of (c_t, q*) must be empty.
+            verified = verify_membership(index, c_t, point, config.policy, exclude)
+        result.candidates.append(Candidate(point, cost=cost, verified=verified))
+    result.candidates.sort(key=lambda c: c.cost)
+    return result

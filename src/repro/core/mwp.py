@@ -1,0 +1,134 @@
+"""Algorithm 1 — Modify the Why-Not Point (MWP).
+
+Move the why-not customer ``c_t`` toward the query ``q`` just far enough
+that ``q`` enters the dynamic skyline of the moved point ``c_t*``:
+
+1. ``Λ ← window_query(c_t, q)`` — the products blocking membership;
+2. keep the frontier ``F``: members of ``Λ`` not dynamically dominated
+   w.r.t. ``q`` by another member (the products closest to ``q``);
+3. for each frontier the midpoint between it and ``q`` (Eqn. 1) bounds the
+   needed movement; the sorted merge of the midpoints (Eqns. 2-3) yields
+   the pairwise non-dominated candidate locations.
+
+The construction is carried out in distance space (see
+:mod:`repro.core._staircase`), which generalises the paper's lower-left
+figures to arbitrary relative positions of ``c_t`` and ``q``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DominancePolicy, WhyNotConfig
+from repro.core._staircase import staircase_distance_candidates
+from repro.core._verify import verify_membership
+from repro.core.answer import Candidate, ModificationResult
+from repro.core.cost import MinMaxNormalizer
+from repro.geometry.point import as_point
+from repro.geometry.transform import to_query_space
+from repro.index.base import SpatialIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.window import lambda_set
+
+__all__ = ["modify_why_not_point", "mwp_candidate_points"]
+
+
+def mwp_candidate_points(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    config: WhyNotConfig,
+    exclude: Sequence[int] = (),
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Raw Algorithm-1 computation.
+
+    Returns ``(candidates, lambda_positions, frontier_positions)`` where
+    ``candidates`` is a ``(k, d)`` matrix of proposed ``c_t*`` locations
+    (empty when the point is already a member).
+    """
+    c_t = as_point(why_not, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    lam = lambda_set(index, c_t, q, config.policy, exclude)
+    if lam.size == 0:
+        return np.empty((0, index.dim)), lam, lam
+
+    # Frontier F: members of Λ whose distance vector from q is minimal —
+    # non-dominated w.r.t. the dynamic dominance ≻_q (step 3-5 of Alg. 1).
+    lam_points = index.points[lam]
+    from_q = to_query_space(lam_points, q)
+    frontier_local = skyline_indices(from_q)
+    frontier = lam[frontier_local]
+
+    # Midpoint thresholds (Eqn. 1 in distance space): c_t* may approach q
+    # no closer than half the frontier's distance, per dimension.
+    midpoints = from_q[frontier_local] / 2.0
+    if config.margin > 0.0:
+        midpoints = midpoints * (1.0 - config.margin)
+    cap = np.abs(q - c_t)
+    vectors = staircase_distance_candidates(midpoints, cap, config.sort_dim)
+
+    # Back to coordinates: c_t* sits on c_t's side of q at distance v.
+    direction = np.sign(c_t - q)
+    candidates = q + direction * vectors
+    return candidates, lam, frontier
+
+
+def modify_why_not_point(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    config: WhyNotConfig | None = None,
+    weights: Sequence[float] | None = None,
+    normalizer: MinMaxNormalizer | None = None,
+    exclude: Sequence[int] = (),
+) -> ModificationResult:
+    """Full MWP: candidates with movement costs and verification flags.
+
+    Parameters
+    ----------
+    index:
+        Spatial index over the product set ``P``.
+    why_not, query:
+        The customer ``c_t`` and query product ``q``.
+    config:
+        Policy / sort dimension / margin / verification settings.
+    weights:
+        The beta weight vector of Eqn. (11); equal weights by default.
+    normalizer:
+        Min-max normaliser for cost reporting; raw weighted L1 when absent.
+    exclude:
+        Product positions excluded from window queries (monochromatic
+        self-exclusion).
+    """
+    config = config or WhyNotConfig()
+    c_t = as_point(why_not, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    points, lam, frontier = mwp_candidate_points(index, c_t, q, config, exclude)
+    result = ModificationResult(
+        method="MWP",
+        why_not=c_t,
+        query=q,
+        lambda_positions=lam,
+        frontier_positions=frontier,
+    )
+    if lam.size == 0:
+        result.candidates.append(Candidate(c_t, cost=0.0, verified=True))
+        return result
+
+    w = np.asarray(
+        weights if weights is not None else np.full(index.dim, 1.0 / index.dim),
+        dtype=np.float64,
+    )
+    for point in points:
+        if normalizer is not None:
+            cost = normalizer.cost(c_t, point, w)
+        else:
+            cost = float(np.sum(w * np.abs(c_t - point)))
+        verified: bool | None = None
+        if config.verify:
+            verified = verify_membership(index, point, q, config.policy, exclude)
+        result.candidates.append(Candidate(point, cost=cost, verified=verified))
+    result.candidates.sort(key=lambda c: c.cost)
+    return result

@@ -1,0 +1,181 @@
+"""Algorithm 4 — Modify Query and Why-not Point (MWQ).
+
+The combined method honouring the safe region:
+
+* **Case C1** (Table I): the why-not point's anti-dominance region
+  overlaps ``SR(q)``.  Moving ``q`` to the overlap admits ``c_t`` while
+  keeping every existing customer; movement inside the safe region costs
+  nothing (Eqn. 10), so the answer cost is zero.  The candidate locations
+  are the nearest points of the overlap rectangles to ``q``.
+
+* **Case C2**: no overlap.  ``q`` moves as far toward ``c_t`` as the safe
+  region permits — to one of its non-dominated corner points (transformed
+  w.r.t. ``c_t``) — and the remaining gap is closed by moving ``c_t`` via
+  Algorithm 1 against each such corner.  Answers are ranked by the
+  Eqn.-11 score of the why-not movement.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import WhyNotConfig
+from repro.core._verify import verify_membership
+from repro.core.answer import Candidate, MWQCase, MWQResult
+from repro.core.cost import MinMaxNormalizer
+from repro.core.mwp import modify_why_not_point
+from repro.core.safe_region import SafeRegion, anti_dominance_region
+from repro.geometry.box import Box
+from repro.geometry.point import as_point
+from repro.geometry.region import BoxRegion
+from repro.geometry.transform import to_query_space
+from repro.index.base import SpatialIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.window import lambda_set
+
+__all__ = ["modify_query_and_why_not_point"]
+
+
+def modify_query_and_why_not_point(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    safe_region: SafeRegion,
+    bounds: Box,
+    config: WhyNotConfig | None = None,
+    weights: Sequence[float] | None = None,
+    normalizer: MinMaxNormalizer | None = None,
+    exclude: Sequence[int] = (),
+    ddr_why_not: BoxRegion | None = None,
+) -> MWQResult:
+    """Run Algorithm 4.
+
+    Parameters
+    ----------
+    index:
+        Spatial index over the product set ``P``.
+    why_not, query:
+        The customer ``c_t`` and the original query ``q``.
+    safe_region:
+        ``SR(q)`` from Algorithm 3 (exact) or the approximate store
+        (Section VI.B); the algorithm is oblivious to which.
+    bounds:
+        The data universe (for the anti-dominance region of ``c_t``).
+    weights:
+        Beta weight vector of Eqn. (11).
+    ddr_why_not:
+        Pre-computed anti-dominance region of ``c_t`` (recomputed when
+        absent).
+    exclude:
+        Product positions excluded from windows / skylines (monochromatic
+        self-exclusion of ``c_t``).
+    """
+    config = config or WhyNotConfig()
+    c_t = as_point(why_not, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    w = np.asarray(
+        weights if weights is not None else np.full(index.dim, 1.0 / index.dim),
+        dtype=np.float64,
+    )
+
+    lam = lambda_set(index, c_t, q, config.policy, exclude)
+    if lam.size == 0:
+        return MWQResult(
+            case=MWQCase.ALREADY_MEMBER,
+            why_not=c_t,
+            query=q,
+            query_candidates=[Candidate(q, cost=0.0, verified=True)],
+        )
+
+    if ddr_why_not is None:
+        ddr_why_not = anti_dominance_region(
+            index, c_t, bounds, sort_dim=config.sort_dim, exclude=exclude
+        )
+    overlap = safe_region.region.intersect(ddr_why_not)
+
+    if not overlap.is_empty():
+        return _case_overlap(index, c_t, q, overlap, config, exclude)
+    return _case_disjoint(
+        index, c_t, q, safe_region, config, w, normalizer, exclude
+    )
+
+
+def _case_overlap(
+    index: SpatialIndex,
+    c_t: np.ndarray,
+    q: np.ndarray,
+    overlap: BoxRegion,
+    config: WhyNotConfig,
+    exclude: Sequence[int],
+) -> MWQResult:
+    """Case C1: pick the nearest point of each overlap rectangle to ``q``
+    (steps 1-6 of Algorithm 4); cost is zero by Eqn. (10)."""
+    seen: set[bytes] = set()
+    candidates: list[Candidate] = []
+    for box in overlap:
+        point = box.nearest_point_to(q)
+        key = point.tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        verified: bool | None = None
+        if config.verify:
+            verified = verify_membership(index, c_t, point, config.policy, exclude)
+        candidates.append(Candidate(point, cost=0.0, verified=verified))
+    candidates.sort(key=lambda cand: float(np.sum(np.abs(cand.point - q))))
+    return MWQResult(
+        case=MWQCase.OVERLAP,
+        why_not=c_t,
+        query=q,
+        query_candidates=candidates,
+    )
+
+
+def _case_disjoint(
+    index: SpatialIndex,
+    c_t: np.ndarray,
+    q: np.ndarray,
+    safe_region: SafeRegion,
+    config: WhyNotConfig,
+    weights: np.ndarray,
+    normalizer: MinMaxNormalizer | None,
+    exclude: Sequence[int],
+) -> MWQResult:
+    """Case C2: move ``q`` to the safe-region corners nearest ``c_t`` and
+    close the gap with Algorithm 1 (steps 7-20 of Algorithm 4)."""
+    corners = safe_region.region.corner_points()
+    # The original query always belongs to its safe region; adding it to
+    # the candidate set guarantees MWQ never answers worse than MWP even
+    # when no box corner improves on q (e.g. a degenerate region).
+    corners = (
+        np.vstack([corners, q]) if corners.shape[0] else q.reshape(1, -1)
+    )
+    # Keep only corners non-dominated in the space transformed to c_t:
+    # those are the extremal moves of q toward the why-not point.
+    transformed = to_query_space(corners, c_t)
+    minimal = skyline_indices(transformed)
+    corners = corners[minimal]
+
+    pairs: list[tuple[Candidate, Candidate]] = []
+    for corner in corners:
+        mwp = modify_why_not_point(
+            index,
+            c_t,
+            corner,
+            config=config,
+            weights=weights,
+            normalizer=normalizer,
+            exclude=exclude,
+        )
+        query_candidate = Candidate(corner, cost=0.0, verified=None)
+        for candidate in mwp.candidates:
+            pairs.append((query_candidate, candidate))
+    pairs.sort(key=lambda p: (np.isnan(p[1].cost), p[1].cost))
+    return MWQResult(
+        case=MWQCase.DISJOINT,
+        why_not=c_t,
+        query=q,
+        pairs=pairs,
+    )

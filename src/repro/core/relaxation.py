@@ -1,0 +1,96 @@
+"""Safe-region relaxation analysis (the Section V.B remark, made concrete).
+
+The paper notes that the safe region "can be truncated/expanded ... to
+achieve certain flexibility", at the price of "losing a few existing
+customers as a side effect".  This module quantifies that trade:
+
+* :func:`leave_one_out_regions` — for each reverse-skyline member, the
+  region available if the company accepted losing exactly that customer
+  (the intersection of everyone else's anti-dominance regions);
+* :func:`relaxation_analysis` — the members ranked by how much
+  repositioning area sacrificing them would buy, the concrete decision
+  support a vendor needs before expanding the safe region.
+
+Every returned region is verified-safe for the remaining members by
+construction (it is their Lemma-2 intersection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import WhyNotEngine
+from repro.core.safe_region import SafeRegion, anti_dominance_region, compute_safe_region
+from repro.geometry.point import as_point
+
+__all__ = ["RelaxationOption", "leave_one_out_regions", "relaxation_analysis"]
+
+
+@dataclass(frozen=True)
+class RelaxationOption:
+    """One candidate sacrifice: drop this member, gain this much area."""
+
+    member_position: int
+    region: SafeRegion
+    area: float
+    area_gain: float
+
+    def __repr__(self) -> str:
+        return (
+            f"RelaxationOption(drop customer {self.member_position}: "
+            f"area {self.area:g}, gain {self.area_gain:g})"
+        )
+
+
+def leave_one_out_regions(
+    engine: WhyNotEngine, query: Sequence[float]
+) -> dict[int, SafeRegion]:
+    """The safe region obtained by dropping each member in turn.
+
+    Maps member position -> ``SR(q)`` computed over the remaining
+    members.  With zero or one member the answer degenerates to the full
+    universe for the single droppable member.
+    """
+    q = as_point(query, dim=engine.dim)
+    members = engine.reverse_skyline(q)
+    regions: dict[int, SafeRegion] = {}
+    for dropped in members.tolist():
+        remaining = np.asarray(
+            [m for m in members.tolist() if m != dropped], dtype=np.int64
+        )
+        regions[int(dropped)] = compute_safe_region(
+            engine.index,
+            engine.customers,
+            q,
+            remaining,
+            engine._geometry_bounds(q),
+            config=engine.config,
+            self_exclude=engine.monochromatic,
+        )
+    return regions
+
+
+def relaxation_analysis(
+    engine: WhyNotEngine, query: Sequence[float]
+) -> list[RelaxationOption]:
+    """Rank the reverse-skyline members by the area their loss would buy.
+
+    Returns options sorted by decreasing area gain over the exact safe
+    region; an empty list when there is nobody to lose.
+    """
+    q = as_point(query, dim=engine.dim)
+    base_area = engine.safe_region(q).area()
+    options = [
+        RelaxationOption(
+            member_position=member,
+            region=region,
+            area=region.area(),
+            area_gain=region.area() - base_area,
+        )
+        for member, region in leave_one_out_regions(engine, q).items()
+    ]
+    options.sort(key=lambda option: -option.area_gain)
+    return options

@@ -1,0 +1,246 @@
+"""Algorithm 3 — the exact safe region of the query point.
+
+``SR(q)`` is the intersection of the dynamic anti-dominance regions of all
+existing reverse-skyline points (Lemma 2): anywhere inside it, ``q`` keeps
+every current customer.  Each anti-dominance region is represented as
+``|DSL(c)| + 1`` axis-aligned rectangles centred at the customer (Fig. 10):
+the staircase of the customer's dynamic skyline read in distance space.
+
+Boundary semantics: boxes are closed, which is exact under the STRICT
+(open-window) exclusion policy the paper's constructions follow — a query
+placed exactly on a staircase boundary is *not* excluded from the dynamic
+skyline (DESIGN.md §2).
+
+Dimensionality: the staircase decomposition is exact for 2-D data (the
+paper's setting).  For ``d > 2`` this module falls back to a conservative
+under-approximation (per-skyline-point boxes plus one slab per dimension),
+every box of which provably lies inside the true region, so Lemma 2's
+guarantee — no existing customer lost — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import WhyNotConfig
+from repro.exceptions import InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.point import as_point
+from repro.geometry.region import BoxRegion
+from repro.geometry.transform import to_query_space
+from repro.index.base import SpatialIndex
+from repro.skyline.dynamic import dynamic_skyline_indices
+
+__all__ = [
+    "SafeRegion",
+    "anti_dominance_region",
+    "staircase_boxes",
+    "compute_safe_region",
+]
+
+
+def _reach(origin: np.ndarray, bounds: Box) -> np.ndarray:
+    """Per-dimension distance from ``origin`` to the farther universe edge
+    (the paper's 'maximum value appearing in the dataset' shift, expressed
+    as a distance so the region covers the whole slab)."""
+    return np.maximum(origin - bounds.lo, bounds.hi - origin)
+
+
+def staircase_boxes(
+    origin: np.ndarray,
+    thresholds: np.ndarray,
+    bounds: Box,
+    sort_dim: int,
+) -> list[Box]:
+    """Rectangles of an anti-dominance region from DSL distance vectors.
+
+    ``thresholds`` is the ``(m, d)`` matrix ``|origin - s|`` over the
+    dynamic skyline points ``s``; the result has ``m + 1`` boxes for 2-D
+    (first-shifted, pairwise maxima, last-shifted — Fig. 10) and
+    ``m + d`` boxes for higher dimensions (per-point boxes plus one slab
+    per dimension, the conservative variant).
+    """
+    m, dim = thresholds.shape
+    if m == 0:
+        clipped = Box(bounds.lo.copy(), bounds.hi.copy())
+        return [clipped]
+    reach = _reach(origin, bounds)
+    entries: list[np.ndarray] = []
+    if dim == 2:
+        order = np.argsort(thresholds[:, sort_dim], kind="stable")
+        sorted_t = thresholds[order]
+        first = sorted_t[0].copy()
+        for d in range(dim):
+            if d != sort_dim:
+                first[d] = reach[d]
+        entries.append(first)
+        for left, right in zip(sorted_t[:-1], sorted_t[1:]):
+            entries.append(np.maximum(left, right))
+        last = sorted_t[-1].copy()
+        last[sort_dim] = reach[sort_dim]
+        entries.append(last)
+    else:
+        # Conservative d > 2 construction: each DSL point's own box is
+        # inside the region, and so is the slab below the per-dimension
+        # minimum threshold.
+        entries.extend(thresholds)
+        minima = thresholds.min(axis=0)
+        for d in range(dim):
+            slab = reach.copy()
+            slab[d] = minima[d]
+            entries.append(slab)
+    boxes: list[Box] = []
+    for extent in entries:
+        box = Box.from_center(origin, extent).clip_to(bounds)
+        if box is not None:
+            boxes.append(box)
+    return boxes
+
+
+def anti_dominance_region(
+    index: SpatialIndex,
+    origin: Sequence[float],
+    bounds: Box,
+    sort_dim: int = 0,
+    exclude: Sequence[int] = (),
+    dsl_positions: np.ndarray | None = None,
+) -> BoxRegion:
+    """The dynamic anti-dominance region of ``origin`` as a box union.
+
+    Computes ``DSL(origin)`` over the indexed products (unless
+    ``dsl_positions`` is supplied) and decomposes the complement of its
+    dominance region into rectangles.
+    """
+    o = as_point(origin, dim=index.dim)
+    if dsl_positions is None:
+        dsl_positions = dynamic_skyline_indices(index.points, o, exclude)
+    thresholds = (
+        to_query_space(index.points[dsl_positions], o)
+        if dsl_positions.size
+        else np.empty((0, index.dim))
+    )
+    boxes = staircase_boxes(o, thresholds, bounds, sort_dim)
+    return BoxRegion(boxes, dim=index.dim).simplify()
+
+
+@dataclass
+class SafeRegion:
+    """The safe region of a query point with its provenance.
+
+    Attributes
+    ----------
+    query:
+        The query point ``q``.
+    region:
+        Union-of-boxes representation of ``SR(q)``.
+    rsl_positions:
+        Positions (into the customer matrix) of ``RSL(q)`` used to build it.
+    approximate:
+        True when built from sampled dynamic skylines (Section VI.B.1);
+        the approximate region is a subset of the exact one.
+    """
+
+    query: np.ndarray
+    region: BoxRegion
+    rsl_positions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    approximate: bool = False
+
+    def area(self) -> float:
+        """Lebesgue measure of the region (Figure 14's y-axis)."""
+        return self.region.measure()
+
+    def contains(self, point: Sequence[float]) -> bool:
+        return self.region.contains_point(point)
+
+    def is_degenerate(self) -> bool:
+        """True when the region has collapsed to measure zero (typically
+        the query point itself) and MWQ degenerates to MWP."""
+        return self.area() == 0.0
+
+    def restricted(self, limits: Box) -> "SafeRegion":
+        """The safe region truncated to feature ``limits`` (Section V.B).
+
+        Companies often may only vary certain feature ranges of a
+        product; clipping the safe region to those limits keeps every
+        guarantee (a subset of a safe region is safe).  Note the clipped
+        region may no longer contain the original query point if the
+        limits exclude it.
+        """
+        return SafeRegion(
+            query=self.query,
+            region=self.region.intersect_box(limits),
+            rsl_positions=self.rsl_positions,
+            approximate=self.approximate,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SafeRegion(|RSL|={self.rsl_positions.size}, "
+            f"boxes={len(self.region)}, area={self.area():g}, "
+            f"approximate={self.approximate})"
+        )
+
+
+def compute_safe_region(
+    index: SpatialIndex,
+    customers: np.ndarray,
+    query: Sequence[float],
+    rsl_positions: np.ndarray,
+    bounds: Box,
+    config: WhyNotConfig | None = None,
+    self_exclude: bool = False,
+) -> SafeRegion:
+    """Algorithm 3: intersect the anti-dominance regions of all members.
+
+    Parameters
+    ----------
+    index:
+        Spatial index over the products ``P``.
+    customers:
+        ``(n, d)`` customer matrix ``C``.
+    query:
+        The query point ``q``.
+    rsl_positions:
+        Positions of ``RSL(q)`` within ``customers``.
+    bounds:
+        The data universe (regions are clipped to it).
+    self_exclude:
+        Monochromatic convention: customer ``j`` is excluded from its own
+        dynamic-skyline computation.
+
+    Notes
+    -----
+    With no reverse-skyline point the safe region is the whole universe
+    (there is nobody to lose).  The query point itself always belongs to
+    its safe region; if floating-point rounding of the box corners ever
+    drops it, the degenerate box ``{q}`` is added back explicitly.
+    """
+    config = config or WhyNotConfig()
+    q = as_point(query, dim=index.dim)
+    if not bounds.contains_point(q):
+        raise InvalidParameterError("query point lies outside the given bounds")
+    region = BoxRegion([Box(bounds.lo.copy(), bounds.hi.copy())], dim=index.dim)
+    for position in np.asarray(rsl_positions, dtype=np.int64):
+        customer = np.asarray(customers, dtype=np.float64)[position]
+        ddr = anti_dominance_region(
+            index,
+            customer,
+            bounds,
+            sort_dim=config.sort_dim,
+            exclude=(int(position),) if self_exclude else (),
+        )
+        region = region.intersect(ddr)
+        if region.is_empty():
+            break
+    if not region.contains_point(q):
+        region = region.union(BoxRegion([Box(q, q)], dim=index.dim))
+    return SafeRegion(
+        query=q,
+        region=region,
+        rsl_positions=np.asarray(rsl_positions, dtype=np.int64),
+    )

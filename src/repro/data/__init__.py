@@ -1,0 +1,25 @@
+"""Datasets: the paper's worked example, synthetic generators (UN / CO /
+AC), the simulated CarDB substitute, and the experiment workload builder.
+"""
+
+from repro.data.cardb import generate_cardb
+from repro.data.dataset import Dataset
+from repro.data.paperdata import paper_points, paper_query
+from repro.data.synthetic import (
+    generate_anticorrelated,
+    generate_correlated,
+    generate_uniform,
+)
+from repro.data.workload import WhyNotQuery, build_workload
+
+__all__ = [
+    "Dataset",
+    "paper_points",
+    "paper_query",
+    "generate_uniform",
+    "generate_correlated",
+    "generate_anticorrelated",
+    "generate_cardb",
+    "WhyNotQuery",
+    "build_workload",
+]

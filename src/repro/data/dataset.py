@@ -1,0 +1,103 @@
+"""The :class:`Dataset` wrapper.
+
+A named ``(n, d)`` point matrix with explicit universe bounds and
+dimension labels — the unit every generator returns and every experiment
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.point import as_points
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable point collection with provenance.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"CarDB-50K"``, ``"UN-100K"``, ...).
+    points:
+        ``(n, d)`` float64 matrix.
+    bounds:
+        The data universe; region clipping and min-max normalisation both
+        use it so costs are comparable across queries.
+    labels:
+        Optional per-dimension attribute names.
+    """
+
+    name: str
+    points: np.ndarray
+    bounds: Box
+    labels: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        arr = as_points(self.points)
+        if arr.shape[0] == 0:
+            raise EmptyDatasetError(f"dataset {self.name!r} has no points")
+        arr.flags.writeable = False
+        object.__setattr__(self, "points", arr)
+        if self.bounds.dim != arr.shape[1]:
+            raise InvalidParameterError(
+                f"bounds dimensionality {self.bounds.dim} != data {arr.shape[1]}"
+            )
+        if self.labels and len(self.labels) != arr.shape[1]:
+            raise InvalidParameterError(
+                f"{len(self.labels)} labels for {arr.shape[1]} dimensions"
+            )
+
+    @classmethod
+    def from_points(
+        cls,
+        name: str,
+        points: np.ndarray,
+        labels: Sequence[str] = (),
+        pad: float = 0.0,
+    ) -> "Dataset":
+        """Build a dataset whose bounds are the data's bounding box,
+        optionally padded by a fraction of each dimension's range."""
+        arr = as_points(points)
+        if arr.shape[0] == 0:
+            raise EmptyDatasetError(f"dataset {name!r} has no points")
+        lo = arr.min(axis=0)
+        hi = arr.max(axis=0)
+        if pad:
+            span = np.where(hi > lo, hi - lo, 1.0)
+            lo = lo - pad * span
+            hi = hi + pad * span
+        return cls(name, arr, Box(lo, hi), tuple(labels))
+
+    @property
+    def size(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    def sample_positions(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` distinct row positions chosen uniformly."""
+        n = min(n, self.size)
+        return rng.choice(self.size, size=n, replace=False)
+
+    def subset(self, positions: Sequence[int], name: str | None = None) -> "Dataset":
+        """A new dataset over selected rows, keeping bounds and labels."""
+        return Dataset(
+            name or f"{self.name}-subset",
+            self.points[np.asarray(positions, dtype=np.int64)],
+            self.bounds,
+            self.labels,
+        )
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name!r}, n={self.size}, d={self.dim})"

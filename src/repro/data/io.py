@@ -1,0 +1,165 @@
+"""Dataset and experiment-record persistence.
+
+Datasets round-trip through ``.npz`` (fast, exact) and ``.csv`` (for
+interoperability with the original CarDB-style flat files); experiment
+records serialise to JSON so harness runs can be archived and diffed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.experiments.records import ApproxOutcome, DatasetResult, QueryRecord
+from repro.geometry.box import Box
+
+__all__ = [
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "save_results_json",
+    "load_results_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+def save_dataset_npz(dataset: Dataset, path: "str | Path") -> None:
+    """Exact binary round-trip of a dataset (points, bounds, labels)."""
+    np.savez_compressed(
+        path,
+        points=dataset.points,
+        bounds_lo=dataset.bounds.lo,
+        bounds_hi=dataset.bounds.hi,
+        name=np.array(dataset.name),
+        labels=np.array(list(dataset.labels), dtype=object),
+    )
+
+
+def load_dataset_npz(path: "str | Path") -> Dataset:
+    with np.load(path, allow_pickle=True) as archive:
+        return Dataset(
+            name=str(archive["name"]),
+            points=archive["points"],
+            bounds=Box(archive["bounds_lo"], archive["bounds_hi"]),
+            labels=tuple(str(label) for label in archive["labels"]),
+        )
+
+
+def save_dataset_csv(dataset: Dataset, path: "str | Path") -> None:
+    """Header row of labels (or dim0..dimN), one point per line."""
+    labels = dataset.labels or tuple(f"dim{i}" for i in range(dataset.dim))
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(labels)
+        writer.writerows(dataset.points.tolist())
+
+
+def load_dataset_csv(
+    path: "str | Path", name: str | None = None, pad: float = 0.0
+) -> Dataset:
+    """Load a flat CSV of numeric columns; bounds come from the data."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise InvalidParameterError(f"{path}: empty CSV")
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    if not rows:
+        raise InvalidParameterError(f"{path}: no data rows")
+    return Dataset.from_points(
+        name or Path(path).stem,
+        np.asarray(rows, dtype=np.float64),
+        labels=tuple(header),
+        pad=pad,
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment records
+# ----------------------------------------------------------------------
+def _record_to_dict(record: QueryRecord) -> dict:
+    return {
+        "dataset": record.dataset,
+        "rsl_size": record.rsl_size,
+        "query": record.query.tolist(),
+        "why_not_position": record.why_not_position,
+        "mwp_cost": record.mwp_cost,
+        "mqp_cost": record.mqp_cost,
+        "mwq_cost": record.mwq_cost,
+        "mwq_case": record.mwq_case,
+        "mwp_time": record.mwp_time,
+        "mqp_time": record.mqp_time,
+        "sr_time": record.sr_time,
+        "mwq_time": record.mwq_time,
+        "sr_area": record.sr_area,
+        "sr_boxes": record.sr_boxes,
+        "approx": {
+            str(k): {
+                "cost": outcome.cost,
+                "sr_time": outcome.sr_time,
+                "mwq_time": outcome.mwq_time,
+                "sr_area": outcome.sr_area,
+            }
+            for k, outcome in record.approx.items()
+        },
+    }
+
+
+def _record_from_dict(data: dict) -> QueryRecord:
+    record = QueryRecord(
+        dataset=data["dataset"],
+        rsl_size=data["rsl_size"],
+        query=np.asarray(data["query"], dtype=np.float64),
+        why_not_position=data["why_not_position"],
+        mwp_cost=data["mwp_cost"],
+        mqp_cost=data["mqp_cost"],
+        mwq_cost=data["mwq_cost"],
+        mwq_case=data["mwq_case"],
+        mwp_time=data["mwp_time"],
+        mqp_time=data["mqp_time"],
+        sr_time=data["sr_time"],
+        mwq_time=data["mwq_time"],
+        sr_area=data["sr_area"],
+        sr_boxes=data["sr_boxes"],
+    )
+    for k, payload in data.get("approx", {}).items():
+        record.approx[int(k)] = ApproxOutcome(
+            k=int(k),
+            cost=payload["cost"],
+            sr_time=payload["sr_time"],
+            mwq_time=payload["mwq_time"],
+            sr_area=payload["sr_area"],
+        )
+    return record
+
+
+def save_results_json(results: "list[DatasetResult]", path: "str | Path") -> None:
+    payload = [
+        {
+            "dataset": result.dataset,
+            "size": result.size,
+            "records": [_record_to_dict(r) for r in result.records],
+        }
+        for result in results
+    ]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, allow_nan=True)
+
+
+def load_results_json(path: "str | Path") -> "list[DatasetResult]":
+    with open(path) as handle:
+        payload = json.load(handle)
+    results = []
+    for entry in payload:
+        result = DatasetResult(dataset=entry["dataset"], size=entry["size"])
+        result.records = [_record_from_dict(r) for r in entry["records"]]
+        results.append(result)
+    return results

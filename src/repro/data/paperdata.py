@@ -1,0 +1,61 @@
+"""The paper's worked example (Fig. 1(a)).
+
+Eight (price, mileage) tuples that serve as products and customers
+throughout Sections II-V, plus the query point q(8.5K, 55K).  Values are
+in thousands, exactly as plotted in the figures.  Used by the example
+scripts and by the golden tests that pin the worked-example outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.geometry.box import Box
+
+__all__ = [
+    "paper_points",
+    "paper_query",
+    "paper_dataset",
+    "PT1",
+    "PT2",
+    "PT3",
+    "PT4",
+    "PT5",
+    "PT6",
+    "PT7",
+    "PT8",
+]
+
+PT1 = np.array([5.0, 30.0])
+PT2 = np.array([7.5, 42.0])
+PT3 = np.array([2.5, 70.0])
+PT4 = np.array([7.5, 90.0])
+PT5 = np.array([24.0, 20.0])
+PT6 = np.array([20.0, 50.0])
+PT7 = np.array([26.0, 70.0])
+PT8 = np.array([16.0, 80.0])
+
+
+def paper_points() -> np.ndarray:
+    """The eight data points of Fig. 1(a), in table order."""
+    return np.vstack([PT1, PT2, PT3, PT4, PT5, PT6, PT7, PT8])
+
+
+def paper_query() -> np.ndarray:
+    """The running query product q(price 8.5K, mileage 55K)."""
+    return np.array([8.5, 55.0])
+
+
+def paper_dataset() -> Dataset:
+    """The worked example wrapped as a :class:`Dataset`.
+
+    Bounds cover the data and the query with a little slack so safe-region
+    rectangles have room on every side, mirroring the paper's figures.
+    """
+    return Dataset(
+        name="paper-example",
+        points=paper_points(),
+        bounds=Box([0.0, 0.0], [30.0, 120.0]),
+        labels=("price", "mileage"),
+    )

@@ -1,0 +1,132 @@
+"""Workload builder for the Section-VI experiment protocol.
+
+The paper runs, per dataset, reverse-skyline queries with 1-15 members
+("the queries follow the distribution of the particular tested dataset"),
+then randomly selects a data point as the why-not point of each query.
+``build_workload`` reproduces that: it samples query candidates near data
+points, keeps the first query found for each requested ``|RSL|`` target,
+and draws a random non-member customer as the why-not point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import WhyNotEngine
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["WhyNotQuery", "build_workload"]
+
+
+@dataclass(frozen=True)
+class WhyNotQuery:
+    """One experiment unit: a query with a known reverse skyline and a
+    randomly chosen why-not customer."""
+
+    query: np.ndarray
+    rsl_positions: np.ndarray
+    why_not_position: int
+
+    @property
+    def rsl_size(self) -> int:
+        return int(self.rsl_positions.size)
+
+    def __repr__(self) -> str:
+        coords = ", ".join(f"{v:g}" for v in self.query)
+        return (
+            f"WhyNotQuery(q=({coords}), |RSL|={self.rsl_size}, "
+            f"why_not={self.why_not_position})"
+        )
+
+
+def build_workload(
+    engine: WhyNotEngine,
+    targets: Sequence[int] = tuple(range(1, 16)),
+    seed: int = 0,
+    max_attempts: int = 4000,
+    jitter: float = 0.05,
+    patience: int = 600,
+) -> list[WhyNotQuery]:
+    """Find one query per requested ``|RSL|`` size with a why-not point.
+
+    Parameters
+    ----------
+    engine:
+        The engine over the tested dataset (monochromatic, like the paper).
+    targets:
+        Desired reverse-skyline sizes; queries are kept on first match, so
+        the returned list may omit sizes the dataset never produces (the
+        paper's synthetic tables likewise stop at small sizes).
+    seed:
+        Workload randomness (query sampling and why-not choice).
+    max_attempts:
+        Upper bound on sampled query candidates.
+    jitter:
+        Query points are data points perturbed by this fraction of the
+        per-dimension data range, which keeps them "following the
+        distribution of the tested dataset" without duplicating a row.
+    patience:
+        Stop early after this many consecutive attempts that fill no new
+        target — rare reverse-skyline sizes simply do not occur in some
+        datasets (the paper's tables skip sizes too).
+
+    Returns
+    -------
+    Queries sorted by ``|RSL|`` ascending.
+    """
+    wanted = set(int(t) for t in targets)
+    if not wanted or min(wanted) < 0:
+        raise InvalidParameterError("targets must be non-negative sizes")
+    rng = np.random.default_rng(seed)
+    span = engine.bounds.hi - engine.bounds.lo
+    found: dict[int, WhyNotQuery] = {}
+    n = engine.customers.shape[0]
+    stale = 0
+
+    for _attempt in range(max_attempts):
+        if not wanted or stale >= patience:
+            break
+        anchor = engine.customers[int(rng.integers(0, n))]
+        query = anchor + rng.normal(0.0, jitter, size=engine.dim) * span
+        query = np.clip(query, engine.bounds.lo, engine.bounds.hi)
+        rsl = engine.reverse_skyline(query)
+        size = int(rsl.size)
+        if size not in wanted:
+            stale += 1
+            continue
+        why_not = _pick_why_not(engine, query, rsl, rng)
+        if why_not is None:
+            stale += 1
+            continue
+        found[size] = WhyNotQuery(
+            query=query, rsl_positions=rsl, why_not_position=why_not
+        )
+        wanted.discard(size)
+        stale = 0
+
+    return [found[size] for size in sorted(found)]
+
+
+def _pick_why_not(
+    engine: WhyNotEngine,
+    query: np.ndarray,
+    rsl: np.ndarray,
+    rng: np.random.Generator,
+    tries: int = 64,
+) -> int | None:
+    """A random customer that is *not* in the reverse skyline and has a
+    non-empty explanation (always true for a genuine non-member)."""
+    n = engine.customers.shape[0]
+    members = set(int(i) for i in rsl)
+    for _ in range(tries):
+        position = int(rng.integers(0, n))
+        if position in members:
+            continue
+        explanation = engine.explain(position, query)
+        if explanation.is_member:
+            continue  # Boundary case: not in RSL set but window empty.
+        return position
+    return None

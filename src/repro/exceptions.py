@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can install a
+single ``except`` clause around any public entry point.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DimensionMismatchError(ReproError):
+    """Raised when points, boxes, or datasets disagree on dimensionality."""
+
+    def __init__(self, expected: int, got: int, what: str = "point") -> None:
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"{what} has dimensionality {got}, expected {expected}"
+        )
+
+
+class EmptyDatasetError(ReproError):
+    """Raised when an operation requires at least one data point."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a caller passes an out-of-range or nonsensical parameter."""
+
+
+class NotInReverseSkylineError(ReproError):
+    """Raised when a why-not question targets a point that *is* already
+    in the reverse skyline (there is nothing to explain)."""
+
+
+class AlreadyInReverseSkylineError(NotInReverseSkylineError):
+    """Backward-compatible alias describing the same situation more
+    precisely: the point is already a reverse-skyline member."""
+
+
+class IndexCorruptionError(ReproError):
+    """Raised by the R-tree integrity checker when a structural invariant
+    (MBR containment, fanout bounds, leaf level uniformity) is violated."""

@@ -1,0 +1,27 @@
+"""The Section-VI experiment harness.
+
+``runner`` executes the per-query protocol (MWP / MQP / SR / MWQ /
+Approx-MWQ with timings), ``tables`` and ``figures`` project the records
+into the paper's Tables III-VI and Figures 14, 15, 17, ``reporting``
+renders them as text, and ``cli`` exposes everything as
+``repro-whynot <experiment>``.
+"""
+
+from repro.experiments.records import DatasetResult, QueryRecord
+from repro.experiments.runner import run_dataset, run_query
+from repro.experiments.tables import table3, table4, table5, table6
+from repro.experiments.figures import figure14, figure15, figure17
+
+__all__ = [
+    "QueryRecord",
+    "DatasetResult",
+    "run_query",
+    "run_dataset",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure14",
+    "figure15",
+    "figure17",
+]

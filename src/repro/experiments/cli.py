@@ -1,0 +1,334 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro-whynot table3                  # scaled-down default (fast)
+    repro-whynot table3 --full           # the paper's 50K/100K/200K rows
+    repro-whynot table5 --sizes 5000
+    repro-whynot fig14 --seed 3
+    repro-whynot all --sizes 2000
+
+Scaled-down sizes reproduce the paper's *shapes* in seconds; ``--full``
+runs the original sizes (minutes — exactly the point of Figure 15).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import figures, tables
+from repro.experiments.reporting import format_block, render_figure, render_tables
+
+__all__ = ["main", "build_parser"]
+
+# Scaled-down defaults keep every experiment under ~a minute on a laptop.
+FAST_CARDB_SIZES = (2_000, 4_000, 8_000)
+FAST_SYNTH_SIZES = (4_000, 8_000)
+FULL_CARDB_SIZES = (50_000, 100_000, 200_000)
+FULL_SYNTH_SIZES = (100_000, 200_000)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-whynot",
+        description=(
+            "Regenerate the tables and figures of 'On Answering Why-not "
+            "Questions in Reverse Skyline Queries' (ICDE 2013)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig14",
+            "fig15",
+            "fig17",
+            "validate",
+            "ablation",
+            "run",
+            "all",
+        ],
+        help="which table/figure to regenerate ('validate' checks every "
+        "qualitative claim of Section VI and exits non-zero on failure)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="dataset sizes (rows); overrides the fast defaults",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's dataset sizes (50K-200K); slow by design",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--backend",
+        choices=["scan", "rtree"],
+        default="scan",
+        help="spatial index backend",
+    )
+    parser.add_argument(
+        "--k",
+        type=int,
+        nargs="+",
+        default=[10, 20],
+        help="approximation parameter(s) for table5/table6/fig17",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="append ASCII charts to the figure outputs",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also write the raw text output to this file",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        help="for 'run': archive the raw experiment records as JSON",
+    )
+    return parser
+
+
+def _sizes(args: argparse.Namespace, cardb: bool) -> tuple[int, ...]:
+    if args.sizes:
+        return tuple(args.sizes)
+    if args.full:
+        return FULL_CARDB_SIZES if cardb else FULL_SYNTH_SIZES
+    return FAST_CARDB_SIZES if cardb else FAST_SYNTH_SIZES
+
+
+def _run(args: argparse.Namespace, experiment: str) -> str:
+    seed = args.seed
+    backend = args.backend
+    if experiment == "table3":
+        result = tables.table3(_sizes(args, True), seed=seed, backend=backend)
+        return format_block(
+            "Table III — quality of results on (simulated) CarDB",
+            render_tables(result),
+        )
+    if experiment == "table4":
+        result = tables.table4(_sizes(args, False), seed=seed, backend=backend)
+        return format_block(
+            "Table IV — quality of results on synthetic datasets",
+            render_tables(result),
+        )
+    if experiment == "table5":
+        ks = tuple(args.k)
+        result = tables.table5(
+            _sizes(args, True)[-2:], ks=ks, seed=seed, backend=backend
+        )
+        return format_block(
+            "Table V — Approx-MWQ quality on (simulated) CarDB",
+            render_tables(result, approx_ks=ks),
+        )
+    if experiment == "table6":
+        ks = tuple(args.k[:1])
+        result = tables.table6(
+            _sizes(args, False), ks=ks, seed=seed, backend=backend
+        )
+        return format_block(
+            "Table VI — Approx-MWQ quality on synthetic datasets",
+            render_tables(result, approx_ks=ks),
+        )
+    if experiment == "fig14":
+        series = figures.figure14(_sizes(args, True), seed=seed, backend=backend)
+        body = render_figure({"CarDB": series})
+        if args.plot:
+            from repro.experiments.plotting import ascii_log_chart
+
+            body += "\n" + ascii_log_chart(series, title="area vs |RSL|")
+        return format_block(
+            "Figure 14 — RSL size vs safe-region area (fraction of universe)",
+            body,
+        )
+    if experiment == "fig15":
+        panels = figures.figure15(
+            cardb_sizes=_sizes(args, True)[-1:],
+            synthetic_size=_sizes(args, False)[0],
+            seed=seed,
+            backend=backend,
+        )
+        body = render_figure(panels)
+        if args.plot:
+            from repro.experiments.plotting import ascii_log_chart
+
+            body += "\n" + "\n".join(
+                ascii_log_chart(series, title=f"{name}: time (s) vs |RSL|")
+                for name, series in panels.items()
+            )
+        return format_block(
+            "Figure 15 — execution time (s) of MWP, MQP, SR, MWQ",
+            body,
+        )
+    if experiment == "fig17":
+        panels = figures.figure17(
+            cardb_sizes=_sizes(args, True)[-1:],
+            synthetic_size=_sizes(args, False)[0],
+            k=args.k[0],
+            seed=seed,
+            backend=backend,
+        )
+        body = render_figure(panels)
+        if args.plot:
+            from repro.experiments.plotting import ascii_log_chart
+
+            body += "\n" + "\n".join(
+                ascii_log_chart(series, title=f"{name}: time (s) vs |RSL|")
+                for name, series in panels.items()
+            )
+        return format_block(
+            "Figure 17 — execution time (s) with the approximate safe region",
+            body,
+        )
+    if experiment == "validate":
+        return _validate(args)
+    if experiment == "ablation":
+        return _ablation(args)
+    if experiment == "run":
+        return _run_archive(args)
+    raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def _run_archive(args: argparse.Namespace) -> str:
+    """Run the full protocol over every default dataset and archive the
+    raw records (JSON via --json), plus a one-line summary per dataset."""
+    from repro.data.cardb import generate_cardb
+    from repro.data.io import save_results_json
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+    from repro.experiments.runner import run_dataset
+
+    datasets = [generate_cardb(_sizes(args, True)[-1], seed=args.seed)]
+    synth_size = _sizes(args, False)[0]
+    for j, kind in enumerate(("UN", "CO", "AC")):
+        datasets.append(SYNTHETIC_GENERATORS[kind](synth_size, seed=args.seed + j))
+
+    results = []
+    lines = []
+    for dataset in datasets:
+        result = run_dataset(
+            dataset,
+            targets=tuple(range(1, 16)),
+            approx_ks=tuple(args.k[:1]),
+            seed=args.seed,
+            backend=args.backend,
+            measure_area=True,
+        )
+        results.append(result)
+        lines.append(
+            f"{dataset.name}: {len(result.records)} queries, "
+            f"|RSL| in {[r.rsl_size for r in result.sorted_records()]}"
+        )
+    if args.json:
+        save_results_json(results, args.json)
+        lines.append(f"records archived to {args.json}")
+    return format_block("Experiment run", "\n".join(lines))
+
+
+def _ablation(args: argparse.Namespace) -> str:
+    """Run the backend / pruning / k-sweep ablation studies."""
+    from repro.data.cardb import generate_cardb
+    from repro.experiments.ablation import (
+        ablation_backends,
+        ablation_k_sweep,
+        ablation_pruning,
+    )
+
+    size = _sizes(args, True)[-1]
+    dataset = generate_cardb(size, seed=args.seed)
+    sections = []
+
+    rows = ablation_backends(dataset, seed=args.seed)
+    lines = [f"{'backend':>8} {'seconds':>10} {'node acc.':>10} {'pt cmp.':>12}"]
+    lines += [
+        f"{r['backend']:>8} {r['seconds']:>10.4f} {r['node_accesses']:>10} "
+        f"{r['point_comparisons']:>12}"
+        for r in rows
+    ]
+    sections.append("Window-query backends\n" + "\n".join(lines))
+
+    rows = ablation_pruning(dataset, seed=args.seed)
+    lines = [f"{'method':>8} {'seconds':>10} {'window queries':>15}"]
+    lines += [
+        f"{r['method']:>8} {r['seconds']:>10.4f} {r['window_queries']:>15}"
+        for r in rows
+    ]
+    sections.append("Reverse-skyline pruning (BBRS)\n" + "\n".join(lines))
+
+    rows = ablation_k_sweep(dataset, ks=tuple(args.k), seed=args.seed)
+    lines = [f"{'k':>6} {'mean cost':>12} {'area kept':>10} {'seconds':>9}"]
+    lines += [
+        f"{str(r['k']):>6} {r['mean_cost']:>12.6f} {r['mean_area_kept']:>9.1%} "
+        f"{r['seconds']:>9.3f}"
+        for r in rows
+    ]
+    sections.append("Approximation parameter sweep\n" + "\n".join(lines))
+
+    return format_block(
+        f"Ablation studies over {dataset.name}", "\n\n".join(sections)
+    )
+
+
+def _validate(args: argparse.Namespace) -> str:
+    """Run one seeded experiment and check every Section-VI claim."""
+    from repro.data.cardb import generate_cardb
+    from repro.experiments.runner import run_dataset
+    from repro.experiments.validation import run_all_checks
+
+    size = _sizes(args, True)[-1]
+    dataset = generate_cardb(size, seed=args.seed)
+    result = run_dataset(
+        dataset,
+        targets=tuple(range(1, 16)),
+        approx_ks=tuple(args.k[:1]),
+        seed=args.seed,
+        backend=args.backend,
+        measure_area=True,
+    )
+    report = run_all_checks(result.records)
+    header = (
+        f"Validation over {dataset.name} "
+        f"({len(result.records)} why-not queries, seed {args.seed})"
+    )
+    return format_block(header, report.render())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    experiments = (
+        ["table3", "table4", "table5", "table6", "fig14", "fig15", "fig17"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    chunks: list[str] = []
+    failed = False
+    for experiment in experiments:
+        start = time.perf_counter()
+        output = _run(args, experiment)
+        elapsed = time.perf_counter() - start
+        output += f"[{experiment} regenerated in {elapsed:.1f}s]\n\n"
+        sys.stdout.write(output)
+        chunks.append(output)
+        if experiment == "validate" and "FAIL" in output:
+            failed = True
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("".join(chunks))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

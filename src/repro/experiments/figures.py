@@ -1,0 +1,134 @@
+"""Figures 14, 15 and 17 of the paper, as data series.
+
+Each function returns plain ``{series_name: [(x, y), ...]}`` mappings —
+the exact numbers behind the paper's plots — which the reporting module
+renders as text and the benchmarks regenerate.
+
+* Figure 14 — safe-region area versus ``|RSL(q)|`` on CarDB;
+* Figure 15 — execution time of MWP, MQP, SR and MWQ versus ``|RSL(q)|``;
+* Figure 17 — execution time of MWP, MQP and Approx-MWQ.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import SYNTHETIC_GENERATORS
+from repro.experiments.records import DatasetResult
+from repro.experiments.runner import run_dataset
+from repro.experiments.tables import cardb_datasets
+
+__all__ = ["figure14", "figure15", "figure17"]
+
+Series = dict[str, list[tuple[int, float]]]
+
+
+def figure14(
+    sizes: Sequence[int] = (50_000, 100_000, 200_000),
+    seed: int = 7,
+    backend: str = "scan",
+    targets: Sequence[int] = tuple(range(1, 16)),
+) -> Series:
+    """RSL size vs safe-region area on CarDB (one series per size).
+
+    Areas are normalised by the universe volume so different sizes share a
+    scale; the paper's headline shape — the safe region shrinks as the
+    reverse skyline grows — must hold per series.
+    """
+    series: Series = {}
+    for dataset in cardb_datasets(sizes, seed=seed):
+        result = run_dataset(
+            dataset, targets=targets, seed=seed, backend=backend, measure_area=True
+        )
+        universe = dataset.bounds.volume()
+        series[dataset.name] = [
+            (record.rsl_size, record.sr_area / universe)
+            for record in result.sorted_records()
+        ]
+    return series
+
+
+def _time_series(result: DatasetResult, approx_k: int | None = None) -> Series:
+    records = result.sorted_records()
+    series: Series = {
+        "MWP": [(r.rsl_size, r.mwp_time) for r in records],
+        "MQP": [(r.rsl_size, r.mqp_time) for r in records],
+    }
+    if approx_k is None:
+        series["SR"] = [(r.rsl_size, r.sr_time) for r in records]
+        series["MWQ"] = [(r.rsl_size, r.mwq_total_time) for r in records]
+    else:
+        series[f"Approx-MWQ(k={approx_k})"] = [
+            (r.rsl_size, r.approx[approx_k].total_time)
+            for r in records
+            if approx_k in r.approx
+        ]
+    return series
+
+
+def figure15(
+    datasets: Sequence[Dataset] | None = None,
+    cardb_sizes: Sequence[int] = (100_000,),
+    synthetic_size: int = 100_000,
+    seed: int = 7,
+    backend: str = "scan",
+    targets: Sequence[int] = tuple(range(1, 16)),
+) -> dict[str, Series]:
+    """Execution time of MWP, MQP, SR and MWQ per dataset.
+
+    The expected shape: MWP/MQP are flat and cheap; SR grows with
+    ``|RSL|`` and dominates MWQ, which tracks SR closely.
+    """
+    datasets = list(datasets) if datasets is not None else _default_datasets(
+        cardb_sizes, synthetic_size, seed
+    )
+    out: dict[str, Series] = {}
+    for dataset in datasets:
+        result = run_dataset(
+            dataset, targets=targets, seed=seed, backend=backend, measure_area=False
+        )
+        out[dataset.name] = _time_series(result)
+    return out
+
+
+def figure17(
+    datasets: Sequence[Dataset] | None = None,
+    cardb_sizes: Sequence[int] = (100_000,),
+    synthetic_size: int = 100_000,
+    k: int = 10,
+    seed: int = 7,
+    backend: str = "scan",
+    targets: Sequence[int] = tuple(range(1, 16)),
+) -> dict[str, Series]:
+    """Execution time of MWP, MQP and Approx-MWQ (pre-computed DSLs).
+
+    The expected shape: Approx-MWQ collapses the safe-region cost by
+    orders of magnitude relative to Figure 15's exact MWQ.
+    """
+    datasets = list(datasets) if datasets is not None else _default_datasets(
+        cardb_sizes, synthetic_size, seed
+    )
+    out: dict[str, Series] = {}
+    for dataset in datasets:
+        result = run_dataset(
+            dataset,
+            targets=targets,
+            approx_ks=(k,),
+            seed=seed,
+            backend=backend,
+            measure_area=False,
+        )
+        out[dataset.name] = _time_series(result, approx_k=k)
+    return out
+
+
+def _default_datasets(
+    cardb_sizes: Sequence[int], synthetic_size: int, seed: int
+) -> list[Dataset]:
+    """The paper's Figure-15/17 panels: CarDB plus the three synthetics."""
+    datasets = cardb_datasets(cardb_sizes, seed=seed)
+    for j, kind in enumerate(("UN", "CO", "AC")):
+        generator = SYNTHETIC_GENERATORS[kind]
+        datasets.append(generator(synthetic_size, seed=seed + j))
+    return datasets

@@ -1,0 +1,86 @@
+"""Dependency-free ASCII plots for the figure series.
+
+The CLI renders Figures 14/15/17 as text tables by default; with
+``--plot`` it adds these ASCII charts, which make the paper's shapes
+(safe-region collapse, SR dominating MWQ, the approximation speedup)
+visible at a glance in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "ascii_log_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int) -> int:
+    if hi <= lo:
+        return 0
+    return int(round((value - lo) / (hi - lo) * (height - 1)))
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[int, float]]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a fixed-size ASCII scatter.
+
+    Multiple series share the canvas with one mark character each; a
+    legend and min/max annotations are appended.  ``log_y`` plots
+    ``log10(y)`` (zeros are clamped to the smallest positive value),
+    which is the right scale for Figure 14's area collapse.
+    """
+    points: list[tuple[str, int, float]] = []
+    for name, values in series.items():
+        for x, y in values:
+            points.append((name, int(x), float(y)))
+    if not points:
+        return f"{title}\n(no data)"
+
+    ys = [y for _n, _x, y in points]
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        floor = min(positive) if positive else 1e-12
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+    t_ys = [transform(y) for y in ys]
+    xs = [x for _n, x, _y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(t_ys), max(t_ys)
+
+    canvas = [[" "] * width for _ in range(height)]
+    marks = {name: _MARKS[i % len(_MARKS)] for i, name in enumerate(series)}
+    for name, x, y in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(transform(y), y_lo, y_hi, height)
+        canvas[row][col] = marks[name]
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_hi:.3g}" if not log_y else f"1e{y_hi:.1f}"
+    bottom = f"{y_lo:.3g}" if not log_y else f"1e{y_lo:.1f}"
+    lines.append(f"  y: {bottom} .. {top}" + ("  (log scale)" if log_y else ""))
+    lines.extend("  |" + "".join(row) for row in canvas)
+    lines.append("  +" + "-" * width)
+    lines.append(f"   x: |RSL| {x_lo} .. {x_hi}")
+    legend = "   ".join(f"{mark}={name}" for name, mark in marks.items())
+    lines.append(f"  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_log_chart(
+    series: Mapping[str, Sequence[tuple[int, float]]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Shorthand for :func:`ascii_chart` with a log y-axis."""
+    return ascii_chart(series, width=width, height=height, title=title, log_y=True)

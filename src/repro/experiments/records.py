@@ -1,0 +1,76 @@
+"""Experiment record types.
+
+One :class:`QueryRecord` per (query, why-not point) pair captures every
+number the paper's tables and figures report, so each table/figure
+function is a pure projection over a list of records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryRecord", "DatasetResult"]
+
+
+@dataclass
+class QueryRecord:
+    """All measurements for one why-not experiment.
+
+    Costs are the Section-VI normalised scores (lower is better); times
+    are wall-clock seconds.  ``approx`` maps each tested ``k`` to a
+    ``(cost, sr_time, mwq_time, sr_area)`` tuple for the Approx-MWQ runs.
+    """
+
+    dataset: str
+    rsl_size: int
+    query: np.ndarray
+    why_not_position: int
+
+    mwp_cost: float = float("nan")
+    mqp_cost: float = float("nan")
+    mwq_cost: float = float("nan")
+    mwq_case: str = ""
+
+    mwp_time: float = 0.0
+    mqp_time: float = 0.0
+    sr_time: float = 0.0
+    mwq_time: float = 0.0  # Algorithm-4 time on top of the safe region.
+
+    sr_area: float = float("nan")
+    sr_boxes: int = 0
+
+    approx: dict[int, "ApproxOutcome"] = field(default_factory=dict)
+
+    @property
+    def mwq_total_time(self) -> float:
+        """MWQ wall clock including safe-region construction (Fig. 15)."""
+        return self.sr_time + self.mwq_time
+
+
+@dataclass
+class ApproxOutcome:
+    """One Approx-MWQ measurement for a specific sampling parameter k."""
+
+    k: int
+    cost: float
+    sr_time: float
+    mwq_time: float
+    sr_area: float
+
+    @property
+    def total_time(self) -> float:
+        return self.sr_time + self.mwq_time
+
+
+@dataclass
+class DatasetResult:
+    """All query records of one dataset run, with provenance."""
+
+    dataset: str
+    size: int
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def sorted_records(self) -> list[QueryRecord]:
+        return sorted(self.records, key=lambda r: r.rsl_size)

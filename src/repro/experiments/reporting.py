@@ -1,0 +1,74 @@
+"""Plain-text rendering of tables and figure series.
+
+Formats match the paper's presentation: one block per dataset with a row
+per query (``q_i, |RSL(q_i)| = n``) and one column per method.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.tables import QualityRow
+
+__all__ = ["format_quality_table", "format_series", "format_block"]
+
+
+def _fmt(value: float) -> str:
+    import math
+
+    if value != value:  # NaN
+        return "      n/a"
+    if math.isinf(value):
+        return "      inf"
+    return f"{value:.9f}"
+
+
+def format_quality_table(
+    rows: Sequence[QualityRow], approx_ks: Sequence[int] = ()
+) -> str:
+    """Render one dataset's quality rows in the paper's table layout."""
+    headers = ["Queries", "MWP", "MQP", "MWQ"]
+    headers += [f"Approx-MWQ(k={k})" for k in approx_ks]
+    lines = ["  ".join(f"{h:>22}" for h in headers)]
+    for i, row in enumerate(rows, start=1):
+        cells = [f"q{i}, |RSL|={row.rsl_size}"]
+        cells += [_fmt(row.mwp), _fmt(row.mqp), _fmt(row.mwq)]
+        for k in approx_ks:
+            value = (row.approx or {}).get(k, float("nan"))
+            cells.append(_fmt(value))
+        lines.append("  ".join(f"{c:>22}" for c in cells))
+    return "\n".join(lines)
+
+
+def format_series(series: dict[str, list[tuple[int, float]]]) -> str:
+    """Render figure series as aligned (x, y) columns per series."""
+    lines = []
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        for x, y in points:
+            lines.append(f"  |RSL|={x:>3}  {y:.6g}")
+    return "\n".join(lines)
+
+
+def format_block(title: str, body: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}\n{body}\n"
+
+
+def render_tables(
+    tables: dict[str, list[QualityRow]], approx_ks: Sequence[int] = ()
+) -> str:
+    """Render a whole table (all dataset blocks)."""
+    blocks = [
+        format_block(name, format_quality_table(rows, approx_ks))
+        for name, rows in tables.items()
+    ]
+    return "\n".join(blocks)
+
+
+def render_figure(figure: dict[str, dict[str, list[tuple[int, float]]]]) -> str:
+    """Render a whole figure (all dataset panels)."""
+    blocks = [
+        format_block(name, format_series(series)) for name, series in figure.items()
+    ]
+    return "\n".join(blocks)

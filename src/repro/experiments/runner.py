@@ -1,0 +1,147 @@
+"""The per-query experiment protocol of Section VI.
+
+For every workload query the runner measures:
+
+* **MWP** — Algorithm 1 cost (Eqn. 11 on the best candidate) and time;
+* **MQP** — Algorithm 2: the best candidate by the *total* Section-VI cost
+  (movement outside the safe region plus the repair of every lost
+  customer) and the algorithm time;
+* **SR** — exact safe-region construction time, area, box count;
+* **MWQ** — Algorithm 4 cost (0 in case C1, Eqn. 11 of the why-not
+  movement in case C2) and time on top of the safe region;
+* **Approx-MWQ** — for each requested ``k``: the same with the sampled
+  safe region, after the offline pre-computation of the sampled DSLs
+  (excluded from the timing, as in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import WhyNotEngine
+from repro.data.dataset import Dataset
+from repro.data.workload import WhyNotQuery, build_workload
+from repro.experiments.records import ApproxOutcome, DatasetResult, QueryRecord
+
+__all__ = ["run_query", "run_dataset", "make_engine"]
+
+
+def make_engine(dataset: Dataset, backend: str = "scan") -> WhyNotEngine:
+    """Engine over a dataset in the paper's monochromatic convention."""
+    return WhyNotEngine(dataset.points, backend=backend, bounds=dataset.bounds)
+
+
+def run_query(
+    engine: WhyNotEngine,
+    workload_query: WhyNotQuery,
+    dataset_name: str,
+    approx_ks: Sequence[int] = (),
+    measure_area: bool = True,
+) -> QueryRecord:
+    """Execute the full protocol for one (query, why-not) pair."""
+    q = workload_query.query
+    why_not = workload_query.why_not_position
+    record = QueryRecord(
+        dataset=dataset_name,
+        rsl_size=workload_query.rsl_size,
+        query=q,
+        why_not_position=why_not,
+    )
+
+    # MWP ---------------------------------------------------------------
+    start = time.perf_counter()
+    mwp = engine.modify_why_not_point(why_not, q)
+    record.mwp_time = time.perf_counter() - start
+    best_mwp = mwp.best()
+    record.mwp_cost = best_mwp.cost if best_mwp is not None else float("nan")
+
+    # MQP (the algorithm itself; its Section-VI score needs the safe
+    # region, so the scoring runs after the SR phase below) ---------------
+    start = time.perf_counter()
+    mqp = engine.modify_query_point(why_not, q)
+    record.mqp_time = time.perf_counter() - start
+
+    # Safe region (exact, timed cold — nothing above touches it) ----------
+    start = time.perf_counter()
+    safe_region = engine.safe_region(q)
+    record.sr_time = time.perf_counter() - start
+    record.sr_boxes = len(safe_region.region)
+    if measure_area:
+        record.sr_area = safe_region.area()
+
+    record.mqp_cost = _best_mqp_total_cost(engine, q, mqp.candidates)
+
+    # MWQ (on top of the now-cached safe region) --------------------------
+    start = time.perf_counter()
+    mwq = engine.modify_both(why_not, q)
+    record.mwq_time = time.perf_counter() - start
+    record.mwq_cost = mwq.cost
+    record.mwq_case = mwq.case.value
+
+    # Approx-MWQ ----------------------------------------------------------
+    for k in approx_ks:
+        store = engine.approx_store(k)
+        # Offline pass (paper: approximated DSLs are pre-computed).
+        store.precompute(workload_query.rsl_positions.tolist())
+
+        start = time.perf_counter()
+        approx_sr = engine.safe_region(q, approximate=True, k=k)
+        approx_sr_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        approx_mwq = engine.modify_both(why_not, q, approximate=True, k=k)
+        approx_mwq_time = time.perf_counter() - start
+
+        record.approx[k] = ApproxOutcome(
+            k=k,
+            cost=approx_mwq.cost,
+            sr_time=approx_sr_time,
+            mwq_time=approx_mwq_time,
+            sr_area=approx_sr.area() if measure_area else float("nan"),
+        )
+    return record
+
+
+def _best_mqp_total_cost(
+    engine: WhyNotEngine, query: np.ndarray, candidates
+) -> float:
+    """The Section-VI MQP score: minimum, over the refined-query
+    candidates, of safe-region escape cost plus lost-customer repairs."""
+    best = float("inf")
+    for candidate in candidates:
+        total = engine.mqp_total_cost(query, candidate.point)
+        if total < best:
+            best = total
+    return best if np.isfinite(best) else float("nan")
+
+
+def run_dataset(
+    dataset: Dataset,
+    targets: Sequence[int] = tuple(range(1, 16)),
+    approx_ks: Sequence[int] = (),
+    seed: int = 0,
+    backend: str = "scan",
+    max_attempts: int = 4000,
+    measure_area: bool = True,
+) -> DatasetResult:
+    """Build the workload for ``dataset`` and run every query through the
+    protocol.  Deterministic for a fixed seed."""
+    engine = make_engine(dataset, backend=backend)
+    workload = build_workload(
+        engine, targets=targets, seed=seed, max_attempts=max_attempts
+    )
+    result = DatasetResult(dataset=dataset.name, size=dataset.size)
+    for workload_query in workload:
+        result.records.append(
+            run_query(
+                engine,
+                workload_query,
+                dataset.name,
+                approx_ks=approx_ks,
+                measure_area=measure_area,
+            )
+        )
+    return result

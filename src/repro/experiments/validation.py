@@ -1,0 +1,209 @@
+"""Programmatic validation of the paper's experimental claims.
+
+``repro-whynot validate`` runs a seeded experiment and checks every
+qualitative claim of Section VI against the measured records, printing a
+PASS / FAIL line per claim.  This is the executable summary of
+EXPERIMENTS.md: if it passes, the reproduction reproduces.
+
+Each check is a pure function over :class:`QueryRecord` lists so the test
+suite exercises them on synthetic inputs too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.experiments.records import QueryRecord
+
+__all__ = [
+    "CheckResult",
+    "ValidationReport",
+    "run_all_checks",
+    "check_mwq_never_worse_than_mwp",
+    "check_overlap_cases_zero_cost",
+    "check_mqp_usually_most_expensive",
+    "check_safe_region_shrinks",
+    "check_sr_dominates_mwq_time",
+    "check_approx_not_worse_than_mwp",
+    "check_approx_area_subset",
+]
+
+_EPS = 1e-9
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one claim check."""
+
+    name: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f"  ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.name}: {self.claim}{suffix}"
+
+
+@dataclass
+class ValidationReport:
+    """All claim checks for one record set."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def render(self) -> str:
+        lines = [result.line() for result in self.results]
+        verdict = "ALL CLAIMS REPRODUCED" if self.passed else "SOME CLAIMS FAILED"
+        lines.append(f"=> {verdict} ({sum(r.passed for r in self.results)}"
+                     f"/{len(self.results)})")
+        return "\n".join(lines)
+
+
+def _usable(records: Sequence[QueryRecord]) -> list[QueryRecord]:
+    return [r for r in records if np.isfinite(r.mwp_cost)]
+
+
+def check_mwq_never_worse_than_mwp(records: Sequence[QueryRecord]) -> CheckResult:
+    """Tables III-IV: 'the outputs returned by MWQ are less costly (at
+    least equal) than MWP'."""
+    rows = _usable(records)
+    violations = [
+        r for r in rows if r.mwq_cost > r.mwp_cost + _EPS
+    ]
+    return CheckResult(
+        name="mwq<=mwp",
+        claim="MWQ cost never exceeds MWP cost",
+        passed=not violations and bool(rows),
+        detail=f"{len(rows) - len(violations)}/{len(rows)} queries",
+    )
+
+
+def check_overlap_cases_zero_cost(records: Sequence[QueryRecord]) -> CheckResult:
+    """Table I / Table III: case C1 answers are free."""
+    overlap = [r for r in records if r.mwq_case == "C1"]
+    violations = [r for r in overlap if r.mwq_cost != 0.0]
+    return CheckResult(
+        name="c1-zero-cost",
+        claim="every overlap (C1) query has MWQ cost 0",
+        passed=not violations,
+        detail=f"{len(overlap)} C1 queries",
+    )
+
+
+def check_mqp_usually_most_expensive(
+    records: Sequence[QueryRecord], threshold: float = 0.5
+) -> CheckResult:
+    """Section VI.A.2: MQP (with the lost-customer penalty) loses to MWQ
+    'in most cases'."""
+    rows = [r for r in _usable(records) if np.isfinite(r.mqp_cost)]
+    worst = [r for r in rows if r.mqp_cost >= max(r.mwp_cost, r.mwq_cost) - _EPS]
+    fraction = len(worst) / len(rows) if rows else 0.0
+    return CheckResult(
+        name="mqp-worst",
+        claim=f"MQP is the most expensive method on >{threshold:.0%} of queries",
+        passed=fraction > threshold,
+        detail=f"{fraction:.0%}",
+    )
+
+
+def check_safe_region_shrinks(records: Sequence[QueryRecord]) -> CheckResult:
+    """Figure 14: the safe region shrinks as |RSL| grows (trend, plus the
+    largest-|RSL| region smaller than the smallest-|RSL| one)."""
+    rows = sorted(
+        (r for r in records if np.isfinite(r.sr_area)),
+        key=lambda r: r.rsl_size,
+    )
+    if len(rows) < 4:
+        return CheckResult(
+            name="sr-shrinks",
+            claim="safe-region area decreases with |RSL|",
+            passed=False,
+            detail="too few area measurements",
+        )
+    sizes = np.array([r.rsl_size for r in rows], dtype=float)
+    areas = np.array([r.sr_area for r in rows])
+    correlation = float(np.corrcoef(sizes, areas)[0, 1]) if areas.std() else 0.0
+    endpoint_ok = areas[-1] <= areas[0] + _EPS
+    return CheckResult(
+        name="sr-shrinks",
+        claim="safe-region area decreases with |RSL|",
+        passed=correlation < 0.3 and endpoint_ok,
+        detail=f"corr={correlation:.2f}",
+    )
+
+
+def check_sr_dominates_mwq_time(
+    records: Sequence[QueryRecord], threshold: float = 0.5
+) -> CheckResult:
+    """Figure 15: 'most of the execution time of MWQ is spent computing
+    the safe region' — in aggregate over the workload."""
+    total_sr = sum(r.sr_time for r in records)
+    total_mwq = sum(r.mwq_total_time for r in records)
+    fraction = total_sr / total_mwq if total_mwq else 0.0
+    return CheckResult(
+        name="sr-dominates",
+        claim="safe-region construction dominates MWQ wall time",
+        passed=fraction >= threshold and total_mwq > 0,
+        detail=f"{fraction:.0%} of MWQ time",
+    )
+
+
+def check_approx_not_worse_than_mwp(records: Sequence[QueryRecord]) -> CheckResult:
+    """Section VI.B.2: the Approx-MWQ result 'is no worse than the one
+    received from MWP'."""
+    pairs = [
+        (outcome.cost, r.mwp_cost)
+        for r in _usable(records)
+        for outcome in r.approx.values()
+    ]
+    violations = [p for p in pairs if p[0] > p[1] + _EPS]
+    return CheckResult(
+        name="approx<=mwp",
+        claim="Approx-MWQ never answers worse than MWP",
+        passed=not violations and bool(pairs),
+        detail=f"{len(pairs) - len(violations)}/{len(pairs)} answers",
+    )
+
+
+def check_approx_area_subset(records: Sequence[QueryRecord]) -> CheckResult:
+    """Figure 16: the approximate safe region under-approximates."""
+    pairs = [
+        (outcome.sr_area, r.sr_area)
+        for r in records
+        for outcome in r.approx.values()
+        if np.isfinite(outcome.sr_area) and np.isfinite(r.sr_area)
+    ]
+    violations = [p for p in pairs if p[0] > p[1] + _EPS]
+    return CheckResult(
+        name="approx-subset",
+        claim="approximate safe region never exceeds the exact one",
+        passed=not violations and bool(pairs),
+        detail=f"{len(pairs)} regions compared",
+    )
+
+
+ALL_CHECKS: tuple[Callable[[Sequence[QueryRecord]], CheckResult], ...] = (
+    check_mwq_never_worse_than_mwp,
+    check_overlap_cases_zero_cost,
+    check_mqp_usually_most_expensive,
+    check_safe_region_shrinks,
+    check_sr_dominates_mwq_time,
+    check_approx_not_worse_than_mwp,
+    check_approx_area_subset,
+)
+
+
+def run_all_checks(records: Sequence[QueryRecord]) -> ValidationReport:
+    """Run every claim check over the records."""
+    report = ValidationReport()
+    for check in ALL_CHECKS:
+        report.results.append(check(records))
+    return report

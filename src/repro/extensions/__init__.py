@@ -1,0 +1,34 @@
+"""Extensions beyond the paper's core contribution.
+
+Implementations of closely related machinery the paper discusses in its
+related-work section, built on the same substrates:
+
+* :mod:`repro.extensions.skyline_distance` — the *skyline distance* of
+  Huang et al. [18]: the minimum cost of upgrading a point into the
+  (static) skyline, which the paper positions its query-point
+  modification against;
+* :mod:`repro.extensions.kskyband` — the k-skyband relaxation of the
+  whole pipeline (reverse k-skyband, why-not with tolerance k).
+"""
+
+from repro.extensions.kskyband import (
+    dynamic_kskyband_indices,
+    is_reverse_kskyband_member,
+    kskyband_indices,
+    modify_why_not_point_kskyband,
+    reverse_kskyband,
+)
+from repro.extensions.skyline_distance import (
+    skyline_distance,
+    skyline_upgrade_candidates,
+)
+
+__all__ = [
+    "skyline_distance",
+    "skyline_upgrade_candidates",
+    "kskyband_indices",
+    "dynamic_kskyband_indices",
+    "reverse_kskyband",
+    "is_reverse_kskyband_member",
+    "modify_why_not_point_kskyband",
+]

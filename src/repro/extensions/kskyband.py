@@ -1,0 +1,289 @@
+"""k-skyband generalisation of the why-not machinery (a future-work
+extension of the paper).
+
+The *k-skyband* relaxes the skyline: a point belongs when fewer than
+``k`` points dominate it (``k = 1`` recovers the skyline).  Carrying the
+relaxation through the paper's definitions gives:
+
+* **dynamic k-skyband** of a customer — products dominated w.r.t. the
+  customer by fewer than ``k`` others;
+* **reverse k-skyband** of a query — customers whose window contains
+  fewer than ``k`` dominators of the query.  A customer may tolerate a
+  few better products and still shortlist ``q``;
+* **why-not with tolerance** — ``c_t`` is outside the reverse k-skyband
+  because ``m >= k`` products beat ``q``; a repair only needs to
+  neutralise ``m - k + 1`` of them.  ``modify_why_not_point_kskyband``
+  chooses which ``k - 1`` blockers to tolerate (exhaustively for small
+  windows, greedily otherwise), runs Algorithm 1 against the rest, and
+  verifies every candidate under the relaxed membership test.
+
+With ``k = 1`` every function degenerates to its paper counterpart
+(property-tested).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DominancePolicy, WhyNotConfig
+from repro.core._staircase import staircase_distance_candidates
+from repro.core.answer import Candidate, ModificationResult
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import as_point, as_points
+from repro.geometry.transform import to_query_space
+from repro.index.base import SpatialIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.window import window_query_indices
+
+__all__ = [
+    "kskyband_indices",
+    "dynamic_kskyband_indices",
+    "reverse_kskyband",
+    "is_reverse_kskyband_member",
+    "modify_why_not_point_kskyband",
+]
+
+_CHUNK = 512
+_EXHAUSTIVE_LIMIT = 500
+
+
+def kskyband_indices(points: np.ndarray, k: int) -> np.ndarray:
+    """Positions of points dominated (weakly) by fewer than ``k`` others."""
+    if k < 1:
+        raise InvalidParameterError("k must be at least 1")
+    arr = as_points(points)
+    n = arr.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    for start in range(0, n, _CHUNK):
+        block = arr[start:start + _CHUNK]  # (b, d)
+        dominates = np.all(arr[None, :, :] <= block[:, None, :], axis=2) & np.any(
+            arr[None, :, :] < block[:, None, :], axis=2
+        )  # (b, n): column j dominates block row i.
+        counts[start:start + _CHUNK] = dominates.sum(axis=1)
+    return np.flatnonzero(counts < k).astype(np.int64)
+
+
+def dynamic_kskyband_indices(
+    points: np.ndarray,
+    origin: Sequence[float],
+    k: int,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """The dynamic k-skyband of ``origin``: transform then k-skyband."""
+    arr = as_points(points)
+    o = as_point(origin, dim=arr.shape[1] if arr.size else None)
+    mask = np.ones(arr.shape[0], dtype=bool)
+    excluded = np.asarray(tuple(exclude), dtype=np.int64)
+    if excluded.size:
+        mask[excluded] = False
+    positions = np.flatnonzero(mask)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.int64)
+    transformed = to_query_space(arr[positions], o)
+    local = kskyband_indices(transformed, k)
+    return positions[local]
+
+
+def query_dominators(
+    index: SpatialIndex,
+    customer: Sequence[float],
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.STRICT,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """Products dominating ``query`` w.r.t. ``customer`` (the window set)."""
+    return window_query_indices(index, customer, query, policy, exclude)
+
+
+def is_reverse_kskyband_member(
+    index: SpatialIndex,
+    customer: Sequence[float],
+    query: Sequence[float],
+    k: int,
+    policy: DominancePolicy = DominancePolicy.STRICT,
+    exclude: Sequence[int] = (),
+) -> bool:
+    """True when fewer than ``k`` products beat the query for this
+    customer (``k = 1``: the ordinary reverse-skyline test)."""
+    if k < 1:
+        raise InvalidParameterError("k must be at least 1")
+    return query_dominators(index, customer, query, policy, exclude).size < k
+
+
+def reverse_kskyband(
+    index: SpatialIndex,
+    customers: np.ndarray,
+    query: Sequence[float],
+    k: int,
+    policy: DominancePolicy = DominancePolicy.STRICT,
+    self_exclude: bool = False,
+) -> np.ndarray:
+    """Positions of customers whose dynamic k-skyband contains the query."""
+    if k < 1:
+        raise InvalidParameterError("k must be at least 1")
+    custs = as_points(customers, dim=index.dim)
+    if self_exclude and custs.shape[0] != index.size:
+        raise ValueError(
+            "self_exclude requires customers to be the indexed product matrix"
+        )
+    members = [
+        j
+        for j in range(custs.shape[0])
+        if is_reverse_kskyband_member(
+            index, custs[j], query, k, policy,
+            exclude=(j,) if self_exclude else (),
+        )
+    ]
+    return np.asarray(members, dtype=np.int64)
+
+
+def modify_why_not_point_kskyband(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    k: int,
+    config: WhyNotConfig | None = None,
+    weights: Sequence[float] | None = None,
+    exclude: Sequence[int] = (),
+) -> ModificationResult:
+    """Algorithm 1 with tolerance: move ``c_t`` until fewer than ``k``
+    products beat the query.
+
+    The ``k - 1`` blockers to tolerate are chosen exhaustively when the
+    window is small (every subset of that size is tried) and greedily
+    otherwise (tolerate the blockers whose neutralisation would require
+    the largest movement).  Candidates from every tried subset are pooled,
+    verified under the relaxed membership test, and ranked by cost.
+    """
+    config = config or WhyNotConfig()
+    if k < 1:
+        raise InvalidParameterError("k must be at least 1")
+    c_t = as_point(why_not, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    dominators = query_dominators(index, c_t, q, config.policy, exclude)
+    result = ModificationResult(
+        method=f"MWP-k{k}",
+        why_not=c_t,
+        query=q,
+        lambda_positions=dominators,
+    )
+    w = np.asarray(
+        weights if weights is not None else np.full(index.dim, 1.0 / index.dim),
+        dtype=np.float64,
+    )
+    if dominators.size < k:
+        result.candidates.append(Candidate(c_t, cost=0.0, verified=True))
+        return result
+
+    tolerate = k - 1
+    subsets = _tolerated_subsets(
+        index, dominators, q, tolerate
+    )
+    seen: set[bytes] = set()
+    for allowed in subsets:
+        blockers = np.asarray(
+            [d for d in dominators.tolist() if d not in allowed],
+            dtype=np.int64,
+        )
+        for point in _algorithm1_points(index, c_t, q, blockers, config):
+            key = point.tobytes()
+            if key in seen:
+                continue
+            seen.add(key)
+            cost = float(np.sum(w * np.abs(c_t - point)))
+            verified: bool | None = None
+            if config.verify:
+                verified = (
+                    _tolerant_dominator_count(
+                        index, point, q, config.policy, exclude
+                    )
+                    < k
+                )
+            result.candidates.append(
+                Candidate(point, cost=cost, verified=verified)
+            )
+    result.candidates.sort(key=lambda cand: cand.cost)
+    return result
+
+
+def _tolerated_subsets(
+    index: SpatialIndex,
+    dominators: np.ndarray,
+    q: np.ndarray,
+    tolerate: int,
+) -> list[set[int]]:
+    """Which blockers to leave alone: all subsets when cheap, otherwise
+    the greedy choice (tolerate the hardest-to-neutralise blockers — the
+    ones farthest from the query)."""
+    if tolerate == 0:
+        return [set()]
+    m = dominators.size
+    count = 1
+    for i in range(tolerate):
+        count = count * (m - i) // (i + 1)
+    if count <= _EXHAUSTIVE_LIMIT:
+        return [
+            set(combo)
+            for combo in itertools.combinations(dominators.tolist(), tolerate)
+        ]
+    distances = np.abs(index.points[dominators] - q).sum(axis=1)
+    order = np.argsort(-distances, kind="stable")
+    return [set(dominators[order[:tolerate]].tolist())]
+
+
+def _tolerant_dominator_count(
+    index: SpatialIndex,
+    center: np.ndarray,
+    query: np.ndarray,
+    policy: DominancePolicy,
+    exclude: Sequence[int],
+    rtol: float = 1e-12,
+) -> int:
+    """Dominator count with the rounding slack of
+    :func:`repro.core._verify.verify_membership` — candidates sit exactly
+    on window boundaries, where the exact test flips on 1-ulp noise."""
+    from repro.geometry.box import Box
+
+    radii = np.abs(center - query)
+    scale = max(1.0, float(np.max(np.abs(center))), float(np.max(np.abs(query))))
+    slack = rtol * scale
+    hits = index.range_indices(Box(center - radii - slack, center + radii + slack))
+    excluded = np.asarray(tuple(exclude), dtype=np.int64)
+    if excluded.size:
+        hits = hits[~np.isin(hits, excluded)]
+    if hits.size == 0:
+        return 0
+    dists = np.abs(index.points[hits] - center)
+    if policy is DominancePolicy.STRICT:
+        blocking = np.all(dists < radii - slack, axis=1)
+    else:
+        blocking = np.all(dists <= radii + slack, axis=1) & np.any(
+            dists < radii - slack, axis=1
+        )
+    return int(blocking.sum())
+
+
+def _algorithm1_points(
+    index: SpatialIndex,
+    c_t: np.ndarray,
+    q: np.ndarray,
+    blockers: np.ndarray,
+    config: WhyNotConfig,
+) -> np.ndarray:
+    """Algorithm-1 candidate positions against an explicit blocker set."""
+    if blockers.size == 0:
+        return c_t.reshape(1, -1)
+    from_q = to_query_space(index.points[blockers], q)
+    frontier_local = skyline_indices(from_q)
+    midpoints = from_q[frontier_local] / 2.0
+    if config.margin > 0.0:
+        midpoints = midpoints * (1.0 - config.margin)
+    cap = np.abs(q - c_t)
+    vectors = staircase_distance_candidates(midpoints, cap, config.sort_dim)
+    direction = np.sign(c_t - q)
+    return q + direction * vectors

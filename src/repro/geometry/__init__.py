@@ -1,0 +1,25 @@
+"""Geometric primitives: points, axis-aligned boxes, and box unions.
+
+These are the substrate for the rectangle-based representation of dynamic
+anti-dominance regions and safe regions (Section V of the paper).
+"""
+
+from repro.geometry.box import Box
+from repro.geometry.point import as_point, as_points, point_distance_l1
+from repro.geometry.region import BoxRegion
+from repro.geometry.transform import (
+    orthant_of,
+    to_query_space,
+    window_box,
+)
+
+__all__ = [
+    "Box",
+    "BoxRegion",
+    "as_point",
+    "as_points",
+    "point_distance_l1",
+    "orthant_of",
+    "to_query_space",
+    "window_box",
+]

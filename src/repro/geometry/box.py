@@ -1,0 +1,198 @@
+"""Axis-aligned hyper-rectangles (``Box``).
+
+A box is stored as its lower-left and upper-right corner (the paper's
+rectangle representation, Fig. 10(b)).  Boxes are closed sets; the STRICT
+dominance policy makes closed boundaries safe (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as _iterproduct
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import as_point
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lo, hi]`` in d dimensions.
+
+    Degenerate boxes (``lo == hi`` along some axes) are allowed: the safe
+    region frequently degenerates to the query point itself.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        lo_arr = as_point(lo)
+        hi_arr = as_point(hi, dim=lo_arr.size)
+        if np.any(lo_arr > hi_arr):
+            raise InvalidParameterError(
+                f"box lower corner must not exceed upper corner: {lo_arr} > {hi_arr}"
+            )
+        lo_arr.flags.writeable = False
+        hi_arr.flags.writeable = False
+        object.__setattr__(self, "lo", lo_arr)
+        object.__setattr__(self, "hi", hi_arr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(cls, center: Sequence[float], half_extent: Sequence[float]) -> "Box":
+        """Box centred at ``center`` with per-dimension half extents.
+
+        This is the construction of the anti-dominance rectangles: centred
+        at the customer point with extents equal to transformed distances.
+        """
+        c = as_point(center)
+        h = as_point(half_extent, dim=c.size)
+        if np.any(h < 0):
+            raise InvalidParameterError("half extents must be non-negative")
+        return cls(c - h, c + h)
+
+    @classmethod
+    def from_points(cls, a: Sequence[float], b: Sequence[float]) -> "Box":
+        """Smallest box containing the two points (corners in any order)."""
+        pa = as_point(a)
+        pb = as_point(b, dim=pa.size)
+        return cls(np.minimum(pa, pb), np.maximum(pa, pb))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.lo.size
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def extent(self) -> np.ndarray:
+        """Side lengths per dimension."""
+        return self.hi - self.lo
+
+    def volume(self) -> float:
+        """Lebesgue measure (area in 2-D); 0 for degenerate boxes."""
+        return float(np.prod(self.extent))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree split criterion)."""
+        return float(np.sum(self.extent))
+
+    def is_degenerate(self) -> bool:
+        return bool(np.any(self.extent == 0))
+
+    def contains_point(self, point: Sequence[float], closed: bool = True) -> bool:
+        """Membership test; ``closed=False`` tests the open interior."""
+        p = as_point(point, dim=self.dim)
+        if closed:
+            return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+        return bool(np.all(p > self.lo) and np.all(p < self.hi))
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` lies entirely inside this (closed) box."""
+        self._check_dim(other)
+        return bool(np.all(other.lo >= self.lo) and np.all(other.hi <= self.hi))
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the closed boxes share at least one point."""
+        self._check_dim(other)
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def intersect(self, other: "Box") -> "Box | None":
+        """The intersection box, or ``None`` when disjoint.
+
+        Touching boxes intersect in a degenerate (zero-volume) box, which is
+        still meaningful for us: a safe region may legitimately be a line
+        segment or a single point.
+        """
+        if not self.intersects(other):
+            return None
+        return Box(np.maximum(self.lo, other.lo), np.minimum(self.hi, other.hi))
+
+    def union_bound(self, other: "Box") -> "Box":
+        """Minimum bounding box of the two boxes (R-tree MBR union)."""
+        self._check_dim(other)
+        return Box(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def overlap_volume(self, other: "Box") -> float:
+        """Volume of the intersection (0 when disjoint)."""
+        inter = self.intersect(other)
+        return 0.0 if inter is None else inter.volume()
+
+    # ------------------------------------------------------------------
+    # Geometry used by the why-not algorithms
+    # ------------------------------------------------------------------
+    def nearest_point_to(self, point: Sequence[float]) -> np.ndarray:
+        """Closest point of the (closed) box to ``point``.
+
+        Used by Algorithm 4 to pick the cheapest relocation of the query
+        point inside each overlap rectangle: for an axis-aligned box the L1-
+        and L2-nearest points coincide and are obtained by clamping.
+        """
+        p = as_point(point, dim=self.dim)
+        return np.clip(p, self.lo, self.hi)
+
+    def min_l1_distance(self, point: Sequence[float]) -> float:
+        """L1 distance from ``point`` to the box (0 when inside)."""
+        p = as_point(point, dim=self.dim)
+        return float(np.sum(np.maximum(0.0, np.maximum(self.lo - p, p - self.hi))))
+
+    def corners(self) -> np.ndarray:
+        """All ``2^d`` corner points as an ``(2^d, d)`` matrix.
+
+        Algorithm 4 collects the corners of the safe-region rectangles as the
+        candidate positions maximising the movement of ``q`` toward ``c_t``.
+        """
+        choices = [(self.lo[i], self.hi[i]) for i in range(self.dim)]
+        return np.array(list(_iterproduct(*choices)), dtype=np.float64)
+
+    def clip_to(self, bounds: "Box") -> "Box | None":
+        """Intersection with a bounding universe (alias of :meth:`intersect`)."""
+        return self.intersect(bounds)
+
+    def sample_points(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` points uniformly sampled from the box (degenerate axes give
+        the single coordinate).  Used by property tests of Lemma 2."""
+        return rng.uniform(self.lo, self.hi, size=(n, self.dim))
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def approx_equals(self, other: "Box", tol: float = 1e-9) -> bool:
+        self._check_dim(other)
+        return bool(
+            np.allclose(self.lo, other.lo, atol=tol)
+            and np.allclose(self.hi, other.hi, atol=tol)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    def __hash__(self) -> int:
+        return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        yield self.lo
+        yield self.hi
+
+    def __repr__(self) -> str:
+        lo = ", ".join(f"{v:g}" for v in self.lo)
+        hi = ", ".join(f"{v:g}" for v in self.hi)
+        return f"Box([{lo}], [{hi}])"
+
+    def _check_dim(self, other: "Box") -> None:
+        if other.dim != self.dim:
+            raise DimensionMismatchError(self.dim, other.dim, what="box")

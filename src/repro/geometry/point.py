@@ -1,0 +1,85 @@
+"""Point coercion and small vector helpers.
+
+Points are plain 1-D ``numpy.float64`` arrays throughout the library; these
+helpers centralise validation so every public entry point gives the same
+error messages for malformed input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+__all__ = ["as_point", "as_points", "point_distance_l1", "weighted_l1"]
+
+
+def as_point(value: Sequence[float] | np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Coerce ``value`` into a 1-D float64 array, validating dimensionality.
+
+    Parameters
+    ----------
+    value:
+        Any sequence of numbers (list, tuple, ndarray).
+    dim:
+        Expected dimensionality; ``None`` accepts any.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the value is not one-dimensional or contains non-finite entries.
+    DimensionMismatchError
+        If ``dim`` is given and does not match.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 1:
+        raise InvalidParameterError(
+            f"a point must be a 1-D sequence of numbers, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise InvalidParameterError("a point must have at least one dimension")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError(f"point contains non-finite values: {arr!r}")
+    if dim is not None and arr.size != dim:
+        raise DimensionMismatchError(dim, arr.size)
+    return arr
+
+
+def as_points(values: Iterable[Sequence[float]] | np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Coerce ``values`` into an ``(n, d)`` float64 matrix of points.
+
+    An empty input yields a ``(0, dim)`` array when ``dim`` is known and a
+    ``(0, 0)`` array otherwise.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return np.empty((0, dim if dim is not None else 0), dtype=np.float64)
+    if arr.ndim == 1:
+        # A single point is promoted to a 1-row matrix.
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise InvalidParameterError(
+            f"points must form a 2-D matrix, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError("points contain non-finite values")
+    if dim is not None and arr.shape[1] != dim:
+        raise DimensionMismatchError(dim, arr.shape[1], what="point matrix")
+    return arr
+
+
+def point_distance_l1(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain L1 distance between two points."""
+    return float(np.sum(np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))))
+
+
+def weighted_l1(a: np.ndarray, b: np.ndarray, weights: Sequence[float]) -> float:
+    """Weighted L1 distance ``sum_i w_i * |a_i - b_i|`` (Eqn. 9 terms)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != a.shape:
+        raise DimensionMismatchError(a.size, w.size, what="weight vector")
+    return float(np.sum(w * np.abs(a - b)))

@@ -1,0 +1,248 @@
+"""Unions of axis-aligned boxes (``BoxRegion``).
+
+The paper represents each dynamic anti-dominance region and the safe region
+``SR(q)`` as a collection of (overlapping) rectangles; intersecting two such
+collections distributes over the union:
+
+    (r11 + r12) . (r21 + r22) = r11.r21 + r11.r22 + r12.r21 + r12.r22
+
+where ``+`` is union and ``.`` intersection (Section V.B).  ``BoxRegion``
+implements exactly this algebra, plus exact measure (area/volume) via
+coordinate compression, which Figure 14 needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.point import as_point
+
+__all__ = ["BoxRegion"]
+
+
+class BoxRegion:
+    """A (possibly empty) union of closed axis-aligned boxes.
+
+    The representation is not canonical — boxes may overlap, exactly as in
+    the paper's rectangle collections — but :meth:`simplify` prunes boxes
+    fully contained in a sibling, which keeps the distributed intersections
+    of Algorithm 3 tractable.
+    """
+
+    def __init__(self, boxes: Iterable[Box] = (), dim: int | None = None) -> None:
+        self._boxes: list[Box] = list(boxes)
+        if self._boxes:
+            first = self._boxes[0].dim
+            for box in self._boxes[1:]:
+                if box.dim != first:
+                    raise DimensionMismatchError(first, box.dim, what="box")
+            if dim is not None and first != dim:
+                raise DimensionMismatchError(dim, first, what="region")
+            self._dim = first
+        else:
+            self._dim = dim if dim is not None else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, dim: int) -> "BoxRegion":
+        return cls((), dim=dim)
+
+    @classmethod
+    def single(cls, box: Box) -> "BoxRegion":
+        return cls((box,))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def boxes(self) -> tuple[Box, ...]:
+        return tuple(self._boxes)
+
+    def is_empty(self) -> bool:
+        return not self._boxes
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __iter__(self) -> Iterator[Box]:
+        return iter(self._boxes)
+
+    def __repr__(self) -> str:
+        return f"BoxRegion({len(self._boxes)} boxes, dim={self._dim})"
+
+    def contains_point(self, point: Sequence[float], closed: bool = True) -> bool:
+        """True when any constituent box contains the point."""
+        if self.is_empty():
+            return False
+        p = as_point(point, dim=self._dim)
+        return any(box.contains_point(p, closed=closed) for box in self._boxes)
+
+    def bounding_box(self) -> Box | None:
+        """Minimum bounding box of the union, or ``None`` when empty."""
+        if self.is_empty():
+            return None
+        lo = np.min(np.vstack([b.lo for b in self._boxes]), axis=0)
+        hi = np.max(np.vstack([b.hi for b in self._boxes]), axis=0)
+        return Box(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "BoxRegion") -> "BoxRegion":
+        self._check_dim(other)
+        return BoxRegion(self._boxes + list(other._boxes), dim=self._dim or other._dim)
+
+    def intersect_box(self, box: Box) -> "BoxRegion":
+        """Clip the region to a single box."""
+        pieces = [b.intersect(box) for b in self._boxes]
+        return BoxRegion([p for p in pieces if p is not None], dim=self._dim).simplify()
+
+    def intersect(self, other: "BoxRegion") -> "BoxRegion":
+        """Distributed pairwise intersection of two unions of boxes.
+
+        This is the core operation of Algorithm 3 (safe-region refinement).
+        The result is simplified (contained boxes dropped, duplicates merged)
+        so repeated refinement does not blow up combinatorially in practice.
+        """
+        self._check_dim(other)
+        pieces: list[Box] = []
+        for a in self._boxes:
+            for b in other._boxes:
+                inter = a.intersect(b)
+                if inter is not None:
+                    pieces.append(inter)
+        return BoxRegion(pieces, dim=self._dim or other._dim).simplify()
+
+    def simplify(self) -> "BoxRegion":
+        """Drop duplicate boxes and boxes contained in another box.
+
+        The geometric point set is unchanged; only the representation
+        shrinks.  Runs in O(k^2) over the k surviving boxes, sorted by
+        volume so big boxes absorb small ones in one pass.
+        """
+        if len(self._boxes) <= 1:
+            return self
+        ordered = sorted(self._boxes, key=lambda b: -b.volume())
+        kept: list[Box] = []
+        for box in ordered:
+            if any(other.contains_box(box) for other in kept):
+                continue
+            kept.append(box)
+        return BoxRegion(kept, dim=self._dim)
+
+    # ------------------------------------------------------------------
+    # Measure
+    # ------------------------------------------------------------------
+    def measure(self) -> float:
+        """Exact Lebesgue measure of the union (area in 2-D).
+
+        Uses coordinate compression: the union of k boxes partitions space
+        into at most ``(2k-1)^d`` grid cells; a cell belongs to the union iff
+        its midpoint does.  Exact for any dimension, O(k * (2k)^d) time —
+        fine for the region sizes the safe-region construction produces.
+        Figure 14 plots this quantity against ``|RSL(q)|``.
+        """
+        if self.is_empty():
+            return 0.0
+        boxes = self._boxes
+        dim = self._dim
+        # Compressed coordinates per axis.
+        cuts = []
+        for axis in range(dim):
+            values = np.unique(
+                np.concatenate(
+                    [[b.lo[axis] for b in boxes], [b.hi[axis] for b in boxes]]
+                )
+            )
+            cuts.append(values)
+        if any(len(c) < 2 for c in cuts):
+            return 0.0  # Degenerate along some axis: measure zero.
+        lows = np.vstack([b.lo for b in boxes])  # (k, d)
+        highs = np.vstack([b.hi for b in boxes])
+        return self._measure_recursive(lows, highs, cuts, 0, np.ones(len(boxes), bool))
+
+    def _measure_recursive(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        cuts: list[np.ndarray],
+        axis: int,
+        active: np.ndarray,
+    ) -> float:
+        """Sweep one axis at a time, keeping the set of boxes that span the
+        current slab, and recurse on the remaining axes."""
+        values = cuts[axis]
+        total = 0.0
+        for left, right in zip(values[:-1], values[1:]):
+            mid = (left + right) / 2.0
+            spanning = active & (lows[:, axis] <= mid) & (highs[:, axis] >= mid)
+            if not spanning.any():
+                continue
+            width = right - left
+            if axis == len(cuts) - 1:
+                total += width
+            else:
+                total += width * self._measure_recursive(
+                    lows, highs, cuts, axis + 1, spanning
+                )
+        return total
+
+    # ------------------------------------------------------------------
+    # Geometry used by Algorithm 4
+    # ------------------------------------------------------------------
+    def nearest_point_to(self, point: Sequence[float]) -> np.ndarray | None:
+        """Closest point of the region to ``point`` (L1), or ``None``."""
+        if self.is_empty():
+            return None
+        p = as_point(point, dim=self._dim)
+        best: np.ndarray | None = None
+        best_dist = np.inf
+        for box in self._boxes:
+            candidate = box.nearest_point_to(p)
+            dist = float(np.sum(np.abs(candidate - p)))
+            if dist < best_dist:
+                best, best_dist = candidate, dist
+        return best
+
+    def corner_points(self) -> np.ndarray:
+        """Deduplicated corners of all constituent boxes, ``(m, d)``.
+
+        Algorithm 4 (case C2) evaluates these as the extremal positions of
+        the query point inside its safe region.
+        """
+        if self.is_empty():
+            return np.empty((0, self._dim))
+        corners = np.vstack([box.corners() for box in self._boxes])
+        return np.unique(corners, axis=0)
+
+    def sample_points(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` points sampled from the union, box chosen ∝ volume
+        (uniform over boxes when all volumes vanish)."""
+        if self.is_empty():
+            raise InvalidParameterError("cannot sample from an empty region")
+        volumes = np.array([b.volume() for b in self._boxes])
+        if volumes.sum() > 0:
+            probs = volumes / volumes.sum()
+        else:
+            probs = np.full(len(self._boxes), 1.0 / len(self._boxes))
+        counts = rng.multinomial(n, probs)
+        chunks = [
+            box.sample_points(rng, int(count))
+            for box, count in zip(self._boxes, counts)
+            if count
+        ]
+        return np.vstack(chunks) if chunks else np.empty((0, self._dim))
+
+    def _check_dim(self, other: "BoxRegion") -> None:
+        if self._boxes and other._boxes and other.dim != self.dim:
+            raise DimensionMismatchError(self.dim, other.dim, what="region")

@@ -1,0 +1,35 @@
+"""Spatial access methods.
+
+Two interchangeable implementations of the :class:`SpatialIndex` interface:
+
+* :class:`ScanIndex` — vectorised brute force, the correctness oracle;
+* :class:`RTree` — an R*-tree (Beckmann et al.) with STR bulk loading
+  and condense-tree deletion, the access method the paper uses (page
+  size 1536 bytes);
+* :class:`GridIndex` — a uniform grid;
+* :class:`KDTree` — a median-split k-d tree.
+
+The grid and k-d tree give the ablation benchmarks non-trivial
+alternatives to compare the R*-tree against.
+
+All reverse-skyline and why-not machinery is written against the interface,
+so every experiment can run on either backend.
+"""
+
+from repro.index.base import SpatialIndex
+from repro.index.bulkload import str_bulk_load
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+from repro.index.scan import ScanIndex
+from repro.index.stats import IndexStats
+
+__all__ = [
+    "SpatialIndex",
+    "ScanIndex",
+    "RTree",
+    "GridIndex",
+    "KDTree",
+    "IndexStats",
+    "str_bulk_load",
+]

@@ -1,0 +1,182 @@
+"""A k-d tree point index.
+
+Fourth :class:`SpatialIndex` backend: a median-split binary tree over the
+points, built once (bulk) with cycling split dimensions.  Range queries
+descend only subtrees whose half-space intersects the box; kNN is the
+classic branch-and-bound descent with hypersphere pruning.
+
+Compared to the R*-tree the k-d tree has cheaper construction and lower
+per-node overhead but no ability to bound clusters tightly (its regions
+are half-space cells, not MBRs), which the ablation benchmarks make
+visible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.point import as_point
+from repro.index.base import SpatialIndex
+
+__all__ = ["KDTree"]
+
+_LEAF_SIZE = 16
+
+
+class _Node:
+    __slots__ = ("axis", "split", "left", "right", "positions", "lo", "hi")
+
+    def __init__(self) -> None:
+        self.axis = -1
+        self.split = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.positions: np.ndarray | None = None  # Leaf payload.
+        self.lo: np.ndarray | None = None  # Tight bounding box (all nodes).
+        self.hi: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.positions is not None
+
+
+class KDTree(SpatialIndex):
+    """Median-split k-d tree with tight per-node bounding boxes."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
+        super().__init__(points)
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
+        self._leaf_size = leaf_size
+        self._root: _Node | None = None
+        if self.size:
+            self._root = self._build(np.arange(self.size, dtype=np.int64), 0)
+
+    def _build(self, positions: np.ndarray, depth: int) -> _Node:
+        node = _Node()
+        block = self._points[positions]
+        node.lo = block.min(axis=0)
+        node.hi = block.max(axis=0)
+        if positions.size <= self._leaf_size:
+            node.positions = np.sort(positions)
+            return node
+        axis = depth % self.dim
+        values = block[:, axis]
+        order = np.argsort(values, kind="stable")
+        mid = positions.size // 2
+        # Median split; all-equal slabs would recurse forever, so fall
+        # back to a leaf when the split cannot separate.
+        if values[order[0]] == values[order[-1]]:
+            if self.dim > 1:
+                # Try the other axes before giving up.
+                for alt in range(1, self.dim):
+                    alt_axis = (axis + alt) % self.dim
+                    alt_values = block[:, alt_axis]
+                    if alt_values.min() != alt_values.max():
+                        axis = alt_axis
+                        values = alt_values
+                        order = np.argsort(values, kind="stable")
+                        break
+                else:
+                    node.positions = np.sort(positions)
+                    return node
+            else:
+                node.positions = np.sort(positions)
+                return node
+        node.axis = axis
+        node.split = float(values[order[mid]])
+        left_mask = values < node.split
+        if not left_mask.any() or left_mask.all():
+            # Degenerate median (many ties): split at strict less-than of
+            # the median value still produced one empty side; partition by
+            # order index instead.
+            left_positions = positions[order[:mid]]
+            right_positions = positions[order[mid:]]
+        else:
+            left_positions = positions[left_mask]
+            right_positions = positions[~left_mask]
+        node.left = self._build(left_positions, depth + 1)
+        node.right = self._build(right_positions, depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_indices(self, box: Box) -> np.ndarray:
+        if box.dim != self.dim:
+            raise ValueError(f"box dim {box.dim} != index dim {self.dim}")
+        self.stats.queries += 1
+        if self._root is None:
+            return np.empty(0, dtype=np.int64)
+        out: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.stats.node_accesses += 1
+            if np.any(node.lo > box.hi) or np.any(node.hi < box.lo):
+                continue
+            if node.is_leaf:
+                block = self._points[node.positions]
+                self.stats.point_comparisons += node.positions.size
+                inside = np.all((block >= box.lo) & (block <= box.hi), axis=1)
+                if inside.any():
+                    out.append(node.positions[inside])
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(out))
+
+    def knn_indices(self, point: Sequence[float], k: int) -> np.ndarray:
+        p = as_point(point, dim=self.dim)
+        if k <= 0 or self._root is None:
+            return np.empty(0, dtype=np.int64)
+        self.stats.queries += 1
+        k = min(k, self.size)
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, object]] = [
+            (self._min_sq_dist(self._root, p), next(counter), 0, self._root)
+        ]
+        result: list[int] = []
+        while heap and len(result) < k:
+            _dist, _tie, kind, payload = heapq.heappop(heap)
+            if kind == 1:
+                result.append(payload)  # type: ignore[arg-type]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            self.stats.node_accesses += 1
+            if node.is_leaf:
+                block = self._points[node.positions]
+                self.stats.point_comparisons += node.positions.size
+                dists = np.sum((block - p) ** 2, axis=1)
+                for pos, dist in zip(node.positions, dists):
+                    heapq.heappush(heap, (float(dist), int(pos), 1, int(pos)))
+            else:
+                for child in (node.left, node.right):
+                    heapq.heappush(
+                        heap,
+                        (self._min_sq_dist(child, p), next(counter), 0, child),
+                    )
+        return np.array(result, dtype=np.int64)
+
+    @staticmethod
+    def _min_sq_dist(node: _Node, p: np.ndarray) -> float:
+        delta = np.maximum(0.0, np.maximum(node.lo - p, p - node.hi))
+        return float(np.dot(delta, delta))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        def depth(node: "_Node | None") -> int:
+            if node is None or node.is_leaf:
+                return 1
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root) if self._root else 0

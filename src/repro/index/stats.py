@@ -1,0 +1,50 @@
+"""Access statistics for spatial indexes.
+
+The paper's performance section reports execution times that are dominated
+by index traversal; tracking node accesses and comparisons lets the
+benchmarks report an implementation-independent cost alongside wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IndexStats:
+    """Mutable counters updated by index operations.
+
+    Attributes
+    ----------
+    node_accesses:
+        Internal + leaf node visits (R-tree) or full scans (scan index).
+    point_comparisons:
+        Individual point-in-box / distance evaluations.
+    queries:
+        Number of query operations issued.
+    """
+
+    node_accesses: int = 0
+    point_comparisons: int = 0
+    queries: int = 0
+
+    def reset(self) -> None:
+        self.node_accesses = 0
+        self.point_comparisons = 0
+        self.queries = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "node_accesses": self.node_accesses,
+            "point_comparisons": self.point_comparisons,
+            "queries": self.queries,
+        }
+
+    def merge(self, other: "IndexStats") -> "IndexStats":
+        """Return a new stats object with summed counters."""
+        merged = IndexStats()
+        merged.node_accesses = self.node_accesses + other.node_accesses
+        merged.point_comparisons = self.point_comparisons + other.point_comparisons
+        merged.queries = self.queries + other.queries
+        return merged

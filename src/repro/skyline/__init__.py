@@ -1,0 +1,39 @@
+"""Skyline machinery: dominance kernels, skylines, dynamic skylines,
+window queries, and reverse skylines (naive + BBRS).
+
+Everything the why-not algorithms of :mod:`repro.core` stand on.
+"""
+
+from repro.skyline.algorithms import skyline_indices, skyline_points
+from repro.skyline.bbs import bbs_dynamic_skyline, bbs_skyline
+from repro.skyline.dominance import (
+    dominated_mask,
+    dominates,
+    dynamically_dominates,
+)
+from repro.skyline.dynamic import dynamic_skyline_indices, dynamic_skyline_points
+from repro.skyline.global_skyline import global_skyline_candidates
+from repro.skyline.reverse import (
+    is_reverse_skyline_member,
+    reverse_skyline_bbrs,
+    reverse_skyline_naive,
+)
+from repro.skyline.window import lambda_set, window_query_indices
+
+__all__ = [
+    "dominates",
+    "dominated_mask",
+    "dynamically_dominates",
+    "skyline_indices",
+    "skyline_points",
+    "dynamic_skyline_indices",
+    "dynamic_skyline_points",
+    "bbs_skyline",
+    "bbs_dynamic_skyline",
+    "window_query_indices",
+    "lambda_set",
+    "is_reverse_skyline_member",
+    "reverse_skyline_naive",
+    "reverse_skyline_bbrs",
+    "global_skyline_candidates",
+]

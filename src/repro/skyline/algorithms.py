@@ -1,0 +1,98 @@
+"""Skyline computation.
+
+Two complementary algorithms behind one entry point:
+
+* a 2-D sort-and-scan pass (O(n log n)), the workhorse for the paper's
+  two-attribute evaluation;
+* a sort-filter block-nested-loop for any dimensionality (Börzsönyi et al.'s
+  BNL with the SFS presorting refinement: after sorting by coordinate sum,
+  no later point can dominate an earlier one, so a single filtered pass
+  suffices).
+
+Both return positions of the *weak-dominance* skyline: points for which no
+other point is ``<=`` everywhere and ``<`` somewhere.  Duplicate points do
+not dominate each other and are all retained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import as_points
+
+__all__ = ["skyline_indices", "skyline_points"]
+
+_BLOCK = 256  # Vectorised dominance checks are batched in blocks.
+
+
+def skyline_indices(points: np.ndarray) -> np.ndarray:
+    """Positions of the skyline rows of ``points`` (minimising), sorted."""
+    arr = as_points(points)
+    n = arr.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if arr.shape[1] == 2:
+        return _skyline_2d(arr)
+    return _skyline_sfs(arr)
+
+
+def skyline_points(points: np.ndarray) -> np.ndarray:
+    """The skyline rows themselves."""
+    arr = as_points(points)
+    return arr[skyline_indices(arr)]
+
+
+def _skyline_2d(arr: np.ndarray) -> np.ndarray:
+    """Sort by (x asc, y asc) and keep points beating the running y-minimum.
+
+    A scanned point is dominated iff some earlier point (in sort order) has
+    strictly smaller y; exact duplicates of a kept point are themselves kept
+    (nothing dominates them).  Fully vectorised: the running minimum is a
+    prefix ``minimum.accumulate`` and duplicate runs inherit the decision of
+    their run head.
+    """
+    n = arr.shape[0]
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    xs = arr[order, 0]
+    ys = arr[order, 1]
+    prev_min = np.concatenate(([np.inf], np.minimum.accumulate(ys)[:-1]))
+    head_keep = ys < prev_min
+    if n > 1:
+        same_as_prev = np.concatenate(
+            ([False], (xs[1:] == xs[:-1]) & (ys[1:] == ys[:-1]))
+        )
+        idx = np.arange(n)
+        run_head = np.maximum.accumulate(np.where(same_as_prev, -1, idx))
+        keep = head_keep[run_head]
+    else:
+        keep = head_keep
+    return np.sort(order[keep])
+
+
+def _skyline_sfs(arr: np.ndarray) -> np.ndarray:
+    """Sort-filter skyline for any dimension.
+
+    Sorting by coordinate sum guarantees that a dominating point precedes
+    every point it dominates (weak dominance strictly lowers the sum), so a
+    single pass comparing each point against the kept set is complete.
+    """
+    n = arr.shape[0]
+    sums = arr.sum(axis=1)
+    order = np.lexsort((np.arange(n), sums))
+    sorted_pts = arr[order]
+    kept_rows: list[int] = []
+    kept_buf = np.empty((0, arr.shape[1]))
+    for i in range(n):
+        p = sorted_pts[i]
+        if kept_rows:
+            if len(kept_rows) != kept_buf.shape[0]:
+                kept_buf = sorted_pts[kept_rows]
+            dominated = np.any(
+                np.all(kept_buf <= p, axis=1) & np.any(kept_buf < p, axis=1)
+            )
+            if dominated:
+                continue
+        kept_rows.append(i)
+        if len(kept_rows) % _BLOCK == 0:
+            kept_buf = sorted_pts[kept_rows]
+    return np.sort(order[np.asarray(kept_rows, dtype=np.int64)])

@@ -1,0 +1,98 @@
+"""Block-Nested-Loops skyline (Börzsönyi, Kossmann & Stocker [8]).
+
+The original external-memory skyline algorithm: stream the input against
+a bounded in-memory window of incomparable points; points that do not fit
+spill to an overflow list and are processed in another pass.  Timestamps
+decide when a window point is safe to output — a window entry is
+confirmed only once every record that could still beat it has been
+compared against it.
+
+This implementation keeps everything in memory (the passes, window bound
+and spill behaviour are what matters here, not disk I/O) and uses a
+conservative confirmation rule: at the end of a pass, window entries
+inserted *before the first spill of that pass* have provably been
+compared against every live record and are output; later entries re-enter
+the next pass together with the spilled records.  Each pass confirms or
+eliminates at least one record, so the algorithm terminates, and the
+result equals :func:`repro.skyline.algorithms.skyline_indices` exactly
+(property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import as_points
+
+__all__ = ["bnl_skyline_indices"]
+
+
+def bnl_skyline_indices(points: np.ndarray, window_size: int = 64) -> np.ndarray:
+    """Positions of the weak-dominance skyline via multi-pass BNL.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` matrix, minimising every dimension.
+    window_size:
+        Capacity of the in-memory window; smaller values force more
+        passes (useful for exercising the overflow machinery in tests).
+    """
+    arr = as_points(points)
+    n = arr.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if window_size < 1:
+        raise ValueError("window_size must be at least 1")
+
+    result: list[int] = []
+    stream = list(range(n))
+    while stream:
+        # Window entries as (insertion_order, row); insertion_order is the
+        # index within this pass at which the entry joined the window.
+        window: list[tuple[int, int]] = []
+        overflow: list[int] = []
+        first_spill_order: int | None = None
+
+        for order, row in enumerate(stream):
+            p = arr[row]
+            dominated = False
+            survivors: list[tuple[int, int]] = []
+            for entry in window:
+                w = arr[entry[1]]
+                if not dominated and _dominates(w, p):
+                    dominated = True
+                    survivors.append(entry)
+                elif _dominates(p, w):
+                    continue  # Window point defeated: eliminated for good.
+                else:
+                    survivors.append(entry)
+            window = survivors
+            if dominated:
+                continue
+            if len(window) < window_size:
+                window.append((order, row))
+            else:
+                if first_spill_order is None:
+                    first_spill_order = order
+                overflow.append(row)
+
+        if first_spill_order is None:
+            # Complete pass with no spill: the whole window is skyline.
+            result.extend(row for _order, row in window)
+            break
+        # Entries inserted before the first spill were in the window when
+        # every spilled record was compared, and survived the full pass:
+        # they are skyline.  Later entries have not met the earlier spills
+        # and must go around again.
+        for order, row in window:
+            if order < first_spill_order:
+                result.append(row)
+            else:
+                overflow.append(row)
+        stream = overflow
+    return np.array(sorted(result), dtype=np.int64)
+
+
+def _dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.all(a <= b) and np.any(a < b))

@@ -1,0 +1,84 @@
+"""Divide-and-conquer skyline (the D&C algorithm of Börzsönyi et al.).
+
+Split the input at the median of the first dimension, solve both halves
+recursively, and merge: the low half's skyline survives untouched (no
+high-half point can dominate across the split), while high-half skyline
+points must additionally beat the low half's skyline.
+
+Ties at the median would break the one-directional-dominance argument,
+so runs of median-valued points fall back to the base filter.  Output is
+identical to :func:`repro.skyline.algorithms.skyline_indices`
+(property-tested), in O(n log n) for 2-D and the classic recursive bound
+in general.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import as_points
+
+__all__ = ["dnc_skyline_indices"]
+
+_BASE_SIZE = 32
+
+
+def dnc_skyline_indices(points: np.ndarray) -> np.ndarray:
+    """Positions of the weak-dominance skyline via divide and conquer."""
+    arr = as_points(points)
+    n = arr.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    positions = _solve(arr, np.arange(n, dtype=np.int64))
+    return np.sort(positions)
+
+
+def _solve(arr: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    if positions.size <= _BASE_SIZE:
+        return _base_case(arr, positions)
+    values = arr[positions, 0]
+    median = np.median(values)
+    low = positions[values < median]
+    high = positions[values >= median]
+    if low.size == 0 or high.size == 0:
+        # Degenerate split (many ties at the median): the cross-partition
+        # dominance argument does not apply, fall back to the base filter.
+        return _base_case(arr, positions)
+    low_sky = _solve(arr, low)
+    high_sky = _solve(arr, high)
+    # No high point can dominate a low point (its first coordinate is
+    # >= median > every low first coordinate), so only the high skyline
+    # needs merging against the low skyline.
+    survivors = _filter_against(arr, high_sky, low_sky)
+    return np.concatenate([low_sky, survivors])
+
+
+def _filter_against(
+    arr: np.ndarray, candidates: np.ndarray, blockers: np.ndarray
+) -> np.ndarray:
+    """Candidates not weakly dominated by any blocker."""
+    if candidates.size == 0 or blockers.size == 0:
+        return candidates
+    blocker_pts = arr[blockers]
+    keep = []
+    for position in candidates:
+        p = arr[position]
+        dominated = np.any(
+            np.all(blocker_pts <= p, axis=1) & np.any(blocker_pts < p, axis=1)
+        )
+        if not dominated:
+            keep.append(position)
+    return np.asarray(keep, dtype=np.int64)
+
+
+def _base_case(arr: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    pts = arr[positions]
+    keep = []
+    for i in range(positions.size):
+        dominated = np.any(
+            np.all(pts <= pts[i], axis=1)
+            & np.any(pts < pts[i], axis=1)
+        )
+        if not dominated:
+            keep.append(positions[i])
+    return np.asarray(keep, dtype=np.int64)

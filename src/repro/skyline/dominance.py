@@ -1,0 +1,94 @@
+"""Dominance kernels.
+
+All skylines in this library minimise every dimension; dynamic dominance is
+plain dominance after the ``|c - .|`` transform.  The :class:`DominancePolicy`
+distinguishes the textbook weak relation from the strict (open-window)
+relation the paper's constructions rely on — see DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DominancePolicy
+from repro.geometry.point import as_point, as_points
+from repro.geometry.transform import to_query_space
+
+__all__ = [
+    "dominates",
+    "dominated_mask",
+    "dominating_mask",
+    "dynamically_dominates",
+    "is_dominated_by_any",
+]
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+) -> bool:
+    """True when ``a`` dominates ``b`` (smaller is better).
+
+    ``WEAK``: ``a <= b`` everywhere and ``a < b`` somewhere (Definition 1).
+    ``STRICT``: ``a < b`` everywhere.
+    """
+    pa = as_point(a)
+    pb = as_point(b, dim=pa.size)
+    if policy is DominancePolicy.STRICT:
+        return bool(np.all(pa < pb))
+    return bool(np.all(pa <= pb) and np.any(pa < pb))
+
+
+def dominated_mask(
+    points: np.ndarray,
+    target: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+) -> np.ndarray:
+    """Boolean mask: which rows of ``points`` are dominated by ``target``."""
+    t = as_point(target)
+    arr = as_points(points, dim=t.size)
+    if arr.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if policy is DominancePolicy.STRICT:
+        return np.all(t < arr, axis=1)
+    return np.all(t <= arr, axis=1) & np.any(t < arr, axis=1)
+
+
+def dominating_mask(
+    points: np.ndarray,
+    target: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+) -> np.ndarray:
+    """Boolean mask: which rows of ``points`` dominate ``target``."""
+    t = as_point(target)
+    arr = as_points(points, dim=t.size)
+    if arr.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if policy is DominancePolicy.STRICT:
+        return np.all(arr < t, axis=1)
+    return np.all(arr <= t, axis=1) & np.any(arr < t, axis=1)
+
+
+def is_dominated_by_any(
+    points: np.ndarray,
+    target: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+) -> bool:
+    """True when some row of ``points`` dominates ``target``."""
+    return bool(dominating_mask(points, target, policy).any())
+
+
+def dynamically_dominates(
+    p1: Sequence[float],
+    p2: Sequence[float],
+    origin: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+) -> bool:
+    """True when ``p1`` dynamically dominates ``p2`` w.r.t. ``origin``
+    (Definition 2): dominance after the absolute-distance transform."""
+    t1 = to_query_space(as_point(p1), origin)
+    t2 = to_query_space(as_point(p2), origin)
+    return dominates(t1, t2, policy)

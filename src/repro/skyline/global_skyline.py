@@ -1,0 +1,98 @@
+"""Global-skyline candidate pruning for BBRS (Dellis & Seeger).
+
+A customer ``c`` can only be excluded from ``RSL(q)`` by a product inside
+its window — and a product ``p`` lying in the *same orthant* of ``q`` as
+``c`` whose transformed coordinates ``|q - p|`` are strictly smaller than
+``|q - c|`` in every dimension (and non-zero) is inside the open window of
+``(c, q)`` regardless of where exactly ``c`` sits.  Customers with such a
+blocker can therefore be pruned without running their window query; the
+survivors — the per-orthant "global skyline" — are verified individually.
+
+The strict/non-zero form of the test makes the pruning conservative under
+both dominance policies, so BBRS output always equals the naive oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import as_point, as_points
+from repro.geometry.transform import orthants_of, to_query_space
+from repro.skyline.algorithms import skyline_indices
+
+__all__ = ["global_skyline_candidates"]
+
+
+def global_skyline_candidates(
+    products: np.ndarray,
+    customers: np.ndarray,
+    query: Sequence[float],
+    self_exclude: bool = False,
+) -> np.ndarray:
+    """Positions (into ``customers``) that survive the BBRS pruning.
+
+    Parameters
+    ----------
+    products, customers:
+        ``(n, d)`` matrices; in the monochromatic setting pass the same
+        array twice and set ``self_exclude``.
+    query:
+        The reverse-skyline query point ``q``.
+    self_exclude:
+        When true, a product at the same position index as the customer is
+        not allowed to prune it (the customer is not its own competitor).
+    """
+    q = as_point(query)
+    prods = as_points(products, dim=q.size)
+    custs = as_points(customers, dim=q.size)
+    n_cust = custs.shape[0]
+    if n_cust == 0:
+        return np.empty(0, dtype=np.int64)
+    if prods.shape[0] == 0:
+        return np.arange(n_cust, dtype=np.int64)
+
+    prod_orth = orthants_of(prods, q)
+    cust_orth = orthants_of(custs, q)
+    t_prods = to_query_space(prods, q)
+    t_custs = to_query_space(custs, q)
+
+    survivors: list[np.ndarray] = []
+    for orthant in np.unique(cust_orth):
+        cust_pos = np.flatnonzero(cust_orth == orthant)
+        prod_pos = np.flatnonzero(prod_orth == orthant)
+        if prod_pos.size == 0:
+            survivors.append(cust_pos)
+            continue
+        blockers = t_prods[prod_pos]
+        # Only products strictly off every axis hyperplane of q can prune
+        # under the strict window test.
+        interior = np.all(blockers > 0, axis=1)
+        blockers = blockers[interior]
+        if blockers.shape[0] == 0:
+            survivors.append(cust_pos)
+            continue
+        # Reduce the blockers to their weak-dominance minima first: a point
+        # strictly dominated by any blocker is strictly dominated by some
+        # minimal blocker too (m <= b < c implies m < c component-wise).
+        minimal = blockers[skyline_indices(blockers)]
+        # In the monochromatic setting a customer can never be pruned by
+        # itself: its own transformed coordinates tie in every dimension and
+        # the test below is strict, so ``self_exclude`` needs no extra
+        # filtering here (it documents intended usage at call sites).
+        kept: list[np.ndarray] = []
+        chunk = 2048
+        for start in range(0, cust_pos.size, chunk):
+            block = cust_pos[start:start + chunk]
+            c_t = t_custs[block]  # (b, d)
+            pruned = np.any(
+                np.all(minimal[None, :, :] < c_t[:, None, :], axis=2), axis=1
+            )
+            kept.append(block[~pruned])
+        survivors.append(
+            np.concatenate(kept) if kept else np.empty(0, dtype=np.int64)
+        )
+    if not survivors:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(survivors))

@@ -1,0 +1,81 @@
+"""The Dellis-Seeger window query.
+
+``window_query(c, q)`` retrieves the products that dynamically dominate the
+query ``q`` w.r.t. the customer ``c``; the window is the box centred at
+``c`` with per-dimension extent ``|c - q|`` (Section II).  An empty result
+means ``c`` belongs to ``RSL(q)``; a non-empty result *is* the paper's
+first-aspect explanation ``Λ``.
+
+The dominance policy picks the boundary semantics: under ``WEAK`` a product
+inside the closed window counts unless it ties ``q``'s distance in every
+dimension; under ``STRICT`` only products in the open interior count.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DominancePolicy
+from repro.geometry.point import as_point
+from repro.geometry.transform import to_query_space, window_box
+from repro.index.base import SpatialIndex
+
+__all__ = ["window_query_indices", "lambda_set", "window_is_empty"]
+
+
+def window_query_indices(
+    index: SpatialIndex,
+    center: Sequence[float],
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """Positions of products that dynamically dominate ``query`` w.r.t.
+    ``center`` under ``policy``.
+
+    ``exclude`` removes index positions from the answer (self-exclusion in
+    the monochromatic setting).
+    """
+    c = as_point(center, dim=index.dim)
+    q = as_point(query, dim=index.dim)
+    box = window_box(c, q)
+    hits = index.range_indices(box)
+    if exclude is not None and len(tuple(exclude)):
+        excluded = np.asarray(tuple(exclude), dtype=np.int64)
+        hits = hits[~np.isin(hits, excluded)]
+    if hits.size == 0:
+        return hits
+    radii = np.abs(c - q)
+    dists = to_query_space(index.points[hits], c)
+    if policy is DominancePolicy.STRICT:
+        keep = np.all(dists < radii, axis=1)
+    else:
+        keep = np.all(dists <= radii, axis=1) & np.any(dists < radii, axis=1)
+    return hits[keep]
+
+
+def lambda_set(
+    index: SpatialIndex,
+    why_not: Sequence[float],
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """The paper's ``Λ``: products whose deletion would admit ``why_not``
+    into ``RSL(query)`` (Lemma 1).  Alias of :func:`window_query_indices`
+    with the why-not point as the window centre."""
+    return window_query_indices(index, why_not, query, policy, exclude)
+
+
+def window_is_empty(
+    index: SpatialIndex,
+    center: Sequence[float],
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+    exclude: Sequence[int] = (),
+) -> bool:
+    """True when no product dynamically dominates ``query`` w.r.t.
+    ``center`` — i.e. ``center`` is in the reverse skyline of ``query``."""
+    return window_query_indices(index, center, query, policy, exclude).size == 0

@@ -1,0 +1,26 @@
+"""Dependency-free SVG visualisation of why-not geometry.
+
+Renders the paper's 2-D constructions — windows, dynamic skylines,
+anti-dominance regions, safe regions, and the movement arrows of the
+modification algorithms — as standalone SVG files.  Used by
+``examples/render_paper_figures.py`` to regenerate the geometry of
+Figures 1-13 from the actual library outputs.
+"""
+
+from repro.viz.scene import PlotScene
+from repro.viz.svg import SvgDocument
+from repro.viz.figures import (
+    render_modification_figure,
+    render_safe_region_figure,
+    render_scene_figure,
+    render_window_figure,
+)
+
+__all__ = [
+    "SvgDocument",
+    "PlotScene",
+    "render_window_figure",
+    "render_safe_region_figure",
+    "render_modification_figure",
+    "render_scene_figure",
+]

@@ -1,0 +1,153 @@
+"""Figure builders: the paper's geometric constructions from live data.
+
+Each function takes an engine plus the relevant points and returns a
+finished :class:`PlotScene`; ``examples/render_paper_figures.py`` uses
+them to regenerate the geometry of the paper's Figures 4-13 for the
+worked example (or any other 2-D dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import WhyNotEngine
+from repro.core.safe_region import anti_dominance_region
+from repro.geometry.transform import window_box
+from repro.viz.scene import PALETTE, PlotScene
+
+__all__ = [
+    "render_scene_figure",
+    "render_window_figure",
+    "render_safe_region_figure",
+    "render_modification_figure",
+]
+
+
+def _base_scene(engine: WhyNotEngine, title: str) -> PlotScene:
+    scene = PlotScene(engine.bounds, title=title)
+    scene.add_points(engine.products, label="products")
+    return scene
+
+
+def render_scene_figure(engine: WhyNotEngine, query: Sequence[float]) -> PlotScene:
+    """Products, the query, and its reverse skyline (Fig. 1 style)."""
+    q = np.asarray(query, dtype=np.float64)
+    scene = _base_scene(engine, "Reverse skyline of q")
+    members = engine.reverse_skyline(q)
+    scene.add_points(
+        engine.customers[members],
+        color=PALETTE["member"],
+        radius=4.0,
+        label="RSL(q)",
+    )
+    scene.add_marker(q, label="query q", name="q")
+    return scene
+
+
+def render_window_figure(
+    engine: WhyNotEngine,
+    why_not: "int | Sequence[float]",
+    query: Sequence[float],
+) -> PlotScene:
+    """The Dellis-Seeger window of one customer (Fig. 4 style)."""
+    point, _exclude = engine._resolve_customer(why_not)
+    q = np.asarray(query, dtype=np.float64)
+    scene = _base_scene(engine, "Window query of the why-not point")
+    scene.add_box(window_box(point, q), label="window", dash="6,4")
+    explanation = engine.explain(why_not, q)
+    if explanation.culprits.size:
+        scene.add_points(
+            explanation.culprits,
+            color=PALETTE["window"],
+            radius=4.5,
+            label="culprits (Λ)",
+        )
+    scene.add_marker(point, color=PALETTE["why_not"], label="why-not point",
+                     name="c_t")
+    scene.add_marker(q, label="query q", name="q")
+    return scene
+
+
+def render_safe_region_figure(
+    engine: WhyNotEngine,
+    query: Sequence[float],
+    why_not: "int | Sequence[float] | None" = None,
+    approximate: bool = False,
+    k: int = 10,
+) -> PlotScene:
+    """Safe region of the query, optionally with the why-not point's
+    anti-dominance region overlaid (Figs. 11-12 style)."""
+    q = np.asarray(query, dtype=np.float64)
+    title = "Approximate safe region" if approximate else "Safe region of q"
+    scene = _base_scene(engine, title)
+    safe = engine.safe_region(q, approximate=approximate, k=k)
+    scene.add_region(safe.region, label="SR(q)")
+    if why_not is not None:
+        point, exclude = engine._resolve_customer(why_not)
+        ddr = anti_dominance_region(
+            engine.index, point, engine._geometry_bounds(q), exclude=exclude
+        )
+        scene.add_region(
+            ddr, color=PALETTE["ddr"], label="anti-dominance of c_t",
+            opacity=0.18,
+        )
+        scene.add_marker(point, color=PALETTE["why_not"],
+                         label="why-not point", name="c_t")
+    members = engine.reverse_skyline(q)
+    scene.add_points(
+        engine.customers[members], color=PALETTE["member"], radius=4.0,
+        label="RSL(q)",
+    )
+    scene.add_marker(q, label="query q", name="q")
+    return scene
+
+
+def render_modification_figure(
+    engine: WhyNotEngine,
+    why_not: "int | Sequence[float]",
+    query: Sequence[float],
+    method: str = "mwp",
+) -> PlotScene:
+    """Candidate movements of MWP / MQP / MWQ (Figs. 6-9, 13 style)."""
+    point, _exclude = engine._resolve_customer(why_not)
+    q = np.asarray(query, dtype=np.float64)
+    titles = {
+        "mwp": "Moving the why-not point (Algorithm 1)",
+        "mqp": "Moving the query point (Algorithm 2)",
+        "mwq": "Moving both points (Algorithm 4)",
+    }
+    if method not in titles:
+        raise ValueError(f"unknown method {method!r}; use mwp/mqp/mwq")
+    scene = _base_scene(engine, titles[method])
+    scene.add_box(window_box(point, q), label="window", dash="6,4")
+    scene.add_marker(point, color=PALETTE["why_not"], label="why-not point",
+                     name="c_t")
+    scene.add_marker(q, label="query q", name="q")
+
+    if method == "mwp":
+        result = engine.modify_why_not_point(why_not, q)
+        for cand in result:
+            scene.add_movement(point, cand.point, label="c_t* candidates")
+    elif method == "mqp":
+        result = engine.modify_query_point(why_not, q)
+        for cand in result:
+            scene.add_movement(q, cand.point, label="q* candidates")
+    else:
+        safe = engine.safe_region(q)
+        scene.add_region(safe.region, label="SR(q)")
+        outcome = engine.modify_both(why_not, q)
+        if outcome.case.value == "C1":
+            best = outcome.best_query_candidate()
+            if best is not None:
+                scene.add_movement(q, best.point, label="q* (zero cost)")
+        else:
+            pair = outcome.best_pair()
+            if pair is not None:
+                q_cand, c_cand = pair
+                scene.add_movement(q, q_cand.point, label="q* (in SR)")
+                scene.add_movement(point, c_cand.point,
+                                   color=PALETTE["why_not"],
+                                   label="c_t* movement")
+    return scene

@@ -1,0 +1,234 @@
+"""Data-space plotting scenes on top of the SVG builder.
+
+A :class:`PlotScene` maps a 2-D data universe (a :class:`Box`) to SVG
+pixels (y flipped, margins for axes), and offers the drawing vocabulary
+of the paper's figures: labelled points, window rectangles, box-union
+regions, staircases, and movement arrows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion
+from repro.viz.svg import SvgDocument
+
+__all__ = ["PlotScene", "PALETTE"]
+
+PALETTE = {
+    "point": "#1a1a2e",
+    "query": "#c0392b",
+    "why_not": "#2471a3",
+    "member": "#1e8449",
+    "window": "#8e44ad",
+    "region": "#f1c40f",
+    "safe": "#27ae60",
+    "ddr": "#2980b9",
+    "movement": "#d35400",
+}
+
+
+class PlotScene:
+    """One 2-D figure: a data universe mapped onto an SVG canvas."""
+
+    def __init__(
+        self,
+        bounds: Box,
+        width: int = 520,
+        height: int = 420,
+        margin: int = 46,
+        title: str = "",
+        labels: tuple[str, str] = ("x", "y"),
+    ) -> None:
+        if bounds.dim != 2:
+            raise InvalidParameterError("PlotScene renders 2-D data only")
+        if np.any(bounds.extent <= 0):
+            raise InvalidParameterError("plot bounds must have positive extent")
+        self.bounds = bounds
+        self.margin = margin
+        self.doc = SvgDocument(width, height)
+        self._plot_w = width - 2 * margin
+        self._plot_h = height - 2 * margin
+        self.title = title
+        self.labels = labels
+        self._legend: list[tuple[str, str]] = []
+        self._draw_frame()
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def to_px(self, point: Sequence[float]) -> tuple[float, float]:
+        p = np.asarray(point, dtype=np.float64)
+        rel = (p - self.bounds.lo) / self.bounds.extent
+        x = self.margin + rel[0] * self._plot_w
+        y = self.margin + (1.0 - rel[1]) * self._plot_h
+        return float(x), float(y)
+
+    def _box_px(self, box: Box) -> tuple[float, float, float, float]:
+        x0, y1 = self.to_px(box.lo)
+        x1, y0 = self.to_px(box.hi)
+        return x0, y0, x1 - x0, y1 - y0
+
+    # ------------------------------------------------------------------
+    # Frame / axes
+    # ------------------------------------------------------------------
+    def _draw_frame(self) -> None:
+        doc = self.doc
+        m = self.margin
+        doc.rect(m, m, self._plot_w, self._plot_h, fill="none", stroke="#888")
+        if self.title:
+            doc.text(
+                doc.width / 2, m - 14, self.title, size=13, anchor="middle"
+            )
+        doc.text(
+            doc.width / 2, doc.height - 8, self.labels[0], anchor="middle"
+        )
+        doc.text(12, doc.height / 2, self.labels[1], anchor="middle",
+                 style="writing-mode: tb;")
+        for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = self.bounds.lo + frac * self.bounds.extent
+            x_px = m + frac * self._plot_w
+            y_px = m + (1 - frac) * self._plot_h
+            doc.line(x_px, m + self._plot_h, x_px, m + self._plot_h + 4,
+                     stroke="#888")
+            doc.text(x_px, m + self._plot_h + 16, f"{value[0]:g}",
+                     size=9, anchor="middle")
+            doc.line(m - 4, y_px, m, y_px, stroke="#888")
+            doc.text(m - 6, y_px + 3, f"{value[1]:g}", size=9, anchor="end")
+
+    # ------------------------------------------------------------------
+    # Drawing vocabulary
+    # ------------------------------------------------------------------
+    def add_points(
+        self,
+        points: np.ndarray,
+        color: str = PALETTE["point"],
+        radius: float = 3.0,
+        label: str | None = None,
+        names: Sequence[str] | None = None,
+    ) -> None:
+        arr = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        for i, point in enumerate(arr):
+            x, y = self.to_px(point)
+            self.doc.circle(x, y, radius, fill=color)
+            if names is not None and i < len(names):
+                self.doc.text(x + 5, y - 5, names[i], size=10, fill=color)
+        if label:
+            self._legend.append((label, color))
+
+    def add_marker(
+        self,
+        point: Sequence[float],
+        color: str = PALETTE["query"],
+        label: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        x, y = self.to_px(point)
+        size = 5.0
+        self.doc.line(x - size, y - size, x + size, y + size, stroke=color,
+                      stroke_width=2)
+        self.doc.line(x - size, y + size, x + size, y - size, stroke=color,
+                      stroke_width=2)
+        if name:
+            self.doc.text(x + 6, y - 6, name, size=10, fill=color)
+        if label:
+            self._legend.append((label, color))
+
+    def add_box(
+        self,
+        box: Box,
+        color: str = PALETTE["window"],
+        fill: bool = False,
+        dash: str | None = "5,4",
+        label: str | None = None,
+        opacity: float = 0.25,
+    ) -> None:
+        clipped = box.intersect(self.bounds)
+        if clipped is None:
+            return
+        x, y, w, h = self._box_px(clipped)
+        self.doc.rect(
+            x, y, w, h,
+            fill=color if fill else "none",
+            stroke=color,
+            opacity=opacity if fill else None,
+            dash=dash,
+        )
+        if label:
+            self._legend.append((label, color))
+
+    def add_region(
+        self,
+        region: BoxRegion,
+        color: str = PALETTE["safe"],
+        label: str | None = None,
+        opacity: float = 0.3,
+    ) -> None:
+        for box in region:
+            self.add_box(box, color=color, fill=True, dash=None,
+                         opacity=opacity)
+        if label:
+            self._legend.append((label, color))
+
+    def add_staircase(
+        self,
+        skyline_points: np.ndarray,
+        color: str = PALETTE["member"],
+        label: str | None = None,
+    ) -> None:
+        """The step curve through a (minimising) 2-D skyline."""
+        arr = np.asarray(skyline_points, dtype=np.float64).reshape(-1, 2)
+        if arr.shape[0] == 0:
+            return
+        order = np.argsort(arr[:, 0])
+        arr = arr[order]
+        path = [self.to_px(arr[0])]
+        for prev, curr in zip(arr[:-1], arr[1:]):
+            path.append(self.to_px([curr[0], prev[1]]))
+            path.append(self.to_px(curr))
+        self.doc.polyline(path, stroke=color, stroke_width=1.5)
+        if label:
+            self._legend.append((label, color))
+
+    def add_movement(
+        self,
+        source: Sequence[float],
+        target: Sequence[float],
+        color: str = PALETTE["movement"],
+        label: str | None = None,
+    ) -> None:
+        x1, y1 = self.to_px(source)
+        x2, y2 = self.to_px(target)
+        self.doc.arrow(x1, y1, x2, y2, stroke=color)
+        if label:
+            self._legend.append((label, color))
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        self._draw_legend()
+        return self.doc.render()
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())
+
+    def _draw_legend(self) -> None:
+        if not self._legend:
+            return
+        x = self.margin + 8
+        y = self.margin + 14
+        seen = set()
+        for label, color in self._legend:
+            if label in seen:
+                continue
+            seen.add(label)
+            self.doc.rect(x, y - 8, 10, 10, fill=color, stroke="none",
+                          opacity=0.8)
+            self.doc.text(x + 14, y, label, size=10)
+            y += 15

@@ -1,0 +1,165 @@
+"""A minimal SVG document builder (no third-party dependencies).
+
+Only the primitives the plot scenes need: rectangles, circles, lines,
+polylines, text, dashed strokes, opacity, and groups.  Coordinates are
+already in SVG pixel space by the time they reach this layer; the
+data-space mapping lives in :mod:`repro.viz.scene`.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SvgDocument"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    text = f"{value:.3f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+class SvgDocument:
+    """An append-only SVG document.
+
+    >>> doc = SvgDocument(100, 80)
+    >>> doc.rect(10, 10, 30, 20, fill="#eee", stroke="black")
+    >>> svg = doc.render()
+    >>> svg.startswith("<?xml") and "</svg>" in svg
+    True
+    """
+
+    def __init__(self, width: float, height: float, background: str | None = "white") -> None:
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def _attrs(self, **attrs: "str | float | None") -> str:
+        parts = []
+        for key, value in attrs.items():
+            if value is None:
+                continue
+            name = key.replace("_", "-")
+            if isinstance(value, (int, float)):
+                parts.append(f"{name}={quoteattr(_fmt(float(value)))}")
+            else:
+                parts.append(f"{name}={quoteattr(str(value))}")
+        return " ".join(parts)
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float | None = None,
+        dash: str | None = None,
+    ) -> None:
+        self._elements.append(
+            f"<rect {self._attrs(x=x, y=y, width=max(width, 0.0), height=max(height, 0.0), fill=fill, stroke=stroke, stroke_width=stroke_width, fill_opacity=opacity, stroke_dasharray=dash)} />"
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "black",
+        stroke: str = "none",
+        stroke_width: float = 1.0,
+        opacity: float | None = None,
+    ) -> None:
+        self._elements.append(
+            f"<circle {self._attrs(cx=cx, cy=cy, r=r, fill=fill, stroke=stroke, stroke_width=stroke_width, fill_opacity=opacity)} />"
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+        marker_end: str | None = None,
+    ) -> None:
+        self._elements.append(
+            f"<line {self._attrs(x1=x1, y1=y1, x2=x2, y2=y2, stroke=stroke, stroke_width=stroke_width, stroke_dasharray=dash, marker_end=marker_end)} />"
+        )
+
+    def polyline(
+        self,
+        points: "list[tuple[float, float]]",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        path = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f"<polyline {self._attrs(points=path, fill='none', stroke=stroke, stroke_width=stroke_width, stroke_dasharray=dash)} />"
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 11.0,
+        fill: str = "black",
+        anchor: str = "start",
+        style: str | None = None,
+    ) -> None:
+        self._elements.append(
+            f"<text {self._attrs(x=x, y=y, font_size=size, fill=fill, text_anchor=anchor, style=style, font_family='sans-serif')}>{escape(content)}</text>"
+        )
+
+    def arrow(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.2,
+    ) -> None:
+        """A line with a small triangular head drawn manually (no defs)."""
+        self.line(x1, y1, x2, y2, stroke=stroke, stroke_width=stroke_width)
+        # Head: two short segments rotated ±25° from the reverse direction.
+        import math
+
+        angle = math.atan2(y2 - y1, x2 - x1)
+        head = 7.0
+        for offset in (math.radians(155), math.radians(-155)):
+            self.line(
+                x2,
+                y2,
+                x2 + head * math.cos(angle + offset),
+                y2 + head * math.sin(angle + offset),
+                stroke=stroke,
+                stroke_width=stroke_width,
+            )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(self.width)}" '
+            f'height="{_fmt(self.height)}" viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())

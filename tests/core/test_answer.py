@@ -1,0 +1,134 @@
+"""Tests for the result dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.answer import (
+    Candidate,
+    Explanation,
+    ModificationResult,
+    MWQCase,
+    MWQResult,
+)
+
+
+class TestCandidate:
+    def test_point_frozen(self):
+        cand = Candidate(np.array([1.0, 2.0]), cost=0.5)
+        with pytest.raises(ValueError):
+            cand.point[0] = 9.0
+
+    def test_with_cost_and_verified(self):
+        cand = Candidate(np.array([1.0, 2.0]))
+        updated = cand.with_cost(0.25).with_verified(True)
+        assert updated.cost == 0.25
+        assert updated.verified is True
+        assert np.isnan(cand.cost)  # Original unchanged.
+
+    def test_repr(self):
+        cand = Candidate(np.array([1.0, 2.0]), cost=0.5, verified=True)
+        text = repr(cand)
+        assert "0.5" in text and "True" in text
+        assert "n/a" in repr(Candidate(np.array([1.0])))
+
+
+class TestModificationResult:
+    def make(self, costs, verified=None):
+        result = ModificationResult(
+            method="MWP",
+            why_not=np.zeros(2),
+            query=np.ones(2),
+            lambda_positions=np.array([0]),
+        )
+        for i, cost in enumerate(costs):
+            flag = verified[i] if verified else None
+            result.candidates.append(Candidate(np.zeros(2), cost, flag))
+        return result
+
+    def test_best_is_cheapest(self):
+        result = self.make([0.5, 0.2, 0.9])
+        assert result.best().cost == 0.2
+
+    def test_best_prefers_verified(self):
+        result = self.make([0.1, 0.2], verified=[False, True])
+        assert result.best().cost == 0.2
+
+    def test_best_falls_back_when_all_unverified(self):
+        result = self.make([0.3, 0.1], verified=[False, False])
+        assert result.best().cost == 0.1
+
+    def test_best_none_when_empty(self):
+        result = ModificationResult(
+            method="MWP", why_not=np.zeros(2), query=np.ones(2),
+            lambda_positions=np.array([0]),
+        )
+        assert result.best() is None
+
+    def test_noop_detection(self):
+        result = ModificationResult(
+            method="MWP", why_not=np.zeros(2), query=np.ones(2)
+        )
+        assert result.is_noop
+
+    def test_iteration_and_len(self):
+        result = self.make([0.1, 0.2])
+        assert len(result) == 2
+        assert [c.cost for c in result] == [0.1, 0.2]
+
+
+class TestMWQResult:
+    def test_overlap_cost_zero(self):
+        result = MWQResult(
+            case=MWQCase.OVERLAP, why_not=np.zeros(2), query=np.ones(2),
+            query_candidates=[Candidate(np.ones(2), cost=0.0)],
+        )
+        assert result.cost == 0.0
+
+    def test_disjoint_cost_from_best_pair(self):
+        pairs = [
+            (Candidate(np.ones(2), 0.0), Candidate(np.zeros(2), 0.4)),
+            (Candidate(np.ones(2), 0.0), Candidate(np.zeros(2), 0.2)),
+        ]
+        result = MWQResult(
+            case=MWQCase.DISJOINT, why_not=np.zeros(2), query=np.ones(2),
+            pairs=pairs,
+        )
+        assert result.cost == 0.2
+        assert result.best_pair()[1].cost == 0.2
+
+    def test_disjoint_empty_pairs_nan(self):
+        result = MWQResult(
+            case=MWQCase.DISJOINT, why_not=np.zeros(2), query=np.ones(2)
+        )
+        assert np.isnan(result.cost)
+
+    def test_best_query_candidate_by_cost(self):
+        result = MWQResult(
+            case=MWQCase.OVERLAP, why_not=np.zeros(2), query=np.ones(2),
+            query_candidates=[
+                Candidate(np.ones(2), 0.3),
+                Candidate(np.zeros(2), 0.1),
+            ],
+        )
+        assert result.best_query_candidate().cost == 0.1
+
+
+class TestExplanation:
+    def test_member_description(self):
+        exp = Explanation(
+            why_not=np.zeros(2), query=np.ones(2),
+            culprit_positions=np.empty(0, dtype=np.int64),
+            culprits=np.empty((0, 2)),
+        )
+        assert exp.is_member
+        assert "already" in exp.describe()
+
+    def test_nonmember_lists_culprits(self):
+        exp = Explanation(
+            why_not=np.zeros(2), query=np.ones(2),
+            culprit_positions=np.array([3]),
+            culprits=np.array([[7.5, 42.0]]),
+        )
+        assert not exp.is_member
+        assert "7.5" in exp.describe()
+        assert "Lemma 1" in exp.describe()

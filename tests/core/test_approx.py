@@ -1,0 +1,151 @@
+"""Tests for the approximate DSL store and approximate safe region."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import (
+    ApproximateDSLStore,
+    approximate_anti_dominance_region,
+    sample_dsl_thresholds,
+)
+from repro.core.safe_region import anti_dominance_region, compute_safe_region
+from repro.exceptions import InvalidParameterError
+from repro.geometry.box import Box
+from repro.index.scan import ScanIndex
+from repro.skyline.reverse import reverse_skyline_naive
+
+UNIT = Box([0.0, 0.0], [1.0, 1.0])
+
+
+class TestSampling:
+    def test_keeps_first_and_last(self):
+        thresholds = np.array([[i / 10, 1 - i / 10] for i in range(10)])
+        sampled, minima = sample_dsl_thresholds(thresholds, k=3, sort_dim=0)
+        assert any(np.allclose(row, [0.0, 1.0]) for row in sampled)
+        assert any(np.allclose(row, [0.9, 0.1]) for row in sampled)
+
+    def test_sample_size_bounded(self):
+        thresholds = np.random.default_rng(0).uniform(0, 1, size=(100, 2))
+        sampled, _ = sample_dsl_thresholds(thresholds, k=10, sort_dim=0)
+        assert sampled.shape[0] <= 12  # k picks + forced endpoints.
+
+    def test_k_larger_than_m_keeps_all(self):
+        thresholds = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+        sampled, _ = sample_dsl_thresholds(thresholds, k=50, sort_dim=0)
+        assert sampled.shape[0] == 3
+
+    def test_minima_exact(self):
+        thresholds = np.array([[0.3, 0.9], [0.5, 0.2], [0.9, 0.4]])
+        _, minima = sample_dsl_thresholds(thresholds, k=1, sort_dim=0)
+        assert minima.tolist() == [0.3, 0.2]
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            sample_dsl_thresholds(np.empty((0, 2)), k=0, sort_dim=0)
+
+    def test_empty_dsl(self):
+        sampled, minima = sample_dsl_thresholds(np.empty((0, 2)), k=5, sort_dim=0)
+        assert sampled.shape[0] == 0
+
+
+class TestApproximateRegion:
+    def test_subset_of_exact(self):
+        """Fig. 16: the approximate region misses area but never exceeds
+        the exact anti-dominance region."""
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            pts = rng.uniform(0, 1, size=(40, 2))
+            origin = rng.uniform(0.2, 0.8, size=2)
+            idx = ScanIndex(pts)
+            exact = anti_dominance_region(idx, origin, UNIT)
+            store = ApproximateDSLStore(idx, pts, k=3)
+            # Region for an external origin: build through the raw helper.
+            from repro.geometry.transform import to_query_space
+            from repro.skyline.dynamic import dynamic_skyline_indices
+
+            dsl = dynamic_skyline_indices(pts, origin)
+            thresholds = to_query_space(pts[dsl], origin)
+            sampled, minima = sample_dsl_thresholds(thresholds, 3, 0)
+            approx = approximate_anti_dominance_region(
+                origin, sampled, minima, UNIT
+            )
+            assert approx.measure() <= exact.measure() + 1e-9
+            for z in approx.sample_points(rng, 30):
+                assert exact.contains_point(z), (origin, z)
+
+    def test_larger_k_never_smaller_area(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, size=(200, 2))
+        idx = ScanIndex(pts)
+        origin_pos = 0
+        small = ApproximateDSLStore(idx, pts, k=2, self_exclude=True)
+        large = ApproximateDSLStore(idx, pts, k=20, self_exclude=True)
+        a_small = small.region(origin_pos, UNIT).measure()
+        a_large = large.region(origin_pos, UNIT).measure()
+        assert a_large >= a_small - 1e-9
+
+
+class TestApproximateSafeRegion:
+    def make_case(self, seed, n=40):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, size=(n, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        idx = ScanIndex(pts)
+        rsl = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+        return idx, pts, q, rsl
+
+    def test_subset_of_exact_safe_region(self):
+        for seed in range(8):
+            idx, pts, q, rsl = self.make_case(seed)
+            exact = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+            store = ApproximateDSLStore(idx, pts, k=4, self_exclude=True)
+            approx = store.safe_region(q, rsl, UNIT)
+            assert approx.approximate
+            assert approx.area() <= exact.area() + 1e-9
+
+    def test_contains_query(self):
+        for seed in range(8):
+            idx, pts, q, rsl = self.make_case(seed)
+            store = ApproximateDSLStore(idx, pts, k=4, self_exclude=True)
+            approx = store.safe_region(q, rsl, UNIT)
+            assert approx.contains(q)
+
+    def test_lemma2_still_holds(self):
+        """The approximation is conservative: no member is ever lost."""
+        from repro.core._verify import verify_membership
+
+        rng = np.random.default_rng(3)
+        for seed in range(6):
+            idx, pts, q, rsl = self.make_case(seed)
+            store = ApproximateDSLStore(idx, pts, k=3, self_exclude=True)
+            approx = store.safe_region(q, rsl, UNIT)
+            if approx.region.is_empty():
+                continue
+            for q_star in approx.region.sample_points(rng, 20):
+                for member in rsl.tolist():
+                    assert verify_membership(
+                        idx, pts[member], q_star, exclude=(member,)
+                    )
+
+
+class TestStore:
+    def test_lazy_then_cached(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 1, size=(50, 2))
+        store = ApproximateDSLStore(ScanIndex(pts), pts, k=5, self_exclude=True)
+        assert len(store) == 0
+        entry1 = store.entry(3)
+        assert len(store) == 1
+        assert store.entry(3) is entry1
+
+    def test_precompute_all(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 1, size=(20, 2))
+        store = ApproximateDSLStore(ScanIndex(pts), pts, k=5, self_exclude=True)
+        store.precompute()
+        assert len(store) == 20
+
+    def test_invalid_k_rejected(self):
+        pts = np.array([[0.5, 0.5]])
+        with pytest.raises(InvalidParameterError):
+            ApproximateDSLStore(ScanIndex(pts), pts, k=0)

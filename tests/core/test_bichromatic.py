@@ -1,0 +1,103 @@
+"""End-to-end tests of the bichromatic setting (distinct P and C).
+
+The library API supports separate product and customer sets even though
+the paper's experiments are monochromatic; these tests pin the whole
+pipeline in that mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro import WhyNotEngine
+from repro.core.answer import MWQCase
+from repro.data.paperdata import paper_points, paper_query
+
+
+@pytest.fixture()
+def split_engine():
+    """The paper's Section-II split: products pt2-pt8, customer c1=pt1."""
+    pts = paper_points()
+    return WhyNotEngine(pts[1:], customers=pts[:1], backend="scan")
+
+
+class TestPaperSplit:
+    def test_c1_not_member(self, split_engine):
+        assert split_engine.reverse_skyline(paper_query()).size == 0
+        assert not split_engine.is_member(0, paper_query())
+
+    def test_explanation_is_p2(self, split_engine):
+        exp = split_engine.explain(0, paper_query())
+        # p2 is now product position 0 of the split product matrix.
+        assert exp.culprits.tolist() == [[7.5, 42.0]]
+
+    def test_mwp_matches_monochromatic(self, split_engine):
+        """Self-exclusion made the monochromatic run equivalent to this
+        explicit split, so the answers must coincide."""
+        result = split_engine.modify_why_not_point(0, paper_query())
+        points = {tuple(c.point) for c in result}
+        assert points == {(5.0, 48.5), (8.0, 30.0)}
+
+    def test_mqp_matches_monochromatic(self, split_engine):
+        result = split_engine.modify_query_point(0, paper_query())
+        points = {tuple(c.point) for c in result}
+        assert points == {(8.5, 42.0), (7.5, 55.0)}
+
+    def test_empty_rsl_gives_universe_safe_region(self, split_engine):
+        sr = split_engine.safe_region(paper_query())
+        assert sr.rsl_positions.size == 0
+        # Nobody to lose: the whole universe is safe, so MWQ is free.
+        result = split_engine.modify_both(0, paper_query())
+        assert result.case is MWQCase.OVERLAP
+        assert result.cost == 0.0
+
+
+class TestRandomBichromatic:
+    def make(self, seed, n_prod=60, n_cust=25):
+        rng = np.random.default_rng(seed)
+        prods = rng.uniform(0, 1, size=(n_prod, 2))
+        custs = rng.uniform(0, 1, size=(n_cust, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        return WhyNotEngine(prods, customers=custs, backend="scan"), q
+
+    def test_rsl_against_definition(self):
+        for seed in range(10):
+            engine, q = self.make(seed)
+            members = set(engine.reverse_skyline(q).tolist())
+            for j in range(engine.customers.shape[0]):
+                assert (j in members) == engine.is_member(j, q)
+
+    def test_mwp_verified(self):
+        checked = 0
+        for seed in range(10):
+            engine, q = self.make(seed)
+            members = set(engine.reverse_skyline(q).tolist())
+            for j in range(engine.customers.shape[0]):
+                if j in members:
+                    continue
+                result = engine.modify_why_not_point(j, q)
+                if result.is_noop:
+                    continue
+                assert all(c.verified for c in result.candidates)
+                checked += 1
+                break
+        assert checked >= 5
+
+    def test_safe_region_lemma2(self):
+        rng = np.random.default_rng(99)
+        for seed in range(6):
+            engine, q = self.make(seed)
+            sr = engine.safe_region(q)
+            if sr.region.is_empty():
+                continue
+            for q_star in sr.region.sample_points(rng, 15):
+                assert engine.lost_customers(q, q_star).size == 0, (seed, q_star)
+
+    def test_customers_never_pollute_products(self):
+        """A customer point must not appear as a window culprit."""
+        engine, q = self.make(3)
+        for j in range(engine.customers.shape[0]):
+            exp = engine.explain(j, q)
+            for culprit in exp.culprits:
+                assert any(
+                    np.array_equal(culprit, p) for p in engine.products
+                )

@@ -1,0 +1,269 @@
+"""Tests for the WhyNotEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro import WhyNotEngine
+from repro.config import CostWeights, WhyNotConfig
+from repro.data.paperdata import paper_points, paper_query
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.box import Box
+
+
+class TestConstruction:
+    def test_monochromatic_default(self):
+        engine = WhyNotEngine(paper_points())
+        assert engine.monochromatic
+        assert engine.customers is engine.products
+
+    def test_bichromatic(self):
+        pts = paper_points()
+        engine = WhyNotEngine(pts[1:], customers=pts[:1])
+        assert not engine.monochromatic
+        assert engine.customers.shape == (1, 2)
+
+    def test_empty_products_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            WhyNotEngine(np.empty((0, 2)))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WhyNotEngine(paper_points(), backend="btree")
+
+    def test_bounds_derived_from_data(self):
+        engine = WhyNotEngine(paper_points())
+        assert engine.bounds.lo.tolist() == [2.5, 20.0]
+        assert engine.bounds.hi.tolist() == [26.0, 90.0]
+
+    def test_weights_resolved(self):
+        engine = WhyNotEngine(
+            paper_points(), weights=CostWeights(alpha=(0.7, 0.3))
+        )
+        assert engine.alpha == (0.7, 0.3)
+        assert engine.beta == (0.5, 0.5)
+
+
+class TestAddressing:
+    def test_position_gets_self_exclusion(self):
+        engine = WhyNotEngine(paper_points())
+        point, exclude = engine._resolve_customer(0)
+        assert point.tolist() == [5.0, 30.0]
+        assert exclude == (0,)
+
+    def test_raw_point_no_exclusion(self):
+        engine = WhyNotEngine(paper_points())
+        point, exclude = engine._resolve_customer([5.0, 30.0])
+        assert exclude == ()
+
+    def test_out_of_range_position(self):
+        engine = WhyNotEngine(paper_points())
+        with pytest.raises(InvalidParameterError):
+            engine._resolve_customer(99)
+
+    def test_bichromatic_position_no_exclusion(self):
+        pts = paper_points()
+        engine = WhyNotEngine(pts[1:], customers=pts[:1])
+        _point, exclude = engine._resolve_customer(0)
+        assert exclude == ()
+
+
+class TestBackendsAgree:
+    def test_rsl_and_methods_identical(self, paper_q):
+        scan = WhyNotEngine(paper_points(), backend="scan")
+        rtree = WhyNotEngine(paper_points(), backend="rtree")
+        assert np.array_equal(
+            scan.reverse_skyline(paper_q), rtree.reverse_skyline(paper_q)
+        )
+        s_mwp = {tuple(c.point) for c in scan.modify_why_not_point(0, paper_q)}
+        r_mwp = {tuple(c.point) for c in rtree.modify_why_not_point(0, paper_q)}
+        assert s_mwp == r_mwp
+
+    def test_random_data_agreement(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, size=(120, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        scan = WhyNotEngine(pts, backend="scan")
+        rtree = WhyNotEngine(pts, backend="rtree")
+        assert np.array_equal(scan.reverse_skyline(q), rtree.reverse_skyline(q))
+
+
+class TestCaching:
+    def test_rsl_cached(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        first = engine.reverse_skyline(paper_q)
+        second = engine.reverse_skyline(paper_q)
+        assert first is second
+
+    def test_safe_region_cached(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        assert engine.safe_region(paper_q) is engine.safe_region(paper_q)
+
+    def test_approx_store_cached_per_k(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        assert engine.approx_store(5) is engine.approx_store(5)
+        assert engine.approx_store(5) is not engine.approx_store(7)
+
+
+class TestQueryOutsideBounds:
+    def test_geometry_bounds_expand(self):
+        engine = WhyNotEngine(paper_points())
+        q = np.array([100.0, 100.0])
+        expanded = engine._geometry_bounds(q)
+        assert expanded.contains_point(q)
+        # Safe region still works for remote queries.
+        sr = engine.safe_region(q)
+        assert sr.contains(q)
+
+
+class TestCostHelpers:
+    def test_movement_costs(self, paper_q):
+        engine = WhyNotEngine(paper_points())
+        assert engine.why_not_movement_cost([5, 30], [5, 30]) == 0.0
+        assert engine.query_movement_cost(paper_q, paper_q) == 0.0
+        cost = engine.why_not_movement_cost([5.0, 30.0], [8.0, 30.0])
+        # Price range 2.5..26 -> 3/23.5 * 0.5.
+        assert cost == pytest.approx(0.5 * 3.0 / 23.5)
+
+    def test_mqp_total_cost_zero_inside_safe_region(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        sr = engine.safe_region(paper_q)
+        inside = sr.region.boxes[0].center
+        assert engine.mqp_total_cost(paper_q, inside) == pytest.approx(0.0)
+
+    def test_mqp_total_cost_counts_lost_members(self, paper_q):
+        """Moving q far away loses customers; the penalty must be
+        positive and at least the escape distance."""
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        far = np.array([25.0, 25.0])
+        escape = engine.query_movement_cost(
+            engine.safe_region(paper_q).region.nearest_point_to(far), far
+        )
+        total = engine.mqp_total_cost(paper_q, far)
+        assert total >= escape - 1e-12
+        assert total > 0
+
+    def test_mwq_cost_matches_result(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        result = engine.modify_both(0, paper_q)
+        assert result.cost == 0.0  # Known overlap case.
+
+
+class TestApproximatePath:
+    def test_approx_mwq_runs(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        result = engine.modify_both(0, paper_q, approximate=True, k=3)
+        assert result.case is not None
+
+    def test_approx_sr_subset(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        exact = engine.safe_region(paper_q)
+        approx = engine.safe_region(paper_q, approximate=True, k=3)
+        assert approx.area() <= exact.area() + 1e-9
+
+
+class TestLostCustomers:
+    def test_safe_move_loses_nobody(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        sr = engine.safe_region(paper_q)
+        inside = sr.region.boxes[0].center
+        assert engine.lost_customers(paper_q, inside).size == 0
+
+    def test_far_move_loses_members(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        lost = engine.lost_customers(paper_q, np.array([25.0, 25.0]))
+        assert lost.size > 0
+        members = set(engine.reverse_skyline(paper_q).tolist())
+        assert set(lost.tolist()) <= members
+
+    def test_identity_move_loses_nobody(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        assert engine.lost_customers(paper_q, paper_q).size == 0
+
+    def test_consistent_with_membership(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        q_star = np.array([12.0, 60.0])
+        lost = set(engine.lost_customers(paper_q, q_star).tolist())
+        for member in engine.reverse_skyline(paper_q).tolist():
+            assert (member in lost) == (not engine.is_member(member, q_star))
+
+
+class TestRestrictedSafeRegion:
+    def test_restriction_is_subset(self, paper_q):
+        from repro.geometry.box import Box
+
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        sr = engine.safe_region(paper_q)
+        limits = Box([8.0, 50.0], [9.5, 60.0])
+        clipped = sr.restricted(limits)
+        assert clipped.area() <= sr.area() + 1e-12
+        for box in clipped.region:
+            assert limits.contains_box(box)
+
+    def test_restriction_still_safe(self, paper_q):
+        """Lemma 2 survives truncation: every point of the clipped region
+        keeps all members (Section V.B)."""
+        from repro.geometry.box import Box
+
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        sr = engine.safe_region(paper_q)
+        clipped = sr.restricted(Box([8.0, 50.0], [9.5, 60.0]))
+        if clipped.region.is_empty():
+            pytest.skip("limits excluded the whole region")
+        rng = np.random.default_rng(0)
+        for q_star in clipped.region.sample_points(rng, 25):
+            assert engine.lost_customers(paper_q, q_star).size == 0
+
+    def test_empty_restriction(self, paper_q):
+        from repro.geometry.box import Box
+
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        sr = engine.safe_region(paper_q)
+        clipped = sr.restricted(Box([0.0, 0.0], [1.0, 1.0]))
+        assert clipped.region.is_empty()
+        assert clipped.is_degenerate()
+
+
+class TestWithoutProducts:
+    def test_lemma1_deleting_culprits_admits(self, paper_q):
+        """Lemma 1 at the engine level: remove the Λ culprits and the
+        why-not point joins the reverse skyline."""
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        culprits = engine.explain(0, paper_q).culprit_positions
+        reduced, mapping = engine.without_products(culprits.tolist())
+        assert reduced.is_member(int(mapping[0]), paper_q)
+
+    def test_mapping_shape(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        reduced, mapping = engine.without_products([1, 3])
+        assert reduced.products.shape == (6, 2)
+        assert mapping[1] == -1 and mapping[3] == -1
+        assert mapping[0] == 0 and mapping[2] == 1
+
+    def test_monochromatic_preserved(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        reduced, _ = engine.without_products([1])
+        assert reduced.monochromatic
+
+    def test_bichromatic_customers_kept(self, paper_q):
+        pts = paper_points()
+        engine = WhyNotEngine(pts[1:], customers=pts[:1], backend="scan")
+        reduced, _ = engine.without_products([0])
+        assert not reduced.monochromatic
+        assert reduced.customers.shape == (1, 2)
+        assert reduced.products.shape == (6, 2)
+
+    def test_cannot_delete_everything(self):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        with pytest.raises(EmptyDatasetError):
+            engine.without_products(range(8))
+
+    def test_out_of_range_rejected(self):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        with pytest.raises(InvalidParameterError):
+            engine.without_products([99])
+
+    def test_bounds_and_weights_inherited(self, paper_q):
+        engine = WhyNotEngine(paper_points(), backend="scan")
+        reduced, _ = engine.without_products([5])
+        assert reduced.bounds == engine.bounds
+        assert reduced.alpha == engine.alpha

@@ -1,0 +1,62 @@
+"""Tests for the aspect-1 explanation."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.core.explain import explain_why_not
+from repro.data.paperdata import paper_points, paper_query
+from repro.index.scan import ScanIndex
+
+
+class TestExplain:
+    def test_paper_culprit(self):
+        idx = ScanIndex(paper_points())
+        exp = explain_why_not(idx, paper_points()[0], paper_query(), exclude=(0,))
+        assert exp.culprit_positions.tolist() == [1]
+        assert exp.culprits.shape == (1, 2)
+
+    def test_member_empty(self):
+        idx = ScanIndex(paper_points())
+        exp = explain_why_not(idx, paper_points()[1], paper_query(), exclude=(1,))
+        assert exp.is_member
+        assert exp.culprits.shape == (0, 2)
+
+    def test_lemma1_deleting_culprits_admits(self):
+        """Lemma 1: removing Λ from P puts the why-not point in RSL(q)."""
+        rng = np.random.default_rng(0)
+        checked = 0
+        for _ in range(50):
+            pts = rng.uniform(0, 1, size=(25, 2))
+            q = rng.uniform(0.3, 0.7, size=2)
+            c = rng.uniform(0, 1, size=2)
+            idx = ScanIndex(pts)
+            exp = explain_why_not(idx, c, q, policy=DominancePolicy.WEAK)
+            if exp.is_member:
+                continue
+            survivors = np.delete(pts, exp.culprit_positions, axis=0)
+            reduced = ScanIndex(survivors)
+            after = explain_why_not(reduced, c, q, policy=DominancePolicy.WEAK)
+            assert after.is_member, (c, q)
+            checked += 1
+        assert checked > 20
+
+    def test_policy_affects_boundary(self):
+        pts = np.array([[0.5, 1.0]])  # Ties the window in y.
+        idx = ScanIndex(pts)
+        c, q = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        weak = explain_why_not(idx, c, q, policy=DominancePolicy.WEAK)
+        strict = explain_why_not(idx, c, q, policy=DominancePolicy.STRICT)
+        assert not weak.is_member
+        assert strict.is_member
+
+    def test_culprits_are_window_members(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(40, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        c = rng.uniform(0, 1, size=2)
+        idx = ScanIndex(pts)
+        exp = explain_why_not(idx, c, q)
+        radii = np.abs(c - q)
+        for culprit in exp.culprits:
+            assert np.all(np.abs(culprit - c) <= radii)

@@ -1,0 +1,156 @@
+"""Tests for Algorithm 4 (modify query and why-not point)."""
+
+import numpy as np
+import pytest
+
+from repro.config import WhyNotConfig
+from repro.core.answer import MWQCase
+from repro.core.mwq import modify_query_and_why_not_point
+from repro.core.safe_region import SafeRegion, compute_safe_region
+from repro.core._verify import verify_membership
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion
+from repro.index.scan import ScanIndex
+from repro.skyline.reverse import reverse_skyline_naive
+
+UNIT = Box([0.0, 0.0], [1.0, 1.0])
+
+
+def make_case(seed, n=30):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 1, size=(n, 2))
+    q = rng.uniform(0.25, 0.75, size=2)
+    idx = ScanIndex(pts)
+    rsl = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+    sr = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+    return idx, pts, q, rsl, sr
+
+
+def pick_why_not(idx, pts, q, rsl, rng):
+    members = set(rsl.tolist())
+    for _ in range(100):
+        j = int(rng.integers(0, len(pts)))
+        if j in members:
+            continue
+        if not verify_membership(idx, pts[j], q, exclude=(j,)):
+            return j
+    return None
+
+
+class TestCaseAnalysis:
+    def test_cases_consistent_over_random_inputs(self):
+        """C1 answers have zero cost and verified query candidates; C2
+        answers pair a safe-region corner with a verified why-not move."""
+        rng = np.random.default_rng(0)
+        seen = {MWQCase.OVERLAP: 0, MWQCase.DISJOINT: 0}
+        for seed in range(25):
+            idx, pts, q, rsl, sr = make_case(seed)
+            why_not = pick_why_not(idx, pts, q, rsl, rng)
+            if why_not is None:
+                continue
+            result = modify_query_and_why_not_point(
+                idx, pts[why_not], q, sr, UNIT, exclude=(why_not,)
+            )
+            if result.case is MWQCase.OVERLAP:
+                seen[MWQCase.OVERLAP] += 1
+                assert result.cost == 0.0
+                best = result.best_query_candidate()
+                assert best is not None and best.verified
+                # The relocated query keeps every member.
+                for member in rsl.tolist():
+                    assert verify_membership(
+                        idx, pts[member], best.point, exclude=(member,)
+                    )
+            elif result.case is MWQCase.DISJOINT:
+                seen[MWQCase.DISJOINT] += 1
+                assert result.pairs
+                q_cand, c_cand = result.best_pair()
+                assert sr.contains(q_cand.point)
+                assert c_cand.verified
+                assert result.cost >= 0.0
+        assert seen[MWQCase.OVERLAP] > 0  # Both branches must be exercised
+        assert seen[MWQCase.DISJOINT] > 0  # by the seed range.
+
+    def test_member_short_circuit(self):
+        idx, pts, q, rsl, sr = make_case(1)
+        if rsl.size == 0:
+            pytest.skip("no members")
+        member = int(rsl[0])
+        result = modify_query_and_why_not_point(
+            idx, pts[member], q, sr, UNIT, exclude=(member,)
+        )
+        assert result.case is MWQCase.ALREADY_MEMBER
+        assert result.cost == 0.0
+
+
+class TestDegenerateSafeRegion:
+    def test_point_region_reduces_to_mwp(self):
+        """When SR = {q}, Algorithm 4 degenerates to Algorithm 1 (the
+        paper's observation about the last rows of Table III)."""
+        from repro.core.mwp import modify_why_not_point
+
+        rng = np.random.default_rng(2)
+        idx, pts, q, rsl, _sr = make_case(2)
+        why_not = pick_why_not(idx, pts, q, rsl, rng)
+        if why_not is None:
+            pytest.skip("no why-not point found")
+        degenerate = SafeRegion(
+            query=q, region=BoxRegion([Box(q, q)]), rsl_positions=rsl
+        )
+        result = modify_query_and_why_not_point(
+            idx, pts[why_not], q, degenerate, UNIT, exclude=(why_not,)
+        )
+        assert result.case is MWQCase.DISJOINT
+        mwp = modify_why_not_point(idx, pts[why_not], q, exclude=(why_not,))
+        best_pair = result.best_pair()
+        assert np.allclose(best_pair[0].point, q)
+        mwq_points = {tuple(p[1].point) for p in result.pairs}
+        mwp_points = {tuple(c.point) for c in mwp.candidates}
+        assert mwq_points == mwp_points
+
+    def test_mwq_never_worse_than_mwp(self):
+        """With q always among the corner candidates, the best C2 pair
+        costs at most the best MWP move."""
+        from repro.core.mwp import modify_why_not_point
+
+        rng = np.random.default_rng(3)
+        compared = 0
+        for seed in range(20):
+            idx, pts, q, rsl, sr = make_case(seed)
+            why_not = pick_why_not(idx, pts, q, rsl, rng)
+            if why_not is None:
+                continue
+            weights = [0.5, 0.5]
+            result = modify_query_and_why_not_point(
+                idx, pts[why_not], q, sr, UNIT,
+                weights=weights, exclude=(why_not,),
+            )
+            mwp_best = modify_why_not_point(
+                idx, pts[why_not], q, weights=weights, exclude=(why_not,)
+            ).best()
+            if result.case is MWQCase.OVERLAP:
+                assert 0.0 <= mwp_best.cost + 1e-12
+            else:
+                assert result.cost <= mwp_best.cost + 1e-9
+            compared += 1
+        assert compared > 5
+
+
+class TestPrecomputedDDR:
+    def test_ddr_shortcut_equivalent(self):
+        from repro.core.safe_region import anti_dominance_region
+
+        rng = np.random.default_rng(4)
+        idx, pts, q, rsl, sr = make_case(5)
+        why_not = pick_why_not(idx, pts, q, rsl, rng)
+        if why_not is None:
+            pytest.skip("no why-not point")
+        ddr = anti_dominance_region(idx, pts[why_not], UNIT, exclude=(why_not,))
+        direct = modify_query_and_why_not_point(
+            idx, pts[why_not], q, sr, UNIT, exclude=(why_not,)
+        )
+        shortcut = modify_query_and_why_not_point(
+            idx, pts[why_not], q, sr, UNIT, exclude=(why_not,), ddr_why_not=ddr
+        )
+        assert direct.case == shortcut.case
+        assert direct.cost == pytest.approx(shortcut.cost)

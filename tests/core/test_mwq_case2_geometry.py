@@ -1,0 +1,91 @@
+"""Hand-constructed case-C2 geometry for Algorithm 4, checkable on paper.
+
+Construction (see each fixture comment):
+
+* two members ``m1 = (40, 60)`` and ``m2 = (60, 40)``, each pinned by a
+  blocker at distance (2, 2), so their anti-dominance regions are plus
+  shapes with 4-wide arms;
+* the query ``q = (41, 41)`` sits in m1's vertical arm and m2's
+  horizontal arm; the safe region (their intersection) is two bounded
+  boxes: ``[38,42]^2`` around q and ``[58,62] x [58,60]`` (clipped);
+* the why-not customer ``c = (90, 10)`` is blocked by ``(88, 12)``; its
+  plus shape (arms at x ∈ [88,92], y ∈ [8,12]) misses both safe boxes —
+  a certified C2.
+
+Hand-derived optimum: the safe corner nearest to c is ``(62, 58)``;
+against it, only c's own blocker stays in the window, Algorithm 1's
+midpoint thresholds are ``(13, 23)`` with cap ``(28, 48)``, and the
+cheapest candidate keeps c's mileage and pays 15 price units:
+``c* = (75, 10)`` at normalised cost ``0.5 * 15 / 52``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MWQCase, WhyNotEngine
+from repro.core.safe_region import anti_dominance_region
+from repro.geometry.box import Box
+
+
+@pytest.fixture()
+def scenario():
+    products = np.array(
+        [
+            [38.0, 58.0],  # 0: blocker shaping m1's region
+            [58.0, 38.0],  # 1: blocker shaping m2's region
+            [40.0, 60.0],  # 2: m1 (member)
+            [60.0, 40.0],  # 3: m2 (member)
+            [88.0, 12.0],  # 4: blocker of the why-not customer
+            [90.0, 10.0],  # 5: c (the why-not customer)
+        ]
+    )
+    engine = WhyNotEngine(products, backend="scan")
+    return engine, np.array([41.0, 41.0])
+
+
+class TestConstructedC2:
+    def test_membership_layout(self, scenario):
+        engine, q = scenario
+        assert engine.reverse_skyline(q).tolist() == [2, 3]
+
+    def test_safe_region_is_the_two_expected_boxes(self, scenario):
+        engine, q = scenario
+        boxes = set(engine.safe_region(q).region.boxes)
+        assert boxes == {
+            Box([38.0, 38.0], [42.0, 42.0]),
+            Box([58.0, 58.0], [62.0, 60.0]),  # Clipped at the y-universe.
+        }
+
+    def test_disjoint_case_certified(self, scenario):
+        engine, q = scenario
+        point, exclude = engine._resolve_customer(5)
+        ddr = anti_dominance_region(
+            engine.index, point, engine._geometry_bounds(q), exclude=exclude
+        )
+        assert engine.safe_region(q).region.intersect(ddr).is_empty()
+        assert engine.modify_both(5, q).case is MWQCase.DISJOINT
+
+    def test_hand_derived_optimum(self, scenario):
+        engine, q = scenario
+        result = engine.modify_both(5, q)
+        q_cand, c_cand = result.best_pair()
+        assert q_cand.point.tolist() == [62.0, 58.0]
+        assert c_cand.point.tolist() == [75.0, 10.0]
+        # Price range is 90 - 38 = 52; the move is 15 price units.
+        assert result.cost == pytest.approx(0.5 * 15.0 / 52.0)
+        assert c_cand.verified
+
+    def test_answer_achieves_the_goal(self, scenario):
+        engine, q = scenario
+        q_cand, c_cand = engine.modify_both(5, q).best_pair()
+        # The relocated customer accepts the relocated query...
+        assert engine.is_member(c_cand.point, q_cand.point)
+        # ...and both original members stay on board (Lemma 2).
+        assert engine.is_member(2, q_cand.point)
+        assert engine.is_member(3, q_cand.point)
+
+    def test_cost_bounded_by_direct_mwp(self, scenario):
+        engine, q = scenario
+        result = engine.modify_both(5, q)
+        mwp = engine.modify_why_not_point(5, q)
+        assert result.cost <= mwp.best().cost + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for safe-region relaxation analysis."""
+
+import numpy as np
+import pytest
+
+from repro import WhyNotEngine
+from repro.core.relaxation import leave_one_out_regions, relaxation_analysis
+from repro.data.paperdata import paper_points
+from repro.data.synthetic import generate_uniform
+
+
+class TestLeaveOneOut:
+    def test_one_region_per_member(self, paper_engine, paper_q):
+        members = paper_engine.reverse_skyline(paper_q)
+        regions = leave_one_out_regions(paper_engine, paper_q)
+        assert set(regions) == set(members.tolist())
+
+    def test_each_region_superset_of_full(self, paper_engine, paper_q):
+        """Dropping a constraint can only grow the intersection."""
+        full = paper_engine.safe_region(paper_q).area()
+        for region in leave_one_out_regions(paper_engine, paper_q).values():
+            assert region.area() >= full - 1e-12
+
+    def test_remaining_members_kept(self, paper_engine, paper_q):
+        """Lemma 2 for the reduced member set: sampling the relaxed
+        region must never lose anyone except the dropped member."""
+        rng = np.random.default_rng(0)
+        members = set(paper_engine.reverse_skyline(paper_q).tolist())
+        for dropped, region in leave_one_out_regions(
+            paper_engine, paper_q
+        ).items():
+            if region.region.is_empty():
+                continue
+            for q_star in region.region.sample_points(rng, 20):
+                lost = set(
+                    paper_engine.lost_customers(paper_q, q_star).tolist()
+                )
+                assert lost <= {dropped}, (dropped, q_star, lost)
+
+    def test_no_members_empty(self):
+        pts = paper_points()
+        engine = WhyNotEngine(pts[1:], customers=pts[:1], backend="scan")
+        q = np.array([8.5, 55.0])
+        assert engine.reverse_skyline(q).size == 0
+        assert leave_one_out_regions(engine, q) == {}
+
+
+class TestRelaxationAnalysis:
+    def test_sorted_by_gain(self, paper_engine, paper_q):
+        options = relaxation_analysis(paper_engine, paper_q)
+        gains = [option.area_gain for option in options]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_gains_non_negative(self, paper_engine, paper_q):
+        for option in relaxation_analysis(paper_engine, paper_q):
+            assert option.area_gain >= -1e-12
+
+    def test_binding_member_identified(self):
+        """On random data the top-ranked sacrifice buys the most area,
+        and at least one member is genuinely binding (positive gain)."""
+        ds = generate_uniform(300, seed=4)
+        engine = WhyNotEngine(ds.points, backend="scan", bounds=ds.bounds)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            q = np.clip(
+                ds.points[int(rng.integers(0, 300))] * 1.02, 0, 1
+            )
+            members = engine.reverse_skyline(q)
+            if members.size < 2:
+                continue
+            options = relaxation_analysis(engine, q)
+            assert len(options) == members.size
+            if options[0].area_gain > 0:
+                return
+        pytest.skip("no binding member found in sampled queries")
+
+    def test_repr(self, paper_engine, paper_q):
+        options = relaxation_analysis(paper_engine, paper_q)
+        if options:
+            assert "drop customer" in repr(options[0])

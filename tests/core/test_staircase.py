@@ -1,0 +1,97 @@
+"""Direct unit tests for the shared staircase-merge construction."""
+
+import numpy as np
+import pytest
+
+from repro.core._staircase import staircase_distance_candidates
+
+
+def covers(candidate, frontiers):
+    """Feasibility: for every frontier there is a dimension where the
+    candidate stays below the threshold."""
+    return all(np.any(candidate <= f + 1e-12) for f in frontiers)
+
+
+class TestSingleFrontier:
+    def test_two_clipped_candidates(self):
+        frontiers = np.array([[0.5, 6.5]])
+        cap = np.array([3.5, 25.0])
+        out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+        rows = {tuple(r) for r in out}
+        # Paper's MWP example in distance space: (cap_x, V_y), (V_x, cap_y).
+        assert rows == {(3.5, 6.5), (0.5, 25.0)}
+
+    def test_threshold_above_cap_is_clamped(self):
+        frontiers = np.array([[10.0, 10.0]])
+        cap = np.array([1.0, 2.0])
+        out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+        assert np.all(out <= cap + 1e-12)
+
+
+class TestMultipleFrontiers:
+    def test_antichain_produces_m_plus_one(self):
+        frontiers = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+        cap = np.array([1.0, 1.0])
+        out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+        # first-clip + 2 pair merges + last-clip = 4 (all distinct here).
+        assert out.shape == (4, 2)
+
+    def test_all_candidates_feasible_2d(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            m = int(rng.integers(1, 8))
+            raw = rng.uniform(0, 1, size=(m, 2))
+            # Reduce to an antichain (the algorithms feed frontiers).
+            keep = []
+            for i in range(m):
+                if not any(
+                    np.all(raw[j] <= raw[i]) and np.any(raw[j] < raw[i])
+                    for j in range(m)
+                    if j != i
+                ):
+                    keep.append(i)
+            frontiers = raw[keep]
+            cap = rng.uniform(1.0, 2.0, size=2)
+            out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+            for candidate in out:
+                assert covers(candidate, np.minimum(frontiers, cap)), (
+                    frontiers,
+                    cap,
+                    candidate,
+                )
+
+    def test_candidates_maximal_2d(self):
+        """No candidate is component-wise dominated by another (bigger
+        distance = less movement = better)."""
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            frontiers = np.sort(rng.uniform(0, 1, size=(4, 2)), axis=0)
+            # Make an antichain: ascending dim0, descending dim1.
+            frontiers[:, 1] = frontiers[::-1, 1]
+            cap = np.array([2.0, 2.0])
+            out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+            for i in range(len(out)):
+                for j in range(len(out)):
+                    if i != j:
+                        assert not (
+                            np.all(out[i] <= out[j]) and np.any(out[i] < out[j])
+                        )
+
+    def test_fallback_present_for_3d(self):
+        frontiers = np.array([[0.2, 0.8, 0.5], [0.8, 0.2, 0.5]])
+        cap = np.ones(3)
+        out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+        minima = frontiers.min(axis=0)
+        assert any(np.allclose(row, minima) for row in out)
+
+    def test_sort_dim_validated(self):
+        with pytest.raises(ValueError):
+            staircase_distance_candidates(
+                np.array([[0.5, 0.5]]), np.ones(2), sort_dim=2
+            )
+
+    def test_deduplication(self):
+        frontiers = np.array([[0.5, 0.5], [0.5, 0.5]])
+        cap = np.ones(2)
+        out = staircase_distance_candidates(frontiers, cap, sort_dim=0)
+        assert len(out) == len(np.unique(out, axis=0))

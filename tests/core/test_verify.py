@@ -1,0 +1,97 @@
+"""Direct unit tests for the tolerance-aware membership verification."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.core._verify import verify_membership
+from repro.index.scan import ScanIndex
+
+WEAK = DominancePolicy.WEAK
+STRICT = DominancePolicy.STRICT
+
+
+def index_of(points):
+    return ScanIndex(np.asarray(points, dtype=np.float64))
+
+
+class TestExactSemantics:
+    def test_empty_window_is_member(self):
+        idx = index_of([[10.0, 10.0]])
+        assert verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+        assert verify_membership(idx, [0.0, 0.0], [1.0, 1.0], WEAK)
+
+    def test_interior_blocker_blocks_both(self):
+        idx = index_of([[0.5, 0.5]])
+        assert not verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+        assert not verify_membership(idx, [0.0, 0.0], [1.0, 1.0], WEAK)
+
+    def test_boundary_tie_blocks_only_weak(self):
+        # Blocker ties the window in y and is strictly inside in x.
+        idx = index_of([[0.5, 1.0]])
+        assert verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+        assert not verify_membership(idx, [0.0, 0.0], [1.0, 1.0], WEAK)
+
+    def test_all_dims_tie_blocks_neither(self):
+        idx = index_of([[1.0, 1.0]])
+        assert verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+        assert verify_membership(idx, [0.0, 0.0], [1.0, 1.0], WEAK)
+
+    def test_exclusion(self):
+        idx = index_of([[0.5, 0.5]])
+        assert verify_membership(
+            idx, [0.0, 0.0], [1.0, 1.0], STRICT, exclude=(0,)
+        )
+
+
+class TestTolerance:
+    def test_one_ulp_boundary_flip_forgiven(self):
+        """A blocker one rounding error inside the boundary must not
+        disqualify a STRICT answer."""
+        eps = np.finfo(np.float64).eps
+        idx = index_of([[0.5, 1.0 - eps]])
+        assert verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+
+    def test_clear_violation_still_detected(self):
+        idx = index_of([[0.5, 0.999]])
+        assert not verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+
+    def test_custom_rtol_widens_forgiveness(self):
+        idx = index_of([[0.5, 0.9999]])
+        assert not verify_membership(idx, [0.0, 0.0], [1.0, 1.0], STRICT)
+        assert verify_membership(
+            idx, [0.0, 0.0], [1.0, 1.0], STRICT, rtol=1e-3
+        )
+
+    def test_zero_rtol_is_exact(self):
+        eps = np.finfo(np.float64).eps
+        idx = index_of([[0.5, 1.0 - 2 * eps]])
+        assert not verify_membership(
+            idx, [0.0, 0.0], [1.0, 1.0], STRICT, rtol=0.0
+        )
+
+    def test_slack_scales_with_coordinates(self):
+        """At coordinate magnitude 1e6, a 1e-9 absolute wobble is within
+        rounding and must be forgiven."""
+        idx = index_of([[5e5, 1e6 - 1e-4]])
+        assert verify_membership(
+            idx, [0.0, 0.0], [1e6, 1e6], STRICT, rtol=1e-9
+        )
+
+
+class TestAgainstWindowOracle:
+    def test_matches_window_query_generic_data(self):
+        """On tie-free random data, verification equals the exact window
+        test under both policies."""
+        from repro.skyline.window import window_is_empty
+
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            pts = rng.uniform(0, 1, size=(20, 2))
+            idx = ScanIndex(pts)
+            c = rng.uniform(0, 1, size=2)
+            q = rng.uniform(0, 1, size=2)
+            for policy in (WEAK, STRICT):
+                assert verify_membership(idx, c, q, policy) == window_is_empty(
+                    idx, c, q, policy
+                )

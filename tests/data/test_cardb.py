@@ -1,0 +1,74 @@
+"""Tests for the simulated CarDB generator (the Yahoo! Autos substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.data.cardb import MILEAGE_RANGE, PRICE_RANGE, generate_cardb
+from repro.exceptions import InvalidParameterError
+
+
+class TestShape:
+    def test_two_attributes(self):
+        ds = generate_cardb(500, seed=0)
+        assert ds.dim == 2
+        assert ds.labels == ("price", "mileage")
+
+    def test_values_in_declared_ranges(self):
+        ds = generate_cardb(5000, seed=1)
+        prices = ds.points[:, 0]
+        mileages = ds.points[:, 1]
+        assert prices.min() >= PRICE_RANGE[0]
+        assert prices.max() <= PRICE_RANGE[1]
+        assert mileages.min() >= MILEAGE_RANGE[0]
+        assert mileages.max() <= MILEAGE_RANGE[1]
+
+    def test_deterministic(self):
+        a = generate_cardb(200, seed=2)
+        b = generate_cardb(200, seed=2)
+        assert np.array_equal(a.points, b.points)
+
+    def test_name_format(self):
+        assert generate_cardb(50_000).name == "CarDB-50K"
+        assert generate_cardb(123).name == "CarDB-123"
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            generate_cardb(0)
+
+
+class TestDistribution:
+    def test_negative_price_mileage_correlation(self):
+        """Cheap cars have more miles — the real-listing shape."""
+        ds = generate_cardb(10_000, seed=3)
+        r = np.corrcoef(np.log(ds.points[:, 0]), ds.points[:, 1])[0, 1]
+        assert r < -0.4
+
+    def test_heavy_right_tail_in_price(self):
+        ds = generate_cardb(10_000, seed=4)
+        prices = ds.points[:, 0]
+        assert np.mean(prices) > np.median(prices)  # Right skew.
+
+    def test_sparse_clusters(self):
+        """The paper notes CarDB is sparse: density varies wildly across
+        equal-width price bands (unlike uniform data)."""
+        ds = generate_cardb(10_000, seed=5)
+        prices = ds.points[:, 0]
+        hist, _ = np.histogram(prices, bins=30, range=PRICE_RANGE)
+        assert hist.max() > 10 * max(1, hist[hist > 0].min())
+
+    def test_reverse_skylines_in_paper_range(self):
+        """Queries over the simulated CarDB produce the small reverse
+        skylines (roughly 1-15) the paper's protocol needs."""
+        from repro.core.engine import WhyNotEngine
+
+        ds = generate_cardb(2000, seed=6)
+        engine = WhyNotEngine(ds.points, backend="scan", bounds=ds.bounds)
+        rng = np.random.default_rng(0)
+        sizes = []
+        for _ in range(30):
+            anchor = ds.points[int(rng.integers(0, ds.size))]
+            q = anchor * rng.uniform(0.95, 1.05, size=2)
+            q = np.clip(q, ds.bounds.lo, ds.bounds.hi)
+            sizes.append(engine.reverse_skyline(q).size)
+        assert min(sizes) <= 15
+        assert np.median(sizes) <= 40

@@ -1,0 +1,66 @@
+"""Tests for the Dataset wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.box import Box
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = Dataset("t", np.array([[1.0, 2.0]]), Box([0, 0], [5, 5]))
+        assert ds.size == 1
+        assert ds.dim == 2
+
+    def test_points_frozen(self):
+        ds = Dataset("t", np.array([[1.0, 2.0]]), Box([0, 0], [5, 5]))
+        with pytest.raises(ValueError):
+            ds.points[0, 0] = 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            Dataset("t", np.empty((0, 2)), Box([0, 0], [1, 1]))
+
+    def test_bounds_dim_checked(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset("t", np.array([[1.0, 2.0]]), Box([0], [5]))
+
+    def test_labels_length_checked(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(
+                "t", np.array([[1.0, 2.0]]), Box([0, 0], [5, 5]), labels=("x",)
+            )
+
+    def test_from_points_bounds(self):
+        ds = Dataset.from_points("t", np.array([[0.0, 10.0], [4.0, 20.0]]))
+        assert ds.bounds.lo.tolist() == [0.0, 10.0]
+        assert ds.bounds.hi.tolist() == [4.0, 20.0]
+
+    def test_from_points_padding(self):
+        ds = Dataset.from_points("t", np.array([[0.0, 0.0], [10.0, 10.0]]), pad=0.1)
+        assert ds.bounds.lo.tolist() == [-1.0, -1.0]
+        assert ds.bounds.hi.tolist() == [11.0, 11.0]
+
+    def test_repr(self):
+        ds = Dataset.from_points("cars", np.array([[1.0, 2.0]]))
+        assert "cars" in repr(ds)
+
+
+class TestOperations:
+    def test_sample_positions_unique(self):
+        ds = Dataset.from_points("t", np.random.default_rng(0).uniform(0, 1, (50, 2)))
+        positions = ds.sample_positions(np.random.default_rng(1), 20)
+        assert len(set(positions.tolist())) == 20
+
+    def test_sample_capped(self):
+        ds = Dataset.from_points("t", np.random.default_rng(0).uniform(0, 1, (5, 2)))
+        assert ds.sample_positions(np.random.default_rng(1), 100).size == 5
+
+    def test_subset_keeps_bounds(self):
+        ds = Dataset.from_points("t", np.random.default_rng(0).uniform(0, 1, (10, 2)))
+        sub = ds.subset([0, 3, 5])
+        assert sub.size == 3
+        assert sub.bounds == ds.bounds
+        assert "subset" in sub.name

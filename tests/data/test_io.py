@@ -1,0 +1,114 @@
+"""Tests for dataset / result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.cardb import generate_cardb
+from repro.data.io import (
+    load_dataset_csv,
+    load_dataset_npz,
+    load_results_json,
+    save_dataset_csv,
+    save_dataset_npz,
+    save_results_json,
+)
+from repro.exceptions import InvalidParameterError
+from repro.experiments.records import ApproxOutcome, DatasetResult, QueryRecord
+
+
+@pytest.fixture()
+def dataset():
+    return generate_cardb(50, seed=0)
+
+
+class TestNpzRoundTrip:
+    def test_exact(self, dataset, tmp_path):
+        path = tmp_path / "cars.npz"
+        save_dataset_npz(dataset, path)
+        loaded = load_dataset_npz(path)
+        assert loaded.name == dataset.name
+        assert np.array_equal(loaded.points, dataset.points)
+        assert loaded.bounds == dataset.bounds
+        assert loaded.labels == dataset.labels
+
+
+class TestCsvRoundTrip:
+    def test_values_preserved(self, dataset, tmp_path):
+        path = tmp_path / "cars.csv"
+        save_dataset_csv(dataset, path)
+        loaded = load_dataset_csv(path, name="cars")
+        assert loaded.labels == dataset.labels
+        assert np.allclose(loaded.points, dataset.points)
+
+    def test_default_labels(self, tmp_path):
+        from repro.data.dataset import Dataset
+
+        ds = Dataset.from_points("t", np.array([[1.0, 2.0]]))
+        path = tmp_path / "t.csv"
+        save_dataset_csv(ds, path)
+        loaded = load_dataset_csv(path)
+        assert loaded.labels == ("dim0", "dim1")
+        assert loaded.name == "t"
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InvalidParameterError):
+            load_dataset_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(InvalidParameterError):
+            load_dataset_csv(path)
+
+    def test_padding(self, tmp_path):
+        path = tmp_path / "p.csv"
+        path.write_text("a,b\n0,0\n10,10\n")
+        loaded = load_dataset_csv(path, pad=0.1)
+        assert loaded.bounds.lo.tolist() == [-1.0, -1.0]
+
+
+class TestResultsJson:
+    def make_result(self):
+        record = QueryRecord(
+            dataset="D",
+            rsl_size=3,
+            query=np.array([1.0, 2.0]),
+            why_not_position=7,
+            mwp_cost=0.5,
+            mqp_cost=0.9,
+            mwq_cost=0.4,
+            mwq_case="C2",
+            sr_time=1.25,
+            sr_area=0.01,
+            sr_boxes=4,
+        )
+        record.approx[10] = ApproxOutcome(
+            k=10, cost=0.45, sr_time=0.1, mwq_time=0.05, sr_area=0.005
+        )
+        result = DatasetResult(dataset="D", size=100)
+        result.records.append(record)
+        return result
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        original = self.make_result()
+        save_results_json([original], path)
+        loaded = load_results_json(path)
+        assert len(loaded) == 1
+        record = loaded[0].records[0]
+        assert record.dataset == "D"
+        assert record.rsl_size == 3
+        assert record.query.tolist() == [1.0, 2.0]
+        assert record.mwq_case == "C2"
+        assert record.approx[10].cost == 0.45
+        assert record.mwq_total_time == pytest.approx(1.25)
+
+    def test_nan_costs_survive(self, tmp_path):
+        result = self.make_result()
+        result.records[0].mwp_cost = float("nan")
+        path = tmp_path / "nan.json"
+        save_results_json([result], path)
+        loaded = load_results_json(path)
+        assert np.isnan(loaded[0].records[0].mwp_cost)

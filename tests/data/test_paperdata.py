@@ -1,0 +1,40 @@
+"""Tests for the paper's worked-example dataset."""
+
+import numpy as np
+
+from repro.data.paperdata import (
+    PT1,
+    PT2,
+    paper_dataset,
+    paper_points,
+    paper_query,
+)
+
+
+class TestPaperData:
+    def test_eight_points(self):
+        assert paper_points().shape == (8, 2)
+
+    def test_table_values(self):
+        pts = paper_points()
+        assert pts[0].tolist() == [5.0, 30.0]
+        assert pts[7].tolist() == [16.0, 80.0]
+        assert PT1.tolist() == [5.0, 30.0]
+        assert PT2.tolist() == [7.5, 42.0]
+
+    def test_query(self):
+        assert paper_query().tolist() == [8.5, 55.0]
+
+    def test_dataset_wrapper(self):
+        ds = paper_dataset()
+        assert ds.size == 8
+        assert ds.labels == ("price", "mileage")
+        assert ds.bounds.contains_point(paper_query())
+        for p in ds.points:
+            assert ds.bounds.contains_point(p)
+
+    def test_fresh_copies(self):
+        a = paper_points()
+        b = paper_points()
+        assert a is not b
+        assert np.array_equal(a, b)

@@ -1,0 +1,70 @@
+"""Tests for the experiment workload builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WhyNotEngine
+from repro.data.synthetic import generate_uniform
+from repro.data.workload import WhyNotQuery, build_workload
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def engine():
+    ds = generate_uniform(800, seed=0)
+    return WhyNotEngine(ds.points, backend="scan", bounds=ds.bounds)
+
+
+class TestBuildWorkload:
+    def test_queries_hit_requested_sizes(self, engine):
+        workload = build_workload(engine, targets=(1, 2, 3), seed=1)
+        sizes = {wq.rsl_size for wq in workload}
+        assert sizes <= {1, 2, 3}
+        assert len(sizes) >= 2  # Uniform data produces small RSLs readily.
+
+    def test_sorted_by_rsl_size(self, engine):
+        workload = build_workload(engine, targets=(1, 2, 3, 4), seed=2)
+        sizes = [wq.rsl_size for wq in workload]
+        assert sizes == sorted(sizes)
+
+    def test_deterministic(self, engine):
+        a = build_workload(engine, targets=(1, 2), seed=3)
+        b = build_workload(engine, targets=(1, 2), seed=3)
+        assert len(a) == len(b)
+        for wa, wb in zip(a, b):
+            assert np.array_equal(wa.query, wb.query)
+            assert wa.why_not_position == wb.why_not_position
+
+    def test_why_not_is_genuine_nonmember(self, engine):
+        for wq in build_workload(engine, targets=(1, 2, 3), seed=4):
+            assert wq.why_not_position not in set(wq.rsl_positions.tolist())
+            explanation = engine.explain(wq.why_not_position, wq.query)
+            assert not explanation.is_member
+
+    def test_rsl_positions_accurate(self, engine):
+        for wq in build_workload(engine, targets=(1, 2), seed=5):
+            assert np.array_equal(
+                wq.rsl_positions, engine.reverse_skyline(wq.query)
+            )
+
+    def test_queries_inside_bounds(self, engine):
+        for wq in build_workload(engine, targets=(1, 2, 3), seed=6):
+            assert engine.bounds.contains_point(wq.query)
+
+    def test_invalid_targets(self, engine):
+        with pytest.raises(InvalidParameterError):
+            build_workload(engine, targets=())
+        with pytest.raises(InvalidParameterError):
+            build_workload(engine, targets=(-1,))
+
+    def test_patience_stops_early(self, engine):
+        # Size 500 is unreachable: patience must end the search quickly.
+        workload = build_workload(
+            engine, targets=(500,), seed=7, max_attempts=10_000, patience=50
+        )
+        assert workload == []
+
+    def test_repr(self, engine):
+        workload = build_workload(engine, targets=(1,), seed=8)
+        if workload:
+            assert "WhyNotQuery" in repr(workload[0])

@@ -1,0 +1,85 @@
+"""Executable checks for every snippet in docs/TUTORIAL.md.
+
+If the tutorial drifts from the library, these fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Box,
+    MWQCase,
+    WhyNotEngine,
+    answer_why_not_batch,
+    relaxation_analysis,
+)
+
+
+@pytest.fixture()
+def engine():
+    points = np.array(
+        [
+            [5.0, 30.0],
+            [7.5, 42.0],
+            [2.5, 70.0],
+            [7.5, 90.0],
+            [24.0, 20.0],
+            [20.0, 50.0],
+            [26.0, 70.0],
+            [16.0, 80.0],
+        ]
+    )
+    return WhyNotEngine(points, backend="scan")
+
+
+Q = np.array([8.5, 55.0])
+
+
+class TestTutorialSnippets:
+    def test_section2_reverse_skyline(self, engine):
+        assert engine.reverse_skyline(Q).tolist() == [1, 2, 3, 5, 7]
+        assert not engine.is_member(0, Q)
+
+    def test_section3_explanation_and_counterfactual(self, engine):
+        explanation = engine.explain(0, Q)
+        assert explanation.culprits.tolist() == [[7.5, 42.0]]
+        reduced, mapping = engine.without_products(
+            explanation.culprit_positions
+        )
+        assert reduced.is_member(int(mapping[0]), Q)
+
+    def test_section4_three_strategies(self, engine):
+        mwp = engine.modify_why_not_point(0, Q)
+        assert {tuple(c.point) for c in mwp} == {(5.0, 48.5), (8.0, 30.0)}
+        mqp = engine.modify_query_point(0, Q)
+        assert {tuple(c.point) for c in mqp} == {(8.5, 42.0), (7.5, 55.0)}
+        mwq = engine.modify_both(0, Q)
+        assert mwq.case is MWQCase.OVERLAP
+        assert mwq.best_query_candidate().point.tolist() == [7.5, 55.0]
+
+    def test_section4_cost_quantifiers(self, engine):
+        assert engine.lost_customers(Q, [25.0, 25.0]).size > 0
+        mqp = engine.modify_query_point(0, Q)
+        total = engine.mqp_total_cost(Q, mqp.best().point)
+        assert np.isfinite(total)
+
+    def test_section5_safe_region(self, engine):
+        sr = engine.safe_region(Q)
+        assert len(sr.region.boxes) == 2
+        assert sr.contains([9.0, 65.0])
+        clipped = sr.restricted(Box([8.0, 50.0], [9.5, 60.0]))
+        assert clipped.area() <= sr.area()
+        options = relaxation_analysis(engine, Q)
+        assert len(options) == 5
+
+    def test_section6_batch(self, engine):
+        answers = answer_why_not_batch(engine, [0, 4, 6], Q)
+        assert len(answers) == 3
+        assert all("query" in a.recommendation() for a in answers)
+
+    def test_section7_approximation(self, engine):
+        members = engine.reverse_skyline(Q)
+        store = engine.approx_store(k=10)
+        store.precompute(members.tolist())
+        fast = engine.modify_both(0, Q, approximate=True, k=10)
+        assert fast.case is not None

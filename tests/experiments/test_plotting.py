@@ -1,0 +1,53 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, ascii_log_chart
+
+
+class TestAsciiChart:
+    def test_basic_layout(self):
+        chart = ascii_chart({"MWP": [(1, 0.1), (5, 0.5)]}, title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert any("o" in line for line in lines)
+        assert "o=MWP" in chart
+        assert "x: |RSL| 1 .. 5" in chart
+
+    def test_multiple_series_distinct_marks(self):
+        chart = ascii_chart(
+            {"A": [(1, 0.1)], "B": [(2, 0.2)], "C": [(3, 0.3)]}
+        )
+        assert "o=A" in chart and "x=B" in chart and "+=C" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({}, title="nothing")
+        assert "(no data)" in ascii_chart({"A": []})
+
+    def test_extremes_plotted_at_edges(self):
+        chart = ascii_chart({"A": [(1, 0.0), (10, 1.0)]}, width=20, height=5)
+        rows = [line for line in chart.splitlines() if line.startswith("  |")]
+        assert rows[0].rstrip().endswith("o")  # Max y at top-right.
+        assert rows[-1][3] == "o"  # Min y at bottom-left.
+
+    def test_constant_series(self):
+        chart = ascii_chart({"A": [(1, 0.5), (2, 0.5)]})
+        assert "o" in chart  # No division-by-zero on flat data.
+
+    def test_log_scale_handles_zero(self):
+        chart = ascii_log_chart({"A": [(1, 0.0), (2, 1e-6), (3, 1.0)]})
+        assert "(log scale)" in chart
+
+    def test_log_scale_orders_magnitudes(self):
+        series = {"A": [(1, 1e-8), (2, 1e-4), (3, 1.0)]}
+        chart = ascii_log_chart(series, width=30, height=7)
+        rows = [line for line in chart.splitlines() if line.startswith("  |")]
+        # Three distinct heights on a log axis.
+        mark_rows = [i for i, row in enumerate(rows) if "o" in row]
+        assert len(mark_rows) == 3
+
+    def test_custom_size(self):
+        chart = ascii_chart({"A": [(1, 1.0)]}, width=10, height=3)
+        rows = [line for line in chart.splitlines() if line.startswith("  |")]
+        assert len(rows) == 3
+        assert all(len(row) == 3 + 10 for row in rows)

@@ -1,0 +1,40 @@
+"""Tests for the experiment record types."""
+
+import numpy as np
+
+from repro.experiments.records import ApproxOutcome, DatasetResult, QueryRecord
+
+
+class TestQueryRecord:
+    def make(self, rsl=3):
+        return QueryRecord(
+            dataset="D", rsl_size=rsl, query=np.zeros(2), why_not_position=0
+        )
+
+    def test_defaults(self):
+        record = self.make()
+        assert np.isnan(record.mwp_cost)
+        assert record.approx == {}
+        assert record.mwq_case == ""
+
+    def test_total_time_sums(self):
+        record = self.make()
+        record.sr_time = 1.5
+        record.mwq_time = 0.5
+        assert record.mwq_total_time == 2.0
+
+    def test_approx_outcome_total(self):
+        outcome = ApproxOutcome(k=10, cost=0.1, sr_time=0.2, mwq_time=0.3,
+                                sr_area=0.5)
+        assert outcome.total_time == 0.5
+
+
+class TestDatasetResult:
+    def test_sorted_records(self):
+        result = DatasetResult(dataset="D", size=100)
+        for rsl in (5, 1, 3):
+            record = QueryRecord(
+                dataset="D", rsl_size=rsl, query=np.zeros(2), why_not_position=0
+            )
+            result.records.append(record)
+        assert [r.rsl_size for r in result.sorted_records()] == [1, 3, 5]

@@ -1,0 +1,58 @@
+"""Tests for the text rendering of tables and figures."""
+
+from repro.experiments.reporting import (
+    format_block,
+    format_quality_table,
+    format_series,
+    render_figure,
+    render_tables,
+)
+from repro.experiments.tables import QualityRow
+
+
+def rows():
+    return [
+        QualityRow("D", 1, 0.5, 0.7, 0.0, approx={10: 0.1}),
+        QualityRow("D", 3, float("nan"), 0.2, 0.2, approx={10: 0.3}),
+    ]
+
+
+class TestQualityTable:
+    def test_headers_and_rows(self):
+        text = format_quality_table(rows())
+        assert "MWP" in text and "MQP" in text and "MWQ" in text
+        assert "q1, |RSL|=1" in text
+        assert "0.500000000" in text
+
+    def test_approx_columns(self):
+        text = format_quality_table(rows(), approx_ks=(10,))
+        assert "Approx-MWQ(k=10)" in text
+        assert "0.100000000" in text
+
+    def test_nan_rendered(self):
+        text = format_quality_table(rows())
+        assert "n/a" in text
+
+    def test_zero_cost_rendered_fully(self):
+        text = format_quality_table(rows())
+        assert "0.000000000" in text
+
+
+class TestSeriesAndBlocks:
+    def test_series_layout(self):
+        text = format_series({"MWP": [(1, 0.001), (2, 0.002)]})
+        assert "[MWP]" in text
+        assert "|RSL|=  1" in text
+
+    def test_block_has_title_bar(self):
+        text = format_block("Title", "body")
+        assert text.startswith("=")
+        assert "Title" in text and "body" in text
+
+    def test_render_tables_multiblock(self):
+        text = render_tables({"A": rows(), "B": rows()})
+        assert text.count("q1, |RSL|=1") == 2
+
+    def test_render_figure(self):
+        text = render_figure({"D": {"MWP": [(1, 0.5)]}})
+        assert "[MWP]" in text and "D" in text

@@ -1,0 +1,97 @@
+"""Tests for the experiment runner (the Section-VI protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_uniform
+from repro.data.workload import build_workload
+from repro.experiments.records import QueryRecord
+from repro.experiments.runner import make_engine, run_dataset, run_query
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    ds = generate_uniform(400, seed=0)
+    return run_dataset(
+        ds, targets=(1, 2, 3), approx_ks=(3,), seed=1, measure_area=True
+    )
+
+
+class TestRunQuery:
+    def test_record_fields_populated(self, small_result):
+        assert small_result.records, "workload produced no queries"
+        for record in small_result.records:
+            assert record.rsl_size >= 1
+            assert np.isfinite(record.mwp_cost)
+            assert np.isfinite(record.mqp_cost)
+            assert np.isfinite(record.mwq_cost)
+            assert record.mwq_case in ("C1", "C2")
+            assert record.mwp_time >= 0
+            assert record.sr_time >= 0
+            assert np.isfinite(record.sr_area)
+            assert record.sr_boxes >= 1
+
+    def test_paper_shape_mwq_not_worse_than_mwp(self, small_result):
+        """Table III/IV shape: MWQ <= MWP on every query (exact SR)."""
+        for record in small_result.records:
+            assert record.mwq_cost <= record.mwp_cost + 1e-9
+
+    def test_overlap_case_is_zero_cost(self, small_result):
+        for record in small_result.records:
+            if record.mwq_case == "C1":
+                assert record.mwq_cost == 0.0
+
+    def test_costs_non_negative(self, small_result):
+        for record in small_result.records:
+            assert record.mwp_cost >= 0
+            assert record.mqp_cost >= 0
+            assert record.mwq_cost >= 0
+
+    def test_approx_outcomes_recorded(self, small_result):
+        for record in small_result.records:
+            assert 3 in record.approx
+            outcome = record.approx[3]
+            assert outcome.k == 3
+            assert np.isfinite(outcome.cost)
+            assert outcome.sr_area <= record.sr_area + 1e-9
+
+    def test_approx_no_worse_than_mwp(self, small_result):
+        """Tables V-VI shape: Approx-MWQ is never worse than MWP."""
+        for record in small_result.records:
+            assert record.approx[3].cost <= record.mwp_cost + 1e-9
+
+    def test_mwq_total_time_includes_sr(self, small_result):
+        for record in small_result.records:
+            assert record.mwq_total_time >= record.sr_time
+
+
+class TestRunDataset:
+    def test_deterministic_costs(self):
+        ds = generate_uniform(300, seed=2)
+        a = run_dataset(ds, targets=(1, 2), seed=3, measure_area=False)
+        b = run_dataset(ds, targets=(1, 2), seed=3, measure_area=False)
+        assert len(a.records) == len(b.records)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.mwp_cost == rb.mwp_cost
+            assert ra.mwq_cost == rb.mwq_cost
+
+    def test_sorted_records(self, small_result):
+        sizes = [r.rsl_size for r in small_result.sorted_records()]
+        assert sizes == sorted(sizes)
+
+    def test_rtree_backend_same_costs(self):
+        ds = generate_uniform(300, seed=4)
+        scan = run_dataset(ds, targets=(1, 2), seed=5, backend="scan",
+                           measure_area=False)
+        rtree = run_dataset(ds, targets=(1, 2), seed=5, backend="rtree",
+                            measure_area=False)
+        assert len(scan.records) == len(rtree.records)
+        for rs, rt in zip(scan.records, rtree.records):
+            assert rs.mwp_cost == pytest.approx(rt.mwp_cost)
+            assert rs.mwq_cost == pytest.approx(rt.mwq_cost)
+
+    def test_make_engine_monochromatic(self):
+        ds = generate_uniform(50, seed=6)
+        engine = make_engine(ds)
+        assert engine.monochromatic
+        assert engine.bounds == ds.bounds

@@ -1,0 +1,91 @@
+"""Tests for the table generators (small-scale instances)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import (
+    QualityRow,
+    cardb_datasets,
+    synthetic_datasets,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+class TestDatasetFactories:
+    def test_cardb_sizes(self):
+        datasets = cardb_datasets((500, 1000))
+        assert [d.size for d in datasets] == [500, 1000]
+        assert datasets[0].name == "CarDB-500"
+
+    def test_synthetic_grid(self):
+        datasets = synthetic_datasets((300,), kinds=("UN", "AC"))
+        assert [d.name for d in datasets] == ["UN-300", "AC-300"]
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3(sizes=(600,), targets=(1, 2, 3), seed=7)
+
+
+class TestTable3:
+    def test_one_block_per_size(self, t3):
+        assert set(t3) == {"CarDB-600"}
+
+    def test_rows_have_costs(self, t3):
+        rows = t3["CarDB-600"]
+        assert rows, "no rows produced"
+        for row in rows:
+            assert isinstance(row, QualityRow)
+            assert np.isfinite(row.mwp)
+            assert np.isfinite(row.mqp)
+            assert np.isfinite(row.mwq)
+            assert row.approx is None
+
+    def test_paper_shape_holds(self, t3):
+        for row in t3["CarDB-600"]:
+            assert row.mwq <= row.mwp + 1e-9
+
+    def test_rows_sorted_by_rsl(self, t3):
+        sizes = [row.rsl_size for row in t3["CarDB-600"]]
+        assert sizes == sorted(sizes)
+
+
+class TestTable4:
+    def test_three_distributions(self):
+        result = table4(sizes=(400,), targets=(1, 2), seed=11)
+        assert set(result) == {"UN-400", "CO-400", "AC-400"}
+        for rows in result.values():
+            for row in rows:
+                assert row.mwq <= row.mwp + 1e-9
+
+
+@pytest.fixture(scope="module")
+def t5():
+    return table5(sizes=(500,), ks=(3, 6), targets=(1, 2, 3), seed=7)
+
+
+class TestTable5:
+    def test_approx_columns_present(self, t5):
+        for rows in t5.values():
+            for row in rows:
+                assert set(row.approx) == {3, 6}
+
+    def test_approx_no_worse_than_mwp(self, t5):
+        """The paper's claim: 'the result is no worse than the one
+        received from MWP'."""
+        for rows in t5.values():
+            for row in rows:
+                for cost in row.approx.values():
+                    assert cost <= row.mwp + 1e-9
+
+
+class TestTable6:
+    def test_synthetic_with_k(self):
+        result = table6(sizes=(400,), ks=(3,), targets=(1, 2), seed=11)
+        assert set(result) == {"UN-400", "CO-400", "AC-400"}
+        for rows in result.values():
+            for row in rows:
+                assert 3 in row.approx

@@ -1,0 +1,150 @@
+"""Tests for the claim-validation checks (on hand-built records)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.records import ApproxOutcome, QueryRecord
+from repro.experiments.validation import (
+    check_approx_area_subset,
+    check_approx_not_worse_than_mwp,
+    check_mqp_usually_most_expensive,
+    check_mwq_never_worse_than_mwp,
+    check_overlap_cases_zero_cost,
+    check_safe_region_shrinks,
+    check_sr_dominates_mwq_time,
+    run_all_checks,
+)
+
+
+def record(
+    rsl=3,
+    mwp=0.5,
+    mqp=0.9,
+    mwq=0.4,
+    case="C2",
+    sr_area=0.1,
+    sr_time=1.0,
+    mwq_time=0.2,
+    approx_cost=None,
+    approx_area=None,
+):
+    rec = QueryRecord(
+        dataset="D",
+        rsl_size=rsl,
+        query=np.zeros(2),
+        why_not_position=0,
+        mwp_cost=mwp,
+        mqp_cost=mqp,
+        mwq_cost=mwq,
+        mwq_case=case,
+        sr_area=sr_area,
+        sr_time=sr_time,
+        mwq_time=mwq_time,
+    )
+    if approx_cost is not None:
+        rec.approx[10] = ApproxOutcome(
+            k=10,
+            cost=approx_cost,
+            sr_time=0.01,
+            mwq_time=0.01,
+            sr_area=approx_area if approx_area is not None else sr_area / 2,
+        )
+    return rec
+
+
+GOOD = [
+    record(rsl=1, mwp=0.5, mqp=0.9, mwq=0.0, case="C1", sr_area=0.5,
+           approx_cost=0.1),
+    record(rsl=3, mwp=0.4, mqp=0.8, mwq=0.3, sr_area=0.1, approx_cost=0.35),
+    record(rsl=6, mwp=0.3, mqp=0.7, mwq=0.3, sr_area=0.01, approx_cost=0.3),
+    record(rsl=9, mwp=0.2, mqp=0.6, mwq=0.2, sr_area=0.001, approx_cost=0.2),
+]
+
+
+class TestIndividualChecks:
+    def test_mwq_check_passes_good(self):
+        assert check_mwq_never_worse_than_mwp(GOOD).passed
+
+    def test_mwq_check_fails_violation(self):
+        bad = GOOD + [record(mwp=0.1, mwq=0.2)]
+        assert not check_mwq_never_worse_than_mwp(bad).passed
+
+    def test_mwq_check_fails_empty(self):
+        assert not check_mwq_never_worse_than_mwp([]).passed
+
+    def test_c1_zero_cost(self):
+        assert check_overlap_cases_zero_cost(GOOD).passed
+        bad = [record(case="C1", mwq=0.1)]
+        assert not check_overlap_cases_zero_cost(bad).passed
+
+    def test_c1_vacuous_pass(self):
+        only_c2 = [record(case="C2", mwq=0.3)]
+        assert check_overlap_cases_zero_cost(only_c2).passed
+
+    def test_mqp_worst(self):
+        assert check_mqp_usually_most_expensive(GOOD).passed
+        cheap_mqp = [record(mqp=0.01) for _ in range(4)]
+        assert not check_mqp_usually_most_expensive(cheap_mqp).passed
+
+    def test_sr_shrinks(self):
+        assert check_safe_region_shrinks(GOOD).passed
+        growing = [
+            record(rsl=i, sr_area=0.001 * (i + 1) ** 2) for i in range(1, 8)
+        ]
+        assert not check_safe_region_shrinks(growing).passed
+
+    def test_sr_shrinks_needs_data(self):
+        assert not check_safe_region_shrinks(GOOD[:2]).passed
+
+    def test_sr_dominates(self):
+        assert check_sr_dominates_mwq_time(GOOD).passed
+        fast_sr = [record(sr_time=0.01, mwq_time=1.0)]
+        assert not check_sr_dominates_mwq_time(fast_sr).passed
+
+    def test_approx_not_worse(self):
+        assert check_approx_not_worse_than_mwp(GOOD).passed
+        bad = [record(mwp=0.1, approx_cost=0.5)]
+        assert not check_approx_not_worse_than_mwp(bad).passed
+
+    def test_approx_subset(self):
+        assert check_approx_area_subset(GOOD).passed
+        bad = [record(sr_area=0.1, approx_cost=0.1, approx_area=0.5)]
+        assert not check_approx_area_subset(bad).passed
+
+
+class TestReport:
+    def test_all_checks_pass_good(self):
+        report = run_all_checks(GOOD)
+        assert report.passed
+        assert "ALL CLAIMS REPRODUCED (7/7)" in report.render()
+
+    def test_render_shows_failures(self):
+        report = run_all_checks([record(mwp=0.1, mwq=0.5)])
+        assert not report.passed
+        text = report.render()
+        assert "FAIL" in text and "SOME CLAIMS FAILED" in text
+
+    def test_check_lines_format(self):
+        report = run_all_checks(GOOD)
+        for result in report.results:
+            assert result.line().startswith("[PASS]") or result.line().startswith(
+                "[FAIL]"
+            )
+
+
+class TestEndToEnd:
+    def test_real_small_run_validates(self):
+        """A live mini-experiment must reproduce every claim."""
+        from repro.data.cardb import generate_cardb
+        from repro.experiments.runner import run_dataset
+
+        dataset = generate_cardb(900, seed=7)
+        result = run_dataset(
+            dataset,
+            targets=tuple(range(1, 13)),
+            approx_ks=(10,),
+            seed=7,
+            measure_area=True,
+        )
+        report = run_all_checks(result.records)
+        assert report.passed, report.render()

@@ -1,0 +1,172 @@
+"""Tests for the k-skyband extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy, WhyNotConfig
+from repro.exceptions import InvalidParameterError
+from repro.extensions.kskyband import (
+    dynamic_kskyband_indices,
+    is_reverse_kskyband_member,
+    kskyband_indices,
+    modify_why_not_point_kskyband,
+    reverse_kskyband,
+)
+from repro.index.scan import ScanIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.dynamic import dynamic_skyline_indices
+from repro.skyline.reverse import reverse_skyline_naive
+
+
+def dominator_count(arr, i):
+    others = np.delete(arr, i, axis=0)
+    return int(
+        np.sum(np.all(others <= arr[i], axis=1) & np.any(others < arr[i], axis=1))
+    )
+
+
+class TestKSkyband:
+    def test_k1_equals_skyline(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            pts = rng.uniform(0, 1, size=(int(rng.integers(1, 60)), 2))
+            assert np.array_equal(kskyband_indices(pts, 1), skyline_indices(pts))
+
+    def test_counts_against_oracle(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            pts = np.round(rng.uniform(0, 1, size=(25, 2)) * 6) / 6
+            for k in (1, 2, 3):
+                expected = [
+                    i for i in range(len(pts)) if dominator_count(pts, i) < k
+                ]
+                assert kskyband_indices(pts, k).tolist() == expected
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, size=(100, 2))
+        sizes = [kskyband_indices(pts, k).size for k in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+    def test_k_covers_everything_eventually(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1, size=(40, 2))
+        assert kskyband_indices(pts, 40).size == 40
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            kskyband_indices(np.array([[1.0, 2.0]]), 0)
+
+    def test_dynamic_k1_equals_dsl(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 1, size=(50, 2))
+        origin = rng.uniform(0, 1, size=2)
+        assert np.array_equal(
+            dynamic_kskyband_indices(pts, origin, 1),
+            dynamic_skyline_indices(pts, origin),
+        )
+
+    def test_dynamic_exclusion(self):
+        pts = np.array([[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        origin = np.array([0.0, 0.0])
+        with_self = dynamic_kskyband_indices(pts, origin, 1, exclude=(0,))
+        assert 0 not in with_self.tolist()
+
+
+class TestReverseKSkyband:
+    def test_k1_equals_reverse_skyline(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            pts = rng.uniform(0, 1, size=(40, 2))
+            q = rng.uniform(0.3, 0.7, size=2)
+            idx = ScanIndex(pts)
+            assert np.array_equal(
+                reverse_kskyband(idx, pts, q, 1, self_exclude=True),
+                reverse_skyline_naive(
+                    idx, pts, q, DominancePolicy.STRICT, self_exclude=True
+                ),
+            )
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 1, size=(80, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        idx = ScanIndex(pts)
+        sizes = [
+            reverse_kskyband(idx, pts, q, k, self_exclude=True).size
+            for k in (1, 2, 4, 8)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_membership_matches_dominator_count(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 1, size=(30, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        idx = ScanIndex(pts)
+        from repro.extensions.kskyband import query_dominators
+
+        for j in range(30):
+            count = query_dominators(idx, pts[j], q, exclude=(j,)).size
+            for k in (1, 2, 3):
+                assert is_reverse_kskyband_member(
+                    idx, pts[j], q, k, exclude=(j,)
+                ) == (count < k)
+
+
+class TestModifyWithTolerance:
+    def test_already_member_noop(self):
+        idx = ScanIndex(np.array([[10.0, 10.0]]))
+        result = modify_why_not_point_kskyband(idx, [0.0, 0.0], [1.0, 1.0], k=1)
+        assert result.best().cost == 0.0
+
+    def test_candidates_verified(self):
+        rng = np.random.default_rng(8)
+        checked = 0
+        for _ in range(60):
+            pts = rng.uniform(0, 1, size=(30, 2))
+            q = rng.uniform(0.3, 0.7, size=2)
+            c = rng.uniform(0, 1, size=2)
+            idx = ScanIndex(pts)
+            for k in (1, 2, 3):
+                result = modify_why_not_point_kskyband(idx, c, q, k=k)
+                for cand in result.candidates:
+                    assert cand.verified is not False, (pts, c, q, k, cand)
+                    checked += 1
+        assert checked > 100
+
+    def test_tolerance_never_increases_cost(self):
+        """Allowing more blockers can only make the repair cheaper."""
+        rng = np.random.default_rng(9)
+        compared = 0
+        for _ in range(60):
+            pts = rng.uniform(0, 1, size=(30, 2))
+            q = rng.uniform(0.3, 0.7, size=2)
+            c = rng.uniform(0, 1, size=2)
+            idx = ScanIndex(pts)
+            base = modify_why_not_point_kskyband(idx, c, q, k=1)
+            relaxed = modify_why_not_point_kskyband(idx, c, q, k=3)
+            if base.best() is None or relaxed.best() is None:
+                continue
+            assert relaxed.best().cost <= base.best().cost + 1e-9
+            compared += 1
+        assert compared > 20
+
+    def test_k1_matches_algorithm1(self):
+        from repro.core.mwp import modify_why_not_point
+
+        rng = np.random.default_rng(10)
+        for _ in range(40):
+            pts = rng.uniform(0, 1, size=(25, 2))
+            q = rng.uniform(0.3, 0.7, size=2)
+            c = rng.uniform(0, 1, size=2)
+            idx = ScanIndex(pts)
+            ours = modify_why_not_point_kskyband(idx, c, q, k=1)
+            paper = modify_why_not_point(idx, c, q)
+            assert {tuple(cand.point) for cand in ours} == {
+                tuple(cand.point) for cand in paper
+            }
+
+    def test_invalid_k(self):
+        idx = ScanIndex(np.array([[1.0, 2.0]]))
+        with pytest.raises(InvalidParameterError):
+            modify_why_not_point_kskyband(idx, [0.0, 0.0], [1.0, 1.0], k=0)

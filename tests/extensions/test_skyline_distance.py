@@ -1,0 +1,109 @@
+"""Tests for the skyline-distance extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.extensions.skyline_distance import (
+    skyline_distance,
+    skyline_upgrade_candidates,
+)
+from repro.skyline.algorithms import skyline_indices
+
+
+def is_feasible(products, position):
+    """No product strictly dominates the upgraded position."""
+    if len(products) == 0:
+        return True
+    return not np.any(np.all(products < position, axis=1))
+
+
+class TestBasics:
+    def test_undominated_point_costs_zero(self):
+        products = np.array([[2.0, 2.0], [3.0, 1.0]])
+        cost, position = skyline_distance(products, [1.0, 5.0])
+        assert cost == 0.0
+        assert position.tolist() == [1.0, 5.0]
+
+    def test_empty_products(self):
+        cost, position = skyline_distance(np.empty((0, 2)), [1.0, 1.0])
+        assert cost == 0.0
+
+    def test_single_dominator(self):
+        products = np.array([[1.0, 1.0]])
+        cost, position = skyline_distance(products, [3.0, 4.0])
+        # Cheapest escape: drop one dimension to the dominator's value.
+        assert cost == pytest.approx(2.0)
+        assert is_feasible(products, position)
+
+    def test_weights_steer_dimension(self):
+        products = np.array([[1.0, 1.0]])
+        # Expensive first dimension: prefer fixing the second.
+        cost, position = skyline_distance(products, [3.0, 4.0], weights=[10, 1])
+        assert position.tolist() == [3.0, 1.0]
+        assert cost == pytest.approx(3.0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(InvalidParameterError):
+            skyline_distance(np.array([[1.0, 1.0]]), [2.0, 2.0], weights=[1.0])
+        with pytest.raises(InvalidParameterError):
+            skyline_distance(
+                np.array([[1.0, 1.0]]), [2.0, 2.0], weights=[-1.0, 1.0]
+            )
+
+
+class TestFeasibilityAndOptimality:
+    def test_candidates_always_feasible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            n = int(rng.integers(1, 40))
+            products = rng.uniform(0, 1, size=(n, 2))
+            p = rng.uniform(0.5, 1.5, size=2)
+            for candidate in skyline_upgrade_candidates(products, p):
+                assert is_feasible(products, candidate), (products, p, candidate)
+
+    def test_candidates_feasible_3d(self):
+        rng = np.random.default_rng(1)
+        for _ in range(80):
+            products = rng.uniform(0, 1, size=(30, 3))
+            p = rng.uniform(0.6, 1.4, size=3)
+            for candidate in skyline_upgrade_candidates(products, p):
+                assert is_feasible(products, candidate)
+
+    def test_2d_optimal_vs_brute_force(self):
+        """Exactness in 2-D: no feasible axis-grid position is cheaper."""
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            n = int(rng.integers(1, 15))
+            products = rng.uniform(0, 1, size=(n, 2))
+            p = rng.uniform(0.7, 1.3, size=2)
+            cost, _pos = skyline_distance(products, p)
+            # Brute force over the relevant grid: per dimension, the
+            # useful target values are the dominators' coordinates.
+            sky = products[skyline_indices(products)]
+            xs = np.concatenate([[p[0]], sky[:, 0]])
+            ys = np.concatenate([[p[1]], sky[:, 1]])
+            best = np.inf
+            for x in xs:
+                for y in ys:
+                    candidate = np.minimum(p, [x, y])
+                    if is_feasible(products, candidate):
+                        best = min(best, float(np.sum(np.abs(p - candidate))))
+            assert cost <= best + 1e-9, (products, p)
+
+    def test_upgraded_point_joins_strict_skyline(self):
+        """After the upgrade, the point belongs to the skyline of the
+        augmented dataset under strict-domination semantics."""
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            products = rng.uniform(0, 1, size=(25, 2))
+            p = rng.uniform(0.8, 1.4, size=2)
+            _cost, position = skyline_distance(products, p)
+            assert not np.any(np.all(products < position, axis=1))
+
+    def test_cost_monotone_in_depth(self):
+        """A point dominated by more layers costs at least as much."""
+        products = np.array([[1.0, 1.0], [0.5, 0.5]])
+        shallow, _ = skyline_distance(products, [1.2, 1.2])
+        deep, _ = skyline_distance(products, [3.0, 3.0])
+        assert deep >= shallow

@@ -1,0 +1,155 @@
+"""Tests for the Box primitive."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.geometry.box import Box
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = Box([0, 0], [2, 3])
+        assert box.dim == 2
+        assert box.volume() == 6.0
+        assert box.margin() == 5.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidParameterError):
+            Box([1.0, 0.0], [0.0, 1.0])
+
+    def test_degenerate_allowed(self):
+        box = Box([1, 1], [1, 2])
+        assert box.is_degenerate()
+        assert box.volume() == 0.0
+
+    def test_from_center(self):
+        box = Box.from_center([5, 5], [1, 2])
+        assert box.lo.tolist() == [4.0, 3.0]
+        assert box.hi.tolist() == [6.0, 7.0]
+
+    def test_from_center_rejects_negative_extent(self):
+        with pytest.raises(InvalidParameterError):
+            Box.from_center([0, 0], [-1, 1])
+
+    def test_from_points_any_order(self):
+        box = Box.from_points([3, 0], [1, 2])
+        assert box.lo.tolist() == [1.0, 0.0]
+        assert box.hi.tolist() == [3.0, 2.0]
+
+    def test_immutable_arrays(self):
+        box = Box([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            box.lo[0] = 5.0
+
+
+class TestContainment:
+    def test_closed_contains_boundary(self):
+        box = Box([0, 0], [1, 1])
+        assert box.contains_point([0.0, 1.0])
+        assert box.contains_point([0.5, 0.5])
+        assert not box.contains_point([1.0001, 0.5])
+
+    def test_open_excludes_boundary(self):
+        box = Box([0, 0], [1, 1])
+        assert not box.contains_point([0.0, 0.5], closed=False)
+        assert box.contains_point([0.5, 0.5], closed=False)
+
+    def test_contains_box(self):
+        outer = Box([0, 0], [4, 4])
+        inner = Box([1, 1], [2, 2])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(outer)
+
+
+class TestIntersection:
+    def test_overlap(self):
+        a = Box([0, 0], [2, 2])
+        b = Box([1, 1], [3, 3])
+        inter = a.intersect(b)
+        assert inter == Box([1, 1], [2, 2])
+
+    def test_touching_gives_degenerate(self):
+        a = Box([0, 0], [1, 1])
+        b = Box([1, 0], [2, 1])
+        inter = a.intersect(b)
+        assert inter is not None
+        assert inter.is_degenerate()
+
+    def test_disjoint_gives_none(self):
+        a = Box([0, 0], [1, 1])
+        b = Box([2, 2], [3, 3])
+        assert a.intersect(b) is None
+        assert not a.intersects(b)
+
+    def test_overlap_volume(self):
+        a = Box([0, 0], [2, 2])
+        b = Box([1, 1], [3, 3])
+        assert a.overlap_volume(b) == 1.0
+        assert a.overlap_volume(Box([5, 5], [6, 6])) == 0.0
+
+    def test_union_bound(self):
+        a = Box([0, 0], [1, 1])
+        b = Box([2, 2], [3, 3])
+        assert a.union_bound(b) == Box([0, 0], [3, 3])
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Box([0, 0], [1, 1]).intersect(Box([0, 0, 0], [1, 1, 1]))
+
+
+class TestGeometryHelpers:
+    def test_nearest_point_inside(self):
+        box = Box([0, 0], [2, 2])
+        assert box.nearest_point_to([1, 1]).tolist() == [1.0, 1.0]
+
+    def test_nearest_point_clamps(self):
+        box = Box([0, 0], [2, 2])
+        assert box.nearest_point_to([5, -1]).tolist() == [2.0, 0.0]
+
+    def test_min_l1_distance(self):
+        box = Box([0, 0], [2, 2])
+        assert box.min_l1_distance([3, 3]) == 2.0
+        assert box.min_l1_distance([1, 1]) == 0.0
+
+    def test_corners_count_and_membership(self):
+        box = Box([0, 0, 0], [1, 2, 3])
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        for corner in corners:
+            assert box.contains_point(corner)
+
+    def test_corners_2d_exact(self):
+        corners = Box([0, 0], [1, 2]).corners()
+        expected = {(0, 0), (0, 2), (1, 0), (1, 2)}
+        assert {tuple(c) for c in corners.tolist()} == expected
+
+    def test_sample_points_inside(self):
+        box = Box([1, 2], [3, 5])
+        pts = box.sample_points(np.random.default_rng(0), 64)
+        assert pts.shape == (64, 2)
+        assert all(box.contains_point(p) for p in pts)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Box([0, 0], [1, 1])
+        b = Box([0, 0], [1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Box([0, 0], [2, 1])
+
+    def test_approx_equals(self):
+        a = Box([0, 0], [1, 1])
+        b = Box([0, 1e-12], [1, 1])
+        assert a.approx_equals(b)
+        assert not a.approx_equals(Box([0, 0.1], [1, 1]))
+
+    def test_iter_unpacks(self):
+        lo, hi = Box([0, 0], [1, 1])
+        assert lo.tolist() == [0.0, 0.0]
+        assert hi.tolist() == [1.0, 1.0]
+
+    def test_repr_readable(self):
+        assert "Box" in repr(Box([0, 0], [1, 1]))

@@ -1,0 +1,80 @@
+"""Tests for point coercion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.geometry.point import as_point, as_points, point_distance_l1, weighted_l1
+
+
+class TestAsPoint:
+    def test_list_coerced_to_float64(self):
+        p = as_point([1, 2])
+        assert p.dtype == np.float64
+        assert p.tolist() == [1.0, 2.0]
+
+    def test_tuple_and_array_accepted(self):
+        assert as_point((3.5, 4.5)).tolist() == [3.5, 4.5]
+        assert as_point(np.array([3.5, 4.5])).tolist() == [3.5, 4.5]
+
+    def test_dim_validated(self):
+        with pytest.raises(DimensionMismatchError):
+            as_point([1.0, 2.0], dim=3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            as_point([[1.0, 2.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            as_point([])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(InvalidParameterError):
+            as_point([1.0, float("nan")])
+        with pytest.raises(InvalidParameterError):
+            as_point([1.0, float("inf")])
+
+
+class TestAsPoints:
+    def test_matrix_passthrough(self):
+        m = as_points([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+
+    def test_single_point_promoted_to_row(self):
+        m = as_points([1.0, 2.0])
+        assert m.shape == (1, 2)
+
+    def test_empty_with_dim(self):
+        m = as_points([], dim=3)
+        assert m.shape == (0, 3)
+
+    def test_empty_without_dim(self):
+        assert as_points([]).shape == (0, 0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            as_points([[1.0, 2.0]], dim=3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(InvalidParameterError):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            as_points([[1.0, float("nan")]])
+
+
+class TestDistances:
+    def test_l1(self):
+        assert point_distance_l1([0.0, 0.0], [3.0, 4.0]) == 7.0
+
+    def test_l1_symmetric(self):
+        assert point_distance_l1([1, 5], [4, 2]) == point_distance_l1([4, 2], [1, 5])
+
+    def test_weighted_l1(self):
+        assert weighted_l1([0.0, 0.0], [2.0, 4.0], [0.5, 0.25]) == 2.0
+
+    def test_weighted_l1_rejects_bad_weights(self):
+        with pytest.raises(DimensionMismatchError):
+            weighted_l1([0.0, 0.0], [1.0, 1.0], [1.0])

@@ -1,0 +1,150 @@
+"""Tests for BoxRegion (unions of boxes) including exact measure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion
+
+
+def region(*specs):
+    return BoxRegion([Box(lo, hi) for lo, hi in specs])
+
+
+class TestBasics:
+    def test_empty(self):
+        r = BoxRegion.empty(2)
+        assert r.is_empty()
+        assert len(r) == 0
+        assert not r.contains_point([0.0, 0.0])
+        assert r.bounding_box() is None
+        assert r.measure() == 0.0
+
+    def test_single(self):
+        r = BoxRegion.single(Box([0, 0], [1, 1]))
+        assert len(r) == 1
+        assert r.contains_point([0.5, 0.5])
+
+    def test_dim_consistency_enforced(self):
+        with pytest.raises(DimensionMismatchError):
+            BoxRegion([Box([0, 0], [1, 1]), Box([0, 0, 0], [1, 1, 1])])
+
+    def test_contains_point_any_box(self):
+        r = region(([0, 0], [1, 1]), ([5, 5], [6, 6]))
+        assert r.contains_point([5.5, 5.5])
+        assert r.contains_point([0.5, 0.5])
+        assert not r.contains_point([3.0, 3.0])
+
+    def test_open_containment(self):
+        r = region(([0, 0], [1, 1]))
+        assert not r.contains_point([0.0, 0.5], closed=False)
+
+    def test_bounding_box(self):
+        r = region(([0, 0], [1, 1]), ([5, 5], [6, 6]))
+        assert r.bounding_box() == Box([0, 0], [6, 6])
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = region(([0, 0], [1, 1]))
+        b = region(([2, 2], [3, 3]))
+        assert len(a.union(b)) == 2
+
+    def test_intersect_box(self):
+        r = region(([0, 0], [2, 2]), ([3, 3], [5, 5]))
+        clipped = r.intersect_box(Box([1, 1], [4, 4]))
+        assert clipped.contains_point([1.5, 1.5])
+        assert clipped.contains_point([3.5, 3.5])
+        assert not clipped.contains_point([0.5, 0.5])
+
+    def test_intersect_distributes(self):
+        # (r11 + r12) . (r21 + r22) from Section V.B.
+        left = region(([0, 0], [2, 2]), ([4, 0], [6, 2]))
+        right = region(([1, 1], [5, 3]))
+        inter = left.intersect(right)
+        assert inter.contains_point([1.5, 1.5])
+        assert inter.contains_point([4.5, 1.5])
+        assert not inter.contains_point([3.0, 1.5])  # Gap between pieces.
+
+    def test_intersect_disjoint_is_empty(self):
+        a = region(([0, 0], [1, 1]))
+        b = region(([2, 2], [3, 3]))
+        assert a.intersect(b).is_empty()
+
+    def test_simplify_drops_contained(self):
+        r = region(([0, 0], [4, 4]), ([1, 1], [2, 2]), ([0, 0], [4, 4]))
+        simplified = r.simplify()
+        assert len(simplified) == 1
+
+    def test_simplify_keeps_partial_overlap(self):
+        r = region(([0, 0], [2, 2]), ([1, 1], [3, 3]))
+        assert len(r.simplify()) == 2
+
+
+class TestMeasure:
+    def test_disjoint_adds(self):
+        r = region(([0, 0], [1, 1]), ([2, 2], [3, 3]))
+        assert r.measure() == pytest.approx(2.0)
+
+    def test_overlap_not_double_counted(self):
+        r = region(([0, 0], [2, 2]), ([1, 1], [3, 3]))
+        assert r.measure() == pytest.approx(7.0)
+
+    def test_contained_box_ignored(self):
+        r = region(([0, 0], [4, 4]), ([1, 1], [2, 2]))
+        assert r.measure() == pytest.approx(16.0)
+
+    def test_degenerate_measure_zero(self):
+        r = region(([0, 0], [0, 5]))
+        assert r.measure() == 0.0
+
+    def test_three_dimensional(self):
+        r = BoxRegion(
+            [Box([0, 0, 0], [2, 2, 2]), Box([1, 1, 1], [3, 3, 3])]
+        )
+        assert r.measure() == pytest.approx(8 + 8 - 1)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(5)
+        boxes = []
+        for _ in range(6):
+            lo = rng.uniform(0, 0.7, size=2)
+            hi = lo + rng.uniform(0.05, 0.3, size=2)
+            boxes.append(Box(lo, hi))
+        r = BoxRegion(boxes)
+        samples = rng.uniform(0, 1, size=(200_000, 2))
+        hits = sum(r.contains_point(p) for p in samples[:4000])
+        estimate = hits / 4000
+        assert r.measure() == pytest.approx(estimate, abs=0.04)
+
+
+class TestGeometryHelpers:
+    def test_nearest_point(self):
+        r = region(([0, 0], [1, 1]), ([5, 5], [6, 6]))
+        nearest = r.nearest_point_to([4.8, 4.8])
+        assert nearest.tolist() == [5.0, 5.0]
+
+    def test_nearest_point_empty(self):
+        assert BoxRegion.empty(2).nearest_point_to([0, 0]) is None
+
+    def test_corner_points_dedupe(self):
+        r = region(([0, 0], [1, 1]), ([1, 1], [2, 2]))
+        corners = r.corner_points()
+        # 4 + 4 corners with (1,1) shared once.
+        assert corners.shape == (7, 2)
+
+    def test_sample_points_stay_inside(self):
+        r = region(([0, 0], [1, 1]), ([5, 5], [6, 6]))
+        pts = r.sample_points(np.random.default_rng(0), 50)
+        assert pts.shape == (50, 2)
+        assert all(r.contains_point(p) for p in pts)
+
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            BoxRegion.empty(2).sample_points(np.random.default_rng(0), 1)
+
+    def test_sample_degenerate_boxes(self):
+        r = region(([1, 1], [1, 1]))
+        pts = r.sample_points(np.random.default_rng(0), 5)
+        assert np.allclose(pts, [1.0, 1.0])

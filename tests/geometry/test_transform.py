@@ -1,0 +1,81 @@
+"""Tests for the query-space transform, orthants, and window boxes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.transform import (
+    orthant_of,
+    orthants_of,
+    to_query_space,
+    window_box,
+)
+
+
+class TestToQuerySpace:
+    def test_single_point(self):
+        out = to_query_space(np.array([3.0, 10.0]), [5.0, 7.0])
+        assert out.tolist() == [2.0, 3.0]
+
+    def test_matrix(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        out = to_query_space(pts, [5.0, 5.0])
+        assert out.tolist() == [[5.0, 5.0], [5.0, 5.0]]
+
+    def test_origin_maps_to_zero(self):
+        assert to_query_space(np.array([2.0, 2.0]), [2.0, 2.0]).tolist() == [0.0, 0.0]
+
+    def test_reflection_invariance(self):
+        # |c - p| is invariant to mirroring p through c.
+        c = np.array([1.0, 2.0])
+        p = np.array([4.0, -1.0])
+        mirrored = 2 * c - p
+        assert np.allclose(to_query_space(p, c), to_query_space(mirrored, c))
+
+
+class TestOrthants:
+    def test_2d_quadrants(self):
+        origin = [0.0, 0.0]
+        assert orthant_of([1.0, 1.0], origin) == 3
+        assert orthant_of([-1.0, 1.0], origin) == 2
+        assert orthant_of([1.0, -1.0], origin) == 1
+        assert orthant_of([-1.0, -1.0], origin) == 0
+
+    def test_boundary_goes_up(self):
+        assert orthant_of([0.0, -1.0], [0.0, 0.0]) == 1
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-1, 1, size=(50, 3))
+        origin = [0.1, -0.2, 0.0]
+        vec = orthants_of(pts, origin)
+        for i, p in enumerate(pts):
+            assert vec[i] == orthant_of(p, origin)
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-1, 1, size=(100, 2))
+        orth = orthants_of(pts, [0.0, 0.0])
+        assert orth.min() >= 0 and orth.max() <= 3
+
+
+class TestWindowBox:
+    def test_paper_window(self):
+        # Window of c2=pt2 w.r.t. q (Fig. 4(a)).
+        box = window_box([7.5, 42.0], [8.5, 55.0])
+        assert box == Box([6.5, 29.0], [8.5, 55.0])
+
+    def test_query_on_corner(self):
+        box = window_box([2.0, 2.0], [3.0, 5.0])
+        assert box.contains_point([3.0, 5.0])
+        mirrored = [1.0, -1.0]
+        assert box.contains_point(mirrored)
+
+    def test_degenerate_when_center_equals_query(self):
+        box = window_box([1.0, 1.0], [1.0, 1.0])
+        assert box.is_degenerate()
+        assert box.volume() == 0.0
+
+    def test_symmetric_around_center(self):
+        box = window_box([5.0, 5.0], [7.0, 2.0])
+        assert np.allclose(box.center, [5.0, 5.0])

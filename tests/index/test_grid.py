@@ -1,0 +1,106 @@
+"""Tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.index.grid import GridIndex
+from repro.index.scan import ScanIndex
+
+
+class TestConstruction:
+    def test_empty(self):
+        grid = GridIndex(np.empty((0, 2)))
+        assert grid.range_indices(Box([0, 0], [1, 1])).size == 0
+        assert grid.knn_indices([0, 0], 3).size == 0
+
+    def test_single_point(self):
+        grid = GridIndex(np.array([[1.0, 2.0]]))
+        assert grid.range_indices(Box([0, 0], [3, 3])).tolist() == [0]
+
+    def test_auto_resolution(self):
+        rng = np.random.default_rng(0)
+        grid = GridIndex(rng.uniform(0, 1, size=(10_000, 2)))
+        assert grid.cell_count > 100
+
+    def test_explicit_resolution(self):
+        rng = np.random.default_rng(1)
+        grid = GridIndex(rng.uniform(0, 1, size=(100, 2)), cells_per_dim=4)
+        assert grid.cell_count <= 16
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.array([[1.0, 2.0]]), cells_per_dim=0)
+
+    def test_identical_points_one_cell(self):
+        pts = np.tile([[3.0, 3.0]], (50, 1))
+        grid = GridIndex(pts)
+        assert grid.cell_count == 1
+        assert grid.range_indices(Box([3, 3], [3, 3])).size == 50
+
+
+class TestQueriesMatchOracle:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_range_matches_scan(self, dim):
+        rng = np.random.default_rng(dim)
+        pts = rng.uniform(0, 100, size=(400, dim))
+        grid = GridIndex(pts, cells_per_dim=5)
+        scan = ScanIndex(pts)
+        for _ in range(50):
+            lo = rng.uniform(0, 80, size=dim)
+            hi = lo + rng.uniform(0, 40, size=dim)
+            box = Box(lo, hi)
+            assert np.array_equal(
+                grid.range_indices(box), scan.range_indices(box)
+            )
+
+    def test_range_outside_data(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 1, size=(100, 2))
+        grid = GridIndex(pts)
+        assert grid.range_indices(Box([5, 5], [6, 6])).size == 0
+
+    def test_knn_matches_scan(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 1, size=(300, 2))
+        grid = GridIndex(pts, cells_per_dim=6)
+        scan = ScanIndex(pts)
+        for _ in range(30):
+            p = rng.uniform(-0.2, 1.2, size=2)
+            k = int(rng.integers(1, 12))
+            g = np.sort(np.linalg.norm(pts[grid.knn_indices(p, k)] - p, axis=1))
+            s = np.sort(np.linalg.norm(pts[scan.knn_indices(p, k)] - p, axis=1))
+            assert np.allclose(g, s)
+
+    def test_boundary_points_included(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        grid = GridIndex(pts, cells_per_dim=2)
+        hits = grid.range_indices(Box([0, 0], [1, 1]))
+        assert hits.tolist() == [0, 1, 2]
+
+
+class TestStats:
+    def test_selective_query_touches_few_cells(self):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 1, size=(5000, 2))
+        grid = GridIndex(pts, cells_per_dim=20)
+        grid.reset_stats()
+        grid.range_indices(Box([0.5, 0.5], [0.55, 0.55]))
+        assert grid.stats.node_accesses <= 9
+        assert grid.stats.point_comparisons < 1000
+
+
+class TestWindowQueryIntegration:
+    def test_reverse_skyline_on_grid(self):
+        """The whole pipeline runs on the grid backend too."""
+        from repro.skyline.reverse import reverse_skyline_naive
+
+        rng = np.random.default_rng(8)
+        pts = rng.uniform(0, 1, size=(200, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        grid = GridIndex(pts)
+        scan = ScanIndex(pts)
+        assert np.array_equal(
+            reverse_skyline_naive(grid, pts, q, self_exclude=True),
+            reverse_skyline_naive(scan, pts, q, self_exclude=True),
+        )

@@ -1,0 +1,90 @@
+"""Tests for the k-d tree backend."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.index.kdtree import KDTree
+from repro.index.scan import ScanIndex
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = KDTree(np.empty((0, 2)))
+        assert tree.range_indices(Box([0, 0], [1, 1])).size == 0
+        assert tree.knn_indices([0, 0], 2).size == 0
+        assert tree.height() == 0
+
+    def test_single_point(self):
+        tree = KDTree(np.array([[1.0, 2.0]]))
+        assert tree.range_indices(Box([0, 0], [3, 3])).tolist() == [0]
+
+    def test_all_identical_points(self):
+        pts = np.tile([[4.0, 4.0]], (100, 1))
+        tree = KDTree(pts, leaf_size=8)
+        assert tree.range_indices(Box([4, 4], [4, 4])).size == 100
+
+    def test_identical_in_one_dimension(self):
+        rng = np.random.default_rng(0)
+        pts = np.column_stack([np.full(200, 1.0), rng.uniform(0, 1, 200)])
+        tree = KDTree(pts, leaf_size=4)
+        scan = ScanIndex(pts)
+        box = Box([1.0, 0.2], [1.0, 0.8])
+        assert np.array_equal(tree.range_indices(box), scan.range_indices(box))
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree(np.array([[1.0, 2.0]]), leaf_size=0)
+
+    def test_balanced_height(self):
+        rng = np.random.default_rng(1)
+        tree = KDTree(rng.uniform(0, 1, size=(4096, 2)), leaf_size=8)
+        assert tree.height() <= 16  # ~log2(4096/8) + slack.
+
+
+class TestQueriesMatchOracle:
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_range_matches_scan(self, dim):
+        rng = np.random.default_rng(dim + 5)
+        pts = np.round(rng.uniform(0, 100, size=(500, dim)), 1)
+        tree = KDTree(pts, leaf_size=6)
+        scan = ScanIndex(pts)
+        for _ in range(50):
+            lo = rng.uniform(0, 80, size=dim)
+            box = Box(lo, lo + rng.uniform(0, 40, size=dim))
+            assert np.array_equal(
+                tree.range_indices(box), scan.range_indices(box)
+            )
+
+    def test_knn_matches_scan(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(0, 1, size=(400, 2))
+        tree = KDTree(pts, leaf_size=8)
+        scan = ScanIndex(pts)
+        for _ in range(30):
+            p = rng.uniform(-0.1, 1.1, size=2)
+            k = int(rng.integers(1, 15))
+            t = np.sort(np.linalg.norm(pts[tree.knn_indices(p, k)] - p, axis=1))
+            s = np.sort(np.linalg.norm(pts[scan.knn_indices(p, k)] - p, axis=1))
+            assert np.allclose(t, s)
+
+    def test_reverse_skyline_pipeline(self):
+        from repro.skyline.reverse import reverse_skyline_naive
+
+        rng = np.random.default_rng(10)
+        pts = rng.uniform(0, 1, size=(150, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        assert np.array_equal(
+            reverse_skyline_naive(KDTree(pts), pts, q, self_exclude=True),
+            reverse_skyline_naive(ScanIndex(pts), pts, q, self_exclude=True),
+        )
+
+
+class TestStats:
+    def test_selective_query_prunes(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 1, size=(5000, 2))
+        tree = KDTree(pts, leaf_size=16)
+        tree.reset_stats()
+        tree.range_indices(Box([0.4, 0.4], [0.42, 0.42]))
+        assert tree.stats.point_comparisons < 1000

@@ -1,0 +1,100 @@
+"""Tests for R*-tree deletion and tree condensation."""
+
+import numpy as np
+import pytest
+
+from repro.config import RTreeConfig
+from repro.exceptions import IndexCorruptionError
+from repro.geometry.box import Box
+from repro.index.rtree import RTree
+from repro.index.scan import ScanIndex
+
+
+def make_tree(n=200, seed=0, max_entries=5, bulk=True):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 100, size=(n, 2))
+    return pts, RTree(pts, config=RTreeConfig(max_entries=max_entries), bulk=bulk)
+
+
+class TestDelete:
+    def test_deleted_point_not_returned(self):
+        pts, tree = make_tree()
+        target = 17
+        box = Box(pts[target] - 0.1, pts[target] + 0.1)
+        assert target in tree.range_indices(box).tolist()
+        tree.delete(target)
+        assert target not in tree.range_indices(box).tolist()
+
+    def test_integrity_after_each_deletion(self):
+        pts, tree = make_tree(n=80, max_entries=4)
+        rng = np.random.default_rng(1)
+        for position in rng.permutation(80)[:40]:
+            tree.delete(int(position))
+            tree.check_integrity()
+
+    def test_delete_everything(self):
+        pts, tree = make_tree(n=60, max_entries=4)
+        for position in range(60):
+            tree.delete(position)
+        tree.check_integrity()
+        assert tree.range_indices(Box([0, 0], [100, 100])).size == 0
+        assert tree.deleted_count == 60
+
+    def test_queries_match_filtered_scan(self):
+        pts, tree = make_tree(n=150, max_entries=6)
+        scan = ScanIndex(pts)
+        rng = np.random.default_rng(2)
+        removed = set(int(i) for i in rng.permutation(150)[:70])
+        for position in removed:
+            tree.delete(position)
+        for _ in range(30):
+            lo = rng.uniform(0, 80, size=2)
+            box = Box(lo, lo + rng.uniform(5, 30, size=2))
+            expected = [
+                i for i in scan.range_indices(box).tolist() if i not in removed
+            ]
+            assert tree.range_indices(box).tolist() == expected
+
+    def test_knn_skips_deleted(self):
+        pts, tree = make_tree(n=50)
+        nearest = int(tree.knn_indices(pts[0], 1)[0])
+        assert nearest == 0
+        tree.delete(0)
+        assert int(tree.knn_indices(pts[0], 1)[0]) != 0
+
+    def test_double_delete_rejected(self):
+        _pts, tree = make_tree(n=20)
+        tree.delete(3)
+        with pytest.raises(KeyError):
+            tree.delete(3)
+
+    def test_out_of_range_rejected(self):
+        _pts, tree = make_tree(n=20)
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_delete_from_insert_built_tree(self):
+        pts, tree = make_tree(n=100, max_entries=4, bulk=False)
+        for position in range(0, 100, 3):
+            tree.delete(position)
+        tree.check_integrity()
+
+    def test_delete_then_duplicate_coordinates(self):
+        pts = np.tile([[5.0, 5.0]], (30, 1))
+        tree = RTree(pts, config=RTreeConfig(max_entries=4))
+        tree.delete(10)
+        tree.check_integrity()
+        hits = tree.range_indices(Box([5, 5], [5, 5]))
+        assert hits.size == 29
+        assert 10 not in hits.tolist()
+
+    def test_root_collapse(self):
+        """Deleting most points must shrink the tree height."""
+        pts, tree = make_tree(n=300, max_entries=4)
+        initial_height = tree.height
+        for position in range(290):
+            tree.delete(position)
+        tree.check_integrity()
+        assert tree.height <= initial_height
+        hits = tree.range_indices(Box([0, 0], [100, 100]))
+        assert hits.tolist() == list(range(290, 300))

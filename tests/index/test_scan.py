@@ -1,0 +1,84 @@
+"""Tests for the brute-force ScanIndex."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.box import Box
+from repro.index.scan import ScanIndex
+
+
+@pytest.fixture()
+def grid_index():
+    # 5x5 integer grid.
+    xs, ys = np.meshgrid(np.arange(5.0), np.arange(5.0))
+    return ScanIndex(np.column_stack([xs.ravel(), ys.ravel()]))
+
+
+class TestRange:
+    def test_closed_range(self, grid_index):
+        hits = grid_index.range_indices(Box([1, 1], [2, 2]))
+        assert hits.size == 4
+        for pos in hits:
+            p = grid_index.get_point(pos)
+            assert 1 <= p[0] <= 2 and 1 <= p[1] <= 2
+
+    def test_boundary_included(self, grid_index):
+        hits = grid_index.range_indices(Box([0, 0], [0, 0]))
+        assert hits.size == 1
+        assert grid_index.get_point(hits[0]).tolist() == [0.0, 0.0]
+
+    def test_empty_range(self, grid_index):
+        assert grid_index.range_indices(Box([10, 10], [11, 11])).size == 0
+
+    def test_full_range(self, grid_index):
+        assert grid_index.range_indices(Box([0, 0], [4, 4])).size == 25
+
+    def test_dim_mismatch_raises(self, grid_index):
+        with pytest.raises(ValueError):
+            grid_index.range_indices(Box([0, 0, 0], [1, 1, 1]))
+
+    def test_empty_index(self):
+        idx = ScanIndex(np.empty((0, 2)))
+        assert idx.range_indices(Box([0, 0], [1, 1])).size == 0
+
+    def test_results_sorted(self, grid_index):
+        hits = grid_index.range_indices(Box([0, 0], [4, 4]))
+        assert np.array_equal(hits, np.sort(hits))
+
+
+class TestKnn:
+    def test_exact_neighbours(self, grid_index):
+        hits = grid_index.knn_indices([0.1, 0.1], 3)
+        pts = grid_index.points[hits]
+        assert pts[0].tolist() == [0.0, 0.0]
+        assert len(hits) == 3
+
+    def test_k_capped_at_size(self, grid_index):
+        assert grid_index.knn_indices([0, 0], 100).size == 25
+
+    def test_k_zero(self, grid_index):
+        assert grid_index.knn_indices([0, 0], 0).size == 0
+
+    def test_deterministic_tie_break(self):
+        idx = ScanIndex(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]))
+        hits = idx.knn_indices([0.0, 0.0], 3)
+        assert hits.tolist() == [0, 1, 2]
+
+    def test_distances_monotone(self, grid_index):
+        hits = grid_index.knn_indices([2.2, 2.7], 25)
+        dists = np.linalg.norm(grid_index.points[hits] - [2.2, 2.7], axis=1)
+        assert np.all(np.diff(dists) >= -1e-12)
+
+
+class TestStats:
+    def test_counters_increment(self, grid_index):
+        grid_index.range_indices(Box([0, 0], [1, 1]))
+        grid_index.knn_indices([0, 0], 2)
+        snap = grid_index.stats.snapshot()
+        assert snap["queries"] == 2
+        assert snap["point_comparisons"] == 50
+
+    def test_reset(self, grid_index):
+        grid_index.range_indices(Box([0, 0], [1, 1]))
+        grid_index.reset_stats()
+        assert grid_index.stats.queries == 0

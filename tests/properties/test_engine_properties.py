@@ -1,0 +1,95 @@
+"""Engine-level property tests: the facade's end-to-end guarantees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MWQCase, WhyNotEngine
+
+
+def engines():
+    """Small monochromatic engines over dyadic-grid data (tie-rich)."""
+
+    def build(values):
+        pts = np.round(np.array(values).reshape(-1, 2) * 8) / 8
+        return WhyNotEngine(pts, backend="scan")
+
+    return st.integers(3, 20).flatmap(
+        lambda n: st.lists(
+            st.floats(0, 1, allow_nan=False, width=32),
+            min_size=n * 2,
+            max_size=n * 2,
+        ).map(build)
+    )
+
+
+def unit_points():
+    return st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=2, max_size=2
+    ).map(lambda v: np.round(np.array(v) * 8) / 8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(engines(), unit_points())
+def test_membership_consistency(engine, q):
+    """reverse_skyline and is_member agree for every customer."""
+    members = set(engine.reverse_skyline(q).tolist())
+    for j in range(engine.customers.shape[0]):
+        assert engine.is_member(j, q) == (j in members)
+
+
+@settings(max_examples=60, deadline=None)
+@given(engines(), unit_points())
+def test_explanation_iff_nonmember(engine, q):
+    for j in range(engine.customers.shape[0]):
+        explanation = engine.explain(j, q)
+        assert explanation.is_member == engine.is_member(j, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(engines(), unit_points())
+def test_mwq_case_semantics(engine, q):
+    """C1 answers admit the why-not point and keep every member; C2
+    pairs carry verified why-not movements."""
+    members = set(engine.reverse_skyline(q).tolist())
+    for j in range(engine.customers.shape[0]):
+        if j in members:
+            continue
+        result = engine.modify_both(j, q)
+        if result.case is MWQCase.ALREADY_MEMBER:
+            continue
+        if result.case is MWQCase.OVERLAP:
+            best = result.best_query_candidate()
+            assert best is not None
+            assert best.verified is not False
+            for member in members:
+                assert engine.is_member(member, best.point)
+        else:
+            pair = result.best_pair()
+            assert pair is not None
+            assert pair[1].verified is not False
+        break  # One why-not point per generated engine keeps this fast.
+
+
+@settings(max_examples=40, deadline=None)
+@given(engines(), unit_points())
+def test_safe_region_always_contains_query(engine, q):
+    assert engine.safe_region(q).contains(q)
+
+
+@settings(max_examples=30, deadline=None)
+@given(engines(), unit_points(), st.integers(1, 5))
+def test_approx_region_subset(engine, q, k):
+    exact = engine.safe_region(q)
+    approx = engine.safe_region(q, approximate=True, k=k)
+    assert approx.area() <= exact.area() + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(engines(), unit_points())
+def test_lost_customers_subset_of_members(engine, q):
+    rng = np.random.default_rng(0)
+    q_star = np.round(rng.uniform(0, 1, 2) * 8) / 8
+    lost = set(engine.lost_customers(q, q_star).tolist())
+    members = set(engine.reverse_skyline(q).tolist())
+    assert lost <= members

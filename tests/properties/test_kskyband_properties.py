@@ -1,0 +1,81 @@
+"""Property-based tests for the k-skyband extension."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.kskyband import (
+    dynamic_kskyband_indices,
+    kskyband_indices,
+    reverse_kskyband,
+)
+from repro.index.scan import ScanIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.dynamic import dynamic_skyline_indices
+from repro.skyline.reverse import reverse_skyline_naive
+from repro.config import DominancePolicy
+
+
+def matrices(min_rows=1, max_rows=25):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.lists(
+            st.floats(0, 1, allow_nan=False, width=32),
+            min_size=n * 2,
+            max_size=n * 2,
+        ).map(lambda v: np.round(np.array(v).reshape(-1, 2) * 8) / 8)
+    )
+
+
+def unit_points():
+    return st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=2, max_size=2
+    ).map(lambda v: np.round(np.array(v) * 8) / 8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(matrices())
+def test_k1_is_skyline(pts):
+    assert np.array_equal(kskyband_indices(pts, 1), skyline_indices(pts))
+
+
+@settings(max_examples=80, deadline=None)
+@given(matrices(), st.integers(1, 6))
+def test_band_monotone_and_complete(pts, k):
+    band_k = set(kskyband_indices(pts, k).tolist())
+    band_k1 = set(kskyband_indices(pts, k + 1).tolist())
+    assert band_k <= band_k1
+    assert set(kskyband_indices(pts, len(pts) + 1).tolist()) == set(
+        range(len(pts))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), unit_points())
+def test_dynamic_k1_is_dsl(pts, origin):
+    assert np.array_equal(
+        dynamic_kskyband_indices(pts, origin, 1),
+        dynamic_skyline_indices(pts, origin),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(min_rows=2), unit_points())
+def test_reverse_k1_is_rsl(pts, q):
+    idx = ScanIndex(pts)
+    assert np.array_equal(
+        reverse_kskyband(idx, pts, q, 1, self_exclude=True),
+        reverse_skyline_naive(
+            idx, pts, q, DominancePolicy.STRICT, self_exclude=True
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(min_rows=2), unit_points(), st.integers(1, 4))
+def test_reverse_band_monotone(pts, q, k):
+    idx = ScanIndex(pts)
+    small = set(reverse_kskyband(idx, pts, q, k, self_exclude=True).tolist())
+    large = set(
+        reverse_kskyband(idx, pts, q, k + 1, self_exclude=True).tolist()
+    )
+    assert small <= large

@@ -1,0 +1,79 @@
+"""Property-based tests for box-region algebra and measure."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion
+
+
+def boxes_2d(max_boxes=6):
+    def to_box(values):
+        lo = np.minimum(values[:2], values[2:])
+        hi = np.maximum(values[:2], values[2:])
+        return Box(lo, hi)
+
+    one_box = st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=4, max_size=4
+    ).map(lambda v: to_box(np.round(np.array(v) * 8) / 8))
+    return st.lists(one_box, min_size=0, max_size=max_boxes).map(BoxRegion)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_2d())
+def test_simplify_preserves_membership(region):
+    simplified = region.simplify()
+    rng = np.random.default_rng(0)
+    for p in rng.uniform(0, 1, size=(50, 2)):
+        assert region.contains_point(p) == simplified.contains_point(p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(boxes_2d())
+def test_simplify_preserves_measure(region):
+    assert region.measure() == _approx(region.simplify().measure())
+
+
+@settings(max_examples=80, deadline=None)
+@given(boxes_2d(max_boxes=4), boxes_2d(max_boxes=4))
+def test_intersection_membership(a, b):
+    inter = a.intersect(b)
+    rng = np.random.default_rng(1)
+    for p in rng.uniform(0, 1, size=(40, 2)):
+        expected = a.contains_point(p) and b.contains_point(p)
+        assert inter.contains_point(p) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(boxes_2d(max_boxes=4), boxes_2d(max_boxes=4))
+def test_intersection_measure_bounded(a, b):
+    inter = a.intersect(b)
+    assert inter.measure() <= min(a.measure(), b.measure()) + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(boxes_2d(max_boxes=4), boxes_2d(max_boxes=4))
+def test_union_measure_bounds(a, b):
+    union = a.union(b)
+    assert union.measure() <= a.measure() + b.measure() + 1e-9
+    assert union.measure() >= max(a.measure(), b.measure()) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(boxes_2d())
+def test_measure_matches_grid_oracle(region):
+    """Compare the sweep measure against a dense-grid indicator sum."""
+    measure = region.measure()
+    grid = np.linspace(0.5 / 32, 1 - 0.5 / 32, 32)
+    xs, ys = np.meshgrid(grid, grid)
+    cells = np.column_stack([xs.ravel(), ys.ravel()])
+    covered = sum(region.contains_point(c) for c in cells)
+    estimate = covered / len(cells)
+    assert abs(measure - estimate) < 0.12
+
+
+def _approx(value):
+    import pytest
+
+    return pytest.approx(value, abs=1e-9)

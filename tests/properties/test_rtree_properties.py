@@ -1,0 +1,63 @@
+"""Property-based tests: the R*-tree is indistinguishable from the scan
+oracle and structurally sound under any input."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RTreeConfig
+from repro.geometry.box import Box
+from repro.index.rtree import RTree
+from repro.index.scan import ScanIndex
+
+
+def matrices(max_rows=60, dim=2):
+    return st.integers(1, max_rows).flatmap(
+        lambda n: st.lists(
+            st.floats(0, 100, allow_nan=False, width=32),
+            min_size=n * dim,
+            max_size=n * dim,
+        ).map(lambda v: np.round(np.array(v).reshape(-1, dim), 1))
+    )
+
+
+def query_boxes(dim=2):
+    return st.lists(
+        st.floats(0, 100, allow_nan=False, width=32),
+        min_size=2 * dim,
+        max_size=2 * dim,
+    ).map(
+        lambda v: Box(
+            np.minimum(v[:dim], v[dim:]), np.maximum(v[:dim], v[dim:])
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), st.booleans())
+def test_integrity_any_input(pts, bulk):
+    tree = RTree(pts, config=RTreeConfig(max_entries=4), bulk=bulk)
+    tree.check_integrity()
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), query_boxes(), st.booleans())
+def test_range_equals_scan(pts, box, bulk):
+    tree = RTree(pts, config=RTreeConfig(max_entries=4), bulk=bulk)
+    scan = ScanIndex(pts)
+    assert np.array_equal(tree.range_indices(box), scan.range_indices(box))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    matrices(),
+    st.lists(st.floats(0, 100, allow_nan=False, width=32), min_size=2, max_size=2),
+    st.integers(1, 8),
+)
+def test_knn_distances_equal_scan(pts, target, k):
+    tree = RTree(pts, config=RTreeConfig(max_entries=4))
+    scan = ScanIndex(pts)
+    target = np.array(target)
+    t = np.sort(np.linalg.norm(pts[tree.knn_indices(target, k)] - target, axis=1))
+    s = np.sort(np.linalg.norm(pts[scan.knn_indices(target, k)] - target, axis=1))
+    assert np.allclose(t, s)

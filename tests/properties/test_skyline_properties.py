@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the skyline substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DominancePolicy
+from repro.index.scan import ScanIndex
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.dominance import dominates
+from repro.skyline.dynamic import dynamic_skyline_indices
+from repro.skyline.reverse import reverse_skyline_bbrs, reverse_skyline_naive
+from repro.skyline.window import window_is_empty
+
+
+def point_matrices(min_rows=1, max_rows=30, dim=2, grid=8):
+    """Matrices with deliberate coordinate collisions, snapped to a dyadic
+    grid so mirror arithmetic (2*o - p) is exact in floating point."""
+
+    def build(draw_values):
+        arr = np.array(draw_values, dtype=np.float64).reshape(-1, dim)
+        return np.round(arr * grid) / grid
+
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.lists(
+            st.floats(0, 1, allow_nan=False, width=32),
+            min_size=n * dim,
+            max_size=n * dim,
+        ).map(build)
+    )
+
+
+def points(dim=2, grid=8):
+    return st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=dim, max_size=dim
+    ).map(lambda v: np.round(np.array(v) * grid) / grid)
+
+
+@settings(max_examples=120, deadline=None)
+@given(point_matrices())
+def test_skyline_members_not_dominated(pts):
+    sky = skyline_indices(pts)
+    sky_pts = pts[sky]
+    for i, p in enumerate(sky_pts):
+        for j, other in enumerate(sky_pts):
+            if i != j:
+                assert not dominates(other, p)
+
+
+@settings(max_examples=120, deadline=None)
+@given(point_matrices())
+def test_excluded_points_dominated_by_some_member(pts):
+    sky = set(skyline_indices(pts).tolist())
+    sky_pts = pts[sorted(sky)]
+    for i in range(len(pts)):
+        if i in sky:
+            continue
+        assert any(dominates(s, pts[i]) for s in sky_pts)
+
+
+@settings(max_examples=80, deadline=None)
+@given(point_matrices())
+def test_skyline_idempotent(pts):
+    first = pts[skyline_indices(pts)]
+    second = first[skyline_indices(first)]
+    assert np.array_equal(
+        np.unique(first, axis=0), np.unique(second, axis=0)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(point_matrices(), points())
+def test_dynamic_skyline_invariant_under_reflection(pts, origin):
+    mirrored = 2 * origin - pts
+    assert np.array_equal(
+        dynamic_skyline_indices(pts, origin),
+        dynamic_skyline_indices(mirrored, origin),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_matrices(min_rows=2), points())
+def test_reverse_skyline_definition(pts, q):
+    """c in RSL(q) iff its window over P is empty — per customer."""
+    idx = ScanIndex(pts)
+    members = set(
+        reverse_skyline_naive(idx, pts, q, self_exclude=True).tolist()
+    )
+    for j in range(len(pts)):
+        empty = window_is_empty(idx, pts[j], q, exclude=(j,))
+        assert (j in members) == empty
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_matrices(min_rows=2), points())
+def test_bbrs_equals_naive(pts, q):
+    idx = ScanIndex(pts)
+    for policy in (DominancePolicy.WEAK, DominancePolicy.STRICT):
+        assert np.array_equal(
+            reverse_skyline_naive(idx, pts, q, policy, self_exclude=True),
+            reverse_skyline_bbrs(idx, pts, q, policy, self_exclude=True),
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_matrices(min_rows=2, dim=3), points(dim=3))
+def test_bbrs_equals_naive_3d(pts, q):
+    idx = ScanIndex(pts)
+    assert np.array_equal(
+        reverse_skyline_naive(idx, pts, q, self_exclude=True),
+        reverse_skyline_bbrs(idx, pts, q, self_exclude=True),
+    )

@@ -1,0 +1,93 @@
+"""Property-based tests for the why-not algorithms themselves.
+
+These encode the paper's correctness claims:
+* MWP answers admit the why-not point (Definition 5);
+* MQP answers enter the customer's dynamic skyline (Definition 6);
+* every point of the safe region preserves the reverse skyline (Lemma 2);
+* the approximate safe region is a subset of the exact one (Fig. 16).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import WhyNotConfig
+from repro.core.approx import ApproximateDSLStore
+from repro.core.mqp import modify_query_point
+from repro.core.mwp import modify_why_not_point
+from repro.core.safe_region import compute_safe_region
+from repro.core._verify import verify_membership
+from repro.geometry.box import Box
+from repro.index.scan import ScanIndex
+from repro.skyline.reverse import reverse_skyline_naive
+
+UNIT = Box([0.0, 0.0], [1.0, 1.0])
+
+
+def matrices(min_rows=2, max_rows=25):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.lists(
+            st.floats(0, 1, allow_nan=False, width=32),
+            min_size=n * 2,
+            max_size=n * 2,
+        ).map(lambda v: np.round(np.array(v).reshape(-1, 2) * 16) / 16)
+    )
+
+
+def unit_points():
+    return st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=2, max_size=2
+    ).map(lambda v: np.round(np.array(v) * 16) / 16)
+
+
+@settings(max_examples=100, deadline=None)
+@given(matrices(), unit_points(), unit_points())
+def test_mwp_answers_always_admit(pts, c, q):
+    idx = ScanIndex(pts)
+    result = modify_why_not_point(idx, c, q)
+    for cand in result.candidates:
+        assert cand.verified is not False, (pts, c, q, cand)
+
+
+@settings(max_examples=100, deadline=None)
+@given(matrices(), unit_points(), unit_points())
+def test_mqp_answers_always_enter_dsl(pts, c, q):
+    idx = ScanIndex(pts)
+    result = modify_query_point(idx, c, q)
+    for cand in result.candidates:
+        assert cand.verified is not False, (pts, c, q, cand)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(max_rows=15), unit_points())
+def test_lemma2_safe_region(pts, q):
+    idx = ScanIndex(pts)
+    rsl = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+    sr = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+    rng = np.random.default_rng(0)
+    if sr.region.is_empty():
+        return
+    for q_star in sr.region.sample_points(rng, 10):
+        for member in rsl.tolist():
+            assert verify_membership(idx, pts[member], q_star, exclude=(member,)), (
+                pts,
+                q,
+                q_star,
+                member,
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(max_rows=15), unit_points(), st.integers(1, 6))
+def test_approx_safe_region_subset(pts, q, k):
+    idx = ScanIndex(pts)
+    rsl = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+    exact = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+    store = ApproximateDSLStore(idx, pts, k=k, self_exclude=True)
+    approx = store.safe_region(q, rsl, UNIT)
+    assert approx.area() <= exact.area() + 1e-9
+    rng = np.random.default_rng(1)
+    if approx.region.is_empty():
+        return
+    for p in approx.region.sample_points(rng, 10):
+        assert exact.region.contains_point(p) or np.allclose(p, q), (pts, q, p)

@@ -1,0 +1,99 @@
+"""Tests for skyline computation (2-D fast path and any-d SFS)."""
+
+import numpy as np
+import pytest
+
+from repro.skyline.algorithms import skyline_indices, skyline_points
+
+
+def oracle(arr):
+    keep = []
+    for i in range(len(arr)):
+        dominated = any(
+            j != i and np.all(arr[j] <= arr[i]) and np.any(arr[j] < arr[i])
+            for j in range(len(arr))
+        )
+        if not dominated:
+            keep.append(i)
+    return np.array(keep, dtype=np.int64)
+
+
+class TestPaperExample:
+    def test_fig1b_skyline(self):
+        from repro.data.paperdata import paper_points
+
+        sky = skyline_indices(paper_points())
+        # SK = {p1, p3, p5} (Fig. 1(b)) — positions 0, 2, 4.
+        assert sky.tolist() == [0, 2, 4]
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        assert skyline_indices(np.empty((0, 2))).size == 0
+
+    def test_single_point(self):
+        assert skyline_indices(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_all_duplicates_kept(self):
+        pts = np.tile([[1.0, 1.0]], (5, 1))
+        assert skyline_indices(pts).tolist() == [0, 1, 2, 3, 4]
+
+    def test_duplicate_of_dominated_point_dropped(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [1.0, 1.0]])
+        assert skyline_indices(pts).tolist() == [0]
+
+    def test_tie_in_one_dim_dominates(self):
+        pts = np.array([[1.0, 1.0], [1.0, 2.0]])
+        assert skyline_indices(pts).tolist() == [0]
+
+    def test_antichain_all_kept(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert skyline_indices(pts).tolist() == [0, 1, 2, 3]
+
+    def test_chain_keeps_minimum(self):
+        pts = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        assert skyline_indices(pts).tolist() == [2]
+
+    def test_skyline_points_returns_rows(self):
+        pts = np.array([[2.0, 1.0], [1.0, 2.0], [3.0, 3.0]])
+        rows = skyline_points(pts)
+        assert rows.shape == (2, 2)
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_random_with_ties(self, dim):
+        rng = np.random.default_rng(dim)
+        for _ in range(60):
+            n = int(rng.integers(1, 50))
+            pts = np.round(rng.uniform(0, 1, size=(n, dim)) * 6) / 6
+            assert np.array_equal(skyline_indices(pts), oracle(pts))
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(0, 1, size=(200, 2))
+        first = skyline_points(pts)
+        second = skyline_points(first)
+        assert np.array_equal(np.sort(first, axis=0), np.sort(second, axis=0))
+
+    def test_no_returned_point_dominated(self):
+        rng = np.random.default_rng(10)
+        pts = rng.uniform(0, 1, size=(300, 3))
+        sky = skyline_indices(pts)
+        sky_pts = pts[sky]
+        for p in sky_pts:
+            dominated = np.all(sky_pts <= p, axis=1) & np.any(sky_pts < p, axis=1)
+            assert not dominated.any()
+
+    def test_every_excluded_point_dominated(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 1, size=(300, 2))
+        sky = set(skyline_indices(pts).tolist())
+        sky_pts = pts[sorted(sky)]
+        for i in range(len(pts)):
+            if i in sky:
+                continue
+            dominated = np.all(sky_pts <= pts[i], axis=1) & np.any(
+                sky_pts < pts[i], axis=1
+            )
+            assert dominated.any()

@@ -1,0 +1,79 @@
+"""Tests for the branch-and-bound skyline (BBS) on the R*-tree."""
+
+import numpy as np
+import pytest
+
+from repro.config import RTreeConfig
+from repro.data.paperdata import paper_points, paper_query
+from repro.index.rtree import RTree
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.bbs import bbs_dynamic_skyline, bbs_skyline
+from repro.skyline.dynamic import dynamic_skyline_indices
+
+
+class TestBBSSkyline:
+    def test_paper_static_skyline(self):
+        tree = RTree(paper_points())
+        assert bbs_skyline(tree).tolist() == [0, 2, 4]
+
+    def test_matches_sort_scan_random(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            n = int(rng.integers(1, 200))
+            pts = np.round(rng.uniform(0, 1, size=(n, 2)) * 12) / 12
+            tree = RTree(pts, config=RTreeConfig(max_entries=6))
+            assert np.array_equal(bbs_skyline(tree), skyline_indices(pts)), trial
+
+    def test_3d(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(150, 3))
+        tree = RTree(pts, config=RTreeConfig(max_entries=8))
+        assert np.array_equal(bbs_skyline(tree), skyline_indices(pts))
+
+    def test_empty(self):
+        tree = RTree(np.empty((0, 2)))
+        assert bbs_skyline(tree).size == 0
+
+    def test_exclusion(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]])
+        tree = RTree(pts)
+        assert bbs_skyline(tree).tolist() == [0]
+        # Without (0,0), the remaining points trade off and both survive.
+        assert bbs_skyline(tree, exclude=(0,)).tolist() == [1, 2]
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        tree = RTree(pts)
+        assert bbs_skyline(tree).tolist() == [0, 1]
+
+
+class TestBBSDynamicSkyline:
+    def test_paper_dsl_of_q(self):
+        tree = RTree(paper_points())
+        assert bbs_dynamic_skyline(tree, paper_query()).tolist() == [1, 5]
+
+    def test_paper_dsl_of_c2_with_exclusion(self):
+        pts = paper_points()
+        tree = RTree(pts)
+        dsl = bbs_dynamic_skyline(tree, pts[1], exclude=(1,))
+        assert dsl.tolist() == [0, 3, 5]
+
+    def test_matches_scan_based_random(self):
+        rng = np.random.default_rng(2)
+        for trial in range(25):
+            n = int(rng.integers(2, 120))
+            pts = np.round(rng.uniform(0, 1, size=(n, 2)) * 9) / 9
+            origin = np.round(rng.uniform(0, 1, size=2) * 9) / 9
+            tree = RTree(pts, config=RTreeConfig(max_entries=5))
+            expected = dynamic_skyline_indices(pts, origin)
+            assert np.array_equal(bbs_dynamic_skyline(tree, origin), expected), trial
+
+    def test_prunes_nodes(self):
+        # On clustered data BBS should not touch every node.
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1, size=(3000, 2))
+        tree = RTree(pts, config=RTreeConfig(max_entries=16))
+        total_nodes = tree.node_count()
+        tree.reset_stats()
+        bbs_dynamic_skyline(tree, np.array([0.5, 0.5]))
+        assert tree.stats.node_accesses < total_nodes

@@ -1,0 +1,100 @@
+"""Tests: BNL and D&C skylines agree with the sort-filter reference."""
+
+import numpy as np
+import pytest
+
+from repro.skyline.algorithms import skyline_indices
+from repro.skyline.bnl import bnl_skyline_indices
+from repro.skyline.dnc import dnc_skyline_indices
+
+
+def random_with_ties(rng, n, dim, grid=7):
+    return np.round(rng.uniform(0, 1, size=(n, dim)) * grid) / grid
+
+
+class TestBNL:
+    @pytest.mark.parametrize("window_size", [1, 2, 5, 64])
+    def test_matches_reference(self, window_size):
+        rng = np.random.default_rng(window_size)
+        for _ in range(60):
+            n = int(rng.integers(1, 80))
+            pts = random_with_ties(rng, n, 2)
+            assert np.array_equal(
+                bnl_skyline_indices(pts, window_size=window_size),
+                skyline_indices(pts),
+            ), (window_size, pts)
+
+    def test_matches_reference_3d(self):
+        rng = np.random.default_rng(9)
+        for _ in range(40):
+            n = int(rng.integers(1, 60))
+            pts = random_with_ties(rng, n, 3)
+            assert np.array_equal(
+                bnl_skyline_indices(pts, window_size=4), skyline_indices(pts)
+            )
+
+    def test_adversarial_spill_order(self):
+        """A spilled record dominating a later window entrant must still
+        eliminate it (the unsound-simplification regression case)."""
+        # w1, w2 fill the window; b spills; x clears the window; c enters
+        # late but is dominated by the spilled b.
+        pts = np.array(
+            [
+                [0.0, 9.0],   # w1
+                [9.0, 0.0],   # w2
+                [4.0, 4.0],   # b: incomparable with w1, w2 -> spills
+                [0.0, 0.0],   # x: dominates w1 and w2 (not b, not c? yes c)
+                [5.0, 5.0],   # c: dominated by b (and x)
+            ]
+        )
+        assert np.array_equal(
+            bnl_skyline_indices(pts, window_size=2), skyline_indices(pts)
+        )
+
+    def test_duplicates_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert bnl_skyline_indices(pts, window_size=1).tolist() == [0, 1]
+
+    def test_empty_and_single(self):
+        assert bnl_skyline_indices(np.empty((0, 2))).size == 0
+        assert bnl_skyline_indices(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_window_size_validated(self):
+        with pytest.raises(ValueError):
+            bnl_skyline_indices(np.array([[1.0, 2.0]]), window_size=0)
+
+    def test_window_one_antichain(self):
+        """All-incomparable input with the smallest window: maximal
+        spilling, many passes, still exact."""
+        pts = np.array([[float(i), float(9 - i)] for i in range(10)])
+        assert bnl_skyline_indices(pts, window_size=1).tolist() == list(range(10))
+
+
+class TestDnC:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_matches_reference(self, dim):
+        rng = np.random.default_rng(dim + 10)
+        for _ in range(50):
+            n = int(rng.integers(1, 150))
+            pts = random_with_ties(rng, n, dim)
+            assert np.array_equal(
+                dnc_skyline_indices(pts), skyline_indices(pts)
+            ), (dim, n)
+
+    def test_all_identical_points(self):
+        pts = np.tile([[0.5, 0.5]], (100, 1))
+        assert dnc_skyline_indices(pts).size == 100
+
+    def test_constant_first_dimension(self):
+        """Median ties on dim 0 must trigger the safe fallback."""
+        rng = np.random.default_rng(3)
+        pts = np.column_stack([np.full(120, 0.5), rng.uniform(0, 1, 120)])
+        assert np.array_equal(dnc_skyline_indices(pts), skyline_indices(pts))
+
+    def test_large_input_recursion(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 1, size=(3000, 2))
+        assert np.array_equal(dnc_skyline_indices(pts), skyline_indices(pts))
+
+    def test_empty(self):
+        assert dnc_skyline_indices(np.empty((0, 2))).size == 0

@@ -1,0 +1,94 @@
+"""Tests for the dominance kernels under both policies."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.skyline.dominance import (
+    dominated_mask,
+    dominates,
+    dominating_mask,
+    dynamically_dominates,
+    is_dominated_by_any,
+)
+
+WEAK = DominancePolicy.WEAK
+STRICT = DominancePolicy.STRICT
+
+
+class TestDominates:
+    def test_weak_requires_one_strict(self):
+        assert dominates([1, 2], [1, 3], WEAK)
+        assert not dominates([1, 2], [1, 2], WEAK)
+
+    def test_weak_fails_on_tradeoff(self):
+        assert not dominates([1, 3], [2, 2], WEAK)
+        assert not dominates([2, 2], [1, 3], WEAK)
+
+    def test_strict_requires_all_strict(self):
+        assert dominates([1, 2], [2, 3], STRICT)
+        assert not dominates([1, 2], [1, 3], STRICT)
+
+    def test_strict_implies_weak(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            a, b = rng.uniform(0, 1, size=(2, 3))
+            if dominates(a, b, STRICT):
+                assert dominates(a, b, WEAK)
+
+    def test_irreflexive(self):
+        assert not dominates([1, 1], [1, 1], WEAK)
+        assert not dominates([1, 1], [1, 1], STRICT)
+
+    def test_asymmetric(self):
+        assert dominates([0, 0], [1, 1], WEAK)
+        assert not dominates([1, 1], [0, 0], WEAK)
+
+
+class TestMasks:
+    def test_dominated_mask(self):
+        pts = np.array([[2, 2], [1, 1], [0, 3]])
+        mask = dominated_mask(pts, [1, 1], WEAK)
+        assert mask.tolist() == [True, False, False]
+
+    def test_dominating_mask(self):
+        pts = np.array([[0, 0], [1, 1], [2, 0]])
+        mask = dominating_mask(pts, [1, 1], WEAK)
+        assert mask.tolist() == [True, False, False]
+
+    def test_strict_masks_exclude_ties(self):
+        pts = np.array([[1, 0], [0, 0]])
+        assert dominating_mask(pts, [1, 1], STRICT).tolist() == [False, True]
+
+    def test_empty_matrix(self):
+        assert dominated_mask(np.empty((0, 2)), [1, 1]).size == 0
+        assert dominating_mask(np.empty((0, 2)), [1, 1]).size == 0
+
+    def test_is_dominated_by_any(self):
+        pts = np.array([[2, 2], [0, 0]])
+        assert is_dominated_by_any(pts, [1, 1], WEAK)
+        assert not is_dominated_by_any(pts[:1], [1, 1], WEAK)
+
+
+class TestDynamicDominance:
+    def test_paper_example(self):
+        # p2 dynamically dominates q w.r.t. c1 (Section I).
+        c1 = [5.0, 30.0]
+        p2 = [7.5, 42.0]
+        q = [8.5, 55.0]
+        assert dynamically_dominates(p2, q, c1, WEAK)
+        assert dynamically_dominates(p2, q, c1, STRICT)
+        assert not dynamically_dominates(q, p2, c1, WEAK)
+
+    def test_mirror_equivalence(self):
+        # A point and its mirror through the origin are equivalent in the
+        # transformed space: neither dominates the other.
+        c = [0.0, 0.0]
+        p = [1.0, 2.0]
+        mirrored = [-1.0, -2.0]
+        assert not dynamically_dominates(p, mirrored, c, WEAK)
+        assert not dynamically_dominates(mirrored, p, c, WEAK)
+
+    def test_closer_in_all_dims_dominates(self):
+        c = [10.0, 10.0]
+        assert dynamically_dominates([9, 11], [5, 20], c, STRICT)

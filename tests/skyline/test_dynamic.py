@@ -1,0 +1,86 @@
+"""Tests for dynamic skylines."""
+
+import numpy as np
+import pytest
+
+from repro.data.paperdata import paper_points, paper_query
+from repro.skyline.dynamic import (
+    dynamic_skyline_indices,
+    dynamic_skyline_points,
+    is_in_dynamic_skyline,
+)
+
+
+class TestPaperExamples:
+    def test_dsl_of_query(self):
+        # DSL(q) = {p2, p6} (Fig. 2(a)); positions 1 and 5.
+        dsl = dynamic_skyline_indices(paper_points(), paper_query())
+        assert dsl.tolist() == [1, 5]
+
+    def test_dsl_of_c2_contains_q(self):
+        # DSL(c2) over pt1, pt3-pt8 is {p1, p4, p6} and q joins it (Fig 2(b)).
+        pts = paper_points()
+        c2 = pts[1]
+        dsl = dynamic_skyline_indices(pts, c2, exclude=(1,))
+        assert dsl.tolist() == [0, 3, 5]
+        assert is_in_dynamic_skyline(
+            np.delete(pts, 1, axis=0), c2, paper_query()
+        )
+
+    def test_dsl_of_c1_is_p2_p5(self):
+        pts = paper_points()
+        c1 = pts[0]
+        dsl = dynamic_skyline_indices(pts, c1, exclude=(0,))
+        assert dsl.tolist() == [1, 4]
+
+    def test_q_not_in_dsl_of_c1(self):
+        pts = paper_points()
+        assert not is_in_dynamic_skyline(
+            np.delete(pts, 0, axis=0), pts[0], paper_query()
+        )
+
+
+class TestSemantics:
+    def test_transform_equivalence(self):
+        # DSL = skyline in the |c - .| space, by definition.
+        from repro.geometry.transform import to_query_space
+        from repro.skyline.algorithms import skyline_indices
+
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 10, size=(100, 2))
+        c = rng.uniform(0, 10, size=2)
+        expected = skyline_indices(to_query_space(pts, c))
+        assert np.array_equal(dynamic_skyline_indices(pts, c), expected)
+
+    def test_reflection_invariance(self):
+        # Mirroring all points through the origin keeps the DSL positions.
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 10, size=(60, 2))
+        c = np.array([5.0, 5.0])
+        mirrored = 2 * c - pts
+        assert np.array_equal(
+            dynamic_skyline_indices(pts, c), dynamic_skyline_indices(mirrored, c)
+        )
+
+    def test_exclusion_removes_point(self):
+        pts = np.array([[1.0, 1.0], [5.0, 5.0]])
+        c = np.array([0.0, 0.0])
+        full = dynamic_skyline_indices(pts, c)
+        assert full.tolist() == [0]
+        without = dynamic_skyline_indices(pts, c, exclude=(0,))
+        assert without.tolist() == [1]
+
+    def test_point_at_origin_dominates_everything(self):
+        pts = np.array([[3.0, 3.0], [4.0, 2.0], [5.0, 9.0]])
+        c = np.array([3.0, 3.0])
+        assert dynamic_skyline_indices(pts, c).tolist() == [0]
+
+    def test_empty_products(self):
+        c = np.array([1.0, 1.0])
+        assert dynamic_skyline_indices(np.empty((0, 2)), c).size == 0
+        assert is_in_dynamic_skyline(np.empty((0, 2)), c, [5.0, 5.0])
+
+    def test_points_returns_original_coordinates(self):
+        pts = paper_points()
+        rows = dynamic_skyline_points(pts, paper_query())
+        assert rows.tolist() == [[7.5, 42.0], [20.0, 50.0]]

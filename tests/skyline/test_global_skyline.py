@@ -1,0 +1,87 @@
+"""Tests for the BBRS global-skyline candidate pruning."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.index.scan import ScanIndex
+from repro.skyline.global_skyline import global_skyline_candidates
+from repro.skyline.reverse import reverse_skyline_naive
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("policy", [DominancePolicy.WEAK, DominancePolicy.STRICT])
+    def test_candidates_superset_of_rsl(self, policy):
+        """Pruning must never drop a true member (under either policy)."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(3, 60))
+            pts = np.round(rng.uniform(0, 1, size=(n, 2)) * 7) / 7
+            q = np.round(rng.uniform(0, 1, size=2) * 7) / 7
+            idx = ScanIndex(pts)
+            members = set(
+                reverse_skyline_naive(idx, pts, q, policy, self_exclude=True).tolist()
+            )
+            candidates = set(
+                global_skyline_candidates(pts, pts, q, self_exclude=True).tolist()
+            )
+            assert members <= candidates
+
+    def test_bichromatic_superset(self):
+        rng = np.random.default_rng(1)
+        prods = rng.uniform(0, 1, size=(40, 2))
+        custs = rng.uniform(0, 1, size=(25, 2))
+        q = rng.uniform(0, 1, size=2)
+        idx = ScanIndex(prods)
+        members = set(reverse_skyline_naive(idx, custs, q).tolist())
+        candidates = set(global_skyline_candidates(prods, custs, q).tolist())
+        assert members <= candidates
+
+
+class TestPruningPower:
+    def test_prunes_dominated_customers(self):
+        # Customer far behind a product in the same orthant is pruned.
+        q = np.array([0.0, 0.0])
+        prods = np.array([[1.0, 1.0]])
+        custs = np.array([[2.0, 2.0], [-2.0, 2.0]])
+        kept = global_skyline_candidates(prods, custs, q)
+        assert kept.tolist() == [1]  # Other orthant survives.
+
+    def test_axis_aligned_blockers_do_not_prune(self):
+        # Blockers on an axis hyperplane of q cannot prune (interior test).
+        q = np.array([0.0, 0.0])
+        prods = np.array([[0.0, 1.0]])
+        custs = np.array([[1.0, 2.0]])
+        assert global_skyline_candidates(prods, custs, q).tolist() == [0]
+
+    def test_self_never_prunes_self(self):
+        q = np.array([0.0, 0.0])
+        pts = np.array([[1.0, 1.0], [3.0, 3.0]])
+        kept = global_skyline_candidates(pts, pts, q, self_exclude=True)
+        assert 0 in kept.tolist()
+
+    def test_reduces_candidate_count_on_bulk_data(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, size=(2000, 2))
+        q = np.array([0.5, 0.5])
+        kept = global_skyline_candidates(pts, pts, q, self_exclude=True)
+        assert kept.size < 200  # Massive pruning on uniform data.
+
+
+class TestEdgeCases:
+    def test_no_customers(self):
+        out = global_skyline_candidates(
+            np.empty((0, 2)), np.empty((0, 2)), [0.0, 0.0]
+        )
+        assert out.size == 0
+
+    def test_no_products_keeps_all(self):
+        custs = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = global_skyline_candidates(np.empty((0, 2)), custs, [0.0, 0.0])
+        assert out.tolist() == [0, 1]
+
+    def test_output_sorted_unique(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 1, size=(100, 2))
+        out = global_skyline_candidates(pts, pts, [0.5, 0.5], self_exclude=True)
+        assert np.array_equal(out, np.unique(out))

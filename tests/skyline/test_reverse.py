@@ -1,0 +1,109 @@
+"""Tests for reverse skylines: naive oracle, BBRS equivalence, paper RSL."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.data.paperdata import paper_points, paper_query
+from repro.index.rtree import RTree
+from repro.index.scan import ScanIndex
+from repro.skyline.reverse import (
+    is_reverse_skyline_member,
+    reverse_skyline_bbrs,
+    reverse_skyline_naive,
+)
+
+WEAK = DominancePolicy.WEAK
+STRICT = DominancePolicy.STRICT
+
+
+class TestPaperReverseSkyline:
+    def test_monochromatic_rsl(self):
+        pts = paper_points()
+        idx = ScanIndex(pts)
+        rsl = reverse_skyline_naive(idx, pts, paper_query(), self_exclude=True)
+        # {c2, c3, c4, c6, c8} -> positions {1, 2, 3, 5, 7}.
+        assert rsl.tolist() == [1, 2, 3, 5, 7]
+
+    def test_membership_helper(self):
+        pts = paper_points()
+        idx = ScanIndex(pts)
+        assert is_reverse_skyline_member(
+            idx, pts[1], paper_query(), exclude=(1,)
+        )
+        assert not is_reverse_skyline_member(
+            idx, pts[0], paper_query(), exclude=(0,)
+        )
+
+    def test_bichromatic_split(self):
+        # Products pt2-pt8, customer c1=pt1: c1 not in RSL(q) (Section II).
+        pts = paper_points()
+        idx = ScanIndex(pts[1:])
+        rsl = reverse_skyline_naive(idx, pts[:1], paper_query())
+        assert rsl.size == 0
+
+
+class TestBBRSEquivalence:
+    @pytest.mark.parametrize("policy", [WEAK, STRICT])
+    @pytest.mark.parametrize("self_exclude", [True, False])
+    def test_matches_naive_random(self, policy, self_exclude):
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            n = int(rng.integers(3, 50))
+            pts = np.round(rng.uniform(0, 1, size=(n, 2)) * 10) / 10
+            q = np.round(rng.uniform(0, 1, size=2) * 10) / 10
+            idx = ScanIndex(pts)
+            customers = pts if self_exclude else rng.uniform(0, 1, size=(20, 2))
+            naive = reverse_skyline_naive(
+                idx, customers, q, policy, self_exclude=self_exclude
+            )
+            bbrs = reverse_skyline_bbrs(
+                idx, customers, q, policy, self_exclude=self_exclude
+            )
+            assert np.array_equal(naive, bbrs)
+
+    def test_matches_on_rtree(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 1, size=(200, 2))
+        q = rng.uniform(0, 1, size=2)
+        tree = RTree(pts)
+        scan = ScanIndex(pts)
+        assert np.array_equal(
+            reverse_skyline_bbrs(tree, pts, q, self_exclude=True),
+            reverse_skyline_naive(scan, pts, q, self_exclude=True),
+        )
+
+    def test_3d(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 1, size=(60, 3))
+        q = rng.uniform(0, 1, size=3)
+        idx = ScanIndex(pts)
+        assert np.array_equal(
+            reverse_skyline_bbrs(idx, pts, q, self_exclude=True),
+            reverse_skyline_naive(idx, pts, q, self_exclude=True),
+        )
+
+
+class TestValidation:
+    def test_self_exclude_requires_same_matrix(self):
+        pts = paper_points()
+        idx = ScanIndex(pts)
+        with pytest.raises(ValueError):
+            reverse_skyline_naive(idx, pts[:3], paper_query(), self_exclude=True)
+        with pytest.raises(ValueError):
+            reverse_skyline_bbrs(idx, pts[:3], paper_query(), self_exclude=True)
+
+    def test_empty_customers(self):
+        idx = ScanIndex(paper_points())
+        out = reverse_skyline_naive(idx, np.empty((0, 2)), paper_query())
+        assert out.size == 0
+
+    def test_query_far_outside_data(self):
+        # A remote query is in every customer's dynamic skyline somewhere:
+        # monochromatic RSL equals the customers whose windows are empty.
+        pts = paper_points()
+        idx = ScanIndex(pts)
+        q = np.array([1000.0, 1000.0])
+        naive = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+        bbrs = reverse_skyline_bbrs(idx, pts, q, self_exclude=True)
+        assert np.array_equal(naive, bbrs)

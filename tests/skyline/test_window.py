@@ -1,0 +1,105 @@
+"""Tests for window queries and the reverse-skyline membership test."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.data.paperdata import paper_points, paper_query
+from repro.index.scan import ScanIndex
+from repro.skyline.window import lambda_set, window_is_empty, window_query_indices
+
+WEAK = DominancePolicy.WEAK
+STRICT = DominancePolicy.STRICT
+
+
+@pytest.fixture()
+def paper_index():
+    return ScanIndex(paper_points())
+
+
+class TestPaperExamples:
+    def test_c2_window_empty(self, paper_index):
+        # Fig. 4(a): the window of c2 returns nothing -> c2 in RSL(q).
+        c2 = paper_points()[1]
+        assert window_is_empty(paper_index, c2, paper_query(), exclude=(1,))
+
+    def test_c1_window_returns_p2(self, paper_index):
+        # Fig. 4(b): the window of c1 returns {p2}.
+        c1 = paper_points()[0]
+        hits = window_query_indices(paper_index, c1, paper_query(), exclude=(0,))
+        assert hits.tolist() == [1]
+
+    def test_lambda_alias(self, paper_index):
+        c1 = paper_points()[0]
+        assert np.array_equal(
+            lambda_set(paper_index, c1, paper_query(), exclude=(0,)),
+            window_query_indices(paper_index, c1, paper_query(), exclude=(0,)),
+        )
+
+
+class TestBoundarySemantics:
+    def make_index(self, pts):
+        return ScanIndex(np.asarray(pts, dtype=float))
+
+    def test_weak_counts_boundary_with_strict_dim(self):
+        # Product ties the window in y but is strictly inside in x.
+        idx = self.make_index([[0.5, 1.0]])
+        c, q = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert window_query_indices(idx, c, q, WEAK).size == 1
+        assert window_query_indices(idx, c, q, STRICT).size == 0
+
+    def test_all_dim_tie_never_counts(self):
+        # A product at the same distances as q in every dimension does not
+        # dominate it under either policy.
+        idx = self.make_index([[1.0, 1.0]])
+        c, q = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert window_query_indices(idx, c, q, WEAK).size == 0
+        assert window_query_indices(idx, c, q, STRICT).size == 0
+
+    def test_mirror_of_query_ties(self):
+        # The mirror point -q has identical distances: no domination.
+        idx = self.make_index([[-1.0, -1.0]])
+        c, q = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert window_query_indices(idx, c, q, WEAK).size == 0
+
+    def test_strict_interior_counts_under_both(self):
+        idx = self.make_index([[0.5, 0.5]])
+        c, q = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        assert window_query_indices(idx, c, q, WEAK).size == 1
+        assert window_query_indices(idx, c, q, STRICT).size == 1
+
+    def test_degenerate_window(self):
+        # c == q: the window is a point; only co-located products tie and
+        # ties never dominate.
+        idx = self.make_index([[0.0, 0.0], [1.0, 1.0]])
+        c = q = np.array([0.0, 0.0])
+        assert window_query_indices(idx, c, q, WEAK).size == 0
+        assert window_query_indices(idx, c, q, STRICT).size == 0
+
+    def test_exclusion(self):
+        idx = self.make_index([[0.5, 0.5], [0.4, 0.4]])
+        c, q = np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        hits = window_query_indices(idx, c, q, WEAK, exclude=(0,))
+        assert hits.tolist() == [1]
+
+
+class TestOracleEquivalence:
+    def test_window_matches_dynamic_dominance(self):
+        """The window result is exactly the set of products that
+        dynamically dominate q w.r.t. c (both policies)."""
+        from repro.skyline.dominance import dynamically_dominates
+
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            pts = np.round(rng.uniform(0, 1, size=(25, 2)) * 8) / 8
+            idx = ScanIndex(pts)
+            c = np.round(rng.uniform(0, 1, size=2) * 8) / 8
+            q = np.round(rng.uniform(0, 1, size=2) * 8) / 8
+            for policy in (WEAK, STRICT):
+                hits = set(window_query_indices(idx, c, q, policy).tolist())
+                expected = {
+                    i
+                    for i in range(len(pts))
+                    if dynamically_dominates(pts[i], q, c, policy)
+                }
+                assert hits == expected

@@ -1,0 +1,71 @@
+"""Tests for library configuration objects."""
+
+import pytest
+
+from repro.config import (
+    CostWeights,
+    DominancePolicy,
+    RTreeConfig,
+    WhyNotConfig,
+)
+
+
+class TestWhyNotConfig:
+    def test_defaults(self):
+        config = WhyNotConfig()
+        assert config.policy is DominancePolicy.STRICT
+        assert config.sort_dim == 0
+        assert config.margin == 0.0
+        assert config.verify
+
+    def test_frozen(self):
+        config = WhyNotConfig()
+        with pytest.raises(Exception):
+            config.margin = 0.5
+
+    def test_margin_bounds(self):
+        WhyNotConfig(margin=0.0)
+        WhyNotConfig(margin=0.999)
+        with pytest.raises(ValueError):
+            WhyNotConfig(margin=1.0)
+        with pytest.raises(ValueError):
+            WhyNotConfig(margin=-0.1)
+
+    def test_sort_dim_validated(self):
+        with pytest.raises(ValueError):
+            WhyNotConfig(sort_dim=-1)
+
+
+class TestPolicyEnum:
+    def test_values(self):
+        assert DominancePolicy.WEAK.value == "weak"
+        assert DominancePolicy.STRICT.value == "strict"
+
+    def test_distinct(self):
+        assert DominancePolicy.WEAK is not DominancePolicy.STRICT
+
+
+class TestRTreeConfig:
+    def test_defaults_match_page_size(self):
+        # ~1536-byte pages with 40-byte 2-D entries.
+        config = RTreeConfig()
+        assert config.max_entries == 38
+        assert config.min_entries >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RTreeConfig(max_entries=3)
+        with pytest.raises(ValueError):
+            RTreeConfig(min_fill=0.0)
+
+
+class TestCostWeights:
+    def test_default_none(self):
+        weights = CostWeights()
+        assert weights.alpha is None and weights.beta is None
+
+    def test_resolution_dim3(self):
+        alpha, beta = CostWeights().resolved(3)
+        assert len(alpha) == 3
+        assert sum(alpha) == pytest.approx(1.0)
+        assert alpha == beta

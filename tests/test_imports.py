@@ -1,0 +1,75 @@
+"""Smoke tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.index",
+            "repro.skyline",
+            "repro.core",
+            "repro.data",
+            "repro.experiments",
+            "repro.experiments.cli",
+        ],
+    )
+    def test_submodules_import(self, module):
+        importlib.import_module(module)
+
+    def test_docstring_quickstart_runs(self):
+        """The module docstring's example must actually work."""
+        import numpy as np
+
+        points = np.array(
+            [[5, 30], [7.5, 42], [2.5, 70], [7.5, 90],
+             [24, 20], [20, 50], [26, 70], [16, 80]],
+            dtype=float,
+        )
+        engine = repro.WhyNotEngine(points)
+        q = np.array([8.5, 55.0])
+        assert engine.reverse_skyline(q).size == 5
+        assert "p" not in engine.explain(0, q).describe()[:2]
+        assert len(engine.modify_why_not_point(0, q)) == 2
+        assert engine.modify_both(0, q).cost == 0.0
+
+
+class TestExceptionsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro.exceptions import (
+            DimensionMismatchError,
+            EmptyDatasetError,
+            IndexCorruptionError,
+            InvalidParameterError,
+            NotInReverseSkylineError,
+            ReproError,
+        )
+
+        for exc in (
+            DimensionMismatchError,
+            EmptyDatasetError,
+            IndexCorruptionError,
+            InvalidParameterError,
+            NotInReverseSkylineError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_dimension_mismatch_message(self):
+        from repro.exceptions import DimensionMismatchError
+
+        err = DimensionMismatchError(2, 3, what="box")
+        assert "box" in str(err)
+        assert err.expected == 2 and err.got == 3

@@ -1,0 +1,160 @@
+"""Failure injection and degenerate-input robustness across the API.
+
+Every public entry point must either handle the input or raise a typed
+library error — never a bare numpy error or a silent wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Box,
+    DominancePolicy,
+    ScanIndex,
+    WhyNotConfig,
+    WhyNotEngine,
+)
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidParameterError,
+    ReproError,
+)
+
+
+class TestMalformedInput:
+    def test_nan_products_rejected(self):
+        with pytest.raises(ReproError):
+            WhyNotEngine(np.array([[1.0, float("nan")]]))
+
+    def test_inf_query_rejected(self):
+        engine = WhyNotEngine(np.array([[1.0, 2.0]]))
+        with pytest.raises(ReproError):
+            engine.reverse_skyline([float("inf"), 0.0])
+
+    def test_wrong_dim_query_rejected(self):
+        engine = WhyNotEngine(np.array([[1.0, 2.0]]))
+        with pytest.raises(DimensionMismatchError):
+            engine.reverse_skyline([1.0, 2.0, 3.0])
+
+    def test_wrong_dim_customers_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            WhyNotEngine(
+                np.array([[1.0, 2.0]]), customers=np.array([[1.0, 2.0, 3.0]])
+            )
+
+    def test_string_points_rejected(self):
+        with pytest.raises(Exception):
+            WhyNotEngine(np.array([["a", "b"]]))
+
+    def test_negative_k_rejected(self):
+        engine = WhyNotEngine(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        with pytest.raises(InvalidParameterError):
+            engine.approx_store(k=-1)
+
+
+class TestDegenerateData:
+    def test_single_product_universe(self):
+        engine = WhyNotEngine(np.array([[5.0, 5.0]]))
+        q = np.array([5.0, 5.0])
+        rsl = engine.reverse_skyline(q)
+        assert rsl.size <= 1
+        sr = engine.safe_region(q)
+        assert sr.contains(q)
+
+    def test_all_identical_points(self):
+        pts = np.tile([[2.0, 2.0]], (20, 1))
+        engine = WhyNotEngine(pts, backend="scan")
+        q = np.array([2.0, 2.0])
+        # Every co-located customer ties the (degenerate) window: all members.
+        assert engine.reverse_skyline(q).size == 20
+        result = engine.modify_both(0, q)
+        assert result.cost == 0.0
+
+    def test_collinear_points(self):
+        pts = np.column_stack([np.linspace(0, 1, 30), np.full(30, 0.5)])
+        engine = WhyNotEngine(pts, backend="scan")
+        q = np.array([0.52, 0.5])
+        rsl = engine.reverse_skyline(q)
+        for j in range(30):
+            assert engine.is_member(j, q) == (j in set(rsl.tolist()))
+
+    def test_query_equal_to_why_not_point(self):
+        pts = np.random.default_rng(0).uniform(0, 1, size=(30, 2))
+        engine = WhyNotEngine(pts, backend="scan")
+        q = pts[3].copy()
+        # The why-not point at distance zero has a degenerate window:
+        # always a member; all methods must short-circuit.
+        assert engine.is_member(3, q)
+        assert engine.explain(3, q).is_member
+        assert engine.modify_both(3, q).cost == 0.0
+
+    def test_extreme_coordinate_magnitudes(self):
+        pts = np.array([[1e12, 1e-12], [2e12, 2e-12], [3e12, 3e-12]])
+        engine = WhyNotEngine(pts, backend="scan")
+        q = np.array([1.5e12, 1.5e-12])
+        rsl = engine.reverse_skyline(q)
+        assert rsl.size >= 0  # No overflow / crash.
+        sr = engine.safe_region(q)
+        assert sr.contains(q)
+
+    def test_negative_coordinates(self):
+        pts = np.random.default_rng(1).uniform(-100, -50, size=(40, 2))
+        engine = WhyNotEngine(pts, backend="scan")
+        q = np.array([-75.0, -75.0])
+        members = engine.reverse_skyline(q)
+        for j in members.tolist():
+            assert engine.is_member(j, q)
+
+    def test_zero_range_dimension(self):
+        """One constant attribute: normalisation and regions survive."""
+        rng = np.random.default_rng(2)
+        pts = np.column_stack([rng.uniform(0, 1, 25), np.full(25, 7.0)])
+        engine = WhyNotEngine(pts, backend="scan")
+        q = np.array([0.5, 7.0])
+        engine.reverse_skyline(q)
+        sr = engine.safe_region(q)
+        assert sr.contains(q)
+        cost = engine.why_not_movement_cost([0.1, 7.0], [0.2, 7.0])
+        assert np.isfinite(cost)
+
+
+class TestPolicyConsistency:
+    def test_strict_membership_superset_of_weak(self):
+        """Anything in the WEAK reverse skyline is in the STRICT one
+        (strict exclusion is harder to trigger)."""
+        rng = np.random.default_rng(3)
+        pts = np.round(rng.uniform(0, 1, size=(40, 2)) * 8) / 8
+        q = np.round(rng.uniform(0, 1, size=2) * 8) / 8
+        weak = WhyNotEngine(
+            pts, backend="scan", config=WhyNotConfig(policy=DominancePolicy.WEAK)
+        )
+        strict = WhyNotEngine(
+            pts, backend="scan",
+            config=WhyNotConfig(policy=DominancePolicy.STRICT),
+        )
+        weak_members = set(weak.reverse_skyline(q).tolist())
+        strict_members = set(strict.reverse_skyline(q).tolist())
+        assert weak_members <= strict_members
+
+    def test_verification_disabled(self):
+        pts = np.random.default_rng(4).uniform(0, 1, size=(30, 2))
+        engine = WhyNotEngine(
+            pts, backend="scan", config=WhyNotConfig(verify=False)
+        )
+        q = np.array([0.5, 0.5])
+        for j in range(30):
+            if not engine.is_member(j, q):
+                result = engine.modify_why_not_point(j, q)
+                if not result.is_noop:
+                    assert all(c.verified is None for c in result.candidates)
+                break
+
+
+class TestBoxRobustness:
+    def test_box_from_nan_rejected(self):
+        with pytest.raises(ReproError):
+            Box([0.0, float("nan")], [1.0, 1.0])
+
+    def test_scan_index_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ScanIndex(np.zeros((2, 2, 2)))

@@ -1,0 +1,69 @@
+"""Tests for the figure builders over the worked example."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.viz.figures import (
+    render_modification_figure,
+    render_safe_region_figure,
+    render_scene_figure,
+    render_window_figure,
+)
+
+
+def well_formed(scene) -> str:
+    svg = scene.render()
+    xml.dom.minidom.parseString(svg)
+    return svg
+
+
+class TestFigureBuilders:
+    def test_scene_figure(self, paper_engine, paper_q):
+        svg = well_formed(render_scene_figure(paper_engine, paper_q))
+        assert "RSL(q)" in svg
+        assert "query q" in svg
+
+    def test_window_figure_shows_culprits(self, paper_engine, paper_q):
+        svg = well_formed(render_window_figure(paper_engine, 0, paper_q))
+        assert "culprits" in svg
+        assert "window" in svg
+
+    def test_window_figure_member_has_no_culprits(self, paper_engine, paper_q):
+        svg = well_formed(render_window_figure(paper_engine, 1, paper_q))
+        assert "culprits" not in svg
+
+    def test_safe_region_figure(self, paper_engine, paper_q):
+        svg = well_formed(render_safe_region_figure(paper_engine, paper_q))
+        assert "SR(q)" in svg
+
+    def test_safe_region_with_why_not_overlay(self, paper_engine, paper_q):
+        svg = well_formed(
+            render_safe_region_figure(paper_engine, paper_q, why_not=6)
+        )
+        assert "anti-dominance" in svg
+
+    def test_approximate_safe_region(self, paper_engine, paper_q):
+        svg = well_formed(
+            render_safe_region_figure(
+                paper_engine, paper_q, approximate=True, k=2
+            )
+        )
+        assert "Approximate" in svg
+
+    @pytest.mark.parametrize("method", ["mwp", "mqp", "mwq"])
+    def test_modification_figures(self, paper_engine, paper_q, method):
+        svg = well_formed(
+            render_modification_figure(paper_engine, 0, paper_q, method=method)
+        )
+        assert "why-not point" in svg
+
+    def test_unknown_method_rejected(self, paper_engine, paper_q):
+        with pytest.raises(ValueError):
+            render_modification_figure(paper_engine, 0, paper_q, method="zap")
+
+    def test_mwq_zero_cost_arrow(self, paper_engine, paper_q):
+        svg = well_formed(
+            render_modification_figure(paper_engine, 0, paper_q, method="mwq")
+        )
+        assert "zero cost" in svg

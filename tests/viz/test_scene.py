@@ -1,0 +1,80 @@
+"""Tests for the data-space plot scenes."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion
+from repro.viz.scene import PlotScene
+
+
+def unit_scene(**kwargs):
+    return PlotScene(Box([0, 0], [10, 10]), **kwargs)
+
+
+class TestMapping:
+    def test_corners_map_to_plot_frame(self):
+        scene = unit_scene(width=500, height=400, margin=50)
+        assert scene.to_px([0, 0]) == (50.0, 350.0)   # Bottom-left.
+        assert scene.to_px([10, 10]) == (450.0, 50.0)  # Top-right.
+
+    def test_y_axis_flipped(self):
+        scene = unit_scene()
+        _x, y_low = scene.to_px([5, 0])
+        _x, y_high = scene.to_px([5, 10])
+        assert y_low > y_high
+
+    def test_rejects_3d_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            PlotScene(Box([0, 0, 0], [1, 1, 1]))
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            PlotScene(Box([0, 0], [0, 1]))
+
+
+class TestDrawing:
+    def test_full_scene_well_formed(self):
+        scene = unit_scene(title="demo", labels=("price", "mileage"))
+        scene.add_points(np.array([[1, 1], [2, 3]]), label="pts",
+                         names=["a", "b"])
+        scene.add_marker([5, 5], label="q", name="q")
+        scene.add_box(Box([1, 1], [4, 4]), label="window")
+        scene.add_region(
+            BoxRegion([Box([6, 6], [8, 8]), Box([7, 1], [9, 3])]),
+            label="region",
+        )
+        scene.add_staircase(np.array([[1, 8], [4, 4], [8, 1]]), label="sky")
+        scene.add_movement([5, 5], [7, 7], label="move")
+        xml.dom.minidom.parseString(scene.render())
+
+    def test_out_of_bounds_box_clipped(self):
+        scene = unit_scene()
+        scene.add_box(Box([-5, -5], [20, 20]))
+        scene.add_box(Box([50, 50], [60, 60]))  # Fully outside: skipped.
+        xml.dom.minidom.parseString(scene.render())
+
+    def test_empty_staircase_no_crash(self):
+        scene = unit_scene()
+        scene.add_staircase(np.empty((0, 2)))
+        xml.dom.minidom.parseString(scene.render())
+
+    def test_legend_deduplicates(self):
+        scene = unit_scene()
+        scene.add_points(np.array([[1, 1]]), label="pts")
+        scene.add_points(np.array([[2, 2]]), label="pts")
+        svg = scene.render()
+        assert svg.count(">pts<") == 1
+
+    def test_title_rendered(self):
+        scene = unit_scene(title="My Figure")
+        assert "My Figure" in scene.render()
+
+    def test_save(self, tmp_path):
+        scene = unit_scene()
+        path = tmp_path / "scene.svg"
+        scene.save(str(path))
+        assert path.read_text().startswith("<?xml")

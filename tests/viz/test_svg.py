@@ -1,0 +1,68 @@
+"""Tests for the SVG builder."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.viz.svg import SvgDocument, _fmt
+
+
+def parse(doc: SvgDocument):
+    return xml.dom.minidom.parseString(doc.render())
+
+
+class TestFormatting:
+    def test_fmt_strips_trailing_zeros(self):
+        assert _fmt(1.500) == "1.5"
+        assert _fmt(2.0) == "2"
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_keeps_precision(self):
+        assert _fmt(0.123) == "0.123"
+
+
+class TestPrimitives:
+    def test_document_well_formed(self):
+        doc = SvgDocument(100, 80)
+        doc.rect(1, 2, 3, 4)
+        doc.circle(10, 10, 5)
+        doc.line(0, 0, 5, 5)
+        doc.polyline([(0, 0), (1, 1), (2, 0)])
+        doc.text(3, 3, "hello <world> & 'friends'")
+        doc.arrow(0, 0, 20, 20)
+        parse(doc)  # Raises on malformed XML.
+
+    def test_escaping(self):
+        doc = SvgDocument(10, 10)
+        doc.text(0, 0, "<&>")
+        svg = doc.render()
+        assert "<&>" not in svg
+        assert "&lt;&amp;&gt;" in svg
+
+    def test_background(self):
+        doc = SvgDocument(10, 10, background="#abc")
+        assert "#abc" in doc.render()
+        bare = SvgDocument(10, 10, background=None)
+        assert "#abc" not in bare.render()
+
+    def test_negative_sizes_clamped(self):
+        doc = SvgDocument(10, 10)
+        doc.rect(0, 0, -5, -5)
+        dom = parse(doc)
+        rects = dom.getElementsByTagName("rect")
+        assert rects[-1].getAttribute("width") == "0"
+
+    def test_dash_attribute(self):
+        doc = SvgDocument(10, 10)
+        doc.rect(0, 0, 5, 5, dash="3,2")
+        assert 'stroke-dasharray="3,2"' in doc.render()
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(10, 10)
+        path = tmp_path / "t.svg"
+        doc.save(str(path))
+        assert path.read_text().startswith("<?xml")
+
+    def test_viewbox_matches_size(self):
+        doc = SvgDocument(123, 45)
+        assert 'viewBox="0 0 123 45"' in doc.render()
