@@ -1,0 +1,243 @@
+"""Micro-benchmark: per-customer loop vs the blocked batch kernels.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_kernels.py --benchmark-only`` — pytest-benchmark
+  timings on the scaled-down suite sizes;
+* ``PYTHONPATH=src python benchmarks/bench_kernels.py --sizes 2000 10000``
+  — standalone before/after run writing the ``BENCH_kernels.json``
+  artifact (methodology in EXPERIMENTS.md).  The standalone runner is
+  what CI smokes on a tiny size so the kernel path is always exercised.
+
+Both compare the seed's per-customer reverse-skyline sweep (one window
+query per customer through the index) against the vectorized kernels on
+the same data, asserting identical output before recording a number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.index.scan import ScanIndex
+from repro.kernels.membership import DEFAULT_BLOCK_SIZE, batch_lambda_counts
+from repro.skyline.reverse import reverse_skyline_bbrs, reverse_skyline_naive
+
+BENCH_SEED = 7
+
+
+def _dataset(n: int, d: int, seed: int = BENCH_SEED):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, 1.0, size=(n, d))
+    q = rng.uniform(0.25, 0.75, size=d)
+    return pts, q
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (scaled-down sizes, like the rest of the
+# suite; the standalone runner below covers the paper-scale sweep).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=[2000])
+def sweep_data(request):
+    pts, q = _dataset(request.param, 2)
+    return ScanIndex(pts), pts, q
+
+
+def test_kernel_sweep_naive_loop(benchmark, sweep_data):
+    idx, pts, q = sweep_data
+    result = benchmark(reverse_skyline_naive, idx, pts, q, self_exclude=True)
+    benchmark.extra_info["rsl_size"] = int(result.size)
+
+
+def test_kernel_sweep_batch(benchmark, sweep_data):
+    idx, pts, q = sweep_data
+    result = benchmark(
+        reverse_skyline_naive,
+        idx,
+        pts,
+        q,
+        self_exclude=True,
+        batch_kernels=True,
+    )
+    benchmark.extra_info["rsl_size"] = int(result.size)
+
+
+def test_kernel_sweep_bbrs_batch(benchmark, sweep_data):
+    idx, pts, q = sweep_data
+    result = benchmark(
+        reverse_skyline_bbrs,
+        idx,
+        pts,
+        q,
+        self_exclude=True,
+        batch_kernels=True,
+    )
+    benchmark.extra_info["rsl_size"] = int(result.size)
+
+
+def test_kernel_lambda_counts(benchmark, sweep_data):
+    _idx, pts, q = sweep_data
+    counts = benchmark(
+        batch_lambda_counts,
+        pts,
+        pts,
+        q,
+        self_positions=np.arange(pts.shape[0], dtype=np.int64),
+    )
+    benchmark.extra_info["blocked_customers"] = int((counts > 0).sum())
+
+
+def test_kernel_paths_agree(sweep_data):
+    idx, pts, q = sweep_data
+    oracle = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+    batch = reverse_skyline_naive(
+        idx, pts, q, self_exclude=True, batch_kernels=True
+    )
+    assert np.array_equal(oracle, batch)
+
+
+# ----------------------------------------------------------------------
+# Standalone before/after runner -> BENCH_kernels.json
+# ----------------------------------------------------------------------
+def _time(fn, *args, repeats: int = 3, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time and the (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_size(
+    n: int,
+    d: int,
+    policy: DominancePolicy,
+    block_size: int,
+    loop_repeats: int,
+) -> dict:
+    pts, q = _dataset(n, d)
+    idx = ScanIndex(pts)
+    loop_naive, loop_members = _time(
+        reverse_skyline_naive,
+        idx,
+        pts,
+        q,
+        policy,
+        self_exclude=True,
+        repeats=loop_repeats,
+    )
+    kernel_naive, kernel_members = _time(
+        reverse_skyline_naive,
+        idx,
+        pts,
+        q,
+        policy,
+        self_exclude=True,
+        batch_kernels=True,
+        block_size=block_size,
+    )
+    assert np.array_equal(loop_members, kernel_members), "kernel != oracle"
+    loop_bbrs, bbrs_members = _time(
+        reverse_skyline_bbrs,
+        idx,
+        pts,
+        q,
+        policy,
+        self_exclude=True,
+        repeats=loop_repeats,
+    )
+    kernel_bbrs, bbrs_kernel_members = _time(
+        reverse_skyline_bbrs,
+        idx,
+        pts,
+        q,
+        policy,
+        self_exclude=True,
+        batch_kernels=True,
+        block_size=block_size,
+    )
+    assert np.array_equal(bbrs_members, bbrs_kernel_members)
+    kernel_counts, _counts = _time(
+        batch_lambda_counts,
+        pts,
+        pts,
+        q,
+        policy,
+        self_positions=np.arange(n, dtype=np.int64),
+        block_size=block_size,
+    )
+    return {
+        "n": n,
+        "m": n,
+        "d": d,
+        "policy": policy.value,
+        "rsl_size": int(kernel_members.size),
+        "loop_naive_s": round(loop_naive, 6),
+        "kernel_naive_s": round(kernel_naive, 6),
+        "speedup_naive": round(loop_naive / kernel_naive, 2),
+        "loop_bbrs_s": round(loop_bbrs, 6),
+        "kernel_bbrs_s": round(kernel_bbrs, 6),
+        "speedup_bbrs": round(loop_bbrs / kernel_bbrs, 2),
+        "kernel_lambda_counts_s": round(kernel_counts, 6),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[2000, 4000, 10000]
+    )
+    parser.add_argument("--dim", type=int, default=2)
+    parser.add_argument("--block-size", type=int, default=DEFAULT_BLOCK_SIZE)
+    parser.add_argument(
+        "--policy", choices=["weak", "strict"], default="weak"
+    )
+    parser.add_argument(
+        "--loop-repeats",
+        type=int,
+        default=1,
+        help="repeats for the slow per-customer loop (best-of)",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    policy = DominancePolicy(args.policy)
+    results = []
+    for n in args.sizes:
+        row = run_size(n, args.dim, policy, args.block_size, args.loop_repeats)
+        results.append(row)
+        print(
+            f"n=m={n} d={args.dim}: loop naive {row['loop_naive_s']:.3f}s, "
+            f"kernel {row['kernel_naive_s']:.4f}s "
+            f"({row['speedup_naive']:.1f}x); bbrs loop "
+            f"{row['loop_bbrs_s']:.4f}s, kernel {row['kernel_bbrs_s']:.4f}s"
+        )
+    payload = {
+        "benchmark": "batch membership kernels vs per-customer loop",
+        "methodology": "see EXPERIMENTS.md, section 'Batch kernel sweep'",
+        "seed": BENCH_SEED,
+        "block_size": args.block_size,
+        "policy": policy.value,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,11 @@ from repro.exceptions import (
 )
 from repro.geometry import Box, BoxRegion
 from repro.index import RTree, ScanIndex, SpatialIndex
+from repro.kernels import (
+    batch_lambda_counts,
+    batch_verify_membership,
+    batch_window_membership,
+)
 from repro.skyline import (
     dynamic_skyline_indices,
     reverse_skyline_bbrs,
@@ -96,6 +101,9 @@ __all__ = [
     "dynamic_skyline_indices",
     "reverse_skyline_naive",
     "reverse_skyline_bbrs",
+    "batch_window_membership",
+    "batch_lambda_counts",
+    "batch_verify_membership",
     "Box",
     "BoxRegion",
     "SpatialIndex",

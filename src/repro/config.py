@@ -52,18 +52,40 @@ class WhyNotConfig:
     verify:
         When true, each candidate is checked against the index before it is
         returned; unverifiable candidates are flagged, never silently kept.
+    batch_kernels:
+        When true, multi-customer sweeps (BBRS verification, lost-customer
+        checks, MQP scoring, batch why-not answering) run through the
+        blocked NumPy kernels of :mod:`repro.kernels` instead of one
+        index query per customer.  Results are bit-identical by
+        construction (property-tested); the per-customer path remains the
+        oracle and is forced by setting this to false.
+    kernel_block_size:
+        Customer tile width of the blocked kernels; peak intermediate
+        memory is ``O(kernel_block_size * n)`` per array.  Any positive
+        value yields the same results.
+    n_jobs:
+        Worker count for the parallel pre-computation paths (sampled-DSL
+        store, exact safe-region assembly).  ``1`` keeps the sequential
+        oracle path, ``-1`` uses one thread per CPU.
     """
 
     policy: DominancePolicy = DominancePolicy.STRICT
     sort_dim: int = 0
     margin: float = 0.0
     verify: bool = True
+    batch_kernels: bool = True
+    kernel_block_size: int = 512
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.sort_dim < 0:
             raise ValueError("sort_dim must be non-negative")
         if not 0.0 <= self.margin < 1.0:
             raise ValueError("margin must lie in [0, 1)")
+        if self.kernel_block_size < 1:
+            raise ValueError("kernel_block_size must be a positive integer")
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValueError("n_jobs must be a positive integer or -1")
 
 
 @dataclass(frozen=True)

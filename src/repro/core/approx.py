@@ -27,6 +27,7 @@ from repro.geometry.point import as_point
 from repro.geometry.region import BoxRegion
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
+from repro.kernels.parallel import parallel_map_chunks
 from repro.skyline.dynamic import dynamic_skyline_indices
 
 from repro.core.safe_region import SafeRegion, _reach
@@ -125,19 +126,35 @@ class ApproximateDSLStore:
     def __len__(self) -> int:
         return len(self._cache)
 
-    def precompute(self, positions: Sequence[int] | None = None) -> None:
-        """Materialise entries for ``positions`` (all customers when None)."""
-        targets = (
-            range(self.customers.shape[0]) if positions is None else positions
-        )
-        for position in targets:
-            self.entry(int(position))
+    def precompute(
+        self,
+        positions: Sequence[int] | None = None,
+        n_jobs: int | None = None,
+    ) -> None:
+        """Materialise entries for ``positions`` (all customers when None).
 
-    def entry(self, position: int) -> _StoredDSL:
-        """The sampled DSL of customer ``position`` (computed on demand)."""
-        cached = self._cache.get(position)
-        if cached is not None:
-            return cached
+        This is the paper's offline pass, embarrassingly parallel over
+        customers.  ``n_jobs`` (``config.n_jobs`` when None, ``-1`` for
+        one thread per CPU) computes missing entries in parallel chunks;
+        workers build the sampled DSLs side-effect free and the cache is
+        populated afterwards, so concurrent readers never observe a
+        half-written entry.
+        """
+        targets = [
+            int(position)
+            for position in (
+                range(self.customers.shape[0]) if positions is None else positions
+            )
+            if int(position) not in self._cache
+        ]
+        if n_jobs is None:
+            n_jobs = self.config.n_jobs
+        computed = parallel_map_chunks(self._compute, targets, n_jobs=n_jobs)
+        for position, stored in zip(targets, computed):
+            self._cache[position] = stored
+
+    def _compute(self, position: int) -> _StoredDSL:
+        """Build the sampled DSL of customer ``position`` (no cache I/O)."""
         customer = self.customers[position]
         exclude = (position,) if self.self_exclude else ()
         dsl = dynamic_skyline_indices(self.index.points, customer, exclude)
@@ -149,7 +166,14 @@ class ApproximateDSLStore:
         sampled, minima = sample_dsl_thresholds(
             thresholds, self.k, self.config.sort_dim
         )
-        stored = _StoredDSL(sampled=sampled, minima=minima)
+        return _StoredDSL(sampled=sampled, minima=minima)
+
+    def entry(self, position: int) -> _StoredDSL:
+        """The sampled DSL of customer ``position`` (computed on demand)."""
+        cached = self._cache.get(position)
+        if cached is not None:
+            return cached
+        stored = self._compute(position)
         self._cache[position] = stored
         return stored
 

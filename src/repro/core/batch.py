@@ -60,6 +60,11 @@ class WhyNotAnswer:
         pair = self.mwq.best_pair()
         if pair is None:
             best = self.mwp.best()
+            if best is None:
+                return (
+                    "no feasible modification found: neither a combined "
+                    "move nor a why-not relocation admits the point"
+                )
             coords = ", ".join(f"{v:g}" for v in best.point)
             return f"move the why-not point to ({coords}) (MWP fallback)"
         q_cand, c_cand = pair
@@ -97,6 +102,52 @@ def answer_why_not(
     )
 
 
+def _member_answer(
+    engine: WhyNotEngine, why_not: "int | Sequence[float]", q: np.ndarray
+) -> WhyNotAnswer:
+    """The answer for a customer already in ``RSL(q)``, built without
+    re-running the per-question window queries.
+
+    Replicates exactly what the full pipeline returns on an empty ``Λ``:
+    a member explanation, no-op MWP/MQP results whose single candidate is
+    the unmoved point at zero cost, and the ``ALREADY_MEMBER`` MWQ case.
+    """
+    point, _ = engine._resolve_customer(why_not)
+    empty = np.empty(0, dtype=np.int64)
+    return WhyNotAnswer(
+        why_not=why_not,
+        query=q,
+        explanation=Explanation(
+            why_not=point,
+            query=q,
+            culprit_positions=empty,
+            culprits=np.empty((0, engine.dim)),
+        ),
+        mwp=ModificationResult(
+            method="MWP",
+            why_not=point,
+            query=q,
+            candidates=[Candidate(point, cost=0.0, verified=True)],
+            lambda_positions=empty,
+            frontier_positions=empty,
+        ),
+        mqp=ModificationResult(
+            method="MQP",
+            why_not=point,
+            query=q,
+            candidates=[Candidate(q, cost=0.0, verified=True)],
+            lambda_positions=empty,
+            frontier_positions=empty,
+        ),
+        mwq=MWQResult(
+            case=MWQCase.ALREADY_MEMBER,
+            why_not=point,
+            query=q,
+            query_candidates=[Candidate(q, cost=0.0, verified=True)],
+        ),
+    )
+
+
 def answer_why_not_batch(
     engine: WhyNotEngine,
     why_nots: Sequence["int | Sequence[float]"],
@@ -108,10 +159,22 @@ def answer_why_not_batch(
 
     The first answer pays for the safe-region construction; the engine's
     per-query cache makes every subsequent answer reuse it, exactly the
-    amortisation Section VI describes.
+    amortisation Section VI describes.  With ``config.batch_kernels`` the
+    membership of *all* questions is additionally resolved in one blocked
+    kernel pass up front, so customers already in ``RSL(q)`` skip their
+    four per-question window queries entirely.
     """
     q = np.asarray(query, dtype=np.float64)
     engine.safe_region(q, approximate=approximate, k=k)  # Warm the cache once.
+    why_nots = list(why_nots)
+    if engine.config.batch_kernels and why_nots:
+        members = engine.membership_mask(why_nots, q)
+        return [
+            _member_answer(engine, why_not, q)
+            if members[i]
+            else answer_why_not(engine, why_not, q, approximate=approximate, k=k)
+            for i, why_not in enumerate(why_nots)
+        ]
     return [
         answer_why_not(engine, why_not, q, approximate=approximate, k=k)
         for why_not in why_nots

@@ -40,6 +40,10 @@ from repro.index.grid import GridIndex
 from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
 from repro.index.scan import ScanIndex
+from repro.kernels.membership import (
+    batch_verify_membership,
+    batch_window_membership,
+)
 from repro.skyline.reverse import reverse_skyline_bbrs
 
 __all__ = ["WhyNotEngine"]
@@ -161,6 +165,8 @@ class WhyNotEngine:
                 q,
                 policy=self.config.policy,
                 self_exclude=self.monochromatic,
+                batch_kernels=self.config.batch_kernels,
+                block_size=self.config.kernel_block_size,
             )
             self._rsl_cache[key] = cached
         return cached
@@ -173,6 +179,52 @@ class WhyNotEngine:
         q = as_point(query, dim=self.dim)
         return verify_membership(
             self.index, point, q, self.config.policy, exclude, rtol=0.0
+        )
+
+    def membership_mask(
+        self,
+        why_nots: Sequence["int | Sequence[float]"],
+        query: Sequence[float],
+    ) -> np.ndarray:
+        """Boolean :meth:`is_member` vector for many customers at once.
+
+        With ``config.batch_kernels`` the whole sweep is one blocked
+        kernel pass (no per-customer index query); otherwise it loops the
+        per-customer oracle.  Either way the result is bit-identical to
+        calling :meth:`is_member` per entry.
+        """
+        count = len(why_nots)
+        points = np.empty((count, self.dim), dtype=np.float64)
+        self_positions = np.full(count, -1, dtype=np.int64)
+        for i, why_not in enumerate(why_nots):
+            point, exclude = self._resolve_customer(why_not)
+            points[i] = point
+            if exclude:
+                self_positions[i] = exclude[0]
+        if self.config.batch_kernels:
+            return batch_window_membership(
+                self.products,
+                points,
+                query,
+                self.config.policy,
+                self_positions=self_positions,
+                block_size=self.config.kernel_block_size,
+            )
+        q = as_point(query, dim=self.dim)
+        return np.fromiter(
+            (
+                verify_membership(
+                    self.index,
+                    points[i],
+                    q,
+                    self.config.policy,
+                    (int(self_positions[i]),) if self_positions[i] >= 0 else (),
+                    rtol=0.0,
+                )
+                for i in range(count)
+            ),
+            dtype=bool,
+            count=count,
         )
 
     # ------------------------------------------------------------------
@@ -339,14 +391,34 @@ class WhyNotEngine:
         """
         q = as_point(query, dim=self.dim)
         q_star = as_point(refined_query, dim=self.dim)
-        lost = []
-        for position in self.reverse_skyline(q):
+        members = self.reverse_skyline(q)
+        retained = self._retained_mask(members, q_star)
+        return members[~retained].astype(np.int64, copy=False)
+
+    def _retained_mask(
+        self, members: np.ndarray, refined_query: np.ndarray
+    ) -> np.ndarray:
+        """Which reverse-skyline ``members`` remain members under the
+        refined query (tolerance-aware, one kernel pass when enabled)."""
+        members = np.asarray(members, dtype=np.int64)
+        if members.size == 0:
+            return np.empty(0, dtype=bool)
+        if self.config.batch_kernels:
+            return batch_verify_membership(
+                self.products,
+                self.customers[members],
+                refined_query,
+                self.config.policy,
+                self_positions=members if self.monochromatic else None,
+                block_size=self.config.kernel_block_size,
+            )
+        retained = np.empty(members.size, dtype=bool)
+        for i, position in enumerate(members):
             point, exclude = self._resolve_customer(int(position))
-            if not verify_membership(
-                self.index, point, q_star, self.config.policy, exclude
-            ):
-                lost.append(int(position))
-        return np.asarray(lost, dtype=np.int64)
+            retained[i] = verify_membership(
+                self.index, point, refined_query, self.config.policy, exclude
+            )
+        return retained
 
     # ------------------------------------------------------------------
     # Experiment cost model (Section VI.A)
@@ -381,12 +453,10 @@ class WhyNotEngine:
         if anchor is None:
             anchor = q
         total = self.normalizer.cost(anchor, q_star, self.alpha)
-        for position in self.reverse_skyline(q):
+        members = self.reverse_skyline(q)
+        retained = self._retained_mask(members, q_star)
+        for position in members[~retained]:
             point, exclude = self._resolve_customer(int(position))
-            if verify_membership(
-                self.index, point, q_star, self.config.policy, exclude
-            ):
-                continue  # Customer retained; no penalty.
             repair = modify_why_not_point(
                 self.index,
                 point,

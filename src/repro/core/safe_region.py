@@ -32,6 +32,7 @@ from repro.geometry.point import as_point
 from repro.geometry.region import BoxRegion
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
+from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
 from repro.skyline.dynamic import dynamic_skyline_indices
 
 __all__ = [
@@ -194,6 +195,7 @@ def compute_safe_region(
     bounds: Box,
     config: WhyNotConfig | None = None,
     self_exclude: bool = False,
+    n_jobs: int | None = None,
 ) -> SafeRegion:
     """Algorithm 3: intersect the anti-dominance regions of all members.
 
@@ -212,6 +214,14 @@ def compute_safe_region(
     self_exclude:
         Monochromatic convention: customer ``j`` is excluded from its own
         dynamic-skyline computation.
+    n_jobs:
+        Worker threads for the per-member anti-dominance-region
+        construction (``config.n_jobs`` when None).  Each member's DSL +
+        staircase decomposition is independent, so they compute in
+        parallel; the intersection itself stays sequential in position
+        order, keeping the result identical to the ``n_jobs=1`` oracle.
+        The parallel path gives up the early exit on an empty
+        intersection — it pays off when most regions are needed anyway.
 
     Notes
     -----
@@ -221,22 +231,37 @@ def compute_safe_region(
     drops it, the degenerate box ``{q}`` is added back explicitly.
     """
     config = config or WhyNotConfig()
+    if n_jobs is None:
+        n_jobs = config.n_jobs
     q = as_point(query, dim=index.dim)
     if not bounds.contains_point(q):
         raise InvalidParameterError("query point lies outside the given bounds")
-    region = BoxRegion([Box(bounds.lo.copy(), bounds.hi.copy())], dim=index.dim)
-    for position in np.asarray(rsl_positions, dtype=np.int64):
-        customer = np.asarray(customers, dtype=np.float64)[position]
-        ddr = anti_dominance_region(
+    positions = np.asarray(rsl_positions, dtype=np.int64)
+    custs = np.asarray(customers, dtype=np.float64)
+
+    def member_region(position: int) -> BoxRegion:
+        return anti_dominance_region(
             index,
-            customer,
+            custs[position],
             bounds,
             sort_dim=config.sort_dim,
             exclude=(int(position),) if self_exclude else (),
         )
-        region = region.intersect(ddr)
-        if region.is_empty():
-            break
+
+    region = BoxRegion([Box(bounds.lo.copy(), bounds.hi.copy())], dim=index.dim)
+    if resolve_n_jobs(n_jobs) > 1 and positions.size > 1:
+        ddrs = parallel_map_chunks(
+            member_region, [int(p) for p in positions], n_jobs=n_jobs
+        )
+        for ddr in ddrs:
+            region = region.intersect(ddr)
+            if region.is_empty():
+                break
+    else:
+        for position in positions:
+            region = region.intersect(member_region(int(position)))
+            if region.is_empty():
+                break
     if not region.contains_point(q):
         region = region.union(BoxRegion([Box(q, q)], dim=index.dim))
     return SafeRegion(

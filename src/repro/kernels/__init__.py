@@ -1,0 +1,33 @@
+"""Vectorised batch kernels for bulk reverse-skyline workloads.
+
+Every multi-customer path in the library — BBRS verification, lost-customer
+sweeps, MQP experiment scoring, DSL pre-computation — reduces to evaluating
+the Dellis-Seeger window emptiness test for *many* customers against the
+same query.  Doing that one customer at a time through the index is a
+Python-level loop and dominates MWQ runtime (the paper's Fig. 15); these
+kernels evaluate all customers in one broadcasted NumPy pass, tiled over a
+configurable block size so the intermediate arrays stay bounded.
+
+* :mod:`repro.kernels.membership` — blocked batch membership / Λ-count /
+  tolerance-aware verification kernels;
+* :mod:`repro.kernels.parallel` — ``concurrent.futures``-based chunked
+  parallel mapping for per-customer pre-computation (sampled DSLs,
+  anti-dominance regions).
+"""
+
+from repro.kernels.membership import (
+    DEFAULT_BLOCK_SIZE,
+    batch_lambda_counts,
+    batch_verify_membership,
+    batch_window_membership,
+)
+from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "batch_window_membership",
+    "batch_lambda_counts",
+    "batch_verify_membership",
+    "parallel_map_chunks",
+    "resolve_n_jobs",
+]

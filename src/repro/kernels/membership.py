@@ -1,0 +1,296 @@
+"""Blocked batch kernels for the Dellis-Seeger membership test.
+
+One customer's membership in ``RSL(q)`` is a window-emptiness test: no
+product may be (weakly/strictly) closer to the customer than the query in
+every dimension.  The per-customer implementation in
+:mod:`repro.skyline.window` issues one index query per customer; the
+kernels here evaluate the same predicate for an ``(m, d)`` customer matrix
+against the ``(n, d)`` product matrix in one broadcasted pass.
+
+Memory model: customers are processed in tiles of ``block_size`` rows,
+products in chunks of the same width, and the dimension axis is
+accumulated in a loop, so the live intermediates are
+``O(block_size ** 2)`` booleans/floats — never the full ``(m, n, d)``
+tensor.  The membership sweep additionally drops customers from a tile as
+soon as any product chunk blocks them (an existential test is
+order-independent), which collapses the typical cost from ``O(m * n)`` to
+little more than one chunk per customer.  ``block_size`` trades peak
+memory for fewer NumPy dispatches; any value yields bit-identical results
+(property-tested against the per-customer oracle).
+
+Boundary semantics match :func:`repro.skyline.window.window_query_indices`
+exactly when ``rtol == 0`` and
+:func:`repro.core._verify.verify_membership` when ``rtol`` is the
+verification tolerance: the slack scales with the coordinate magnitude of
+each customer/query pair, forgiving 1-ulp boundary flips.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DominancePolicy
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import as_point, as_points
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "batch_window_membership",
+    "batch_lambda_counts",
+    "batch_verify_membership",
+]
+
+DEFAULT_BLOCK_SIZE = 512
+
+_VERIFY_RTOL = 1e-12  # Mirrors repro.core._verify.VERIFY_RTOL.
+
+
+def _prepare(
+    products: np.ndarray,
+    customers: np.ndarray,
+    query: Sequence[float],
+    self_positions: np.ndarray | None,
+    block_size: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    if block_size < 1:
+        raise InvalidParameterError("block_size must be a positive integer")
+    q = as_point(query)
+    prods = as_points(products, dim=q.size)
+    custs = as_points(customers, dim=q.size)
+    positions = None
+    if self_positions is not None:
+        positions = np.asarray(self_positions, dtype=np.int64)
+        if positions.shape != (custs.shape[0],):
+            raise InvalidParameterError(
+                "self_positions must have one entry per customer, "
+                f"got shape {positions.shape} for {custs.shape[0]} customers"
+            )
+        if positions.size and (
+            positions.min() < -1 or positions.max() >= prods.shape[0]
+        ):
+            raise InvalidParameterError(
+                "self_positions entries must be -1 or valid product positions"
+            )
+    return prods, custs, q, positions
+
+
+def _window_bounds(
+    block: np.ndarray, q: np.ndarray, rtol: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-customer ``(lo, hi)`` window thresholds, slack-adjusted.
+
+    A product blocks a customer when its per-dimension distance is
+    strictly below ``lo`` everywhere (STRICT), or weakly below ``hi``
+    everywhere and strictly below ``lo`` somewhere (WEAK).  With
+    ``rtol == 0`` both bounds are the exact window radii.
+    """
+    radii = np.abs(block - q)  # (b, d)
+    if rtol > 0.0:
+        scale = np.maximum(
+            1.0, np.max(np.abs(block), axis=1, initial=np.max(np.abs(q)))
+        )
+        slack = (rtol * scale)[:, None]  # (b, 1)
+        return radii - slack, radii + slack
+    return radii, radii
+
+
+def _blocking_matrix(
+    prods: np.ndarray,
+    block: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    policy: DominancePolicy,
+) -> np.ndarray:
+    """``(b, n)`` boolean matrix: does product ``i`` block customer ``j``?
+
+    The dimension axis is folded in a Python loop (``d`` is small) so the
+    live arrays stay two-dimensional.
+    """
+    b, dim = block.shape
+    n = prods.shape[0]
+    if policy is DominancePolicy.STRICT:
+        blocking = np.ones((b, n), dtype=bool)
+        for d in range(dim):
+            dd = np.abs(block[:, d, None] - prods[None, :, d])
+            blocking &= dd < lo[:, d, None]
+        return blocking
+    all_le = np.ones((b, n), dtype=bool)
+    any_lt = np.zeros((b, n), dtype=bool)
+    for d in range(dim):
+        dd = np.abs(block[:, d, None] - prods[None, :, d])
+        all_le &= dd <= hi[:, d, None]
+        any_lt |= dd < lo[:, d, None]
+    return all_le & any_lt
+
+
+def _clear_self_entries(
+    blocking: np.ndarray, sp: np.ndarray | None, product_start: int
+) -> None:
+    """Clear the self-exclusion entry of each row whose excluded product
+    falls inside the current product chunk.  ``sp`` holds absolute product
+    positions (-1 for none), one per row of ``blocking``."""
+    if sp is None:
+        return
+    local = sp - product_start
+    rows = np.flatnonzero((local >= 0) & (local < blocking.shape[1]))
+    if rows.size:
+        blocking[rows, local[rows]] = False
+
+
+def _membership_block(
+    prods: np.ndarray,
+    block: np.ndarray,
+    q: np.ndarray,
+    policy: DominancePolicy,
+    rtol: float,
+    sp: np.ndarray | None,
+    chunk: int,
+) -> np.ndarray:
+    """Membership vector for one customer tile, chunked over products with
+    early-exit compaction.
+
+    Membership is an existential test — one blocker anywhere disqualifies
+    a customer — so customers already blocked by an earlier product chunk
+    are dropped from later ones.  On realistic data most customers are
+    blocked within the first chunk, collapsing the effective work from
+    ``O(b * n)`` to roughly ``O(b * chunk)`` plus a short tail, while the
+    outcome stays bit-identical (blocker existence is order-independent).
+    """
+    b = block.shape[0]
+    n = prods.shape[0]
+    lo, hi = _window_bounds(block, q, rtol)
+    alive = np.arange(b, dtype=np.int64)
+    for start in range(0, n, chunk):
+        pc = prods[start : start + chunk]
+        blocking = _blocking_matrix(
+            pc, block[alive], lo[alive], hi[alive], policy
+        )
+        _clear_self_entries(
+            blocking, sp[alive] if sp is not None else None, start
+        )
+        alive = alive[~blocking.any(axis=1)]
+        if alive.size == 0:
+            break
+    members = np.zeros(b, dtype=bool)
+    members[alive] = True
+    return members
+
+
+def batch_window_membership(
+    products: np.ndarray,
+    customers: np.ndarray,
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+    self_positions: np.ndarray | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    rtol: float = 0.0,
+) -> np.ndarray:
+    """``(m,)`` boolean vector: is each customer in ``RSL(query)``?
+
+    Parameters
+    ----------
+    products, customers:
+        ``(n, d)`` product and ``(m, d)`` customer matrices.
+    query:
+        The reverse-skyline query point ``q``.
+    policy:
+        Dominance policy of the window test (see DESIGN.md §2).
+    self_positions:
+        Optional ``(m,)`` int array giving, per customer row, the product
+        row excluded from its own window (monochromatic self-exclusion);
+        ``-1`` means no exclusion.  Supports verifying an arbitrary
+        candidate subset: pass ``customers[cand]`` with
+        ``self_positions=cand``.
+    block_size:
+        Customer tile and product chunk width; bounds peak memory at
+        ``O(block_size ** 2)``.
+    rtol:
+        Relative boundary tolerance.  ``0`` reproduces the exact window
+        test of :func:`repro.skyline.window.window_is_empty`; the
+        verification tolerance reproduces
+        :func:`repro.core._verify.verify_membership`.
+    """
+    prods, custs, q, positions = _prepare(
+        products, customers, query, self_positions, block_size
+    )
+    m = custs.shape[0]
+    members = np.empty(m, dtype=bool)
+    if m == 0:
+        return members
+    if prods.shape[0] == 0:
+        members[:] = True
+        return members
+    for start in range(0, m, block_size):
+        block = custs[start : start + block_size]
+        sp = positions[start : start + block.shape[0]] if positions is not None else None
+        members[start : start + block.shape[0]] = _membership_block(
+            prods, block, q, policy, rtol, sp, chunk=block_size
+        )
+    return members
+
+
+def batch_lambda_counts(
+    products: np.ndarray,
+    customers: np.ndarray,
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.WEAK,
+    self_positions: np.ndarray | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> np.ndarray:
+    """``(m,)`` int64 vector of ``|Λ|`` per customer.
+
+    ``Λ`` is the paper's first-aspect explanation — the products inside
+    each customer's window (Lemma 1); a zero count is exactly membership.
+    Influence-style workloads (how many customers does each product
+    block?) are bulk sweeps of these counts.
+    """
+    prods, custs, q, positions = _prepare(
+        products, customers, query, self_positions, block_size
+    )
+    m = custs.shape[0]
+    counts = np.zeros(m, dtype=np.int64)
+    if m == 0 or prods.shape[0] == 0:
+        return counts
+    for start in range(0, m, block_size):
+        block = custs[start : start + block_size]
+        sp = positions[start : start + block.shape[0]] if positions is not None else None
+        lo, hi = _window_bounds(block, q, rtol=0.0)
+        # Counting cannot short-circuit, but chunking the product axis
+        # keeps the live intermediates at O(block_size^2) all the same.
+        acc = np.zeros(block.shape[0], dtype=np.int64)
+        for pstart in range(0, prods.shape[0], block_size):
+            pc = prods[pstart : pstart + block_size]
+            blocking = _blocking_matrix(pc, block, lo, hi, policy)
+            _clear_self_entries(blocking, sp, pstart)
+            acc += blocking.sum(axis=1)
+        counts[start : start + block.shape[0]] = acc
+    return counts
+
+
+def batch_verify_membership(
+    products: np.ndarray,
+    customers: np.ndarray,
+    query: Sequence[float],
+    policy: DominancePolicy = DominancePolicy.STRICT,
+    self_positions: np.ndarray | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    rtol: float = _VERIFY_RTOL,
+) -> np.ndarray:
+    """Tolerance-aware batch membership, matching
+    :func:`repro.core._verify.verify_membership` bit-for-bit.
+
+    Used by the bulk lost-customer and MQP-scoring sweeps, where answers
+    sit exactly on window boundaries and the exact test is one rounding
+    error away from flipping.
+    """
+    return batch_window_membership(
+        products,
+        customers,
+        query,
+        policy,
+        self_positions=self_positions,
+        block_size=block_size,
+        rtol=rtol,
+    )

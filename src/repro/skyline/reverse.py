@@ -7,6 +7,12 @@ realisation of the definition and the correctness oracle.
 uses [9]: first prune customers that provably cannot be members via the
 per-orthant global skyline, then verify only the survivors with window
 queries.  Outputs are identical by construction (property-tested).
+
+Both accept ``batch_kernels``: verification then runs through the blocked
+NumPy kernel of :mod:`repro.kernels.membership` — one broadcasted pass
+over all (surviving) customers instead of one index query each — with
+bit-identical output (the kernel evaluates the same predicate on the same
+float arithmetic).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import numpy as np
 from repro.config import DominancePolicy
 from repro.geometry.point import as_point, as_points
 from repro.index.base import SpatialIndex
+from repro.kernels.membership import DEFAULT_BLOCK_SIZE, batch_window_membership
 from repro.skyline.global_skyline import global_skyline_candidates
 from repro.skyline.window import window_is_empty
 
@@ -40,12 +47,21 @@ def is_reverse_skyline_member(
     return window_is_empty(product_index, customer, query, policy, exclude)
 
 
+def _check_self_exclude(custs: np.ndarray, index: SpatialIndex) -> None:
+    if custs.shape[0] != index.size:
+        raise ValueError(
+            "self_exclude requires customers to be the indexed product matrix"
+        )
+
+
 def reverse_skyline_naive(
     product_index: SpatialIndex,
     customers: np.ndarray,
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     self_exclude: bool = False,
+    batch_kernels: bool = False,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> np.ndarray:
     """Positions (into ``customers``) of ``RSL(query)`` by direct testing.
 
@@ -55,10 +71,22 @@ def reverse_skyline_naive(
     """
     q = as_point(query, dim=product_index.dim)
     custs = as_points(customers, dim=product_index.dim)
-    if self_exclude and custs.shape[0] != product_index.size:
-        raise ValueError(
-            "self_exclude requires customers to be the indexed product matrix"
+    if self_exclude:
+        _check_self_exclude(custs, product_index)
+    if batch_kernels:
+        mask = batch_window_membership(
+            product_index.points,
+            custs,
+            q,
+            policy,
+            self_positions=(
+                np.arange(custs.shape[0], dtype=np.int64)
+                if self_exclude
+                else None
+            ),
+            block_size=block_size,
         )
+        return np.flatnonzero(mask).astype(np.int64)
     members = [
         j
         for j in range(custs.shape[0])
@@ -79,6 +107,8 @@ def reverse_skyline_bbrs(
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     self_exclude: bool = False,
+    batch_kernels: bool = False,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> np.ndarray:
     """Positions of ``RSL(query)`` via global-skyline pruning + verification.
 
@@ -88,13 +118,24 @@ def reverse_skyline_bbrs(
     """
     q = as_point(query, dim=product_index.dim)
     custs = as_points(customers, dim=product_index.dim)
-    if self_exclude and custs.shape[0] != product_index.size:
-        raise ValueError(
-            "self_exclude requires customers to be the indexed product matrix"
-        )
+    if self_exclude:
+        _check_self_exclude(custs, product_index)
     candidates = global_skyline_candidates(
         product_index.points, custs, q, self_exclude=self_exclude
     )
+    if batch_kernels:
+        cand = np.asarray(candidates, dtype=np.int64)
+        if cand.size == 0:
+            return cand
+        mask = batch_window_membership(
+            product_index.points,
+            custs[cand],
+            q,
+            policy,
+            self_positions=cand if self_exclude else None,
+            block_size=block_size,
+        )
+        return cand[mask]
     members = [
         int(j)
         for j in candidates

@@ -42,9 +42,13 @@ def window_query_indices(
     q = as_point(query, dim=index.dim)
     box = window_box(c, q)
     hits = index.range_indices(box)
-    if exclude is not None and len(tuple(exclude)):
-        excluded = np.asarray(tuple(exclude), dtype=np.int64)
-        hits = hits[~np.isin(hits, excluded)]
+    if exclude is not None:
+        excluded = np.atleast_1d(np.asarray(exclude, dtype=np.int64))
+        if excluded.size == 1:
+            # The common monochromatic case: one self-exclusion position.
+            hits = hits[hits != excluded[0]]
+        elif excluded.size:
+            hits = hits[~np.isin(hits, excluded)]
     if hits.size == 0:
         return hits
     radii = np.abs(c - q)

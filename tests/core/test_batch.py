@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro import WhyNotEngine, answer_why_not, answer_why_not_batch
-from repro.core.answer import MWQCase
+from repro.core.answer import (
+    Explanation,
+    ModificationResult,
+    MWQCase,
+    MWQResult,
+)
+from repro.core.batch import WhyNotAnswer
 from repro.data.paperdata import paper_points, paper_query
 from repro.data.synthetic import generate_uniform
 
@@ -54,6 +60,42 @@ class TestAnswerWhyNot:
         pytest.skip("no C2 case found in the sampled workload")
 
 
+class TestRecommendationNoFeasibleModification:
+    def test_mwp_fallback_without_candidates_does_not_crash(self, paper_q):
+        """Regression: ``mwq.best_pair()`` and ``mwp.best()`` can both be
+        None (no candidate survived); the verdict must say so instead of
+        dereferencing ``None.point``."""
+        c_t = np.array([5.0, 30.0])
+        lam = np.array([1], dtype=np.int64)
+        answer = WhyNotAnswer(
+            why_not=0,
+            query=paper_q,
+            explanation=Explanation(
+                why_not=c_t,
+                query=paper_q,
+                culprit_positions=lam,
+                culprits=np.array([[7.5, 42.0]]),
+            ),
+            mwp=ModificationResult(
+                method="MWP",
+                why_not=c_t,
+                query=paper_q,
+                lambda_positions=lam,
+                frontier_positions=lam,
+            ),
+            mqp=ModificationResult(
+                method="MQP",
+                why_not=c_t,
+                query=paper_q,
+                lambda_positions=lam,
+                frontier_positions=lam,
+            ),
+            mwq=MWQResult(case=MWQCase.DISJOINT, why_not=c_t, query=paper_q),
+        )
+        text = answer.recommendation()
+        assert "no feasible modification" in text
+
+
 class TestBatch:
     def test_batch_reuses_safe_region(self, paper_engine, paper_q):
         answers = answer_why_not_batch(paper_engine, [0, 4, 6], paper_q)
@@ -81,3 +123,44 @@ class TestBatch:
         assert len(answers) == 2
         for answer in answers:
             assert answer.mwq.case is not None
+
+    def test_batch_member_fast_path_matches_pipeline(self, paper_pts, paper_q):
+        """The kernel-backed member fast path must be observationally
+        identical to running the full per-question pipeline."""
+        from repro.config import WhyNotConfig
+        from repro.data.paperdata import paper_dataset
+
+        ds = paper_dataset()
+        fast = WhyNotEngine(
+            ds.points,
+            backend="scan",
+            bounds=ds.bounds,
+            config=WhyNotConfig(batch_kernels=True),
+        )
+        slow = WhyNotEngine(
+            ds.points,
+            backend="scan",
+            bounds=ds.bounds,
+            config=WhyNotConfig(batch_kernels=False),
+        )
+        whys = [0, 1, 4, [5.0, 30.0], [26.0, 70.0]]
+        for a, b in zip(
+            answer_why_not_batch(fast, whys, paper_q),
+            answer_why_not_batch(slow, whys, paper_q),
+        ):
+            assert a.already_member == b.already_member
+            assert np.array_equal(
+                a.explanation.culprit_positions, b.explanation.culprit_positions
+            )
+            assert a.mwq.case is b.mwq.case
+            assert a.recommendation() == b.recommendation()
+            assert a.best_cost() == b.best_cost()
+            assert len(a.mwp) == len(b.mwp)
+            assert len(a.mqp) == len(b.mqp)
+            for ca, cb in zip(a.mwp, b.mwp):
+                assert np.array_equal(ca.point, cb.point)
+                assert ca.cost == cb.cost
+                assert ca.verified == cb.verified
+            for ca, cb in zip(a.mqp, b.mqp):
+                assert np.array_equal(ca.point, cb.point)
+                assert ca.cost == cb.cost

@@ -1,0 +1,121 @@
+"""Unit tests for the blocked batch membership kernels."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.exceptions import InvalidParameterError
+from repro.kernels.membership import (
+    batch_lambda_counts,
+    batch_verify_membership,
+    batch_window_membership,
+)
+
+
+@pytest.fixture()
+def small():
+    pts = np.array(
+        [[5, 30], [7.5, 42], [2.5, 70], [7.5, 90], [24, 20], [20, 50], [26, 70], [16, 80]],
+        dtype=np.float64,
+    )
+    q = np.array([8.5, 55.0])
+    return pts, q
+
+
+class TestBatchWindowMembership:
+    def test_empty_products_means_all_members(self, small):
+        _pts, q = small
+        custs = np.array([[1.0, 2.0], [3.0, 4.0]])
+        mask = batch_window_membership(np.empty((0, 2)), custs, q)
+        assert mask.tolist() == [True, True]
+
+    def test_empty_customers(self, small):
+        pts, q = small
+        mask = batch_window_membership(pts, np.empty((0, 2)), q)
+        assert mask.shape == (0,)
+
+    def test_monochromatic_matches_paper_example(self, small):
+        pts, q = small
+        mask = batch_window_membership(
+            pts,
+            pts,
+            q,
+            DominancePolicy.STRICT,
+            self_positions=np.arange(len(pts), dtype=np.int64),
+        )
+        # Fig. 1: customer 0 is the why-not point, most others are members.
+        assert mask.dtype == bool and mask.shape == (8,)
+        assert not mask[0]
+
+    def test_self_exclusion_subset_semantics(self, small):
+        """Verifying a candidate subset excludes each candidate's own row."""
+        pts, q = small
+        cand = np.array([1, 4, 6], dtype=np.int64)
+        sub = batch_window_membership(
+            pts, pts[cand], q, self_positions=cand
+        )
+        full = batch_window_membership(
+            pts, pts, q, self_positions=np.arange(len(pts), dtype=np.int64)
+        )
+        assert np.array_equal(sub, full[cand])
+
+    def test_block_size_is_execution_detail(self, small):
+        pts, q = small
+        reference = batch_window_membership(pts, pts, q)
+        for bs in (1, 2, 3, 8, 100):
+            assert np.array_equal(
+                batch_window_membership(pts, pts, q, block_size=bs), reference
+            )
+
+    def test_rejects_bad_block_size(self, small):
+        pts, q = small
+        with pytest.raises(InvalidParameterError):
+            batch_window_membership(pts, pts, q, block_size=0)
+
+    def test_rejects_bad_self_positions(self, small):
+        pts, q = small
+        with pytest.raises(InvalidParameterError):
+            batch_window_membership(
+                pts, pts, q, self_positions=np.array([0], dtype=np.int64)
+            )
+        with pytest.raises(InvalidParameterError):
+            batch_window_membership(
+                pts,
+                pts,
+                q,
+                self_positions=np.full(len(pts), len(pts), dtype=np.int64),
+            )
+
+
+class TestBatchLambdaCounts:
+    def test_zero_count_iff_member(self, small):
+        pts, q = small
+        sp = np.arange(len(pts), dtype=np.int64)
+        counts = batch_lambda_counts(pts, pts, q, self_positions=sp)
+        mask = batch_window_membership(pts, pts, q, self_positions=sp)
+        assert np.array_equal(counts == 0, mask)
+
+    def test_counts_without_exclusion_include_self_windows(self, small):
+        pts, q = small
+        plain = batch_lambda_counts(pts, pts, q)
+        sp = np.arange(len(pts), dtype=np.int64)
+        excluded = batch_lambda_counts(pts, pts, q, self_positions=sp)
+        assert np.all(plain >= excluded)
+
+    def test_empty_inputs(self, small):
+        pts, q = small
+        assert batch_lambda_counts(np.empty((0, 2)), pts, q).tolist() == [0] * 8
+        assert batch_lambda_counts(pts, np.empty((0, 2)), q).shape == (0,)
+
+
+class TestBatchVerifyMembership:
+    def test_boundary_candidate_forgiven_under_tolerance(self):
+        """A product half an ulp inside the window boundary blocks under
+        WEAK's exact test but not under the verification slack."""
+        pts = np.array([[1.0 - 5e-13, 1.0]])
+        cust = np.array([[0.0, 0.0]])
+        q = np.array([1.0, 1.0])
+        exact = batch_window_membership(pts, cust, q, DominancePolicy.WEAK)
+        tolerant = batch_verify_membership(pts, cust, q, DominancePolicy.WEAK)
+        assert not exact[0]
+        assert tolerant[0]
