@@ -67,6 +67,30 @@ class WhyNotConfig:
         Worker count for the parallel pre-computation paths (sampled-DSL
         store, exact safe-region assembly).  ``1`` keeps the sequential
         oracle path, ``-1`` uses one thread per CPU.
+    dsl_cache:
+        When true (default), the engine keeps a :class:`repro.core.
+        dsl_cache.DSLCache`: each customer's dynamic-skyline threshold
+        matrix and staircase anti-dominance region are computed once and
+        reused across ``safe_region``, ``modify_both``,
+        ``answer_why_not_batch``, the approximate store and the
+        leave-one-out relaxation analysis.  Results are identical either
+        way; the cache only removes recomputation.
+    sr_box_budget:
+        Upper bound on the box count of the running safe-region
+        intersection (``0`` = unlimited, the exact default).  When the
+        simplified intermediate exceeds the budget, only the
+        largest-volume boxes are kept — an *under*-approximation, which
+        is safe by Lemma 2 (any subset of a safe region is safe) but may
+        under-report area; intended for adversarial inputs where the
+        distributed product grows combinatorially.
+    sr_chunk_size:
+        Members of ``RSL(q)`` are processed in contiguous chunks of this
+        size during safe-region assembly: each chunk's anti-dominance
+        regions are built (in parallel when ``n_jobs > 1``), sorted
+        size-ascending, and folded into the running intersection with an
+        empty-region early exit between members.  The chunk partition is
+        independent of ``n_jobs``, so parallel and sequential runs
+        produce identical regions.
     """
 
     policy: DominancePolicy = DominancePolicy.STRICT
@@ -76,6 +100,9 @@ class WhyNotConfig:
     batch_kernels: bool = True
     kernel_block_size: int = 512
     n_jobs: int = 1
+    dsl_cache: bool = True
+    sr_box_budget: int = 0
+    sr_chunk_size: int = 16
 
     def __post_init__(self) -> None:
         if self.sort_dim < 0:
@@ -86,6 +113,10 @@ class WhyNotConfig:
             raise ValueError("kernel_block_size must be a positive integer")
         if self.n_jobs != -1 and self.n_jobs < 1:
             raise ValueError("n_jobs must be a positive integer or -1")
+        if self.sr_box_budget < 0:
+            raise ValueError("sr_box_budget must be non-negative (0 = unlimited)")
+        if self.sr_chunk_size < 1:
+            raise ValueError("sr_chunk_size must be a positive integer")
 
 
 @dataclass(frozen=True)

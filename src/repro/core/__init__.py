@@ -20,6 +20,7 @@ from repro.core.answer import (
 from repro.core.approx import ApproximateDSLStore, approximate_anti_dominance_region
 from repro.core.batch import WhyNotAnswer, answer_why_not, answer_why_not_batch
 from repro.core.cost import MinMaxNormalizer
+from repro.core.dsl_cache import DSLCache, DSLCacheStats
 from repro.core.engine import WhyNotEngine
 from repro.core.explain import explain_why_not
 from repro.core.mqp import modify_query_point
@@ -30,7 +31,13 @@ from repro.core.relaxation import (
     leave_one_out_regions,
     relaxation_analysis,
 )
-from repro.core.safe_region import SafeRegion, anti_dominance_region, compute_safe_region
+from repro.core.safe_region import (
+    SafeRegion,
+    SafeRegionStats,
+    anti_dominance_region,
+    compute_safe_region,
+    compute_safe_region_oracle,
+)
 
 __all__ = [
     "Candidate",
@@ -45,8 +52,12 @@ __all__ = [
     "modify_query_point",
     "modify_query_and_why_not_point",
     "SafeRegion",
+    "SafeRegionStats",
     "anti_dominance_region",
     "compute_safe_region",
+    "compute_safe_region_oracle",
+    "DSLCache",
+    "DSLCacheStats",
     "ApproximateDSLStore",
     "approximate_anti_dominance_region",
     "WhyNotAnswer",

@@ -16,7 +16,7 @@ conservative (Tables V-VI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.kernels.parallel import parallel_map_chunks
 from repro.skyline.dynamic import dynamic_skyline_indices
 
 from repro.core.safe_region import SafeRegion, _reach
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dsl_cache import DSLCache
 
 __all__ = [
     "ApproximateDSLStore",
@@ -113,6 +116,7 @@ class ApproximateDSLStore:
         k: int = 10,
         config: WhyNotConfig | None = None,
         self_exclude: bool = False,
+        dsl_cache: "DSLCache | None" = None,
     ) -> None:
         if k <= 0:
             raise InvalidParameterError("approximation parameter k must be positive")
@@ -121,6 +125,10 @@ class ApproximateDSLStore:
         self.k = k
         self.config = config or WhyNotConfig()
         self.self_exclude = self_exclude
+        # Optional engine-level DSL cache: the full threshold matrix each
+        # sample is drawn from is then computed at most once per customer
+        # across the exact and approximate pipelines.
+        self.dsl_cache = dsl_cache
         self._cache: dict[int, _StoredDSL] = {}
 
     def __len__(self) -> int:
@@ -154,15 +162,19 @@ class ApproximateDSLStore:
             self._cache[position] = stored
 
     def _compute(self, position: int) -> _StoredDSL:
-        """Build the sampled DSL of customer ``position`` (no cache I/O)."""
-        customer = self.customers[position]
-        exclude = (position,) if self.self_exclude else ()
-        dsl = dynamic_skyline_indices(self.index.points, customer, exclude)
-        thresholds = (
-            to_query_space(self.index.points[dsl], customer)
-            if dsl.size
-            else np.empty((0, self.index.dim))
-        )
+        """Build the sampled DSL of customer ``position`` (no store I/O;
+        the shared DSL cache, when present, supplies the full matrix)."""
+        if self.dsl_cache is not None:
+            thresholds = self.dsl_cache.thresholds(position)
+        else:
+            customer = self.customers[position]
+            exclude = (position,) if self.self_exclude else ()
+            dsl = dynamic_skyline_indices(self.index.points, customer, exclude)
+            thresholds = (
+                to_query_space(self.index.points[dsl], customer)
+                if dsl.size
+                else np.empty((0, self.index.dim))
+            )
         sampled, minima = sample_dsl_thresholds(
             thresholds, self.k, self.config.sort_dim
         )

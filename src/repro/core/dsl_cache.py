@@ -1,0 +1,210 @@
+"""Engine-level cache of per-customer dynamic-skyline structures.
+
+Profiling the MWQ pipeline (Fig. 15 of the paper) shows the dominant cost
+is recomputing, for every ``compute_safe_region`` / ``modify_both`` call,
+each member's dynamic skyline ``DSL(c)`` and its staircase decomposition —
+structures that depend only on the customer and the product set, never on
+the query.  Influence-set systems make the same observation (Arvanitis &
+Deligiannakis; Islam et al.) and cache them per customer.
+
+:class:`DSLCache` stores two layers, both keyed by customer position:
+
+* the **threshold matrix** ``|c - s|`` over ``DSL(c)`` (bounds-independent);
+* the simplified **staircase region** built from it (keyed additionally by
+  the clipping bounds, which differ only for queries outside the data
+  universe).
+
+Entries are reused across ``safe_region``, ``modify_both``,
+``answer_why_not_batch``, the approximate-DSL store and the leave-one-out
+relaxation analysis.  The cache is *read-through*: results are identical
+with or without it.  It must be invalidated (or simply not shared) when
+the product set changes — ``WhyNotEngine.without_products`` builds the
+reduced engine with a fresh cache for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import WhyNotConfig
+from repro.core.safe_region import staircase_boxes
+from repro.geometry.box import Box
+from repro.geometry.region import BoxRegion
+from repro.geometry.transform import to_query_space
+from repro.index.base import SpatialIndex
+from repro.kernels.parallel import parallel_map_chunks
+from repro.skyline.dynamic import dynamic_skyline_indices
+
+__all__ = ["DSLCache", "DSLCacheStats"]
+
+
+@dataclass
+class DSLCacheStats:
+    """Hit/miss counters of one :class:`DSLCache` (monotonic)."""
+
+    threshold_hits: int = 0
+    threshold_misses: int = 0
+    region_hits: int = 0
+    region_misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.threshold_hits + self.region_hits
+
+    @property
+    def misses(self) -> int:
+        return self.threshold_misses + self.region_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(hits, misses)`` — subtract two snapshots to get a delta."""
+        return self.hits, self.misses
+
+
+class DSLCache:
+    """Per-customer dynamic-skyline threshold and staircase-region cache.
+
+    Parameters
+    ----------
+    index:
+        Spatial index over the products ``P`` (the cache is only valid
+        for this exact product set).
+    customers:
+        ``(m, d)`` customer matrix the positions refer to.
+    config:
+        Supplies ``sort_dim`` (staircase sort dimension) and the default
+        ``n_jobs`` of :meth:`precompute`.
+    self_exclude:
+        Monochromatic convention: customer ``j`` is excluded from its own
+        dynamic-skyline computation.  Must match the engine's convention —
+        entries are keyed by position only.
+    """
+
+    def __init__(
+        self,
+        index: SpatialIndex,
+        customers: np.ndarray,
+        config: WhyNotConfig | None = None,
+        self_exclude: bool = False,
+    ) -> None:
+        self.index = index
+        self.customers = np.asarray(customers, dtype=np.float64)
+        self.config = config or WhyNotConfig()
+        self.self_exclude = self_exclude
+        self.stats = DSLCacheStats()
+        self._thresholds: dict[int, np.ndarray] = {}
+        self._regions: dict[tuple[int, bytes, bytes], BoxRegion] = {}
+
+    def __len__(self) -> int:
+        return len(self._thresholds)
+
+    def __repr__(self) -> str:
+        return (
+            f"DSLCache({len(self._thresholds)} thresholds, "
+            f"{len(self._regions)} regions, hit_rate={self.stats.hit_rate:.2f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups (read-through)
+    # ------------------------------------------------------------------
+    def thresholds(self, position: int) -> np.ndarray:
+        """The ``(|DSL(c)|, d)`` distance matrix of customer ``position``."""
+        position = int(position)
+        cached = self._thresholds.get(position)
+        if cached is not None:
+            self.stats.threshold_hits += 1
+            return cached
+        self.stats.threshold_misses += 1
+        computed = self._compute_thresholds(position)
+        self._thresholds[position] = computed
+        return computed
+
+    def region(self, position: int, bounds: Box) -> BoxRegion:
+        """The simplified staircase anti-dominance region of ``position``
+        clipped to ``bounds`` (the Fig. 10 decomposition in 2-D, the
+        conservative variant for higher dimensions)."""
+        position = int(position)
+        key = (position, bounds.lo.tobytes(), bounds.hi.tobytes())
+        cached = self._regions.get(key)
+        if cached is not None:
+            self.stats.region_hits += 1
+            return cached
+        self.stats.region_misses += 1
+        boxes = staircase_boxes(
+            self.customers[position],
+            self.thresholds(position),
+            bounds,
+            self.config.sort_dim,
+        )
+        region = BoxRegion(boxes, dim=self.index.dim).simplify()
+        self._regions[key] = region
+        return region
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def precompute(
+        self,
+        positions: Sequence[int] | None = None,
+        n_jobs: int | None = None,
+    ) -> None:
+        """Materialise threshold entries for ``positions`` (all customers
+        when None) — the offline pass, embarrassingly parallel over
+        customers.  Workers compute side-effect free and the dict is
+        populated afterwards, so concurrent readers never observe a
+        half-written entry."""
+        targets = [
+            int(position)
+            for position in (
+                range(self.customers.shape[0]) if positions is None else positions
+            )
+            if int(position) not in self._thresholds
+        ]
+        if n_jobs is None:
+            n_jobs = self.config.n_jobs
+        computed = parallel_map_chunks(
+            self._compute_thresholds, targets, n_jobs=n_jobs
+        )
+        for position, thresholds in zip(targets, computed):
+            self._thresholds[position] = thresholds
+        self.stats.threshold_misses += len(targets)
+
+    def invalidate(self, positions: Sequence[int] | None = None) -> None:
+        """Drop cached entries — all of them, or those of ``positions``.
+
+        Required whenever the product set changes (every customer's DSL
+        may shift); engines built by ``without_products`` get a fresh
+        cache instead of sharing the parent's.
+        """
+        if positions is None:
+            self._thresholds.clear()
+            self._regions.clear()
+        else:
+            drop = {int(p) for p in positions}
+            for position in drop:
+                self._thresholds.pop(position, None)
+            for key in [k for k in self._regions if k[0] in drop]:
+                del self._regions[key]
+        self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compute_thresholds(self, position: int) -> np.ndarray:
+        customer = self.customers[position]
+        exclude = (position,) if self.self_exclude else ()
+        dsl = dynamic_skyline_indices(self.index.points, customer, exclude)
+        return (
+            to_query_space(self.index.points[dsl], customer)
+            if dsl.size
+            else np.empty((0, self.index.dim))
+        )

@@ -26,11 +26,16 @@ from repro.config import CostWeights, DominancePolicy, WhyNotConfig
 from repro.core.answer import Explanation, ModificationResult, MWQResult
 from repro.core.approx import ApproximateDSLStore
 from repro.core.cost import MinMaxNormalizer
+from repro.core.dsl_cache import DSLCache
 from repro.core.explain import explain_why_not
 from repro.core.mqp import modify_query_point
 from repro.core.mwp import modify_why_not_point
 from repro.core.mwq import modify_query_and_why_not_point
-from repro.core.safe_region import SafeRegion, compute_safe_region
+from repro.core.safe_region import (
+    SafeRegion,
+    SafeRegionStats,
+    compute_safe_region,
+)
 from repro.core._verify import verify_membership
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.box import Box
@@ -115,6 +120,20 @@ class WhyNotEngine:
         self._sr_cache: dict[bytes, SafeRegion] = {}
         self._approx_sr_cache: dict[tuple[bytes, int], SafeRegion] = {}
         self._approx_stores: dict[int, ApproximateDSLStore] = {}
+        # Engine-level DSL/anti-dominance cache: per-customer dynamic
+        # skylines computed once, shared by safe_region / modify_both /
+        # batch answering / approx store / relaxation analysis.
+        self.dsl_cache: DSLCache | None = (
+            DSLCache(
+                self.index,
+                self.customers,
+                config=self.config,
+                self_exclude=self.monochromatic,
+            )
+            if self.config.dsl_cache
+            else None
+        )
+        self.last_safe_region_stats: SafeRegionStats | None = None
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -297,7 +316,9 @@ class WhyNotEngine:
                 self._geometry_bounds(q),
                 config=self.config,
                 self_exclude=self.monochromatic,
+                dsl_cache=self.dsl_cache,
             )
+            self.last_safe_region_stats = cached.stats
             self._sr_cache[key] = cached
         return cached
 
@@ -312,16 +333,23 @@ class WhyNotEngine:
         point, exclude = self._resolve_customer(why_not)
         q = as_point(query, dim=self.dim)
         region = self.safe_region(q, approximate=approximate, k=k)
+        bounds = self._geometry_bounds(q)
+        # Position-addressed customers share the cached staircase region
+        # (the cache's self-exclusion convention matches _resolve_customer's).
+        ddr = None
+        if self.dsl_cache is not None and isinstance(why_not, (int, np.integer)):
+            ddr = self.dsl_cache.region(int(why_not), bounds)
         return modify_query_and_why_not_point(
             self.index,
             point,
             q,
             safe_region=region,
-            bounds=self._geometry_bounds(q),
+            bounds=bounds,
             config=self.config,
             weights=self.beta,
             normalizer=self.normalizer,
             exclude=exclude,
+            ddr_why_not=ddr,
         )
 
     def approx_store(self, k: int = 10) -> ApproximateDSLStore:
@@ -334,9 +362,24 @@ class WhyNotEngine:
                 k=k,
                 config=self.config,
                 self_exclude=self.monochromatic,
+                dsl_cache=self.dsl_cache,
             )
             self._approx_stores[k] = store
         return store
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache (RSL, safe regions, approx stores,
+        DSL cache).  Call after mutating the underlying data in place;
+        :meth:`without_products` instead builds a fresh engine whose
+        caches start empty, because deleted products change every
+        customer's dynamic skyline."""
+        self._rsl_cache.clear()
+        self._sr_cache.clear()
+        self._approx_sr_cache.clear()
+        self._approx_stores.clear()
+        self.last_safe_region_stats = None
+        if self.dsl_cache is not None:
+            self.dsl_cache.invalidate()
 
     def without_products(
         self, positions: Sequence[int]
@@ -369,6 +412,9 @@ class WhyNotEngine:
             raise EmptyDatasetError("cannot delete every product")
         mapping = np.full(self.products.shape[0], -1, dtype=np.int64)
         mapping[keep] = np.arange(keep.size)
+        # The reduced engine starts with empty caches (including the DSL
+        # cache): deleting products can change every customer's dynamic
+        # skyline, so no parent entry is reusable.
         reduced = WhyNotEngine(
             self.products[keep],
             customers=None if self.monochromatic else self.customers,

@@ -57,6 +57,9 @@ def leave_one_out_regions(
     q = as_point(query, dim=engine.dim)
     members = engine.reverse_skyline(q)
     regions: dict[int, SafeRegion] = {}
+    # Sharing the engine's DSL cache turns the n leave-one-out rebuilds
+    # (each intersecting n-1 member regions) from O(n^2) dynamic-skyline
+    # computations into n cache fills plus pure region algebra.
     for dropped in members.tolist():
         remaining = np.asarray(
             [m for m in members.tolist() if m != dropped], dtype=np.int64
@@ -69,6 +72,7 @@ def leave_one_out_regions(
             engine._geometry_bounds(q),
             config=engine.config,
             self_exclude=engine.monochromatic,
+            dsl_cache=engine.dsl_cache,
         )
     return regions
 

@@ -20,26 +20,34 @@ guarantee — no existing customer lost — is preserved.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.config import WhyNotConfig
 from repro.exceptions import InvalidParameterError
+from repro.geometry import region_array as _ra
 from repro.geometry.box import Box
 from repro.geometry.point import as_point
 from repro.geometry.region import BoxRegion
+from repro.geometry.region_oracle import OracleBoxRegion
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
 from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
 from repro.skyline.dynamic import dynamic_skyline_indices
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dsl_cache imports us)
+    from repro.core.dsl_cache import DSLCache
+
 __all__ = [
     "SafeRegion",
+    "SafeRegionStats",
     "anti_dominance_region",
     "staircase_boxes",
     "compute_safe_region",
+    "compute_safe_region_oracle",
 ]
 
 
@@ -128,6 +136,60 @@ def anti_dominance_region(
 
 
 @dataclass
+class SafeRegionStats:
+    """Construction counters of one ``compute_safe_region`` call.
+
+    Benchmarks (``benchmarks/bench_safe_region.py``) and EXPERIMENTS.md
+    report these; they also make cache effectiveness observable in
+    production (``WhyNotEngine.last_safe_region_stats``).
+
+    Attributes
+    ----------
+    members:
+        ``|RSL(q)|`` — number of anti-dominance regions intersected.
+    intersections:
+        Pairwise region intersections actually performed (< ``members``
+        when the empty-region early exit fires).
+    boxes_before_simplify / boxes_after_simplify:
+        Total raw pairwise pieces produced, and survivors after
+        containment pruning, summed over all intersections — the
+        combinatorial pressure Algorithm 3's simplification absorbs.
+    peak_boxes:
+        Largest simplified intermediate representation.
+    budget_truncations:
+        Times the ``sr_box_budget`` under-approximation dropped boxes
+        (0 on the exact path).
+    early_exit:
+        Whether the running intersection collapsed to empty before all
+        members were processed.
+    cache_hits / cache_misses:
+        DSL-cache lookups served / missed during this construction
+        (both 0 when no cache was supplied).
+    member_seconds:
+        Wall time spent building member anti-dominance regions.
+    build_seconds:
+        Total wall time of the construction.
+    """
+
+    members: int = 0
+    intersections: int = 0
+    boxes_before_simplify: int = 0
+    boxes_after_simplify: int = 0
+    peak_boxes: int = 0
+    budget_truncations: int = 0
+    early_exit: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    member_seconds: float = 0.0
+    build_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
 class SafeRegion:
     """The safe region of a query point with its provenance.
 
@@ -142,6 +204,9 @@ class SafeRegion:
     approximate:
         True when built from sampled dynamic skylines (Section VI.B.1);
         the approximate region is a subset of the exact one.
+    stats:
+        Construction counters (``None`` for regions not built by
+        :func:`compute_safe_region`).
     """
 
     query: np.ndarray
@@ -150,6 +215,7 @@ class SafeRegion:
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
     approximate: bool = False
+    stats: SafeRegionStats | None = None
 
     def area(self) -> float:
         """Lebesgue measure of the region (Figure 14's y-axis)."""
@@ -187,6 +253,17 @@ class SafeRegion:
         )
 
 
+def _member_chunks(positions: np.ndarray, chunk_size: int) -> list[list[int]]:
+    """Contiguous position chunks; the partition depends only on
+    ``chunk_size`` (never on ``n_jobs``) so parallel and sequential runs
+    fold members in the same order and produce identical regions."""
+    items = [int(p) for p in positions]
+    return [
+        items[start : start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
 def compute_safe_region(
     index: SpatialIndex,
     customers: np.ndarray,
@@ -196,8 +273,19 @@ def compute_safe_region(
     config: WhyNotConfig | None = None,
     self_exclude: bool = False,
     n_jobs: int | None = None,
+    dsl_cache: "DSLCache | None" = None,
+    stats: SafeRegionStats | None = None,
 ) -> SafeRegion:
     """Algorithm 3: intersect the anti-dominance regions of all members.
+
+    The assembly runs on the array engine: members are processed in
+    contiguous chunks of ``config.sr_chunk_size``; each chunk's regions
+    are built (in parallel when ``n_jobs > 1``, from the DSL cache when
+    one is supplied), sorted size-ascending so small regions shrink the
+    running intersection before large ones multiply against it, and
+    folded in with one broadcasted pairwise clip + containment pruning
+    per member.  The empty-region early exit fires between members even
+    on the parallel path — only the current chunk is ever materialised.
 
     Parameters
     ----------
@@ -216,30 +304,44 @@ def compute_safe_region(
         dynamic-skyline computation.
     n_jobs:
         Worker threads for the per-member anti-dominance-region
-        construction (``config.n_jobs`` when None).  Each member's DSL +
-        staircase decomposition is independent, so they compute in
-        parallel; the intersection itself stays sequential in position
-        order, keeping the result identical to the ``n_jobs=1`` oracle.
-        The parallel path gives up the early exit on an empty
-        intersection — it pays off when most regions are needed anyway.
+        construction (``config.n_jobs`` when None).  The chunk partition
+        and fold order are independent of the worker count, so the result
+        is identical to the sequential run.
+    dsl_cache:
+        Optional :class:`repro.core.dsl_cache.DSLCache`; member threshold
+        matrices and staircase regions are read through it instead of
+        being recomputed.  Its ``self_exclude``/``sort_dim`` conventions
+        must match this call's (the engine guarantees that).
+    stats:
+        Optional :class:`SafeRegionStats` to fill in place; a fresh one
+        is created (and attached to the result) otherwise.
 
     Notes
     -----
     With no reverse-skyline point the safe region is the whole universe
     (there is nobody to lose).  The query point itself always belongs to
     its safe region; if floating-point rounding of the box corners ever
-    drops it, the degenerate box ``{q}`` is added back explicitly.
+    drops it, the degenerate box ``{q}`` is added back explicitly.  With
+    ``config.sr_box_budget > 0`` the intermediate representation is
+    truncated to the largest-volume boxes — a safe under-approximation
+    (Lemma 2 holds for any subset).
     """
     config = config or WhyNotConfig()
     if n_jobs is None:
         n_jobs = config.n_jobs
+    stats = stats if stats is not None else SafeRegionStats()
+    t_start = time.perf_counter()
     q = as_point(query, dim=index.dim)
     if not bounds.contains_point(q):
         raise InvalidParameterError("query point lies outside the given bounds")
     positions = np.asarray(rsl_positions, dtype=np.int64)
     custs = np.asarray(customers, dtype=np.float64)
+    stats.members = int(positions.size)
+    cache_before = dsl_cache.stats.snapshot() if dsl_cache is not None else (0, 0)
 
     def member_region(position: int) -> BoxRegion:
+        if dsl_cache is not None:
+            return dsl_cache.region(position, bounds)
         return anti_dominance_region(
             index,
             custs[position],
@@ -248,24 +350,112 @@ def compute_safe_region(
             exclude=(int(position),) if self_exclude else (),
         )
 
-    region = BoxRegion([Box(bounds.lo.copy(), bounds.hi.copy())], dim=index.dim)
-    if resolve_n_jobs(n_jobs) > 1 and positions.size > 1:
-        ddrs = parallel_map_chunks(
-            member_region, [int(p) for p in positions], n_jobs=n_jobs
-        )
-        for ddr in ddrs:
-            region = region.intersect(ddr)
-            if region.is_empty():
+    workers = resolve_n_jobs(n_jobs)
+    budget = config.sr_box_budget
+    run_lo, run_hi = _ra.boxes_to_arrays(
+        [Box(bounds.lo.copy(), bounds.hi.copy())], index.dim
+    )
+    stats.peak_boxes = 1
+    for chunk in _member_chunks(positions, config.sr_chunk_size):
+        t_members = time.perf_counter()
+        if workers > 1 and len(chunk) > 1:
+            regions = parallel_map_chunks(member_region, chunk, n_jobs=n_jobs)
+        else:
+            regions = [member_region(position) for position in chunk]
+        stats.member_seconds += time.perf_counter() - t_members
+        # Size-ascending fold: cheap members first keeps the pairwise
+        # product small; ties keep position order for determinism.
+        for i in sorted(range(len(regions)), key=lambda i: (len(regions[i]), i)):
+            member = regions[i]
+            piece_lo, piece_hi = _ra.pairwise_intersect(
+                run_lo, run_hi, member.lo, member.hi
+            )
+            stats.intersections += 1
+            stats.boxes_before_simplify += piece_lo.shape[0]
+            run_lo, run_hi = _ra.simplify_arrays(piece_lo, piece_hi)
+            stats.boxes_after_simplify += run_lo.shape[0]
+            if budget and run_lo.shape[0] > budget:
+                # simplify_arrays returns volume-descending order: keeping
+                # the head keeps the largest boxes (under-approximation).
+                run_lo, run_hi = run_lo[:budget], run_hi[:budget]
+                stats.budget_truncations += 1
+            stats.peak_boxes = max(stats.peak_boxes, run_lo.shape[0])
+            if run_lo.shape[0] == 0:
+                stats.early_exit = True
                 break
-    else:
-        for position in positions:
-            region = region.intersect(member_region(int(position)))
-            if region.is_empty():
-                break
+        if run_lo.shape[0] == 0:
+            break
+    region = BoxRegion.from_arrays(run_lo, run_hi, dim=index.dim)
     if not region.contains_point(q):
         region = region.union(BoxRegion([Box(q, q)], dim=index.dim))
+    if dsl_cache is not None:
+        hits, misses = dsl_cache.stats.snapshot()
+        stats.cache_hits += hits - cache_before[0]
+        stats.cache_misses += misses - cache_before[1]
+    stats.build_seconds += time.perf_counter() - t_start
     return SafeRegion(
         query=q,
         region=region,
+        rsl_positions=np.asarray(rsl_positions, dtype=np.int64),
+        stats=stats,
+    )
+
+
+def compute_safe_region_oracle(
+    index: SpatialIndex,
+    customers: np.ndarray,
+    query: Sequence[float],
+    rsl_positions: np.ndarray,
+    bounds: Box,
+    config: WhyNotConfig | None = None,
+    self_exclude: bool = False,
+) -> SafeRegion:
+    """Algorithm 3 on the pure-Python :class:`OracleBoxRegion` algebra.
+
+    The reference implementation the array engine is validated and
+    benchmarked against: same member order (chunked, size-ascending) and
+    same staircase construction, but nested-loop intersection, O(k²)
+    simplification and recursive measure.  Always exact — the box budget
+    is deliberately ignored.  Used by property tests,
+    ``benchmarks/bench_safe_region.py`` and the CI divergence check; not
+    a production path.
+    """
+    config = config or WhyNotConfig()
+    q = as_point(query, dim=index.dim)
+    if not bounds.contains_point(q):
+        raise InvalidParameterError("query point lies outside the given bounds")
+    positions = np.asarray(rsl_positions, dtype=np.int64)
+    custs = np.asarray(customers, dtype=np.float64)
+
+    def member_region(position: int) -> OracleBoxRegion:
+        o = custs[position]
+        exclude = (position,) if self_exclude else ()
+        dsl = dynamic_skyline_indices(index.points, o, exclude)
+        thresholds = (
+            to_query_space(index.points[dsl], o)
+            if dsl.size
+            else np.empty((0, index.dim))
+        )
+        boxes = staircase_boxes(o, thresholds, bounds, config.sort_dim)
+        return OracleBoxRegion(boxes, dim=index.dim).simplify()
+
+    region = OracleBoxRegion(
+        [Box(bounds.lo.copy(), bounds.hi.copy())], dim=index.dim
+    )
+    for chunk in _member_chunks(positions, config.sr_chunk_size):
+        regions = [member_region(position) for position in chunk]
+        for i in sorted(range(len(regions)), key=lambda i: (len(regions[i]), i)):
+            region = region.intersect(regions[i])
+            if region.is_empty():
+                break
+        if region.is_empty():
+            break
+    if not region.contains_point(q):
+        region = region.union(OracleBoxRegion([Box(q, q)], dim=index.dim))
+    # The SafeRegion duck-types over the oracle algebra so area()/contains()
+    # stay pure-Python end to end — nothing here touches the array engine.
+    return SafeRegion(
+        query=q,
+        region=region,  # type: ignore[arg-type]
         rsl_positions=np.asarray(rsl_positions, dtype=np.int64),
     )

@@ -7,6 +7,7 @@ anti-dominance regions and safe regions (Section V of the paper).
 from repro.geometry.box import Box
 from repro.geometry.point import as_point, as_points, point_distance_l1
 from repro.geometry.region import BoxRegion
+from repro.geometry.region_oracle import OracleBoxRegion
 from repro.geometry.transform import (
     orthant_of,
     to_query_space,
@@ -16,6 +17,7 @@ from repro.geometry.transform import (
 __all__ = [
     "Box",
     "BoxRegion",
+    "OracleBoxRegion",
     "as_point",
     "as_points",
     "point_distance_l1",

@@ -9,6 +9,14 @@ collections distributes over the union:
 where ``+`` is union and ``.`` intersection (Section V.B).  ``BoxRegion``
 implements exactly this algebra, plus exact measure (area/volume) via
 coordinate compression, which Figure 14 needs.
+
+Representation: a ``BoxRegion`` is a thin view over two contiguous
+``(k, d)`` float64 corner arrays; all algebra runs through the NumPy
+kernels of :mod:`repro.geometry.region_array` (the safe-region hot path),
+while :class:`~repro.geometry.box.Box` objects are materialised lazily
+only where callers iterate boxes.  The pure-Python reference
+implementation survives as :mod:`repro.geometry.region_oracle` and the
+two are property-tested to be exactly equivalent.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.geometry import region_array as _ra
 from repro.geometry.box import Box
 from repro.geometry.point import as_point
 
@@ -31,13 +40,21 @@ class BoxRegion:
     the paper's rectangle collections — but :meth:`simplify` prunes boxes
     fully contained in a sibling, which keeps the distributed intersections
     of Algorithm 3 tractable.
+
+    An empty region constructed without an explicit dimension has
+    ``dim == 0`` ("dimension not yet known"); it adopts the other
+    operand's dimension in :meth:`union` / :meth:`intersect`.  Two regions
+    with *known*, different dimensions always refuse to combine, empty or
+    not.
     """
 
+    __slots__ = ("_lo", "_hi", "_dim", "_boxes_cache")
+
     def __init__(self, boxes: Iterable[Box] = (), dim: int | None = None) -> None:
-        self._boxes: list[Box] = list(boxes)
-        if self._boxes:
-            first = self._boxes[0].dim
-            for box in self._boxes[1:]:
+        box_list = list(boxes)
+        if box_list:
+            first = box_list[0].dim
+            for box in box_list[1:]:
                 if box.dim != first:
                     raise DimensionMismatchError(first, box.dim, what="box")
             if dim is not None and first != dim:
@@ -45,6 +62,8 @@ class BoxRegion:
             self._dim = first
         else:
             self._dim = dim if dim is not None else 0
+        self._lo, self._hi = _ra.boxes_to_arrays(box_list, self._dim)
+        self._boxes_cache: tuple[Box, ...] | None = tuple(box_list) or None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -57,6 +76,28 @@ class BoxRegion:
     def single(cls, box: Box) -> "BoxRegion":
         return cls((box,))
 
+    @classmethod
+    def from_arrays(
+        cls, lo: np.ndarray, hi: np.ndarray, dim: int | None = None
+    ) -> "BoxRegion":
+        """Adopt ``(k, d)`` corner arrays without copying or validation
+        beyond shape checks (the kernel outputs are valid by construction)."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 2:
+            raise InvalidParameterError(
+                f"corner arrays must share a (k, d) shape, got {lo.shape} "
+                f"and {hi.shape}"
+            )
+        region = cls.__new__(cls)
+        region._lo = lo
+        region._hi = hi
+        region._dim = int(dim if dim is not None else lo.shape[1])
+        region._boxes_cache = None
+        if lo.shape[0] and lo.shape[1] != region._dim:
+            raise DimensionMismatchError(region._dim, lo.shape[1], what="region")
+        return region
+
     # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
@@ -65,80 +106,102 @@ class BoxRegion:
         return self._dim
 
     @property
+    def lo(self) -> np.ndarray:
+        """Lower corners, ``(k, d)`` — the array-engine representation."""
+        return self._lo
+
+    @property
+    def hi(self) -> np.ndarray:
+        """Upper corners, ``(k, d)``."""
+        return self._hi
+
+    @property
     def boxes(self) -> tuple[Box, ...]:
-        return tuple(self._boxes)
+        if self._boxes_cache is None:
+            self._boxes_cache = tuple(
+                Box(self._lo[i], self._hi[i]) for i in range(self._lo.shape[0])
+            )
+        return self._boxes_cache
 
     def is_empty(self) -> bool:
-        return not self._boxes
+        return self._lo.shape[0] == 0
 
     def __len__(self) -> int:
-        return len(self._boxes)
+        return self._lo.shape[0]
 
     def __iter__(self) -> Iterator[Box]:
-        return iter(self._boxes)
+        return iter(self.boxes)
 
     def __repr__(self) -> str:
-        return f"BoxRegion({len(self._boxes)} boxes, dim={self._dim})"
+        return f"BoxRegion({len(self)} boxes, dim={self._dim})"
 
     def contains_point(self, point: Sequence[float], closed: bool = True) -> bool:
         """True when any constituent box contains the point."""
         if self.is_empty():
             return False
         p = as_point(point, dim=self._dim)
-        return any(box.contains_point(p, closed=closed) for box in self._boxes)
+        return _ra.contains_point_arrays(self._lo, self._hi, p, closed=closed)
+
+    def contains_points(
+        self, points: np.ndarray, closed: bool = True
+    ) -> np.ndarray:
+        """Vectorised :meth:`contains_point` over an ``(m, d)`` matrix."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or (self._dim and pts.shape[1] != self._dim):
+            raise DimensionMismatchError(
+                self._dim, pts.shape[-1], what="point matrix"
+            )
+        return _ra.contains_points_arrays(self._lo, self._hi, pts, closed=closed)
 
     def bounding_box(self) -> Box | None:
         """Minimum bounding box of the union, or ``None`` when empty."""
         if self.is_empty():
             return None
-        lo = np.min(np.vstack([b.lo for b in self._boxes]), axis=0)
-        hi = np.max(np.vstack([b.hi for b in self._boxes]), axis=0)
-        return Box(lo, hi)
+        return Box(np.min(self._lo, axis=0), np.max(self._hi, axis=0))
 
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
     def union(self, other: "BoxRegion") -> "BoxRegion":
-        self._check_dim(other)
-        return BoxRegion(self._boxes + list(other._boxes), dim=self._dim or other._dim)
+        dim = self._join_dim(other)
+        a_lo, a_hi = self._arrays_as(dim)
+        b_lo, b_hi = other._arrays_as(dim)
+        return BoxRegion.from_arrays(
+            np.vstack([a_lo, b_lo]), np.vstack([a_hi, b_hi]), dim=dim
+        )
 
     def intersect_box(self, box: Box) -> "BoxRegion":
         """Clip the region to a single box."""
-        pieces = [b.intersect(box) for b in self._boxes]
-        return BoxRegion([p for p in pieces if p is not None], dim=self._dim).simplify()
+        lo, hi = _ra.clip_arrays(self._lo, self._hi, box.lo, box.hi)
+        lo, hi = _ra.simplify_arrays(lo, hi)
+        return BoxRegion.from_arrays(lo, hi, dim=self._dim)
 
     def intersect(self, other: "BoxRegion") -> "BoxRegion":
         """Distributed pairwise intersection of two unions of boxes.
 
-        This is the core operation of Algorithm 3 (safe-region refinement).
-        The result is simplified (contained boxes dropped, duplicates merged)
-        so repeated refinement does not blow up combinatorially in practice.
+        This is the core operation of Algorithm 3 (safe-region refinement):
+        one broadcasted clip over all box pairs plus empty-mask compaction.
+        The result is simplified (contained boxes dropped, duplicates
+        merged) so repeated refinement does not blow up combinatorially.
         """
-        self._check_dim(other)
-        pieces: list[Box] = []
-        for a in self._boxes:
-            for b in other._boxes:
-                inter = a.intersect(b)
-                if inter is not None:
-                    pieces.append(inter)
-        return BoxRegion(pieces, dim=self._dim or other._dim).simplify()
+        dim = self._join_dim(other)
+        a_lo, a_hi = self._arrays_as(dim)
+        b_lo, b_hi = other._arrays_as(dim)
+        lo, hi = _ra.pairwise_intersect(a_lo, a_hi, b_lo, b_hi)
+        lo, hi = _ra.simplify_arrays(lo, hi)
+        return BoxRegion.from_arrays(lo, hi, dim=dim)
 
     def simplify(self) -> "BoxRegion":
         """Drop duplicate boxes and boxes contained in another box.
 
         The geometric point set is unchanged; only the representation
-        shrinks.  Runs in O(k^2) over the k surviving boxes, sorted by
-        volume so big boxes absorb small ones in one pass.
+        shrinks.  One vectorised containment-matrix pass over the boxes
+        stably sorted by decreasing volume, so big boxes absorb small ones.
         """
-        if len(self._boxes) <= 1:
+        if len(self) <= 1:
             return self
-        ordered = sorted(self._boxes, key=lambda b: -b.volume())
-        kept: list[Box] = []
-        for box in ordered:
-            if any(other.contains_box(box) for other in kept):
-                continue
-            kept.append(box)
-        return BoxRegion(kept, dim=self._dim)
+        lo, hi = _ra.simplify_arrays(self._lo, self._hi)
+        return BoxRegion.from_arrays(lo, hi, dim=self._dim)
 
     # ------------------------------------------------------------------
     # Measure
@@ -148,54 +211,11 @@ class BoxRegion:
 
         Uses coordinate compression: the union of k boxes partitions space
         into at most ``(2k-1)^d`` grid cells; a cell belongs to the union iff
-        its midpoint does.  Exact for any dimension, O(k * (2k)^d) time —
-        fine for the region sizes the safe-region construction produces.
+        its midpoint does.  Exact for any dimension; the spanning tests are
+        vectorised per axis (one boolean matmul for the final two axes).
         Figure 14 plots this quantity against ``|RSL(q)|``.
         """
-        if self.is_empty():
-            return 0.0
-        boxes = self._boxes
-        dim = self._dim
-        # Compressed coordinates per axis.
-        cuts = []
-        for axis in range(dim):
-            values = np.unique(
-                np.concatenate(
-                    [[b.lo[axis] for b in boxes], [b.hi[axis] for b in boxes]]
-                )
-            )
-            cuts.append(values)
-        if any(len(c) < 2 for c in cuts):
-            return 0.0  # Degenerate along some axis: measure zero.
-        lows = np.vstack([b.lo for b in boxes])  # (k, d)
-        highs = np.vstack([b.hi for b in boxes])
-        return self._measure_recursive(lows, highs, cuts, 0, np.ones(len(boxes), bool))
-
-    def _measure_recursive(
-        self,
-        lows: np.ndarray,
-        highs: np.ndarray,
-        cuts: list[np.ndarray],
-        axis: int,
-        active: np.ndarray,
-    ) -> float:
-        """Sweep one axis at a time, keeping the set of boxes that span the
-        current slab, and recurse on the remaining axes."""
-        values = cuts[axis]
-        total = 0.0
-        for left, right in zip(values[:-1], values[1:]):
-            mid = (left + right) / 2.0
-            spanning = active & (lows[:, axis] <= mid) & (highs[:, axis] >= mid)
-            if not spanning.any():
-                continue
-            width = right - left
-            if axis == len(cuts) - 1:
-                total += width
-            else:
-                total += width * self._measure_recursive(
-                    lows, highs, cuts, axis + 1, spanning
-                )
-        return total
+        return _ra.measure_arrays(self._lo, self._hi)
 
     # ------------------------------------------------------------------
     # Geometry used by Algorithm 4
@@ -205,14 +225,7 @@ class BoxRegion:
         if self.is_empty():
             return None
         p = as_point(point, dim=self._dim)
-        best: np.ndarray | None = None
-        best_dist = np.inf
-        for box in self._boxes:
-            candidate = box.nearest_point_to(p)
-            dist = float(np.sum(np.abs(candidate - p)))
-            if dist < best_dist:
-                best, best_dist = candidate, dist
-        return best
+        return _ra.nearest_point_arrays(self._lo, self._hi, p)
 
     def corner_points(self) -> np.ndarray:
         """Deduplicated corners of all constituent boxes, ``(m, d)``.
@@ -222,27 +235,33 @@ class BoxRegion:
         """
         if self.is_empty():
             return np.empty((0, self._dim))
-        corners = np.vstack([box.corners() for box in self._boxes])
-        return np.unique(corners, axis=0)
+        return _ra.corner_points_arrays(self._lo, self._hi)
 
     def sample_points(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """``n`` points sampled from the union, box chosen ∝ volume
         (uniform over boxes when all volumes vanish)."""
         if self.is_empty():
             raise InvalidParameterError("cannot sample from an empty region")
-        volumes = np.array([b.volume() for b in self._boxes])
-        if volumes.sum() > 0:
-            probs = volumes / volumes.sum()
-        else:
-            probs = np.full(len(self._boxes), 1.0 / len(self._boxes))
-        counts = rng.multinomial(n, probs)
-        chunks = [
-            box.sample_points(rng, int(count))
-            for box, count in zip(self._boxes, counts)
-            if count
-        ]
-        return np.vstack(chunks) if chunks else np.empty((0, self._dim))
+        return _ra.sample_points_arrays(self._lo, self._hi, rng, n)
+
+    def _arrays_as(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        """The corner arrays reshaped for dimension ``dim`` (only an empty
+        dim-unknown region ever needs the reshape)."""
+        if self._lo.shape[1] == dim:
+            return self._lo, self._hi
+        return _ra.empty_arrays(dim)
+
+    def _join_dim(self, other: "BoxRegion") -> int:
+        """Common dimension of the two operands.
+
+        A region with ``dim == 0`` (empty, dimension unknown) adopts the
+        other operand's dimension; two known, different dimensions raise —
+        even when one operand is empty — so the former reliance on the
+        ``or`` fallback in :meth:`union` cannot silently mix dimensions.
+        """
+        if self._dim and other._dim and self._dim != other._dim:
+            raise DimensionMismatchError(self._dim, other._dim, what="region")
+        return self._dim or other._dim
 
     def _check_dim(self, other: "BoxRegion") -> None:
-        if self._boxes and other._boxes and other.dim != self.dim:
-            raise DimensionMismatchError(self.dim, other.dim, what="region")
+        self._join_dim(other)

@@ -150,3 +150,132 @@ class TestComputeSafeRegion:
             Box([0.5, 0.5], [0.5, 0.5]),
         )
         assert sr_area_zero.is_degenerate()
+
+
+class _DisjointRegionCache:
+    """Stub DSL cache whose member regions are pairwise disjoint — the
+    running intersection collapses to empty after two members, which real
+    staircase geometry (every region is a full cross through its
+    customer) never produces."""
+
+    def __init__(self, dim=2):
+        from repro.core.dsl_cache import DSLCacheStats
+        from repro.geometry.region import BoxRegion
+
+        self.stats = DSLCacheStats()
+        self.calls = []
+        self._make = lambda position: BoxRegion(
+            [
+                Box(
+                    [0.1 * position, 0.1 * position],
+                    [0.1 * position + 0.05, 0.1 * position + 0.05],
+                )
+            ],
+            dim=dim,
+        )
+
+    def region(self, position, bounds):
+        self.stats.region_misses += 1
+        self.calls.append(int(position))
+        return self._make(position)
+
+
+class TestArrayEngineStats:
+    def make_case(self, seed, n=30):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 1, size=(n, 2))
+        q = rng.uniform(0.3, 0.7, size=2)
+        idx = ScanIndex(pts)
+        rsl = reverse_skyline_naive(idx, pts, q, self_exclude=True)
+        return idx, pts, q, rsl
+
+    def test_matches_oracle_exactly(self):
+        """Array engine vs pure-Python oracle: identical boxes, identical
+        order, bit-identical area — across random cases."""
+        from repro.core.safe_region import compute_safe_region_oracle
+
+        for seed in range(6):
+            idx, pts, q, rsl = self.make_case(seed)
+            fast = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+            slow = compute_safe_region_oracle(
+                idx, pts, q, rsl, UNIT, self_exclude=True
+            )
+            assert [b.lo.tolist() for b in fast.region.boxes] == [
+                b.lo.tolist() for b in slow.region.boxes
+            ], seed
+            assert [b.hi.tolist() for b in fast.region.boxes] == [
+                b.hi.tolist() for b in slow.region.boxes
+            ], seed
+            assert fast.area() == slow.area(), seed
+            rng = np.random.default_rng(seed)
+            for p in rng.uniform(0, 1, size=(50, 2)):
+                assert fast.contains(p) == slow.contains(p), (seed, p)
+
+    def test_stats_populated(self):
+        idx, pts, q, rsl = self.make_case(2)
+        sr = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+        stats = sr.stats
+        assert stats is not None
+        assert stats.members == rsl.size
+        assert stats.intersections == rsl.size  # no early exit here
+        assert stats.boxes_after_simplify <= stats.boxes_before_simplify
+        assert stats.peak_boxes >= 1
+        assert stats.budget_truncations == 0
+        assert not stats.early_exit
+        assert stats.cache_hits == stats.cache_misses == 0  # no cache passed
+        assert 0.0 <= stats.member_seconds <= stats.build_seconds
+
+    def test_parallel_identical_to_sequential(self):
+        for seed in (1, 4):
+            idx, pts, q, rsl = self.make_case(seed, n=40)
+            config = WhyNotConfig(sr_chunk_size=3)
+            seq = compute_safe_region(
+                idx, pts, q, rsl, UNIT, config=config, self_exclude=True, n_jobs=1
+            )
+            par = compute_safe_region(
+                idx, pts, q, rsl, UNIT, config=config, self_exclude=True, n_jobs=4
+            )
+            assert par.region.lo.tolist() == seq.region.lo.tolist(), seed
+            assert par.region.hi.tolist() == seq.region.hi.tolist(), seed
+            assert par.area() == seq.area(), seed
+
+    def test_box_budget_is_safe_underapproximation(self):
+        idx, pts, q, rsl = self.make_case(0, n=40)
+        exact = compute_safe_region(idx, pts, q, rsl, UNIT, self_exclude=True)
+        if exact.stats.peak_boxes <= 2:
+            pytest.skip("case too small to exercise the budget")
+        budget = compute_safe_region(
+            idx, pts, q, rsl, UNIT,
+            config=WhyNotConfig(sr_box_budget=2), self_exclude=True,
+        )
+        assert budget.stats.budget_truncations >= 1
+        assert budget.contains(q)
+        assert budget.area() <= exact.area() + 1e-12
+        rng = np.random.default_rng(9)
+        if not budget.region.is_empty():
+            for p in budget.region.sample_points(rng, 40):
+                assert exact.contains(p)
+
+    def test_chunked_early_exit_skips_later_members(self):
+        """Satellite: the empty-intersection early exit must fire on the
+        chunked (parallel) path too — later chunks are never built."""
+        idx = ScanIndex(np.array([[0.5, 0.5]]))
+        cache = _DisjointRegionCache()
+        positions = np.arange(6, dtype=np.int64)
+        sr = compute_safe_region(
+            idx,
+            np.tile(np.linspace(0.1, 0.6, 6)[:, None], (1, 2)),
+            np.array([0.05, 0.05]),
+            positions,
+            UNIT,
+            config=WhyNotConfig(sr_chunk_size=2),
+            n_jobs=4,
+            dsl_cache=cache,
+        )
+        assert sr.stats.early_exit
+        # Only the first chunk's members were materialised.
+        assert sorted(cache.calls) == [0, 1]
+        assert sr.stats.intersections == 2
+        # The degenerate {q} fallback keeps the invariant q ∈ SR(q).
+        assert sr.contains([0.05, 0.05])
+        assert sr.is_degenerate()

@@ -148,3 +148,56 @@ class TestGeometryHelpers:
         r = region(([1, 1], [1, 1]))
         pts = r.sample_points(np.random.default_rng(0), 5)
         assert np.allclose(pts, [1.0, 1.0])
+
+
+class TestDimZeroEdge:
+    """Regression tests for the empty / dimension-unknown edge case.
+
+    A ``BoxRegion`` built with no boxes and no explicit dimension has
+    ``dim == 0`` ("not yet known"); combining used to fall through an
+    ``or`` fallback that could silently mix dimensions.  The contract is
+    now explicit: dim-0 *adopts* the other operand's dimension, while two
+    known, different dimensions always raise — even when one side is
+    empty.
+    """
+
+    def test_default_empty_has_dim_zero(self):
+        r = BoxRegion()
+        assert r.dim == 0
+        assert r.is_empty()
+        assert r.measure() == 0.0
+
+    def test_dim_zero_union_adopts_dimension(self):
+        unknown = BoxRegion()
+        known = region(([0, 0], [1, 1]))
+        for combined in (unknown.union(known), known.union(unknown)):
+            assert combined.dim == 2
+            assert len(combined) == 1
+            assert combined.contains_point([0.5, 0.5])
+
+    def test_dim_zero_intersect_adopts_dimension(self):
+        unknown = BoxRegion()
+        known = region(([0, 0], [1, 1]))
+        for combined in (unknown.intersect(known), known.intersect(unknown)):
+            assert combined.dim == 2
+            assert combined.is_empty()
+
+    def test_dim_zero_union_dim_zero_stays_unknown(self):
+        combined = BoxRegion().union(BoxRegion())
+        assert combined.dim == 0
+        assert combined.is_empty()
+
+    def test_known_empty_dims_still_clash(self):
+        """The fix must not loosen the check: two *known* dimensions
+        refuse to combine even when both regions are empty."""
+        with pytest.raises(DimensionMismatchError):
+            BoxRegion.empty(2).union(BoxRegion.empty(3))
+        with pytest.raises(DimensionMismatchError):
+            BoxRegion.empty(2).intersect(BoxRegion.empty(3))
+
+    def test_known_empty_vs_nonempty_clash(self):
+        known3 = BoxRegion([Box([0, 0, 0], [1, 1, 1])])
+        with pytest.raises(DimensionMismatchError):
+            BoxRegion.empty(2).union(known3)
+        with pytest.raises(DimensionMismatchError):
+            known3.intersect(BoxRegion.empty(2))
