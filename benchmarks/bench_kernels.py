@@ -28,7 +28,11 @@ import pytest
 
 from repro.config import DominancePolicy
 from repro.index.scan import ScanIndex
-from repro.kernels.membership import DEFAULT_BLOCK_SIZE, batch_lambda_counts
+from repro.kernels.membership import (
+    DEFAULT_BLOCK_SIZE,
+    KernelCounters,
+    batch_lambda_counts,
+)
 from repro.skyline.reverse import reverse_skyline_bbrs, reverse_skyline_naive
 
 BENCH_SEED = 7
@@ -192,6 +196,37 @@ def run_size(
     }
 
 
+def instrumented_pass(
+    n: int, d: int, policy: DominancePolicy, block_size: int
+) -> dict:
+    """One counter-instrumented kernel pass at the given size, run
+    *outside* the timed loops (counters cost a little per tile, so the
+    timings above stay counter-free).  Records the work the blocked
+    kernels actually did — tiles, product chunks, early exits, customers
+    pruned — so regressions in pruning effectiveness show up in the
+    artifact, not just regressions in wall time."""
+    pts, q = _dataset(n, d)
+    idx = ScanIndex(pts)
+    counters = KernelCounters()
+    members = reverse_skyline_naive(
+        idx,
+        pts,
+        q,
+        policy,
+        self_exclude=True,
+        batch_kernels=True,
+        block_size=block_size,
+        counters=counters,
+    )
+    return {
+        "n": n,
+        "m": n,
+        "d": d,
+        "rsl_size": int(members.size),
+        "kernel_counters": counters.snapshot(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -222,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
             f"({row['speedup_naive']:.1f}x); bbrs loop "
             f"{row['loop_bbrs_s']:.4f}s, kernel {row['kernel_bbrs_s']:.4f}s"
         )
+    from conftest import bench_environment
+
     payload = {
         "benchmark": "batch membership kernels vs per-customer loop",
         "methodology": "see EXPERIMENTS.md, section 'Batch kernel sweep'",
@@ -231,6 +268,10 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "env": bench_environment(),
+        "obs": instrumented_pass(
+            max(args.sizes), args.dim, policy, args.block_size
+        ),
         "results": results,
     }
     if args.out is not None:

@@ -324,6 +324,46 @@ def run_m_sweep(n: int, d: int, m_values: list[int], repeats: int) -> list[dict]
     return rows
 
 
+def instrumented_pass(n: int, d: int) -> dict:
+    """One fully instrumented construction at the given size, run
+    *outside* the timed loops: region-algebra counters (via
+    ``observe_region_ops``), the per-construction :class:`SafeRegionStats`,
+    and the DSL-cache hit/miss ledger for a cold-then-warm pair.  Gives
+    the artifact a work-done fingerprint next to the wall times."""
+    from repro.geometry.region_array import observe_region_ops
+    from repro.obs import MetricsRegistry
+
+    pts, q = _dataset(n, d)
+    idx = ScanIndex(pts)
+    bounds = _bounds(d)
+    rsl = reverse_skyline_naive(
+        idx, pts, q, self_exclude=True, batch_kernels=True
+    )
+    registry = MetricsRegistry()
+    cache = DSLCache(idx, pts, self_exclude=True)
+    stats = SafeRegionStats()
+    with observe_region_ops(registry):
+        compute_safe_region(
+            idx, pts, q, rsl, bounds, self_exclude=True,
+            dsl_cache=cache, stats=stats,
+        )  # cold
+        warm_stats = SafeRegionStats()
+        compute_safe_region(
+            idx, pts, q, rsl, bounds, self_exclude=True,
+            dsl_cache=cache, stats=warm_stats,
+        )  # warm
+    return {
+        "n": n,
+        "m": n,
+        "d": d,
+        "rsl_size": int(rsl.size),
+        "region_counters": registry.snapshot(),
+        "cold_stats": stats.snapshot(),
+        "warm_stats": warm_stats.snapshot(),
+        "dsl_cache": cache.stats.snapshot(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -392,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
             f"array warm {row['array_warm_s']:.4f}s ({row['speedup_warm']}x)"
         )
 
+    from conftest import bench_environment
+
     payload = {
         "benchmark": "safe-region construction: object loop vs array engine + DSL cache",
         "methodology": "see EXPERIMENTS.md, section 'Safe-region engine sweep'",
@@ -401,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "env": bench_environment(),
+        "obs": instrumented_pass(biggest, args.dim),
         "results": results,
         "workloads": workloads,
         "rsl_sweep": rsl_rows,

@@ -27,6 +27,30 @@ SYNTH_SIZE = 2000
 TARGETS = tuple(range(1, 11))
 
 
+def bench_environment() -> dict:
+    """Environment provenance for benchmark artifacts.
+
+    Every standalone benchmark runner embeds this under an ``"env"`` key
+    in its ``BENCH_*.json`` so numbers stay interpretable: interpreter
+    and numpy versions, platform, CPU count, git SHA, and the library
+    version.  Delegates to :func:`repro.obs.environment_provenance`;
+    falls back to the bare interpreter facts if ``repro.obs`` is ever
+    unavailable (e.g. benchmarking an older checkout).
+    """
+    try:
+        from repro.obs import environment_provenance
+
+        return environment_provenance()
+    except Exception:  # pragma: no cover - defensive fallback
+        import platform
+
+        return {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        }
+
+
 @pytest.fixture(scope="session")
 def cardb_dataset():
     return generate_cardb(CARDB_SIZE, seed=BENCH_SEED)

@@ -87,6 +87,26 @@ def main() -> None:
     print(f"Case {result7.case.value}: move q to {fmt(best7.point)} "
           "(the paper's Section V example: q* = (8.5K, 60K)).")
 
+    print("\n=== Watching the engine work (tracing) ============================")
+    # WhyNotConfig(trace=True) turns on the observability layer: every
+    # pipeline stage records a nested, timed span and the work counters
+    # (window queries, cache hits, boxes pruned) aggregate in
+    # engine.obs.metrics.  Tracing off (the default) costs ~nothing.
+    from repro import WhyNotConfig, answer_why_not, render_span_tree
+
+    traced = WhyNotEngine(
+        dataset.points, bounds=dataset.bounds, config=WhyNotConfig(trace=True)
+    )
+    answer_why_not(traced, 0, q)
+    print(render_span_tree(traced.obs.tracer))
+    counters = traced.obs.metrics.snapshot()
+    print(f"\nindex window queries: {counters['index.queries']}, "
+          f"DSL-cache misses: {counters['dsl_cache.threshold_misses']}, "
+          f"safe-region boxes kept: {counters['safe_region.boxes_after_simplify']}")
+    # The full payload (spans + counters + environment) exports as JSON:
+    payload = traced.obs.export(env=True)
+    print(f"exported payload keys: {sorted(payload)}")
+
 
 if __name__ == "__main__":
     main()

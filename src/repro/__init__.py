@@ -63,6 +63,16 @@ from repro.kernels import (
     batch_verify_membership,
     batch_window_membership,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    environment_provenance,
+    export_obs,
+    render_span_tree,
+    to_prometheus,
+    validate_export,
+)
 from repro.skyline import (
     dynamic_skyline_indices,
     reverse_skyline_bbrs,
@@ -104,6 +114,14 @@ __all__ = [
     "batch_window_membership",
     "batch_lambda_counts",
     "batch_verify_membership",
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
+    "export_obs",
+    "render_span_tree",
+    "to_prometheus",
+    "validate_export",
+    "environment_provenance",
     "Box",
     "BoxRegion",
     "SpatialIndex",

@@ -91,6 +91,12 @@ class WhyNotConfig:
         empty-region early exit between members.  The chunk partition is
         independent of ``n_jobs``, so parallel and sequential runs
         produce identical regions.
+    trace:
+        When true, the engine records nested timing spans and work
+        counters through its :class:`repro.obs.Observability` bundle
+        (see docs/OBSERVABILITY.md); results are unchanged.  When false
+        (default) every instrumented call site takes the no-op fast
+        path, costing about one attribute lookup.
     """
 
     policy: DominancePolicy = DominancePolicy.STRICT
@@ -103,6 +109,7 @@ class WhyNotConfig:
     dsl_cache: bool = True
     sr_box_budget: int = 0
     sr_chunk_size: int = 16
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.sort_dim < 0:

@@ -92,14 +92,15 @@ def answer_why_not(
 ) -> WhyNotAnswer:
     """Run the full pipeline for one why-not question."""
     q = np.asarray(query, dtype=np.float64)
-    return WhyNotAnswer(
-        why_not=why_not,
-        query=q,
-        explanation=engine.explain(why_not, q),
-        mwp=engine.modify_why_not_point(why_not, q),
-        mqp=engine.modify_query_point(why_not, q),
-        mwq=engine.modify_both(why_not, q, approximate=approximate, k=k),
-    )
+    with engine.obs.span("pipeline.answer_why_not"):
+        return WhyNotAnswer(
+            why_not=why_not,
+            query=q,
+            explanation=engine.explain(why_not, q),
+            mwp=engine.modify_why_not_point(why_not, q),
+            mqp=engine.modify_query_point(why_not, q),
+            mwq=engine.modify_both(why_not, q, approximate=approximate, k=k),
+        )
 
 
 def _member_answer(
@@ -165,17 +166,22 @@ def answer_why_not_batch(
     four per-question window queries entirely.
     """
     q = np.asarray(query, dtype=np.float64)
-    engine.safe_region(q, approximate=approximate, k=k)  # Warm the cache once.
     why_nots = list(why_nots)
-    if engine.config.batch_kernels and why_nots:
-        members = engine.membership_mask(why_nots, q)
+    with engine.obs.span(
+        "pipeline.answer_why_not_batch", questions=len(why_nots)
+    ):
+        engine.safe_region(q, approximate=approximate, k=k)  # Warm the cache once.
+        if engine.config.batch_kernels and why_nots:
+            members = engine.membership_mask(why_nots, q)
+            return [
+                _member_answer(engine, why_not, q)
+                if members[i]
+                else answer_why_not(
+                    engine, why_not, q, approximate=approximate, k=k
+                )
+                for i, why_not in enumerate(why_nots)
+            ]
         return [
-            _member_answer(engine, why_not, q)
-            if members[i]
-            else answer_why_not(engine, why_not, q, approximate=approximate, k=k)
-            for i, why_not in enumerate(why_nots)
+            answer_why_not(engine, why_not, q, approximate=approximate, k=k)
+            for why_not in why_nots
         ]
-    return [
-        answer_why_not(engine, why_not, q, approximate=approximate, k=k)
-        for why_not in why_nots
-    ]

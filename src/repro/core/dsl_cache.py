@@ -24,13 +24,13 @@ reduced engine with a fresh cache for exactly this reason.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.config import WhyNotConfig
 from repro.core.safe_region import staircase_boxes
+from repro.obs.stats import CounterBackedStats
 from repro.geometry.box import Box
 from repro.geometry.region import BoxRegion
 from repro.geometry.transform import to_query_space
@@ -41,15 +41,24 @@ from repro.skyline.dynamic import dynamic_skyline_indices
 __all__ = ["DSLCache", "DSLCacheStats"]
 
 
-@dataclass
-class DSLCacheStats:
-    """Hit/miss counters of one :class:`DSLCache` (monotonic)."""
+class DSLCacheStats(CounterBackedStats):
+    """Hit/miss counters of one :class:`DSLCache`.
 
-    threshold_hits: int = 0
-    threshold_misses: int = 0
-    region_hits: int = 0
-    region_misses: int = 0
-    invalidations: int = 0
+    Reset contract: hit/miss counters describe the *current generation*
+    of cached content — a full :meth:`DSLCache.invalidate` rolls them
+    back to zero (the old numbers describe entries that no longer
+    exist), while ``invalidations`` is lifetime-monotonic and counts
+    every invalidation call, full or partial.  Partial invalidations do
+    not roll the counters: the surviving entries' history stays valid.
+    """
+
+    _INT_FIELDS = (
+        "threshold_hits",
+        "threshold_misses",
+        "region_hits",
+        "region_misses",
+        "invalidations",
+    )
 
     @property
     def hits(self) -> int:
@@ -65,9 +74,31 @@ class DSLCacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def snapshot(self) -> tuple[int, int]:
-        """``(hits, misses)`` — subtract two snapshots to get a delta."""
-        return self.hits, self.misses
+    def hit_miss(self) -> tuple[int, int]:
+        """``(hits, misses)`` read straight off the counters — one call
+        instead of four property round-trips, for the safe-region hot
+        path that snapshots the ledger around every construction."""
+        c = self._counters
+        return (
+            c["threshold_hits"].value + c["region_hits"].value,
+            c["threshold_misses"].value + c["region_misses"].value,
+        )
+
+    def roll(self) -> dict:
+        """Snapshot, then zero the hit/miss counters (generation change).
+
+        ``invalidations`` is deliberately preserved — it counts lifetime
+        events, not current-generation content.
+        """
+        snap = self.snapshot()
+        for name in (
+            "threshold_hits",
+            "threshold_misses",
+            "region_hits",
+            "region_misses",
+        ):
+            self._counters[name].value = 0
+        return snap
 
 
 class DSLCache:
@@ -103,6 +134,16 @@ class DSLCache:
         self.stats = DSLCacheStats()
         self._thresholds: dict[int, np.ndarray] = {}
         self._regions: dict[tuple[int, bytes, bytes], BoxRegion] = {}
+        # Direct counter references for the per-lookup increments: a
+        # bound ``Counter.inc`` is measurably cheaper than the property
+        # round-trip, and the lookups sit on the safe-region hot path.
+        # ``roll()``/``reset()`` mutate the counters in place, so the
+        # references stay valid for the cache's lifetime.
+        counters = self.stats.counters()
+        self._threshold_hit_counter = counters["threshold_hits"]
+        self._threshold_miss_counter = counters["threshold_misses"]
+        self._region_hit_counter = counters["region_hits"]
+        self._region_miss_counter = counters["region_misses"]
 
     def __len__(self) -> int:
         return len(self._thresholds)
@@ -121,9 +162,9 @@ class DSLCache:
         position = int(position)
         cached = self._thresholds.get(position)
         if cached is not None:
-            self.stats.threshold_hits += 1
+            self._threshold_hit_counter.inc()
             return cached
-        self.stats.threshold_misses += 1
+        self._threshold_miss_counter.inc()
         computed = self._compute_thresholds(position)
         self._thresholds[position] = computed
         return computed
@@ -136,9 +177,9 @@ class DSLCache:
         key = (position, bounds.lo.tobytes(), bounds.hi.tobytes())
         cached = self._regions.get(key)
         if cached is not None:
-            self.stats.region_hits += 1
+            self._region_hit_counter.inc()
             return cached
-        self.stats.region_misses += 1
+        self._region_miss_counter.inc()
         boxes = staircase_boxes(
             self.customers[position],
             self.thresholds(position),
@@ -184,10 +225,18 @@ class DSLCache:
         Required whenever the product set changes (every customer's DSL
         may shift); engines built by ``without_products`` get a fresh
         cache instead of sharing the parent's.
+
+        Stats contract: a *full* invalidation starts a new content
+        generation, so the hit/miss counters roll back to zero
+        (``DSLCacheStats.roll``) — they would otherwise accumulate
+        across unrelated product sets and misreport hit rates.  Partial
+        invalidations keep the counters: surviving entries' history is
+        still meaningful.  ``stats.invalidations`` always increments.
         """
         if positions is None:
             self._thresholds.clear()
             self._regions.clear()
+            self.stats.roll()
         else:
             drop = {int(p) for p in positions}
             for position in drop:

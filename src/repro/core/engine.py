@@ -18,6 +18,7 @@ self-exclusion) or by raw coordinates.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Sequence
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.core.safe_region import (
 )
 from repro.core._verify import verify_membership
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry import region_array as _ra
 from repro.geometry.box import Box
 from repro.geometry.point import as_point, as_points
 from repro.index.base import SpatialIndex
@@ -46,9 +48,11 @@ from repro.index.kdtree import KDTree
 from repro.index.rtree import RTree
 from repro.index.scan import ScanIndex
 from repro.kernels.membership import (
+    KernelCounters,
     batch_verify_membership,
     batch_window_membership,
 )
+from repro.obs import Observability
 from repro.skyline.reverse import reverse_skyline_bbrs
 
 __all__ = ["WhyNotEngine"]
@@ -134,6 +138,30 @@ class WhyNotEngine:
             else None
         )
         self.last_safe_region_stats: SafeRegionStats | None = None
+        # Observability: one tracer + metrics registry per engine.  The
+        # tracer is inert unless config.trace; the registry always exists
+        # so the stats views' live counters are exportable either way.
+        self.obs = Observability(enabled=self.config.trace)
+        self.obs.attach_stats("index", self.index.stats)
+        if self.dsl_cache is not None:
+            self.obs.attach_stats("dsl_cache", self.dsl_cache.stats)
+        # Engine-lifetime safe-region totals (per-build numbers stay on
+        # SafeRegion.stats / last_safe_region_stats).
+        self.safe_region_totals = SafeRegionStats()
+        self.obs.attach_stats("safe_region", self.safe_region_totals)
+        # Kernel counters are only threaded through the hot loops when
+        # tracing: the disabled path must stay counter-free.
+        self._kernel_counters: KernelCounters | None = None
+        if self.config.trace:
+            self._kernel_counters = KernelCounters()
+            for name, counter in self._kernel_counters.counters().items():
+                self.obs.metrics.attach(f"kernels.{name}", counter)
+        # Path-independent work counter: one increment per membership
+        # predicate evaluated, identical under batch_kernels True/False.
+        self._membership_tests = self.obs.counter(
+            "engine.membership_tests",
+            "membership predicates evaluated (path-independent)",
+        )
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -178,15 +206,18 @@ class WhyNotEngine:
         key = q.tobytes()
         cached = self._rsl_cache.get(key)
         if cached is None:
-            cached = reverse_skyline_bbrs(
-                self.index,
-                self.customers,
-                q,
-                policy=self.config.policy,
-                self_exclude=self.monochromatic,
-                batch_kernels=self.config.batch_kernels,
-                block_size=self.config.kernel_block_size,
-            )
+            with self.obs.span("engine.reverse_skyline") as span:
+                cached = reverse_skyline_bbrs(
+                    self.index,
+                    self.customers,
+                    q,
+                    policy=self.config.policy,
+                    self_exclude=self.monochromatic,
+                    batch_kernels=self.config.batch_kernels,
+                    block_size=self.config.kernel_block_size,
+                    counters=self._kernel_counters,
+                )
+                span.set(members=int(cached.size))
             self._rsl_cache[key] = cached
         return cached
 
@@ -196,6 +227,7 @@ class WhyNotEngine:
         """Membership of one customer in ``RSL(query)``."""
         point, exclude = self._resolve_customer(why_not)
         q = as_point(query, dim=self.dim)
+        self._membership_tests.inc()
         return verify_membership(
             self.index, point, q, self.config.policy, exclude, rtol=0.0
         )
@@ -220,31 +252,40 @@ class WhyNotEngine:
             points[i] = point
             if exclude:
                 self_positions[i] = exclude[0]
-        if self.config.batch_kernels:
-            return batch_window_membership(
-                self.products,
-                points,
-                query,
-                self.config.policy,
-                self_positions=self_positions,
-                block_size=self.config.kernel_block_size,
-            )
-        q = as_point(query, dim=self.dim)
-        return np.fromiter(
-            (
-                verify_membership(
-                    self.index,
-                    points[i],
-                    q,
+        # One predicate per customer regardless of execution path — the
+        # counter-invariance contract of the batch kernels.
+        self._membership_tests.inc(count)
+        with self.obs.span(
+            "engine.membership_mask",
+            customers=count,
+            batch=self.config.batch_kernels,
+        ):
+            if self.config.batch_kernels:
+                return batch_window_membership(
+                    self.products,
+                    points,
+                    query,
                     self.config.policy,
-                    (int(self_positions[i]),) if self_positions[i] >= 0 else (),
-                    rtol=0.0,
+                    self_positions=self_positions,
+                    block_size=self.config.kernel_block_size,
+                    counters=self._kernel_counters,
                 )
-                for i in range(count)
-            ),
-            dtype=bool,
-            count=count,
-        )
+            q = as_point(query, dim=self.dim)
+            return np.fromiter(
+                (
+                    verify_membership(
+                        self.index,
+                        points[i],
+                        q,
+                        self.config.policy,
+                        (int(self_positions[i]),) if self_positions[i] >= 0 else (),
+                        rtol=0.0,
+                    )
+                    for i in range(count)
+                ),
+                dtype=bool,
+                count=count,
+            )
 
     # ------------------------------------------------------------------
     # The four why-not methods
@@ -254,39 +295,44 @@ class WhyNotEngine:
     ) -> Explanation:
         """Aspect 1: the ``Λ`` set of products blocking membership."""
         point, exclude = self._resolve_customer(why_not)
-        return explain_why_not(
-            self.index, point, query, self.config.policy, exclude
-        )
+        with self.obs.span("engine.explain") as span:
+            result = explain_why_not(
+                self.index, point, query, self.config.policy, exclude
+            )
+            span.set(culprits=len(result.culprit_positions))
+        return result
 
     def modify_why_not_point(
         self, why_not: "int | Sequence[float]", query: Sequence[float]
     ) -> ModificationResult:
         """Algorithm 1 (MWP) with normalised costs."""
         point, exclude = self._resolve_customer(why_not)
-        return modify_why_not_point(
-            self.index,
-            point,
-            query,
-            config=self.config,
-            weights=self.beta,
-            normalizer=self.normalizer,
-            exclude=exclude,
-        )
+        with self.obs.span("engine.mwp"):
+            return modify_why_not_point(
+                self.index,
+                point,
+                query,
+                config=self.config,
+                weights=self.beta,
+                normalizer=self.normalizer,
+                exclude=exclude,
+            )
 
     def modify_query_point(
         self, why_not: "int | Sequence[float]", query: Sequence[float]
     ) -> ModificationResult:
         """Algorithm 2 (MQP) with normalised movement costs."""
         point, exclude = self._resolve_customer(why_not)
-        return modify_query_point(
-            self.index,
-            point,
-            query,
-            config=self.config,
-            weights=self.alpha,
-            normalizer=self.normalizer,
-            exclude=exclude,
-        )
+        with self.obs.span("engine.mqp"):
+            return modify_query_point(
+                self.index,
+                point,
+                query,
+                config=self.config,
+                weights=self.alpha,
+                normalizer=self.normalizer,
+                exclude=exclude,
+            )
 
     def safe_region(
         self,
@@ -300,27 +346,61 @@ class WhyNotEngine:
         if approximate:
             cached = self._approx_sr_cache.get((key, k))
             if cached is None:
-                store = self.approx_store(k)
-                cached = store.safe_region(
-                    q, self.reverse_skyline(q), self._geometry_bounds(q)
-                )
+                with self.obs.span(
+                    "engine.safe_region", approximate=True, k=k
+                ), self._observe_regions():
+                    store = self.approx_store(k)
+                    cached = store.safe_region(
+                        q, self.reverse_skyline(q), self._geometry_bounds(q)
+                    )
                 self._approx_sr_cache[(key, k)] = cached
             return cached
         cached = self._sr_cache.get(key)
         if cached is None:
-            cached = compute_safe_region(
-                self.index,
-                self.customers,
-                q,
-                self.reverse_skyline(q),
-                self._geometry_bounds(q),
-                config=self.config,
-                self_exclude=self.monochromatic,
-                dsl_cache=self.dsl_cache,
-            )
+            with self.obs.span("engine.safe_region") as span, self._observe_regions():
+                cached = compute_safe_region(
+                    self.index,
+                    self.customers,
+                    q,
+                    self.reverse_skyline(q),
+                    self._geometry_bounds(q),
+                    config=self.config,
+                    self_exclude=self.monochromatic,
+                    dsl_cache=self.dsl_cache,
+                )
+                span.set(
+                    members=cached.stats.members,
+                    boxes=len(cached.region),
+                    early_exit=cached.stats.early_exit,
+                )
             self.last_safe_region_stats = cached.stats
+            self._absorb_safe_region_stats(cached.stats)
             self._sr_cache[key] = cached
         return cached
+
+    def _observe_regions(self):
+        """Region-kernel counting scope — a null context when not tracing
+        (the kernels' module-level sink stays untouched)."""
+        if self.obs.enabled:
+            return _ra.observe_region_ops(self.obs.metrics)
+        return nullcontext()
+
+    def _absorb_safe_region_stats(self, stats: SafeRegionStats) -> None:
+        """Fold one build's counters into the engine-lifetime totals the
+        registry exports under ``safe_region.*``."""
+        totals = self.safe_region_totals
+        totals.members += stats.members
+        totals.intersections += stats.intersections
+        totals.boxes_before_simplify += stats.boxes_before_simplify
+        totals.boxes_after_simplify += stats.boxes_after_simplify
+        totals.peak_boxes = max(totals.peak_boxes, stats.peak_boxes)
+        totals.budget_truncations += stats.budget_truncations
+        totals.cache_hits += stats.cache_hits
+        totals.cache_misses += stats.cache_misses
+        totals.member_seconds += stats.member_seconds
+        totals.build_seconds += stats.build_seconds
+        if stats.early_exit:
+            totals.early_exit = True
 
     def modify_both(
         self,
@@ -332,25 +412,26 @@ class WhyNotEngine:
         """Algorithm 4 (MWQ), optionally on the approximate safe region."""
         point, exclude = self._resolve_customer(why_not)
         q = as_point(query, dim=self.dim)
-        region = self.safe_region(q, approximate=approximate, k=k)
-        bounds = self._geometry_bounds(q)
-        # Position-addressed customers share the cached staircase region
-        # (the cache's self-exclusion convention matches _resolve_customer's).
-        ddr = None
-        if self.dsl_cache is not None and isinstance(why_not, (int, np.integer)):
-            ddr = self.dsl_cache.region(int(why_not), bounds)
-        return modify_query_and_why_not_point(
-            self.index,
-            point,
-            q,
-            safe_region=region,
-            bounds=bounds,
-            config=self.config,
-            weights=self.beta,
-            normalizer=self.normalizer,
-            exclude=exclude,
-            ddr_why_not=ddr,
-        )
+        with self.obs.span("engine.mwq", approximate=approximate):
+            region = self.safe_region(q, approximate=approximate, k=k)
+            bounds = self._geometry_bounds(q)
+            # Position-addressed customers share the cached staircase region
+            # (the cache's self-exclusion convention matches _resolve_customer's).
+            ddr = None
+            if self.dsl_cache is not None and isinstance(why_not, (int, np.integer)):
+                ddr = self.dsl_cache.region(int(why_not), bounds)
+            return modify_query_and_why_not_point(
+                self.index,
+                point,
+                q,
+                safe_region=region,
+                bounds=bounds,
+                config=self.config,
+                weights=self.beta,
+                normalizer=self.normalizer,
+                exclude=exclude,
+                ddr_why_not=ddr,
+            )
 
     def approx_store(self, k: int = 10) -> ApproximateDSLStore:
         """The (cached) pre-computed sampled-DSL store for parameter ``k``."""
@@ -449,6 +530,7 @@ class WhyNotEngine:
         members = np.asarray(members, dtype=np.int64)
         if members.size == 0:
             return np.empty(0, dtype=bool)
+        self._membership_tests.inc(int(members.size))
         if self.config.batch_kernels:
             return batch_verify_membership(
                 self.products,
@@ -457,6 +539,7 @@ class WhyNotEngine:
                 self.config.policy,
                 self_positions=members if self.monochromatic else None,
                 block_size=self.config.kernel_block_size,
+                counters=self._kernel_counters,
             )
         retained = np.empty(members.size, dtype=bool)
         for i, position in enumerate(members):

@@ -36,6 +36,7 @@ from repro.geometry.region_oracle import OracleBoxRegion
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
 from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
+from repro.obs.stats import CounterBackedStats
 from repro.skyline.dynamic import dynamic_skyline_indices
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dsl_cache imports us)
@@ -135,13 +136,15 @@ def anti_dominance_region(
     return BoxRegion(boxes, dim=index.dim).simplify()
 
 
-@dataclass
-class SafeRegionStats:
+class SafeRegionStats(CounterBackedStats):
     """Construction counters of one ``compute_safe_region`` call.
 
     Benchmarks (``benchmarks/bench_safe_region.py``) and EXPERIMENTS.md
     report these; they also make cache effectiveness observable in
-    production (``WhyNotEngine.last_safe_region_stats``).
+    production (``WhyNotEngine.last_safe_region_stats``).  Like the
+    other stats views it is counter-backed (``snapshot() -> dict`` /
+    ``reset()``; see :mod:`repro.obs.stats`), so an engine can attach
+    the live counters under ``safe_region.*`` registry names.
 
     Attributes
     ----------
@@ -171,17 +174,18 @@ class SafeRegionStats:
         Total wall time of the construction.
     """
 
-    members: int = 0
-    intersections: int = 0
-    boxes_before_simplify: int = 0
-    boxes_after_simplify: int = 0
-    peak_boxes: int = 0
-    budget_truncations: int = 0
-    early_exit: bool = False
-    cache_hits: int = 0
-    cache_misses: int = 0
-    member_seconds: float = 0.0
-    build_seconds: float = 0.0
+    _INT_FIELDS = (
+        "members",
+        "intersections",
+        "boxes_before_simplify",
+        "boxes_after_simplify",
+        "peak_boxes",
+        "budget_truncations",
+        "cache_hits",
+        "cache_misses",
+    )
+    _FLOAT_FIELDS = ("member_seconds", "build_seconds")
+    _BOOL_FIELDS = ("early_exit",)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -337,7 +341,9 @@ def compute_safe_region(
     positions = np.asarray(rsl_positions, dtype=np.int64)
     custs = np.asarray(customers, dtype=np.float64)
     stats.members = int(positions.size)
-    cache_before = dsl_cache.stats.snapshot() if dsl_cache is not None else (0, 0)
+    cache_before = (
+        dsl_cache.stats.hit_miss() if dsl_cache is not None else (0, 0)
+    )
 
     def member_region(position: int) -> BoxRegion:
         if dsl_cache is not None:
@@ -355,14 +361,21 @@ def compute_safe_region(
     run_lo, run_hi = _ra.boxes_to_arrays(
         [Box(bounds.lo.copy(), bounds.hi.copy())], index.dim
     )
-    stats.peak_boxes = 1
+    # The fold accumulates into locals and flushes to ``stats`` once
+    # after the loop: the counter-backed properties cost a few hundred
+    # nanoseconds per access, which adds up inside the per-member loop
+    # (the warm-cache construction is sub-millisecond in total).
+    member_secs = 0.0
+    intersections = before_simplify = after_simplify = truncations = 0
+    peak_boxes = 1
+    early_exit = False
     for chunk in _member_chunks(positions, config.sr_chunk_size):
         t_members = time.perf_counter()
         if workers > 1 and len(chunk) > 1:
             regions = parallel_map_chunks(member_region, chunk, n_jobs=n_jobs)
         else:
             regions = [member_region(position) for position in chunk]
-        stats.member_seconds += time.perf_counter() - t_members
+        member_secs += time.perf_counter() - t_members
         # Size-ascending fold: cheap members first keeps the pairwise
         # product small; ties keep position order for determinism.
         for i in sorted(range(len(regions)), key=lambda i: (len(regions[i]), i)):
@@ -370,28 +383,36 @@ def compute_safe_region(
             piece_lo, piece_hi = _ra.pairwise_intersect(
                 run_lo, run_hi, member.lo, member.hi
             )
-            stats.intersections += 1
-            stats.boxes_before_simplify += piece_lo.shape[0]
+            intersections += 1
+            before_simplify += piece_lo.shape[0]
             run_lo, run_hi = _ra.simplify_arrays(piece_lo, piece_hi)
-            stats.boxes_after_simplify += run_lo.shape[0]
+            after_simplify += run_lo.shape[0]
             if budget and run_lo.shape[0] > budget:
                 # simplify_arrays returns volume-descending order: keeping
                 # the head keeps the largest boxes (under-approximation).
                 run_lo, run_hi = run_lo[:budget], run_hi[:budget]
-                stats.budget_truncations += 1
-            stats.peak_boxes = max(stats.peak_boxes, run_lo.shape[0])
+                truncations += 1
+            peak_boxes = max(peak_boxes, run_lo.shape[0])
             if run_lo.shape[0] == 0:
-                stats.early_exit = True
+                early_exit = True
                 break
         if run_lo.shape[0] == 0:
             break
+    stats.member_seconds += member_secs
+    stats.intersections += intersections
+    stats.boxes_before_simplify += before_simplify
+    stats.boxes_after_simplify += after_simplify
+    stats.budget_truncations += truncations
+    stats.peak_boxes = max(stats.peak_boxes, peak_boxes)
+    if early_exit:
+        stats.early_exit = True
     region = BoxRegion.from_arrays(run_lo, run_hi, dim=index.dim)
     if not region.contains_point(q):
         region = region.union(BoxRegion([Box(q, q)], dim=index.dim))
     if dsl_cache is not None:
-        hits, misses = dsl_cache.stats.snapshot()
-        stats.cache_hits += hits - cache_before[0]
-        stats.cache_misses += misses - cache_before[1]
+        hits_after, misses_after = dsl_cache.stats.hit_miss()
+        stats.cache_hits += hits_after - cache_before[0]
+        stats.cache_misses += misses_after - cache_before[1]
     stats.build_seconds += time.perf_counter() - t_start
     return SafeRegion(
         query=q,

@@ -52,10 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
             "validate",
             "ablation",
             "run",
+            "trace",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
-        "qualitative claim of Section VI and exits non-zero on failure)",
+        "qualitative claim of Section VI and exits non-zero on failure; "
+        "'trace' runs an instrumented workload and prints the span tree)",
     )
     parser.add_argument(
         "--sizes",
@@ -99,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="for 'run': archive the raw experiment records as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run engines with the observability layer on (nested spans + "
+        "work counters); implied by the 'trace' experiment, honoured by "
+        "'run' and 'validate'",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the observability export (repro.obs/1 JSON: span tree, "
+        "counters, environment provenance) to this file",
     )
     return parser
 
@@ -200,25 +216,94 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _ablation(args)
     if experiment == "run":
         return _run_archive(args)
+    if experiment == "trace":
+        return _trace(args)
     raise ValueError(f"unknown experiment {experiment!r}")
+
+
+def _write_metrics(args: argparse.Namespace, payload: dict) -> str | None:
+    """Write an obs payload to --metrics-out; returns the path written."""
+    if not args.metrics_out:
+        return None
+    import json
+
+    with open(args.metrics_out, "w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return args.metrics_out
+
+
+def _trace(args: argparse.Namespace) -> str:
+    """Run an instrumented why-not workload and report spans + counters.
+
+    Builds a uniform synthetic dataset (first ``--sizes`` entry, default
+    1000 rows), answers a small why-not workload with ``trace=True``,
+    validates the exported payload against the ``repro.obs/1`` schema
+    (negative durations or unbalanced nesting raise), optionally writes
+    it to ``--metrics-out``, and prints the span tree plus the counter
+    snapshot.
+    """
+    from repro.config import WhyNotConfig
+    from repro.core.batch import answer_why_not
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+    from repro.data.workload import build_workload
+    from repro.experiments.runner import make_engine
+    from repro.obs import render_span_tree, validate_export
+
+    size = args.sizes[0] if args.sizes else 1_000
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    engine = make_engine(
+        dataset, backend=args.backend, config=WhyNotConfig(trace=True)
+    )
+    workload = build_workload(engine, targets=(1, 2, 3), seed=args.seed)
+    # Trace the answering phase only, not the workload search above.
+    engine.obs.clear()
+    for workload_query in workload:
+        answer_why_not(
+            engine, workload_query.why_not_position, workload_query.query
+        )
+    payload = engine.obs.export(
+        env=True,
+        extra={"experiment": "trace", "dataset": dataset.name, "size": size},
+    )
+    validate_export(payload)
+    written = _write_metrics(args, payload)
+
+    lines = [render_span_tree(engine.obs.tracer), "", "counters:"]
+    for name, value in sorted(payload["metrics"].items()):
+        if isinstance(value, (int, bool)) or (
+            isinstance(value, float) and value
+        ):
+            lines.append(f"  {name} = {value}")
+    if written:
+        lines.append(f"metrics exported to {written}")
+    return format_block(
+        f"Traced workload over {dataset.name} "
+        f"({len(workload)} why-not questions)",
+        "\n".join(lines),
+    )
 
 
 def _run_archive(args: argparse.Namespace) -> str:
     """Run the full protocol over every default dataset and archive the
     raw records (JSON via --json), plus a one-line summary per dataset."""
+    from repro.config import WhyNotConfig
     from repro.data.cardb import generate_cardb
     from repro.data.io import save_results_json
     from repro.data.synthetic import SYNTHETIC_GENERATORS
-    from repro.experiments.runner import run_dataset
+    from repro.experiments.runner import make_engine, run_dataset
+    from repro.obs import environment_provenance
 
     datasets = [generate_cardb(_sizes(args, True)[-1], seed=args.seed)]
     synth_size = _sizes(args, False)[0]
     for j, kind in enumerate(("UN", "CO", "AC")):
         datasets.append(SYNTHETIC_GENERATORS[kind](synth_size, seed=args.seed + j))
 
+    config = WhyNotConfig(trace=True) if args.trace else None
     results = []
     lines = []
+    obs_payloads: dict[str, dict] = {}
     for dataset in datasets:
+        engine = make_engine(dataset, backend=args.backend, config=config)
         result = run_dataset(
             dataset,
             targets=tuple(range(1, 16)),
@@ -226,8 +311,11 @@ def _run_archive(args: argparse.Namespace) -> str:
             seed=args.seed,
             backend=args.backend,
             measure_area=True,
+            engine=engine,
         )
         results.append(result)
+        if args.trace:
+            obs_payloads[dataset.name] = engine.obs.export()
         lines.append(
             f"{dataset.name}: {len(result.records)} queries, "
             f"|RSL| in {[r.rsl_size for r in result.sorted_records()]}"
@@ -235,6 +323,17 @@ def _run_archive(args: argparse.Namespace) -> str:
     if args.json:
         save_results_json(results, args.json)
         lines.append(f"records archived to {args.json}")
+    if obs_payloads:
+        written = _write_metrics(
+            args,
+            {
+                "schema": "repro.obs/1",
+                "env": environment_provenance(),
+                "datasets": obs_payloads,
+            },
+        )
+        if written:
+            lines.append(f"observability payloads written to {written}")
     return format_block("Experiment run", "\n".join(lines))
 
 
@@ -284,12 +383,18 @@ def _ablation(args: argparse.Namespace) -> str:
 
 def _validate(args: argparse.Namespace) -> str:
     """Run one seeded experiment and check every Section-VI claim."""
+    from repro.config import WhyNotConfig
     from repro.data.cardb import generate_cardb
-    from repro.experiments.runner import run_dataset
+    from repro.experiments.runner import make_engine, run_dataset
     from repro.experiments.validation import run_all_checks
 
     size = _sizes(args, True)[-1]
     dataset = generate_cardb(size, seed=args.seed)
+    engine = make_engine(
+        dataset,
+        backend=args.backend,
+        config=WhyNotConfig(trace=True) if args.trace else None,
+    )
     result = run_dataset(
         dataset,
         targets=tuple(range(1, 16)),
@@ -297,13 +402,27 @@ def _validate(args: argparse.Namespace) -> str:
         seed=args.seed,
         backend=args.backend,
         measure_area=True,
+        engine=engine,
     )
     report = run_all_checks(result.records)
     header = (
         f"Validation over {dataset.name} "
         f"({len(result.records)} why-not queries, seed {args.seed})"
     )
-    return format_block(header, report.render())
+    body = report.render()
+    if args.trace:
+        from repro.obs import validate_export
+
+        payload = engine.obs.export(
+            env=True,
+            extra={"experiment": "validate", "dataset": dataset.name},
+        )
+        validate_export(payload)
+        written = _write_metrics(args, payload)
+        body += "\nobservability export validated (repro.obs/1)"
+        if written:
+            body += f"; written to {written}"
+    return format_block(header, body)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.config import WhyNotConfig
 from repro.core.engine import WhyNotEngine
 from repro.data.dataset import Dataset
 from repro.data.workload import WhyNotQuery, build_workload
@@ -29,9 +30,15 @@ from repro.experiments.records import ApproxOutcome, DatasetResult, QueryRecord
 __all__ = ["run_query", "run_dataset", "make_engine"]
 
 
-def make_engine(dataset: Dataset, backend: str = "scan") -> WhyNotEngine:
+def make_engine(
+    dataset: Dataset,
+    backend: str = "scan",
+    config: WhyNotConfig | None = None,
+) -> WhyNotEngine:
     """Engine over a dataset in the paper's monochromatic convention."""
-    return WhyNotEngine(dataset.points, backend=backend, bounds=dataset.bounds)
+    return WhyNotEngine(
+        dataset.points, backend=backend, config=config, bounds=dataset.bounds
+    )
 
 
 def run_query(
@@ -126,10 +133,19 @@ def run_dataset(
     backend: str = "scan",
     max_attempts: int = 4000,
     measure_area: bool = True,
+    config: WhyNotConfig | None = None,
+    engine: WhyNotEngine | None = None,
 ) -> DatasetResult:
     """Build the workload for ``dataset`` and run every query through the
-    protocol.  Deterministic for a fixed seed."""
-    engine = make_engine(dataset, backend=backend)
+    protocol.  Deterministic for a fixed seed.
+
+    ``config`` customises the engine (e.g. ``WhyNotConfig(trace=True)``
+    for an instrumented run); ``engine`` supplies a pre-built one —
+    useful when the caller wants to read its observability payload
+    afterwards — and takes precedence over ``config``/``backend``.
+    """
+    if engine is None:
+        engine = make_engine(dataset, backend=backend, config=config)
     workload = build_workload(
         engine, targets=targets, seed=seed, max_attempts=max_attempts
     )

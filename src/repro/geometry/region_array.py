@@ -35,8 +35,9 @@ included), and CI asserts exact area agreement on every push.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from itertools import product as _iterproduct
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -54,7 +55,61 @@ __all__ = [
     "nearest_point_arrays",
     "corner_points_arrays",
     "sample_points_arrays",
+    "observe_region_ops",
 ]
+
+
+class _RegionMetrics:
+    """Counters a registry lends to this module while observation is on."""
+
+    __slots__ = (
+        "intersect_calls",
+        "boxes_created",
+        "simplify_calls",
+        "boxes_pruned",
+        "measure_calls",
+    )
+
+    def __init__(self, registry) -> None:
+        self.intersect_calls = registry.counter(
+            "region.intersect_calls", "pairwise_intersect kernel invocations"
+        )
+        self.boxes_created = registry.counter(
+            "region.boxes_created", "non-empty pieces produced by intersections"
+        )
+        self.simplify_calls = registry.counter(
+            "region.simplify_calls", "containment-pruning sweeps"
+        )
+        self.boxes_pruned = registry.counter(
+            "region.boxes_pruned", "boxes dropped by containment pruning"
+        )
+        self.measure_calls = registry.counter(
+            "region.measure_calls", "exact Lebesgue-measure evaluations"
+        )
+
+
+# Module-level sink: None keeps the kernels entirely counter-free (the
+# common case); `observe_region_ops` installs a bundle for one scope.
+_METRICS: _RegionMetrics | None = None
+
+
+@contextmanager
+def observe_region_ops(registry) -> Iterator[None]:
+    """Count kernel activity into ``registry`` within this context.
+
+    ``registry`` is any object with a ``counter(name, help) -> Counter``
+    method (a :class:`repro.obs.metrics.MetricsRegistry`); counters are
+    created under ``region.*`` names.  The previous sink is restored on
+    exit, so scopes nest.  The kernels are process-global, so observation
+    is too — don't interleave traced and untraced engines across threads.
+    """
+    global _METRICS
+    previous = _METRICS
+    _METRICS = _RegionMetrics(registry)
+    try:
+        yield
+    finally:
+        _METRICS = previous
 
 
 def empty_arrays(dim: int) -> tuple[np.ndarray, np.ndarray]:
@@ -104,6 +159,9 @@ def pairwise_intersect(
     flat_lo = lo.reshape(ka * kb, dim)
     flat_hi = hi.reshape(ka * kb, dim)
     idx = np.flatnonzero(keep)
+    if _METRICS is not None:
+        _METRICS.intersect_calls.inc()
+        _METRICS.boxes_created.inc(int(idx.size))
     return (
         np.ascontiguousarray(flat_lo[idx]),
         np.ascontiguousarray(flat_hi[idx]),
@@ -142,6 +200,8 @@ def simplify_arrays(
     """
     k = lo.shape[0]
     if k <= 1:
+        if _METRICS is not None:
+            _METRICS.simplify_calls.inc()
         return lo, hi
     volumes = np.prod(hi - lo, axis=1)
     order = np.argsort(-volumes, kind="stable")
@@ -154,6 +214,9 @@ def simplify_arrays(
     earlier = np.arange(k)[:, None] < np.arange(k)[None, :]  # j < i
     dropped = np.any(contained & earlier, axis=0)
     keep = np.flatnonzero(~dropped)
+    if _METRICS is not None:
+        _METRICS.simplify_calls.inc()
+        _METRICS.boxes_pruned.inc(int(k - keep.size))
     return (
         np.ascontiguousarray(s_lo[keep]),
         np.ascontiguousarray(s_hi[keep]),
@@ -228,6 +291,8 @@ def measure_arrays(lo: np.ndarray, hi: np.ndarray) -> float:
     full covered-cell grid via one boolean matmul).
     """
     k, dim = lo.shape
+    if _METRICS is not None:
+        _METRICS.measure_calls.inc()
     if k == 0:
         return 0.0
     cuts = [np.unique(np.concatenate([lo[:, a], hi[:, a]])) for a in range(dim)]

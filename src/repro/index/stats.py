@@ -4,15 +4,21 @@ The paper's performance section reports execution times that are dominated
 by index traversal; tracking node accesses and comparisons lets the
 benchmarks report an implementation-independent cost alongside wall-clock
 time.
+
+:class:`IndexStats` is a counter-backed view (see
+:mod:`repro.obs.stats`): each field reads/writes a live
+:class:`repro.obs.metrics.Counter`, which an engine registry can attach
+under ``index.*`` names so the same values flow into traced exports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.stats import CounterBackedStats
+
+__all__ = ["IndexStats"]
 
 
-@dataclass
-class IndexStats:
+class IndexStats(CounterBackedStats):
     """Mutable counters updated by index operations.
 
     Attributes
@@ -25,21 +31,7 @@ class IndexStats:
         Number of query operations issued.
     """
 
-    node_accesses: int = 0
-    point_comparisons: int = 0
-    queries: int = 0
-
-    def reset(self) -> None:
-        self.node_accesses = 0
-        self.point_comparisons = 0
-        self.queries = 0
-
-    def snapshot(self) -> dict[str, int]:
-        return {
-            "node_accesses": self.node_accesses,
-            "point_comparisons": self.point_comparisons,
-            "queries": self.queries,
-        }
+    _INT_FIELDS = ("node_accesses", "point_comparisons", "queries")
 
     def merge(self, other: "IndexStats") -> "IndexStats":
         """Return a new stats object with summed counters."""

@@ -17,6 +17,7 @@ configurable block size so the intermediate arrays stay bounded.
 
 from repro.kernels.membership import (
     DEFAULT_BLOCK_SIZE,
+    KernelCounters,
     batch_lambda_counts,
     batch_verify_membership,
     batch_window_membership,
@@ -25,6 +26,7 @@ from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "KernelCounters",
     "batch_window_membership",
     "batch_lambda_counts",
     "batch_verify_membership",

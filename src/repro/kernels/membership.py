@@ -34,9 +34,11 @@ import numpy as np
 from repro.config import DominancePolicy
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import as_point, as_points
+from repro.obs.metrics import Counter
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "KernelCounters",
     "batch_window_membership",
     "batch_lambda_counts",
     "batch_verify_membership",
@@ -45,6 +47,54 @@ __all__ = [
 DEFAULT_BLOCK_SIZE = 512
 
 _VERIFY_RTOL = 1e-12  # Mirrors repro.core._verify.VERIFY_RTOL.
+
+
+class KernelCounters:
+    """Live counters of the blocked membership sweeps.
+
+    The engine creates one bundle when tracing is on, attaches the
+    counters to its registry under ``kernels.*`` names, and passes it to
+    every kernel call; ``None`` (the default everywhere) keeps the hot
+    loops counter-free.  Counting never changes results — it only makes
+    the pruning behaviour (tiles, chunks touched, early exits)
+    observable.
+
+    Attributes
+    ----------
+    tiles:
+        Customer tiles processed.
+    product_chunks:
+        Blocking-matrix evaluations, i.e. (tile, product-chunk) pairs
+        actually materialised — the unit of kernel work.
+    early_exits:
+        Tiles fully resolved before scanning every product chunk.
+    customers_evaluated:
+        Customer rows entering a sweep.
+    customers_pruned:
+        Customers dropped by the early-exit compaction (found blocked
+        before the product scan finished).
+    """
+
+    __slots__ = (
+        "tiles",
+        "product_chunks",
+        "early_exits",
+        "customers_evaluated",
+        "customers_pruned",
+    )
+
+    def __init__(self) -> None:
+        self.tiles = Counter("tiles")
+        self.product_chunks = Counter("product_chunks")
+        self.early_exits = Counter("early_exits")
+        self.customers_evaluated = Counter("customers_evaluated")
+        self.customers_pruned = Counter("customers_pruned")
+
+    def counters(self) -> dict[str, Counter]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: int(getattr(self, name).value) for name in self.__slots__}
 
 
 def _prepare(
@@ -147,6 +197,7 @@ def _membership_block(
     rtol: float,
     sp: np.ndarray | None,
     chunk: int,
+    counters: KernelCounters | None = None,
 ) -> np.ndarray:
     """Membership vector for one customer tile, chunked over products with
     early-exit compaction.
@@ -162,6 +213,7 @@ def _membership_block(
     n = prods.shape[0]
     lo, hi = _window_bounds(block, q, rtol)
     alive = np.arange(b, dtype=np.int64)
+    exhausted = True
     for start in range(0, n, chunk):
         pc = prods[start : start + chunk]
         blocking = _blocking_matrix(
@@ -170,9 +222,19 @@ def _membership_block(
         _clear_self_entries(
             blocking, sp[alive] if sp is not None else None, start
         )
-        alive = alive[~blocking.any(axis=1)]
+        survivors = alive[~blocking.any(axis=1)]
+        if counters is not None:
+            counters.product_chunks.inc()
+            counters.customers_pruned.inc(int(alive.size - survivors.size))
+        alive = survivors
         if alive.size == 0:
+            exhausted = start + chunk >= n
             break
+    if counters is not None:
+        counters.tiles.inc()
+        counters.customers_evaluated.inc(b)
+        if not exhausted:
+            counters.early_exits.inc()
     members = np.zeros(b, dtype=bool)
     members[alive] = True
     return members
@@ -186,6 +248,7 @@ def batch_window_membership(
     self_positions: np.ndarray | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     rtol: float = 0.0,
+    counters: KernelCounters | None = None,
 ) -> np.ndarray:
     """``(m,)`` boolean vector: is each customer in ``RSL(query)``?
 
@@ -211,6 +274,9 @@ def batch_window_membership(
         test of :func:`repro.skyline.window.window_is_empty`; the
         verification tolerance reproduces
         :func:`repro.core._verify.verify_membership`.
+    counters:
+        Optional :class:`KernelCounters` incremented in place (tiles,
+        chunks, early exits); ``None`` skips all accounting.
     """
     prods, custs, q, positions = _prepare(
         products, customers, query, self_positions, block_size
@@ -226,7 +292,7 @@ def batch_window_membership(
         block = custs[start : start + block_size]
         sp = positions[start : start + block.shape[0]] if positions is not None else None
         members[start : start + block.shape[0]] = _membership_block(
-            prods, block, q, policy, rtol, sp, chunk=block_size
+            prods, block, q, policy, rtol, sp, chunk=block_size, counters=counters
         )
     return members
 
@@ -238,6 +304,7 @@ def batch_lambda_counts(
     policy: DominancePolicy = DominancePolicy.WEAK,
     self_positions: np.ndarray | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    counters: KernelCounters | None = None,
 ) -> np.ndarray:
     """``(m,)`` int64 vector of ``|Λ|`` per customer.
 
@@ -265,6 +332,11 @@ def batch_lambda_counts(
             blocking = _blocking_matrix(pc, block, lo, hi, policy)
             _clear_self_entries(blocking, sp, pstart)
             acc += blocking.sum(axis=1)
+            if counters is not None:
+                counters.product_chunks.inc()
+        if counters is not None:
+            counters.tiles.inc()
+            counters.customers_evaluated.inc(block.shape[0])
         counts[start : start + block.shape[0]] = acc
     return counts
 
@@ -277,6 +349,7 @@ def batch_verify_membership(
     self_positions: np.ndarray | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     rtol: float = _VERIFY_RTOL,
+    counters: KernelCounters | None = None,
 ) -> np.ndarray:
     """Tolerance-aware batch membership, matching
     :func:`repro.core._verify.verify_membership` bit-for-bit.
@@ -293,4 +366,5 @@ def batch_verify_membership(
         self_positions=self_positions,
         block_size=block_size,
         rtol=rtol,
+        counters=counters,
     )

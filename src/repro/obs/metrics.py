@@ -1,0 +1,269 @@
+"""Named counters, gauges and histograms (:class:`MetricsRegistry`).
+
+The registry is the single aggregation point of the observability layer:
+every cost the paper's Section VII reports per algorithm — window
+queries, node accesses, dominance tests, boxes created and pruned, cache
+hits — is a named metric here, so one exporter call yields the whole
+cost profile of a run instead of three disconnected ad-hoc stats
+objects.
+
+Metrics are plain mutable objects (``Counter.value`` is a raw attribute,
+``inc`` a single addition) so the hot paths pay one attribute update per
+event.  The registry stores them by name in insertion order; existing
+metric objects — e.g. the counters backing :class:`repro.index.stats.
+IndexStats` — can be :meth:`~MetricsRegistry.attach`-ed under a prefixed
+name, which shares the *same* counter object between the stats view and
+the registry: increments through either side are visible to both.
+
+Snapshots are plain ``dict``s (name -> number, histograms -> summary
+dict); two snapshots subtract into a delta via
+:meth:`MetricsRegistry.delta`, which is how the benchmarks attribute a
+wall-clock regression to a specific counter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Mapping, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically *intended* integer/float counter.
+
+    ``value`` is deliberately a plain attribute: stats views assign to it
+    directly (``stats.queries = 0`` in ``reset``), and the hot paths use
+    ``inc`` which is one add.  Nothing enforces monotonicity — ``reset``
+    and the stats-roll contract legitimately zero it.
+    """
+
+    __slots__ = ("name", "help", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", value: "int | float" = 0) -> None:
+        self.name = name
+        self.help = help
+        self.value = value
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        self.value += amount
+
+    def set(self, value: "int | float") -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot_value(self) -> "int | float":
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value!r})"
+
+
+class Gauge:
+    """A point-in-time value (cache sizes, box counts, hit rates)."""
+
+    __slots__ = ("name", "help", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", value: float = 0.0) -> None:
+        self.name = name
+        self.help = help
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value!r})"
+
+
+# Spans and safe-region builds live between ~10us and tens of seconds.
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus classic style).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``
+    (non-cumulative internally; the exporters cumulate), with one
+    overflow slot at the end for observations above the largest bound.
+    """
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative per-bucket counts (``le`` semantics), overflow last."""
+        out: list[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+    def snapshot_value(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                str(bound): cumulative
+                for bound, cumulative in zip(
+                    self.buckets, self.cumulative_counts()
+                )
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum!r})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Names are dotted (``"kernels.tiles"``, ``"index.node_accesses"``);
+    the Prometheus exporter rewrites them to its character set.  Asking
+    for an existing name with a different metric kind raises — a name
+    means one thing for the lifetime of the registry.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {kind}"
+                )
+            return metric
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, buckets), "histogram"
+        )
+
+    def attach(self, name: str, metric: "Counter | Gauge | Histogram") -> None:
+        """Register an *existing* metric object under ``name``.
+
+        The object is shared, not copied — this is how the counter-backed
+        stats views (``IndexStats`` and friends) surface their live
+        counters in an engine registry without double bookkeeping.
+        Re-attaching the same object under the same name is a no-op;
+        attaching a different object to a taken name raises.
+        """
+        existing = self._metrics.get(name)
+        if existing is metric:
+            return
+        if existing is not None:
+            raise ValueError(f"metric name {name!r} already in use")
+        self._metrics[name] = metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> "Counter | Gauge | Histogram | None":
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator["Counter | Gauge | Histogram"]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """``{name: value}`` for counters/gauges, summary dict for
+        histograms.  JSON-serialisable by construction."""
+        return {
+            name: metric.snapshot_value()
+            for name, metric in self._metrics.items()
+        }
+
+    def delta(self, before: Mapping) -> dict:
+        """Per-metric difference of the current snapshot against an older
+        one.  Numeric metrics subtract; histograms report count/sum
+        deltas; metrics absent from ``before`` count from zero."""
+        out: dict = {}
+        for name, metric in self._metrics.items():
+            now = metric.snapshot_value()
+            prior = before.get(name)
+            if isinstance(now, dict):
+                prior_count = prior.get("count", 0) if isinstance(prior, dict) else 0
+                prior_sum = prior.get("sum", 0.0) if isinstance(prior, dict) else 0.0
+                out[name] = {
+                    "count": now["count"] - prior_count,
+                    "sum": now["sum"] - prior_sum,
+                }
+            else:
+                base = prior if isinstance(prior, (int, float)) else 0
+                out[name] = now - base
+        return out
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()

@@ -1,0 +1,62 @@
+"""Environment provenance for benchmark artifacts.
+
+Every ``BENCH_*.json`` row should be comparable across machines and
+commits; :func:`environment_provenance` captures the knobs that actually
+move the numbers (interpreter, numpy, CPU count, git SHA) in one flat,
+JSON-serialisable dict.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+
+__all__ = ["environment_provenance"]
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_provenance() -> dict:
+    """Flat dict of the environment facts benchmarks should record."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+
+    # Late import: repro/__init__.py imports submodules that may import
+    # repro.obs, so reaching back for __version__ at module level would
+    # be circular.
+    try:
+        from repro import __version__ as repro_version
+    except ImportError:  # pragma: no cover
+        repro_version = None
+
+    return {
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+        "repro_version": repro_version,
+        "argv": list(sys.argv),
+    }

@@ -1,0 +1,122 @@
+"""Counter-backed stats views (the shared stats protocol).
+
+Before the observability layer, the library had three disconnected stats
+dataclasses (``IndexStats``, ``DSLCacheStats``, ``SafeRegionStats``)
+with diverging snapshot/reset surfaces.  They are now thin *views* over
+:class:`repro.obs.metrics.Counter` objects: every field is a property
+reading/writing one counter's ``value``, so
+
+* every existing call site (``stats.queries += 1``,
+  ``stats.peak_boxes = max(...)``, keyword construction) keeps working;
+* an engine-level :class:`~repro.obs.metrics.MetricsRegistry` can
+  :meth:`~repro.obs.metrics.MetricsRegistry.attach` the *same* counter
+  objects under prefixed names, making the live values exportable
+  without copying or polling;
+* all stats classes share one protocol — ``snapshot() -> dict`` and
+  ``reset() -> None`` — that the exporters and benchmarks rely on.
+
+Subclasses declare their fields in ``_INT_FIELDS`` / ``_FLOAT_FIELDS``
+/ ``_BOOL_FIELDS``; properties are generated at class-creation time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter
+
+__all__ = ["CounterBackedStats"]
+
+
+def _make_field_property(name: str, cast) -> property:
+    def getter(self):
+        return cast(self._counters[name].value)
+
+    def setter(self, value):
+        self._counters[name].value = value
+
+    getter.__name__ = setter.__name__ = name
+    return property(getter, setter)
+
+
+class CounterBackedStats:
+    """Base class turning declared fields into counter-backed properties.
+
+    The stats protocol every subclass provides:
+
+    ``snapshot() -> dict``
+        Plain field -> value mapping (JSON-serialisable), suitable for
+        delta arithmetic (subtract two snapshots field-wise).
+    ``reset() -> None``
+        Zero every field.
+    ``counters() -> dict``
+        The live :class:`Counter` objects by field name, for registry
+        attachment — mutations through the stats view and through the
+        registry are the same object.
+    """
+
+    _INT_FIELDS: tuple[str, ...] = ()
+    _FLOAT_FIELDS: tuple[str, ...] = ()
+    _BOOL_FIELDS: tuple[str, ...] = ()
+
+    _ALL_FIELDS: tuple[str, ...] = ()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for name in cls._INT_FIELDS:
+            setattr(cls, name, _make_field_property(name, int))
+        for name in cls._FLOAT_FIELDS:
+            setattr(cls, name, _make_field_property(name, float))
+        for name in cls._BOOL_FIELDS:
+            setattr(cls, name, _make_field_property(name, bool))
+        cls._ALL_FIELDS = cls._INT_FIELDS + cls._FLOAT_FIELDS + cls._BOOL_FIELDS
+
+    @classmethod
+    def _field_names(cls) -> tuple[str, ...]:
+        return cls._ALL_FIELDS
+
+    def __init__(self, **values) -> None:
+        # Instances are created per safe-region construction, so the
+        # zero-value fast path stays allocation-lean: counters start at
+        # 0 and the getters cast, so no per-kind zeroing is needed.
+        self._counters = {name: Counter(name) for name in self._ALL_FIELDS}
+        if values:
+            unknown = set(values) - set(self._ALL_FIELDS)
+            if unknown:
+                raise TypeError(
+                    f"{type(self).__name__} got unexpected fields "
+                    f"{sorted(unknown)}"
+                )
+            for name, value in values.items():
+                self._counters[name].value = value
+
+    def counters(self) -> dict[str, Counter]:
+        return dict(self._counters)
+
+    def snapshot(self) -> dict:
+        """Field -> value; ints as int, seconds as float, flags as bool."""
+        out: dict = {}
+        for name in self._INT_FIELDS:
+            out[name] = int(self._counters[name].value)
+        for name in self._FLOAT_FIELDS:
+            out[name] = float(self._counters[name].value)
+        for name in self._BOOL_FIELDS:
+            out[name] = bool(self._counters[name].value)
+        return out
+
+    def reset(self) -> None:
+        for name in self._INT_FIELDS:
+            self._counters[name].value = 0
+        for name in self._FLOAT_FIELDS:
+            self._counters[name].value = 0.0
+        for name in self._BOOL_FIELDS:
+            self._counters[name].value = False
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={value!r}" for name, value in self.snapshot().items()
+        )
+        return f"{type(self).__name__}({body})"

@@ -1,0 +1,226 @@
+"""Nested-span tracing with a near-free disabled path.
+
+A :class:`Span` is one timed region of the why-not pipeline (one
+``engine.safe_region`` build, one kernel sweep); spans nest through a
+context-manager API and form trees rooted at :attr:`Tracer.roots`.
+Timing uses a caller-injectable monotonic clock (``time.perf_counter``
+by default) so tests pin exact durations with a fake clock.
+
+The disabled fast path is the design constraint: production engines run
+with tracing off, and every instrumented call site costs one attribute
+check plus the return of a shared no-op context manager — no span
+objects, no clock reads, no list appends::
+
+    with tracer.span("engine.mwq"):   # ~free when tracer.enabled is False
+        ...
+
+Balance accounting (``spans_started`` / ``spans_closed`` and the open
+stack) lets exporters and CI detect spans that never closed or closed
+out of order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, attributed region; children are spans opened inside it."""
+
+    __slots__ = ("name", "attributes", "children", "start_s", "end_s")
+
+    def __init__(self, name: str, attributes: dict | None = None) -> None:
+        self.name = name
+        self.attributes: dict = attributes or {}
+        self.children: list[Span] = []
+        self.start_s: float | None = None
+        self.end_s: float | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float | None:
+        if self.start_s is None or self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes to the span; chainable, no-op-compatible."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (schema in docs/OBSERVABILITY.md)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        duration = self.duration_s
+        timing = f"{duration * 1e3:.3f}ms" if duration is not None else "open"
+        return f"Span({self.name!r}, {timing}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared no-op span/context-manager returned by disabled tracers.
+
+    Supports the full call surface of a real span (``set`` chains, the
+    ``with`` protocol) so instrumented code never branches on whether
+    tracing is on.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager materialising one span on an enabled tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None and self._span is not None:
+            self._span.attributes.setdefault("error", repr(exc))
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees; disabled instances are inert and ~free.
+
+    Parameters
+    ----------
+    enabled:
+        When false, :meth:`span` returns the shared :data:`NULL_SPAN`
+        and the tracer records nothing.
+    clock:
+        Monotonic time source returning seconds; defaults to
+        ``time.perf_counter``.  Injected by tests for deterministic
+        durations.
+    """
+
+    __slots__ = ("enabled", "clock", "roots", "_stack", "spans_started", "spans_closed")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock if clock is not None else time.perf_counter
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.spans_started = 0
+        self.spans_closed = 0
+
+    # ------------------------------------------------------------------
+    # The instrumentation surface
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes) -> "_SpanHandle | _NullSpan":
+        """Open a (lazily started) span; use as a context manager."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(self, name, attributes)
+
+    # ------------------------------------------------------------------
+    # Internals used by the handle
+    # ------------------------------------------------------------------
+    def _open(self, name: str, attributes: dict) -> Span:
+        span = Span(name, attributes)
+        span.start_s = self.clock()
+        self._stack.append(span)
+        self.spans_started += 1
+        return span
+
+    def _close(self, span: Span | None) -> None:
+        if span is None:
+            return
+        span.end_s = self.clock()
+        self.spans_closed += 1
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # Out-of-order close: drop it from wherever it sits.
+            try:
+                self._stack.remove(span)
+            except ValueError:
+                pass
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when every started span has closed (no dangling spans)."""
+        return not self._stack and self.spans_started == self.spans_closed
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Pre-order traversal over every *closed* recorded span."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All recorded spans with the given name, in traversal order."""
+        return [span for span in self.iter_spans() if span.name == name]
+
+    def clear(self) -> None:
+        """Drop all recorded spans and balance counters (open spans too:
+        a cleared tracer starts a fresh, balanced recording)."""
+        self.roots.clear()
+        self._stack.clear()
+        self.spans_started = 0
+        self.spans_closed = 0
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Tracer({state}, roots={len(self.roots)}, "
+            f"open={len(self._stack)})"
+        )

@@ -24,7 +24,11 @@ import numpy as np
 from repro.config import DominancePolicy
 from repro.geometry.point import as_point, as_points
 from repro.index.base import SpatialIndex
-from repro.kernels.membership import DEFAULT_BLOCK_SIZE, batch_window_membership
+from repro.kernels.membership import (
+    DEFAULT_BLOCK_SIZE,
+    KernelCounters,
+    batch_window_membership,
+)
 from repro.skyline.global_skyline import global_skyline_candidates
 from repro.skyline.window import window_is_empty
 
@@ -62,6 +66,7 @@ def reverse_skyline_naive(
     self_exclude: bool = False,
     batch_kernels: bool = False,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    counters: KernelCounters | None = None,
 ) -> np.ndarray:
     """Positions (into ``customers``) of ``RSL(query)`` by direct testing.
 
@@ -85,6 +90,7 @@ def reverse_skyline_naive(
                 else None
             ),
             block_size=block_size,
+            counters=counters,
         )
         return np.flatnonzero(mask).astype(np.int64)
     members = [
@@ -109,6 +115,7 @@ def reverse_skyline_bbrs(
     self_exclude: bool = False,
     batch_kernels: bool = False,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    counters: KernelCounters | None = None,
 ) -> np.ndarray:
     """Positions of ``RSL(query)`` via global-skyline pruning + verification.
 
@@ -134,6 +141,7 @@ def reverse_skyline_bbrs(
             policy,
             self_positions=cand if self_exclude else None,
             block_size=block_size,
+            counters=counters,
         )
         return cand[mask]
     members = [

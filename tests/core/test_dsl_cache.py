@@ -73,7 +73,7 @@ class TestReadThrough:
 
 class TestAccounting:
     def test_threshold_hit_miss_sequence(self, cache):
-        assert cache.stats.snapshot() == (0, 0)
+        assert (cache.stats.hits, cache.stats.misses) == (0, 0)
         cache.thresholds(4)
         assert (cache.stats.threshold_hits, cache.stats.threshold_misses) == (0, 1)
         cache.thresholds(4)
@@ -114,12 +114,11 @@ class TestLifecycle:
         cache.precompute(n_jobs=2)
         assert len(cache) == dataset.shape[0]
         assert cache.stats.threshold_misses == dataset.shape[0]
-        before = cache.stats.snapshot()
+        before_hits, before_misses = cache.stats.hits, cache.stats.misses
         for position in range(dataset.shape[0]):
             cache.thresholds(position)
-        hits, misses = cache.stats.snapshot()
-        assert hits - before[0] == dataset.shape[0]
-        assert misses == before[1]
+        assert cache.stats.hits - before_hits == dataset.shape[0]
+        assert cache.stats.misses == before_misses
 
     def test_precompute_subset_and_idempotence(self, cache):
         cache.precompute([1, 2, 3])
@@ -129,14 +128,18 @@ class TestLifecycle:
         assert len(cache) == 4
         assert cache.stats.threshold_misses == misses + 1
 
-    def test_invalidate_all(self, cache):
+    def test_invalidate_all_rolls_stats(self, cache):
         cache.region(0, UNIT)
         cache.region(1, UNIT)
+        assert cache.stats.threshold_misses == 2
         cache.invalidate()
         assert len(cache) == 0
+        # Full invalidation starts a new generation: hit/miss counters
+        # roll to zero, the lifetime invalidation count is preserved.
+        assert (cache.stats.hits, cache.stats.misses) == (0, 0)
         assert cache.stats.invalidations == 1
         cache.thresholds(0)
-        assert cache.stats.threshold_misses == 3  # recomputed after drop
+        assert cache.stats.threshold_misses == 1  # recomputed after drop
 
     def test_invalidate_selected_positions(self, cache):
         cache.region(0, UNIT)
@@ -198,15 +201,19 @@ class TestEngineIntegration:
     def test_relaxation_reuses_cached_members(self, engine):
         q = np.array([0.5, 0.5])
         engine.safe_region(q)  # warms every member region
-        before = engine.dsl_cache.stats.snapshot()
+        before_hits, before_misses = (
+            engine.dsl_cache.stats.hits,
+            engine.dsl_cache.stats.misses,
+        )
         regions = leave_one_out_regions(engine, q)
-        hits, misses = engine.dsl_cache.stats.snapshot()
         members = len(regions)
         if members >= 2:
             # Each of the n leave-one-out rebuilds reads n-1 member
             # regions, all already cached: a pure-hit phase.
-            assert hits - before[0] == members * (members - 1)
-            assert misses == before[1]
+            assert engine.dsl_cache.stats.hits - before_hits == members * (
+                members - 1
+            )
+            assert engine.dsl_cache.stats.misses == before_misses
 
     def test_modify_both_matches_uncached(self, dataset):
         cached_engine = WhyNotEngine(dataset, backend="scan")
@@ -223,12 +230,11 @@ class TestEngineIntegration:
 
     def test_approx_store_shares_threshold_layer(self, engine):
         engine.safe_region(np.array([0.5, 0.5]))  # warm thresholds
-        before = engine.dsl_cache.stats.snapshot()
+        before_hits = engine.dsl_cache.stats.hits
         store = engine.approx_store(k=3)
         for position in engine.reverse_skyline(np.array([0.5, 0.5])).tolist():
             store.entry(int(position))
-        hits, _ = engine.dsl_cache.stats.snapshot()
-        assert hits > before[0]
+        assert engine.dsl_cache.stats.hits > before_hits
 
     def test_invalidate_caches_clears_everything(self, engine):
         q = np.array([0.5, 0.5])
@@ -237,6 +243,10 @@ class TestEngineIntegration:
         engine.invalidate_caches()
         assert len(engine.dsl_cache) == 0
         assert engine.last_safe_region_stats is None
+        # The stats-reset contract: hit/miss counters roll with the
+        # content they described; the invalidation count survives.
+        assert (engine.dsl_cache.stats.hits, engine.dsl_cache.stats.misses) == (0, 0)
+        assert engine.dsl_cache.stats.invalidations == 1
         assert engine.safe_region(q).contains(q)
 
     def test_without_products_gets_fresh_cache(self, engine):

@@ -89,3 +89,90 @@ class TestRunArchive:
     def test_validate_exit_code_zero_on_pass(self):
         code = main(["validate", "--sizes", "900", "--seed", "7", "--k", "10"])
         assert code == 0
+
+
+class TestTraceExperiment:
+    def test_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["trace", "--trace", "--metrics-out", "obs.json"]
+        )
+        assert args.experiment == "trace"
+        assert args.trace
+        assert args.metrics_out == "obs.json"
+
+    def test_trace_prints_span_tree_and_counters(self, capsys):
+        code = main(["trace", "--sizes", "250", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Traced workload" in out
+        assert "pipeline.answer_why_not" in out
+        assert "engine.safe_region" in out
+        assert "counters:" in out
+        assert "safe_region.members" in out
+
+    def test_trace_metrics_out_validates(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "obs.json"
+        code = main(
+            ["trace", "--sizes", "250", "--seed", "1",
+             "--metrics-out", str(target)]
+        )
+        assert code == 0
+
+        from repro.obs import validate_export
+
+        payload = json.loads(target.read_text())
+        validate_export(payload)
+        assert payload["balanced"] is True
+        assert payload["experiment"] == "trace"
+        names = set()
+
+        def collect(span):
+            names.add(span["name"])
+            for child in span.get("children", []):
+                collect(child)
+
+        for span in payload["spans"]:
+            collect(span)
+        assert {
+            "pipeline.answer_why_not",
+            "engine.explain",
+            "engine.mwp",
+            "engine.mqp",
+            "engine.mwq",
+            "engine.safe_region",
+        } <= names
+
+    def test_run_honours_trace(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "obs.json"
+        code = main(
+            ["run", "--sizes", "250", "--seed", "2", "--trace",
+             "--metrics-out", str(target)]
+        )
+        assert code == 0
+        assert "observability payloads" in capsys.readouterr().out
+
+        from repro.obs import validate_export
+
+        payload = json.loads(target.read_text())
+        assert len(payload["datasets"]) == 4
+        for sub in payload["datasets"].values():
+            validate_export(sub)
+
+    def test_validate_honours_trace(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "obs.json"
+        code = main(
+            ["validate", "--sizes", "400", "--seed", "7", "--k", "10",
+             "--trace", "--metrics-out", str(target)]
+        )
+        code_out = capsys.readouterr().out
+        assert "observability export validated" in code_out
+
+        from repro.obs import validate_export
+
+        validate_export(json.loads(target.read_text()))

@@ -1,0 +1,197 @@
+"""MetricsRegistry, exporters, and the repro.obs/1 validation contract."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    SCHEMA,
+    export_obs,
+    render_span_tree,
+    to_prometheus,
+    validate_export,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_attach_shares_the_object(self):
+        reg = MetricsRegistry()
+        counter = Counter("raw")
+        reg.attach("index.raw", counter)
+        counter.inc(5)
+        assert reg.snapshot()["index.raw"] == 5
+        reg.get("index.raw").inc(2)
+        assert counter.value == 7
+
+    def test_attach_same_object_twice_is_noop(self):
+        reg = MetricsRegistry()
+        counter = Counter("raw")
+        reg.attach("x", counter)
+        reg.attach("x", counter)
+        assert len(reg) == 1
+
+    def test_attach_name_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.attach("x", Counter("a"))
+        with pytest.raises(ValueError, match="already in use"):
+            reg.attach("x", Counter("b"))
+
+    def test_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(3)
+        before = reg.snapshot()
+        c.inc(4)
+        reg.gauge("late").set(2.0)
+        delta = reg.delta(before)
+        assert delta["c"] == 4
+        assert delta["late"] == 2.0
+
+    def test_histogram_observe_and_snapshot(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        snap = h.snapshot_value()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.55)
+        assert snap["buckets"]["0.1"] == 1
+        assert snap["buckets"]["1.0"] == 2  # cumulative
+
+    def test_reset_zeroes_all(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.2)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["c"] == 0
+        assert snap["g"] == 0.0
+        assert snap["h"]["count"] == 0
+
+
+class TestExportRoundTrip:
+    def _traced(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=0.5))
+        reg = MetricsRegistry()
+        with tracer.span("outer", q="q1"):
+            with tracer.span("inner"):
+                reg.counter("work.items").inc(3)
+        reg.histogram("lat").observe(0.2)
+        return tracer, reg
+
+    def test_export_validates_and_survives_json(self):
+        tracer, reg = self._traced()
+        payload = export_obs(tracer, reg, env={"python": "3.x"}, extra={"run": 1})
+        validate_export(payload)
+        assert payload["schema"] == SCHEMA
+        assert payload["run"] == 1
+        round_tripped = json.loads(json.dumps(payload))
+        validate_export(round_tripped)
+        assert round_tripped["metrics"]["work.items"] == 3
+        assert round_tripped["spans"][0]["children"][0]["name"] == "inner"
+
+    def test_prometheus_text(self):
+        _tracer, reg = self._traced()
+        reg.gauge("cache.size", help="entries").set(7)
+        text = to_prometheus(reg)
+        assert "# TYPE repro_work_items_total counter" in text
+        assert "repro_work_items_total 3" in text
+        assert "# HELP repro_cache_size entries" in text
+        assert "repro_cache_size 7" in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+
+    def test_render_span_tree_indents_and_annotates(self):
+        tracer, _reg = self._traced()
+        tree = render_span_tree(tracer)
+        lines = tree.splitlines()
+        assert lines[0].startswith("outer")
+        assert "q='q1'" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "unbalanced" not in tree
+
+
+class TestValidateExportFailures:
+    def _valid(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        return export_obs(tracer, MetricsRegistry())
+
+    def test_bad_schema(self):
+        payload = self._valid()
+        payload["schema"] = "bogus/9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_export(payload)
+
+    def test_unbalanced(self):
+        payload = self._valid()
+        payload["balanced"] = False
+        with pytest.raises(ValueError, match="unbalanced"):
+            validate_export(payload)
+
+    def test_negative_duration(self):
+        payload = self._valid()
+        payload["spans"][0]["duration_s"] = -0.5
+        with pytest.raises(ValueError, match="negative duration"):
+            validate_export(payload)
+
+    def test_never_closed(self):
+        payload = self._valid()
+        payload["spans"][0]["duration_s"] = None
+        with pytest.raises(ValueError, match="never closed"):
+            validate_export(payload)
+
+    def test_never_started(self):
+        payload = self._valid()
+        payload["spans"][0]["start_s"] = None
+        with pytest.raises(ValueError, match="never started"):
+            validate_export(payload)
+
+    def test_child_outside_parent(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        payload = export_obs(tracer, MetricsRegistry())
+        payload["spans"][0]["children"][0]["duration_s"] = 1e6
+        with pytest.raises(ValueError, match="timed outside parent"):
+            validate_export(payload)
+
+    def test_non_numeric_metric(self):
+        payload = self._valid()
+        payload["metrics"] = {"bad": "not-a-number"}
+        with pytest.raises(ValueError, match="numeric"):
+            validate_export(payload)
+
+    def test_histogram_summary_needs_count_and_sum(self):
+        payload = self._valid()
+        payload["metrics"] = {"h": {"buckets": {}}}
+        with pytest.raises(ValueError, match="count and sum"):
+            validate_export(payload)

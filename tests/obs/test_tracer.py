@@ -1,0 +1,180 @@
+"""Tracer and span semantics: fake-clock timing, nesting, balance,
+and the inert disabled path."""
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing by a fixed step per read."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanTiming:
+    def test_fake_clock_duration_is_deterministic(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(start=10.0, step=0.5))
+        with tracer.span("work") as span:
+            pass
+        assert span.start_s == 10.0
+        assert span.end_s == 10.5
+        assert span.duration_s == 0.5
+        assert span.closed
+
+    def test_open_span_has_no_duration(self):
+        span = Span("open")
+        span.start_s = 1.0
+        assert span.duration_s is None
+        assert not span.closed
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("work", q="q1") as span:
+            span.set(members=3).set(boxes=7)
+        assert span.attributes == {"q": "q1", "members": 3, "boxes": 7}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (span,) = tracer.roots
+        assert span.closed
+        assert "kaput" in span.attributes["error"]
+        assert tracer.is_balanced
+
+
+class TestNesting:
+    def test_children_attach_to_innermost_open_span(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        (outer,) = tracer.roots
+        assert [c.name for c in outer.children] == ["mid", "sibling"]
+        (inner,) = outer.children[0].children
+        assert inner.name == "inner"
+
+    def test_walk_is_preorder(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                with tracer.span("d"):
+                    pass
+        names = [s.name for s in tracer.iter_spans()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_children_timed_inside_parent(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+
+    def test_sequential_roots(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_open_stack(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+
+class TestBalance:
+    def test_balanced_after_clean_run(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.is_balanced
+        assert tracer.spans_started == tracer.spans_closed == 2
+
+    def test_unclosed_span_is_unbalanced(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        handle = tracer.span("dangling")
+        handle.__enter__()
+        assert not tracer.is_balanced
+
+    def test_find_by_name(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        assert len(tracer.find("repeated")) == 3
+        assert tracer.find("absent") == []
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.is_balanced
+        assert tracer.spans_started == 0
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other", attr=1) is NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        calls = []
+
+        def counting_clock():
+            calls.append(1)
+            return 0.0
+
+        tracer = Tracer(enabled=False, clock=counting_clock)
+        with tracer.span("work") as span:
+            span.set(ignored=True)
+        assert tracer.roots == []
+        assert tracer.spans_started == 0
+        assert tracer.is_balanced
+        assert calls == []  # no clock reads on the disabled path
+
+    def test_null_span_full_surface(self):
+        assert NULL_SPAN.set(a=1) is NULL_SPAN
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+
+
+class TestSpanDict:
+    def test_to_dict_round_trip_shape(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=0.25))
+        with tracer.span("outer", q=1):
+            with tracer.span("inner"):
+                pass
+        d = tracer.roots[0].to_dict()
+        assert d["name"] == "outer"
+        assert d["attributes"] == {"q": 1}
+        assert d["duration_s"] == pytest.approx(0.75)
+        assert len(d["children"]) == 1
+        assert d["children"][0]["name"] == "inner"
