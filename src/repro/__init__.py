@@ -55,6 +55,7 @@ from repro.exceptions import (
     IndexCorruptionError,
     InvalidParameterError,
     ReproError,
+    StaleSessionError,
 )
 from repro.geometry import Box, BoxRegion
 from repro.index import RTree, ScanIndex, SpatialIndex
@@ -78,6 +79,14 @@ from repro.skyline import (
     reverse_skyline_bbrs,
     reverse_skyline_naive,
     skyline_indices,
+)
+from repro.store import (
+    CustomerStore,
+    Mutation,
+    ProductStore,
+    Snapshot,
+    VersionedStore,
+    WhyNotSession,
 )
 
 __version__ = "1.0.0"
@@ -127,10 +136,17 @@ __all__ = [
     "SpatialIndex",
     "ScanIndex",
     "RTree",
+    "ProductStore",
+    "CustomerStore",
+    "VersionedStore",
+    "Mutation",
+    "Snapshot",
+    "WhyNotSession",
     "ReproError",
     "DimensionMismatchError",
     "EmptyDatasetError",
     "InvalidParameterError",
     "IndexCorruptionError",
+    "StaleSessionError",
     "__version__",
 ]

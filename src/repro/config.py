@@ -97,6 +97,20 @@ class WhyNotConfig:
         (see docs/OBSERVABILITY.md); results are unchanged.  When false
         (default) every instrumented call site takes the no-op fast
         path, costing about one attribute lookup.
+    scoped_invalidation:
+        When true (default), engine mutations (``insert_products``,
+        ``delete_products``, ...) evict only the cache entries the
+        mutation can actually reach — decided with the paper's window
+        locality (a product change at ``p`` affects customer ``c``'s
+        membership w.r.t. ``q`` only if ``p`` falls in ``c``'s window
+        around ``q``, and a cached ``DSL(c)`` only if it changes that
+        skyline) — and *repairs* reverse-skyline entries whose membership
+        provably changed in a known way.  Everything else stays warm.
+        Results are bit-identical either way (property-tested against a
+        freshly built engine); false falls back to full
+        ``invalidate_caches()`` on every mutation.  Product-side scoping
+        additionally requires ``dsl_cache`` (without cached thresholds
+        there is nothing to scope, so mutations nuke as before).
     """
 
     policy: DominancePolicy = DominancePolicy.STRICT
@@ -110,6 +124,7 @@ class WhyNotConfig:
     sr_box_budget: int = 0
     sr_chunk_size: int = 16
     trace: bool = False
+    scoped_invalidation: bool = True
 
     def __post_init__(self) -> None:
         if self.sort_dim < 0:

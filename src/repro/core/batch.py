@@ -168,7 +168,9 @@ def answer_why_not_batch(
     q = np.asarray(query, dtype=np.float64)
     why_nots = list(why_nots)
     with engine.obs.span(
-        "pipeline.answer_why_not_batch", questions=len(why_nots)
+        "pipeline.answer_why_not_batch",
+        questions=len(why_nots),
+        dataset_epoch=engine.dataset_epoch,
     ):
         engine.safe_region(q, approximate=approximate, k=k)  # Warm the cache once.
         if engine.config.batch_kernels and why_nots:

@@ -148,6 +148,24 @@ class DSLCache:
     def __len__(self) -> int:
         return len(self._thresholds)
 
+    def entry_count(self) -> int:
+        """Total cached entries across both layers (thresholds + regions)."""
+        return len(self._thresholds) + len(self._regions)
+
+    def cached_positions(self) -> list[int]:
+        """Positions with a cached threshold matrix (no stats traffic).
+
+        The scoped-invalidation pass iterates exactly these: uncached
+        customers have nothing to evict, and every region entry's
+        position also has a threshold entry by the read-through layering.
+        """
+        return list(self._thresholds)
+
+    def cached_thresholds(self, position: int) -> np.ndarray | None:
+        """The cached threshold matrix, or ``None`` — never computes and
+        never counts a hit/miss (for invalidation-side inspection only)."""
+        return self._thresholds.get(int(position))
+
     def __repr__(self) -> str:
         return (
             f"DSLCache({len(self._thresholds)} thresholds, "
@@ -238,12 +256,67 @@ class DSLCache:
             self._regions.clear()
             self.stats.roll()
         else:
-            drop = {int(p) for p in positions}
-            for position in drop:
-                self._thresholds.pop(position, None)
-            for key in [k for k in self._regions if k[0] in drop]:
-                del self._regions[key]
+            self._evict_entries(positions)
         self.stats.invalidations += 1
+
+    def evict(self, positions: Sequence[int]) -> int:
+        """Scoped eviction: drop the entries of ``positions`` and return
+        how many entries (threshold matrices + regions) were removed.
+
+        Behaviour equals partial :meth:`invalidate` — surviving entries
+        keep their hit/miss history — but the count feeds the engine's
+        ``cache.evicted_scoped`` accounting.
+        """
+        evicted = self._evict_entries(positions)
+        self.stats.invalidations += 1
+        return evicted
+
+    def remap(self, mapping: np.ndarray) -> int:
+        """Renumber entries after a compacting delete; returns how many
+        entries were dropped because their customer row was deleted.
+
+        ``mapping`` is the old-to-new position array of the store delete
+        contract.  Values are untouched: a surviving customer's threshold
+        matrix and staircase regions do not depend on its row number.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        dropped = 0
+        thresholds: dict[int, np.ndarray] = {}
+        for position, matrix in self._thresholds.items():
+            new_position = int(mapping[position]) if position < mapping.size else -1
+            if new_position >= 0:
+                thresholds[new_position] = matrix
+            else:
+                dropped += 1
+        regions: dict[tuple[int, bytes, bytes], BoxRegion] = {}
+        for (position, lo, hi), region in self._regions.items():
+            new_position = int(mapping[position]) if position < mapping.size else -1
+            if new_position >= 0:
+                regions[(new_position, lo, hi)] = region
+            else:
+                dropped += 1
+        self._thresholds = thresholds
+        self._regions = regions
+        return dropped
+
+    def rebind(self, customers: np.ndarray) -> None:
+        """Point the cache at a new customer matrix (post-mutation).
+
+        The caller is responsible for having evicted/remapped entries
+        whose customers moved; rebinding itself validates nothing.
+        """
+        self.customers = np.asarray(customers, dtype=np.float64)
+
+    def _evict_entries(self, positions: Sequence[int]) -> int:
+        drop = {int(p) for p in positions}
+        evicted = 0
+        for position in drop:
+            if self._thresholds.pop(position, None) is not None:
+                evicted += 1
+        for key in [k for k in self._regions if k[0] in drop]:
+            del self._regions[key]
+            evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     # Internals

@@ -38,6 +38,7 @@ from repro.core.safe_region import (
     compute_safe_region,
 )
 from repro.core._verify import verify_membership
+from repro.core.invalidation import MutationInvalidator
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry import region_array as _ra
 from repro.geometry.box import Box
@@ -54,6 +55,8 @@ from repro.kernels.membership import (
 )
 from repro.obs import Observability
 from repro.skyline.reverse import reverse_skyline_bbrs
+from repro.store.base import CustomerStore, Mutation, ProductStore, VersionedStore
+from repro.store.session import WhyNotSession
 
 __all__ = ["WhyNotEngine"]
 
@@ -95,9 +98,18 @@ class WhyNotEngine:
         if prods.shape[0] == 0:
             raise EmptyDatasetError("the product set must not be empty")
         self.monochromatic = customers is None
-        custs = prods if customers is None else as_points(customers, dim=prods.shape[1])
-        self.products = prods
-        self.customers = custs
+        # Versioned dataset layer: the engine owns its matrices through
+        # copy-on-write stores.  The monochromatic convention shares one
+        # store for both roles, so ``self.customers is self.products``
+        # keeps holding and one mutation drives both sides coherently.
+        self._product_store = ProductStore(prods)
+        self._customer_store: VersionedStore = (
+            self._product_store
+            if customers is None
+            else CustomerStore(as_points(customers, dim=prods.shape[1]))
+        )
+        prods = self._product_store.matrix
+        custs = self._customer_store.matrix
         self._backend = backend
         self.config = config or WhyNotConfig()
         self._weights = weights or CostWeights()
@@ -162,6 +174,76 @@ class WhyNotEngine:
             "engine.membership_tests",
             "membership predicates evaluated (path-independent)",
         )
+        # Mutation accounting: every committed store mutation, plus the
+        # per-entry balance of the scoped invalidation pass
+        # (scoped_considered == evicted_scoped + retained_scoped, the
+        # invariant the CI smoke job asserts).
+        self._mutations = self.obs.counter(
+            "engine.mutations", "committed dataset mutations"
+        )
+        self._scoped_considered = self.obs.counter(
+            "cache.scoped_considered",
+            "cache entries inspected by scoped invalidation",
+        )
+        self._scoped_evicted = self.obs.counter(
+            "cache.evicted_scoped",
+            "cache entries evicted because the mutation could reach them",
+        )
+        self._scoped_retained = self.obs.counter(
+            "cache.retained_scoped",
+            "cache entries kept warm across a mutation",
+        )
+        self._scoped_repaired = self.obs.counter(
+            "cache.repaired_scoped",
+            "retained entries whose content was rewritten in place",
+        )
+        self._evicted_full = self.obs.counter(
+            "cache.evicted_full",
+            "cache entries dropped by full invalidation",
+        )
+        self._epoch_gauge = self.obs.gauge(
+            "engine.dataset_epoch",
+            "combined store epoch the caches are valid for",
+        )
+        self._epoch_gauge.set(self.dataset_epoch)
+
+    # ------------------------------------------------------------------
+    # Versioned dataset surface
+    # ------------------------------------------------------------------
+    @property
+    def products(self) -> np.ndarray:
+        """The current ``(n, d)`` product matrix (non-writeable; mutate
+        through :meth:`insert_products` / :meth:`delete_products` /
+        :meth:`update_products`)."""
+        return self._product_store.matrix
+
+    @property
+    def customers(self) -> np.ndarray:
+        """The current ``(m, d)`` customer matrix — the *same object* as
+        :attr:`products` in the monochromatic convention."""
+        return self._customer_store.matrix
+
+    @property
+    def product_store(self) -> ProductStore:
+        return self._product_store
+
+    @property
+    def customer_store(self) -> VersionedStore:
+        return self._customer_store
+
+    @property
+    def dataset_epoch(self) -> int:
+        """Monotone counter of committed mutations across both stores;
+        every derived cache is valid for exactly one value of it."""
+        if self._customer_store is self._product_store:
+            return self._product_store.epoch
+        return self._product_store.epoch + self._customer_store.epoch
+
+    def session(self) -> WhyNotSession:
+        """A read facade pinned to the current epoch: reads through it
+        raise :class:`~repro.exceptions.StaleSessionError` after any
+        mutation instead of silently mixing generations."""
+        return WhyNotSession(self)
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -434,8 +516,15 @@ class WhyNotEngine:
             )
 
     def approx_store(self, k: int = 10) -> ApproximateDSLStore:
-        """The (cached) pre-computed sampled-DSL store for parameter ``k``."""
-        store = self._approx_stores.get(k)
+        """The (cached) pre-computed sampled-DSL store for parameter ``k``.
+
+        Stores are keyed by ``(k, dataset_epoch)``: a store holds sampled
+        skylines of one dataset generation, so a mutation either retires
+        it (full invalidation) or repairs and re-keys it in place (scoped
+        path) — a stale-epoch store is never served.
+        """
+        key = (k, self.dataset_epoch)
+        store = self._approx_stores.get(key)
         if store is None:
             store = ApproximateDSLStore(
                 self.index,
@@ -445,15 +534,128 @@ class WhyNotEngine:
                 self_exclude=self.monochromatic,
                 dsl_cache=self.dsl_cache,
             )
-            self._approx_stores[k] = store
+            self._approx_stores[key] = store
         return store
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert_products(self, points) -> np.ndarray:
+        """Append product rows; returns their new positions.
+
+        The index absorbs the rows incrementally where the backend
+        supports it, and with ``config.scoped_invalidation`` only the
+        cache entries the new products can reach (window locality) are
+        evicted or repaired — everything else stays warm.  In the
+        monochromatic convention the rows join the customer side too.
+        """
+        mutation = self._product_store.insert(points)
+        return self._after_mutation(mutation, product=True, out=mutation.positions)
+
+    def delete_products(self, positions) -> np.ndarray:
+        """Remove product rows and compact; returns the old-to-new
+        position mapping (``-1`` for deleted rows), the same contract
+        :meth:`without_products` has always used."""
+        target = np.unique(np.asarray(list(positions), dtype=np.int64))
+        n = self._product_store.size
+        if target.size == n and target.size and 0 <= target[0] and target[-1] < n:
+            raise EmptyDatasetError("cannot delete every product")
+        mutation = self._product_store.delete(target)
+        return self._after_mutation(mutation, product=True, out=mutation.mapping)
+
+    def update_products(self, positions, points) -> np.ndarray:
+        """Replace the coordinates of existing product rows; returns the
+        (ascending) updated positions."""
+        mutation = self._product_store.update(positions, points)
+        return self._after_mutation(mutation, product=True, out=mutation.positions)
+
+    def insert_customers(self, points) -> np.ndarray:
+        """Append customer rows (bichromatic engines only); returns their
+        new positions."""
+        self._require_bichromatic()
+        mutation = self._customer_store.insert(points)
+        return self._after_mutation(mutation, product=False, out=mutation.positions)
+
+    def delete_customers(self, positions) -> np.ndarray:
+        """Remove customer rows and compact (bichromatic engines only);
+        returns the old-to-new position mapping."""
+        self._require_bichromatic()
+        mutation = self._customer_store.delete(positions)
+        return self._after_mutation(mutation, product=False, out=mutation.mapping)
+
+    def update_customers(self, positions, points) -> np.ndarray:
+        """Move existing customer rows (bichromatic engines only);
+        returns the (ascending) updated positions."""
+        self._require_bichromatic()
+        mutation = self._customer_store.update(positions, points)
+        return self._after_mutation(mutation, product=False, out=mutation.positions)
+
+    def _require_bichromatic(self) -> None:
+        if self.monochromatic:
+            raise InvalidParameterError(
+                "monochromatic engines share one store for both roles; "
+                "use the product mutators"
+            )
+
+    def _after_mutation(
+        self, mutation: Mutation, product: bool, out: np.ndarray
+    ) -> np.ndarray:
+        """Post-commit maintenance: index upkeep, cache scoping, obs."""
+        if mutation.is_noop:
+            return out
+        store = "product" if product else "customer"
+        with self.obs.span(
+            "engine.mutation", kind=mutation.kind, store=store
+        ) as span:
+            if product:
+                if mutation.kind == "insert":
+                    self.index.insert(mutation.new_points)
+                elif mutation.kind == "delete":
+                    self.index.remove(mutation.positions)
+                else:
+                    self.index.update(mutation.positions, mutation.new_points)
+            scoped = self.config.scoped_invalidation and (
+                not product or self.dsl_cache is not None
+            )
+            if scoped:
+                invalidator = MutationInvalidator(self)
+                outcome = (
+                    invalidator.product_mutation(mutation)
+                    if product
+                    else invalidator.customer_mutation(mutation)
+                )
+                self._scoped_considered.inc(outcome.considered)
+                self._scoped_evicted.inc(outcome.evicted)
+                self._scoped_retained.inc(outcome.retained)
+                self._scoped_repaired.inc(outcome.repaired)
+                span.set(
+                    scoped=True,
+                    evicted=outcome.evicted,
+                    retained=outcome.retained,
+                    repaired=outcome.repaired,
+                )
+            else:
+                self.invalidate_caches()
+                if self.dsl_cache is not None:
+                    self.dsl_cache.rebind(self.customers)
+                span.set(scoped=False)
+        self._mutations.inc()
+        self._epoch_gauge.set(self.dataset_epoch)
+        return out
 
     def invalidate_caches(self) -> None:
         """Drop every derived cache (RSL, safe regions, approx stores,
-        DSL cache).  Call after mutating the underlying data in place;
-        :meth:`without_products` instead builds a fresh engine whose
-        caches start empty, because deleted products change every
-        customer's dynamic skyline."""
+        DSL cache) — the unscoped fallback after a mutation, counted
+        under ``cache.evicted_full``.  :meth:`without_products` instead
+        builds a fresh engine whose caches start empty."""
+        total = (
+            len(self._rsl_cache)
+            + len(self._sr_cache)
+            + len(self._approx_sr_cache)
+            + sum(len(store) for store in self._approx_stores.values())
+        )
+        if self.dsl_cache is not None:
+            total += self.dsl_cache.entry_count()
         self._rsl_cache.clear()
         self._sr_cache.clear()
         self._approx_sr_cache.clear()
@@ -461,6 +663,7 @@ class WhyNotEngine:
         self.last_safe_region_stats = None
         if self.dsl_cache is not None:
             self.dsl_cache.invalidate()
+        self._evicted_full.inc(total)
 
     def without_products(
         self, positions: Sequence[int]
@@ -485,26 +688,25 @@ class WhyNotEngine:
                 raise InvalidParameterError(
                     f"product position {position} out of range"
                 )
-        keep = np.array(
-            [i for i in range(self.products.shape[0]) if i not in drop],
-            dtype=np.int64,
-        )
-        if keep.size == 0:
+        if len(drop) == self.products.shape[0]:
             raise EmptyDatasetError("cannot delete every product")
-        mapping = np.full(self.products.shape[0], -1, dtype=np.int64)
-        mapping[keep] = np.arange(keep.size)
+        # A throwaway store runs the compacting delete: the keep-set and
+        # mapping come out of its vectorised mask arithmetic, with the
+        # exact mapping contract this method has always returned.
+        scratch = ProductStore(self.products)
+        mutation = scratch.delete(sorted(drop))
         # The reduced engine starts with empty caches (including the DSL
         # cache): deleting products can change every customer's dynamic
         # skyline, so no parent entry is reusable.
         reduced = WhyNotEngine(
-            self.products[keep],
+            scratch.matrix,
             customers=None if self.monochromatic else self.customers,
             backend=self._backend,
             config=self.config,
             weights=self._weights,
             bounds=self.bounds,
         )
-        return reduced, mapping
+        return reduced, mutation.mapping
 
     def lost_customers(
         self, query: Sequence[float], refined_query: Sequence[float]

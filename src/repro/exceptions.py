@@ -43,3 +43,9 @@ class AlreadyInReverseSkylineError(NotInReverseSkylineError):
 class IndexCorruptionError(ReproError):
     """Raised by the R-tree integrity checker when a structural invariant
     (MBR containment, fanout bounds, leaf level uniformity) is violated."""
+
+
+class StaleSessionError(ReproError):
+    """Raised when a :class:`repro.store.WhyNotSession` pinned to one
+    dataset epoch is read after the underlying store mutated.  Refresh the
+    session to accept the new generation."""

@@ -50,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig15",
             "fig17",
             "validate",
+            "updates",
             "ablation",
             "run",
             "trace",
@@ -57,6 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
         ],
         help="which table/figure to regenerate ('validate' checks every "
         "qualitative claim of Section VI and exits non-zero on failure; "
+        "'updates' runs a mixed insert/delete/update churn and asserts the "
+        "incrementally maintained engine stays bit-identical to a rebuild; "
         "'trace' runs an instrumented workload and prints the span tree)",
     )
     parser.add_argument(
@@ -212,6 +215,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         )
     if experiment == "validate":
         return _validate(args)
+    if experiment == "updates":
+        return _updates(args)
     if experiment == "ablation":
         return _ablation(args)
     if experiment == "run":
@@ -337,6 +342,170 @@ def _run_archive(args: argparse.Namespace) -> str:
     return format_block("Experiment run", "\n".join(lines))
 
 
+def _updates(args: argparse.Namespace) -> str:
+    """Update-churn smoke check: incremental maintenance == rebuild.
+
+    Runs a seeded mixed insert/delete/update workload over both dataset
+    conventions, re-answering a fixed probe set after every mutation and
+    comparing each answer surface (reverse skyline, membership mask, safe
+    region, approximate safe region) bit-for-bit against a freshly built
+    engine over the final matrices.  Also asserts the scoped-invalidation
+    counter balance ``scoped_considered == evicted_scoped +
+    retained_scoped`` and that the index matrix tracks the store.  Any
+    mismatch prints a FAIL line and the process exits non-zero.
+    """
+    import numpy as np
+
+    from repro.config import WhyNotConfig
+    from repro.core.engine import WhyNotEngine
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+
+    size = args.sizes[0] if args.sizes else 200
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    config = WhyNotConfig(trace=True) if args.trace else WhyNotConfig()
+    lines = []
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    def regions_equal(a, b) -> bool:
+        return np.array_equal(a.region.lo, b.region.lo) and np.array_equal(
+            a.region.hi, b.region.hi
+        )
+
+    for mono in (True, False):
+        if mono:
+            products, customers = dataset.points, None
+        else:
+            half = dataset.points.shape[0] // 2
+            products = dataset.points[:half]
+            customers = dataset.points[half:]
+        engine = WhyNotEngine(
+            products,
+            customers=customers,
+            backend=args.backend,
+            config=config,
+            bounds=dataset.bounds,
+        )
+        probes = [
+            engine.bounds.lo + rng.random(engine.dim) * (
+                engine.bounds.hi - engine.bounds.lo
+            )
+            for _ in range(4)
+        ]
+        for q in probes:  # warm every cache layer before churning
+            engine.reverse_skyline(q)
+            engine.safe_region(q)
+            engine.safe_region(q, approximate=True, k=5)
+
+        def random_rows(count):
+            span = engine.bounds.hi - engine.bounds.lo
+            return engine.bounds.lo + rng.random((count, engine.dim)) * span
+
+        def mutate(step):
+            kind = ("insert", "delete", "update")[step % 3]
+            n = engine.products.shape[0]
+            if kind == "insert":
+                engine.insert_products(random_rows(2))
+            elif kind == "delete":
+                engine.delete_products(rng.choice(n, size=2, replace=False))
+            else:
+                positions = rng.choice(n, size=2, replace=False)
+                engine.update_products(positions, random_rows(2))
+            if not mono:
+                m = engine.customers.shape[0]
+                if kind == "insert":
+                    engine.insert_customers(random_rows(1))
+                elif kind == "delete":
+                    engine.delete_customers(rng.choice(m, size=1, replace=False))
+                else:
+                    engine.update_customers(
+                        rng.choice(m, size=1, replace=False), random_rows(1)
+                    )
+
+        steps = 6
+        for step in range(steps):
+            mutate(step)
+            for q in probes:  # keep the surviving caches in active use
+                engine.reverse_skyline(q)
+        fresh = WhyNotEngine(
+            engine.products,
+            customers=None if mono else engine.customers,
+            backend=args.backend,
+            config=config,
+            bounds=dataset.bounds,
+        )
+        name = "monochromatic" if mono else "bichromatic"
+        lines.append(
+            f"{name}: {steps} mixed mutation rounds, "
+            f"epoch {engine.dataset_epoch}, "
+            f"n={engine.products.shape[0]} m={engine.customers.shape[0]}"
+        )
+        check(
+            "index matrix tracks the store",
+            np.array_equal(engine.index.points, engine.products),
+        )
+        everyone = list(range(engine.customers.shape[0]))
+        check(
+            "reverse skylines match a rebuilt engine",
+            all(
+                np.array_equal(engine.reverse_skyline(q), fresh.reverse_skyline(q))
+                for q in probes
+            ),
+        )
+        check(
+            "membership masks match a rebuilt engine",
+            all(
+                np.array_equal(
+                    engine.membership_mask(everyone, q),
+                    fresh.membership_mask(everyone, q),
+                )
+                for q in probes
+            ),
+        )
+        check(
+            "safe regions match a rebuilt engine",
+            all(
+                regions_equal(engine.safe_region(q), fresh.safe_region(q))
+                for q in probes
+            ),
+        )
+        check(
+            "approximate safe regions match a rebuilt engine",
+            all(
+                regions_equal(
+                    engine.safe_region(q, approximate=True, k=5),
+                    fresh.safe_region(q, approximate=True, k=5),
+                )
+                for q in probes
+            ),
+        )
+        considered = int(engine._scoped_considered.value)
+        evicted = int(engine._scoped_evicted.value)
+        retained = int(engine._scoped_retained.value)
+        check(
+            "scoped_considered == evicted_scoped + retained_scoped "
+            f"({considered} == {evicted} + {retained})",
+            considered == evicted + retained,
+        )
+        check(
+            "mutations counted",
+            int(engine._mutations.value) == (steps if mono else 2 * steps),
+        )
+    verdict = "all checks passed" if not failures else f"{failures} FAILURES"
+    lines.append(verdict)
+    return format_block(
+        f"Update churn over {dataset.name} (seed {args.seed}, "
+        f"backend {args.backend})",
+        "\n".join(lines),
+    )
+
+
 def _ablation(args: argparse.Namespace) -> str:
     """Run the backend / pruning / k-sweep ablation studies."""
     from repro.data.cardb import generate_cardb
@@ -441,7 +610,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         output += f"[{experiment} regenerated in {elapsed:.1f}s]\n\n"
         sys.stdout.write(output)
         chunks.append(output)
-        if experiment == "validate" and "FAIL" in output:
+        if experiment in ("validate", "updates") and "FAIL" in output:
             failed = True
     if args.output:
         with open(args.output, "w") as handle:

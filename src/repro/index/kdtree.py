@@ -46,7 +46,17 @@ class _Node:
 
 
 class KDTree(SpatialIndex):
-    """Median-split k-d tree with tight per-node bounding boxes."""
+    """Median-split k-d tree with tight per-node bounding boxes.
+
+    Mutation support is the documented **rebuild fallback**: the median
+    splits and tight boxes depend on the global point distribution, so
+    every ``insert``/``remove``/``update`` reconstructs the tree from the
+    updated matrix (``stats.rebuilds``).  Construction is O(n log n) with
+    vectorised partitioning — cheap enough that churn-heavy workloads
+    should simply prefer an incremental backend (scan or grid).
+    """
+
+    incremental_ops = frozenset()
 
     def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
         super().__init__(points)
@@ -56,6 +66,13 @@ class KDTree(SpatialIndex):
         self._root: _Node | None = None
         if self.size:
             self._root = self._build(np.arange(self.size, dtype=np.int64), 0)
+
+    def _rebuild_structure(self) -> None:
+        self._root = (
+            self._build(np.arange(self.size, dtype=np.int64), 0)
+            if self.size
+            else None
+        )
 
     def _build(self, positions: np.ndarray, depth: int) -> _Node:
         node = _Node()

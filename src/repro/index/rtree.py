@@ -19,7 +19,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.config import RTreeConfig
-from repro.exceptions import IndexCorruptionError
+from repro.exceptions import IndexCorruptionError, InvalidParameterError
 from repro.geometry.box import Box
 from repro.geometry.point import as_point
 from repro.index.base import SpatialIndex
@@ -228,6 +228,39 @@ class RTree(SpatialIndex):
                         heap, (child.min_sq_dist(p), next(counter), 0, child)
                     )
         return np.array(result, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Mutation surface (SpatialIndex contract)
+    # ------------------------------------------------------------------
+    # Appending rows is genuinely incremental: each new position runs the
+    # full R* insertion (choose-subtree, forced reinsert, split), which is
+    # exactly how a bulk=False tree is built, so query results stay
+    # identical to a fresh build over the same matrix.  Compacting
+    # removals and in-place updates would invalidate positions stored in
+    # every leaf, so both take the documented rebuild fallback (STR bulk
+    # load over the post-mutation matrix, counted in ``stats.rebuilds``).
+    incremental_ops = frozenset({"insert"})
+
+    def _check_mutable(self) -> None:
+        if self._deleted:
+            raise InvalidParameterError(
+                "RTree has outstanding tombstone delete()s; the "
+                "compacting insert/remove/update surface would resurrect "
+                "them — rebuild the tree from the surviving points first"
+            )
+
+    def _apply_insert(self, start: int, points: np.ndarray) -> None:
+        for pos in range(start, start + points.shape[0]):
+            self._insert_position(pos)
+
+    def _rebuild_structure(self) -> None:
+        self._deleted = set()
+        if self.size:
+            from repro.index.bulkload import str_bulk_load
+
+            self._root = str_bulk_load(self._points, self.config)
+        else:
+            self._root = RTreeNode(0, self.dim)
 
     # ------------------------------------------------------------------
     # Insertion (R* algorithm)

@@ -29,14 +29,29 @@ class IndexStats(CounterBackedStats):
         Individual point-in-box / distance evaluations.
     queries:
         Number of query operations issued.
+    incremental_inserts / incremental_removes / incremental_updates:
+        Mutations absorbed by updating the existing structure in place
+        (no rebuild).  One increment per ``insert``/``remove``/``update``
+        call, however many rows it carried.
+    rebuilds:
+        Mutations that fell back to reconstructing the structure from
+        the full point matrix (the documented fallback of backends
+        without an incremental path for that operation).
     """
 
-    _INT_FIELDS = ("node_accesses", "point_comparisons", "queries")
+    _INT_FIELDS = (
+        "node_accesses",
+        "point_comparisons",
+        "queries",
+        "incremental_inserts",
+        "incremental_removes",
+        "incremental_updates",
+        "rebuilds",
+    )
 
     def merge(self, other: "IndexStats") -> "IndexStats":
         """Return a new stats object with summed counters."""
         merged = IndexStats()
-        merged.node_accesses = self.node_accesses + other.node_accesses
-        merged.point_comparisons = self.point_comparisons + other.point_comparisons
-        merged.queries = self.queries + other.queries
+        for name in self._INT_FIELDS:
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged

@@ -1,0 +1,23 @@
+"""Versioned dataset layer: copy-on-write stores and epoch-pinned sessions.
+
+See :mod:`repro.store.base` for the store/mutation model and
+:mod:`repro.store.session` for stale-read detection.
+"""
+
+from repro.store.base import (
+    CustomerStore,
+    Mutation,
+    ProductStore,
+    Snapshot,
+    VersionedStore,
+)
+from repro.store.session import WhyNotSession
+
+__all__ = [
+    "CustomerStore",
+    "Mutation",
+    "ProductStore",
+    "Snapshot",
+    "VersionedStore",
+    "WhyNotSession",
+]

@@ -1,0 +1,157 @@
+"""Epoch-pinned read sessions over a :class:`~repro.core.engine.WhyNotEngine`.
+
+A mutable market raises a question frozen matrices never had: what does a
+half-finished analysis mean when the data changed under it?  The paper's
+guarantees (Lemma 2's safe region, the Λ explanation set) are statements
+about *one* product/customer generation — mixing answers across
+generations silently produces regions that are safe for no market at all.
+
+:class:`WhyNotSession` makes the generation explicit.  It pins the
+engine's dataset epoch at construction and re-checks it before every
+delegated read; a mutation committed in between turns the next read into
+a :class:`~repro.exceptions.StaleSessionError` instead of a silently
+inconsistent answer.  Sessions are deliberately *detectors*, not MVCC —
+the engine answers from current data only, and a stale session must
+:meth:`~WhyNotSession.refresh` (accepting the new epoch) to continue.
+
+>>> session = engine.session()
+>>> session.reverse_skyline(q)          # fine
+>>> engine.update_products([3], [p])    # epoch bump
+>>> session.reverse_skyline(q)          # raises StaleSessionError
+>>> session.refresh(); session.reverse_skyline(q)   # re-pinned, fine
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import StaleSessionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.answer import Explanation, ModificationResult, MWQResult
+    from repro.core.engine import WhyNotEngine
+    from repro.core.safe_region import SafeRegion
+
+__all__ = ["WhyNotSession"]
+
+
+class WhyNotSession:
+    """Stale-read detection facade over one engine's query surface.
+
+    Every delegated method validates the pinned epoch first and then
+    forwards verbatim, so results (and caching behaviour) are identical
+    to calling the engine directly on an unchanged dataset.
+    """
+
+    def __init__(self, engine: "WhyNotEngine") -> None:
+        self._engine = engine
+        self._epoch = engine.dataset_epoch
+
+    # ------------------------------------------------------------------
+    # Epoch management
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> "WhyNotEngine":
+        return self._engine
+
+    @property
+    def epoch(self) -> int:
+        """The dataset epoch this session is pinned to."""
+        return self._epoch
+
+    @property
+    def stale(self) -> bool:
+        """True when the engine mutated after this session was pinned."""
+        return self._engine.dataset_epoch != self._epoch
+
+    def refresh(self) -> "WhyNotSession":
+        """Re-pin to the engine's current epoch; returns self."""
+        self._epoch = self._engine.dataset_epoch
+        return self
+
+    def _check(self) -> None:
+        current = self._engine.dataset_epoch
+        if current != self._epoch:
+            raise StaleSessionError(
+                f"session pinned at dataset epoch {self._epoch}, but the "
+                f"engine is now at epoch {current}; call refresh() to "
+                "accept the mutated market"
+            )
+
+    def __enter__(self) -> "WhyNotSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        state = "stale" if self.stale else "live"
+        return f"WhyNotSession(epoch={self._epoch}, {state})"
+
+    # ------------------------------------------------------------------
+    # Delegated read surface
+    # ------------------------------------------------------------------
+    def reverse_skyline(self, query: Sequence[float]) -> np.ndarray:
+        self._check()
+        return self._engine.reverse_skyline(query)
+
+    def is_member(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> bool:
+        self._check()
+        return self._engine.is_member(why_not, query)
+
+    def membership_mask(
+        self,
+        why_nots: Sequence["int | Sequence[float]"],
+        query: Sequence[float],
+    ) -> np.ndarray:
+        self._check()
+        return self._engine.membership_mask(why_nots, query)
+
+    def explain(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> "Explanation":
+        self._check()
+        return self._engine.explain(why_not, query)
+
+    def modify_why_not_point(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> "ModificationResult":
+        self._check()
+        return self._engine.modify_why_not_point(why_not, query)
+
+    def modify_query_point(
+        self, why_not: "int | Sequence[float]", query: Sequence[float]
+    ) -> "ModificationResult":
+        self._check()
+        return self._engine.modify_query_point(why_not, query)
+
+    def safe_region(
+        self,
+        query: Sequence[float],
+        approximate: bool = False,
+        k: int = 10,
+    ) -> "SafeRegion":
+        self._check()
+        return self._engine.safe_region(query, approximate=approximate, k=k)
+
+    def modify_both(
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        approximate: bool = False,
+        k: int = 10,
+    ) -> "MWQResult":
+        self._check()
+        return self._engine.modify_both(
+            why_not, query, approximate=approximate, k=k
+        )
+
+    def lost_customers(
+        self, query: Sequence[float], refined_query: Sequence[float]
+    ) -> np.ndarray:
+        self._check()
+        return self._engine.lost_customers(query, refined_query)

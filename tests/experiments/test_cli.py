@@ -176,3 +176,26 @@ class TestTraceExperiment:
         from repro.obs import validate_export
 
         validate_export(json.loads(target.read_text()))
+
+
+class TestUpdates:
+    def test_updates_passes_and_exits_zero(self, capsys):
+        code = main(["updates", "--sizes", "150", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[FAIL]" not in out
+        assert "all checks passed" in out
+        assert "scoped_considered == evicted_scoped + retained_scoped" in out
+
+    def test_updates_covers_both_conventions(self, capsys):
+        main(["updates", "--sizes", "150", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "monochromatic" in out
+        assert "bichromatic" in out
+
+    def test_updates_rtree_backend(self, capsys):
+        code = main(
+            ["updates", "--sizes", "120", "--seed", "3", "--backend", "rtree"]
+        )
+        assert code == 0
+        assert "[FAIL]" not in capsys.readouterr().out

@@ -10,6 +10,10 @@ class TestIndexStats:
             "node_accesses": 0,
             "point_comparisons": 0,
             "queries": 0,
+            "incremental_inserts": 0,
+            "incremental_removes": 0,
+            "incremental_updates": 0,
+            "rebuilds": 0,
         }
 
     def test_reset(self):
@@ -26,6 +30,15 @@ class TestIndexStats:
         assert merged.node_accesses == 11
         assert merged.point_comparisons == 22
         assert merged.queries == 33
+
+    def test_merge_sums_mutation_counters(self):
+        a = IndexStats(incremental_inserts=1, rebuilds=2)
+        b = IndexStats(incremental_inserts=3, incremental_removes=4, rebuilds=5)
+        merged = a.merge(b)
+        assert merged.incremental_inserts == 4
+        assert merged.incremental_removes == 4
+        assert merged.incremental_updates == 0
+        assert merged.rebuilds == 7
 
     def test_merge_does_not_mutate(self):
         a = IndexStats(queries=1)

@@ -1,0 +1,80 @@
+"""Tests for the epoch-pinned WhyNotSession facade."""
+
+import numpy as np
+import pytest
+
+from repro import StaleSessionError, WhyNotEngine, WhyNotSession
+
+
+@pytest.fixture()
+def engine() -> WhyNotEngine:
+    rng = np.random.default_rng(11)
+    return WhyNotEngine(rng.uniform(0.0, 1.0, size=(20, 2)), backend="scan")
+
+
+Q = np.array([0.5, 0.5])
+
+
+class TestPinning:
+    def test_session_pins_current_epoch(self, engine):
+        engine.insert_products([[0.9, 0.9]])
+        session = engine.session()
+        assert isinstance(session, WhyNotSession)
+        assert session.epoch == engine.dataset_epoch == 1
+        assert not session.stale
+
+    def test_reads_match_engine_while_live(self, engine):
+        session = engine.session()
+        assert np.array_equal(session.reverse_skyline(Q), engine.reverse_skyline(Q))
+        assert session.is_member(0, Q) == engine.is_member(0, Q)
+        a = session.safe_region(Q).region
+        b = engine.safe_region(Q).region
+        assert np.array_equal(a.lo, b.lo) and np.array_equal(a.hi, b.hi)
+
+    def test_mutation_makes_session_stale(self, engine):
+        session = engine.session()
+        engine.update_products([0], [[0.4, 0.6]])
+        assert session.stale
+        with pytest.raises(StaleSessionError, match="epoch 0.*epoch 1"):
+            session.reverse_skyline(Q)
+
+    def test_every_delegate_checks(self, engine):
+        session = engine.session()
+        engine.insert_products([[0.2, 0.8]])
+        for call in (
+            lambda: session.reverse_skyline(Q),
+            lambda: session.is_member(0, Q),
+            lambda: session.membership_mask([0, 1], Q),
+            lambda: session.explain(0, Q),
+            lambda: session.modify_why_not_point(0, Q),
+            lambda: session.modify_query_point(0, Q),
+            lambda: session.safe_region(Q),
+            lambda: session.modify_both(0, Q),
+            lambda: session.lost_customers(Q, Q),
+        ):
+            with pytest.raises(StaleSessionError):
+                call()
+
+    def test_refresh_repins(self, engine):
+        session = engine.session()
+        engine.delete_products([0])
+        assert session.refresh() is session
+        assert not session.stale
+        session.reverse_skyline(Q)  # no raise
+
+    def test_context_manager(self, engine):
+        with engine.session() as session:
+            session.reverse_skyline(Q)
+        assert "live" in repr(session)
+        engine.insert_products([[0.3, 0.3]])
+        assert "stale" in repr(session)
+
+    def test_bichromatic_epoch_covers_both_stores(self):
+        rng = np.random.default_rng(12)
+        engine = WhyNotEngine(
+            rng.uniform(size=(10, 2)), customers=rng.uniform(size=(8, 2))
+        )
+        session = engine.session()
+        engine.insert_customers([[0.5, 0.5]])
+        with pytest.raises(StaleSessionError):
+            session.reverse_skyline(Q)
