@@ -74,6 +74,14 @@ from repro.obs import (
     to_prometheus,
     validate_export,
 )
+from repro.plan import (
+    CostModel,
+    DatasetStats,
+    PlanCache,
+    PlanReport,
+    PreparedPlan,
+    render_plan_tree,
+)
 from repro.skyline import (
     dynamic_skyline_indices,
     reverse_skyline_bbrs,
@@ -123,6 +131,12 @@ __all__ = [
     "batch_window_membership",
     "batch_lambda_counts",
     "batch_verify_membership",
+    "CostModel",
+    "DatasetStats",
+    "PlanCache",
+    "PlanReport",
+    "PreparedPlan",
+    "render_plan_tree",
     "Observability",
     "Tracer",
     "MetricsRegistry",

@@ -97,6 +97,15 @@ class WhyNotConfig:
         (see docs/OBSERVABILITY.md); results are unchanged.  When false
         (default) every instrumented call site takes the no-op fast
         path, costing about one attribute lookup.
+    planner:
+        Operator-selection mode of the :mod:`repro.plan` layer.
+        ``"auto"`` (default) lets the cost model pick the cheapest
+        available physical operator per surface from the dataset
+        statistics; ``"fixed"`` reproduces the pre-planner dispatch
+        (kernels iff ``batch_kernels``, cached fold iff ``dsl_cache``)
+        bit-for-bit.  Answers are identical under both modes —
+        operators are property-tested equivalent — only runtimes
+        differ.
     scoped_invalidation:
         When true (default), engine mutations (``insert_products``,
         ``delete_products``, ...) evict only the cache entries the
@@ -124,6 +133,7 @@ class WhyNotConfig:
     sr_box_budget: int = 0
     sr_chunk_size: int = 16
     trace: bool = False
+    planner: str = "auto"
     scoped_invalidation: bool = True
 
     def __post_init__(self) -> None:
@@ -139,6 +149,11 @@ class WhyNotConfig:
             raise ValueError("sr_box_budget must be non-negative (0 = unlimited)")
         if self.sr_chunk_size < 1:
             raise ValueError("sr_chunk_size must be a positive integer")
+        if self.planner not in ("auto", "fixed"):
+            raise ValueError(
+                f"unknown planner mode {self.planner!r}; "
+                "use 'auto' or 'fixed'"
+            )
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ Two conveniences the paper motivates but leaves to the reader:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -26,7 +26,9 @@ from repro.core.answer import (
     MWQCase,
     MWQResult,
 )
-from repro.core.engine import WhyNotEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import WhyNotEngine
 
 __all__ = ["WhyNotAnswer", "answer_why_not", "answer_why_not_batch"]
 
@@ -160,10 +162,11 @@ def answer_why_not_batch(
 
     The first answer pays for the safe-region construction; the engine's
     per-query cache makes every subsequent answer reuse it, exactly the
-    amortisation Section VI describes.  With ``config.batch_kernels`` the
-    membership of *all* questions is additionally resolved in one blocked
-    kernel pass up front, so customers already in ``RSL(q)`` skip their
-    four per-question window queries entirely.
+    amortisation Section VI describes.  The planner chooses between the
+    kernel-prefiltered strategy (membership of *all* questions resolved
+    in one blocked pass up front, so customers already in ``RSL(q)``
+    skip their four per-question window queries entirely) and the
+    sequential per-question pipeline; answers are identical either way.
     """
     q = np.asarray(query, dtype=np.float64)
     why_nots = list(why_nots)
@@ -172,18 +175,6 @@ def answer_why_not_batch(
         questions=len(why_nots),
         dataset_epoch=engine.dataset_epoch,
     ):
-        engine.safe_region(q, approximate=approximate, k=k)  # Warm the cache once.
-        if engine.config.batch_kernels and why_nots:
-            members = engine.membership_mask(why_nots, q)
-            return [
-                _member_answer(engine, why_not, q)
-                if members[i]
-                else answer_why_not(
-                    engine, why_not, q, approximate=approximate, k=k
-                )
-                for i, why_not in enumerate(why_nots)
-            ]
-        return [
-            answer_why_not(engine, why_not, q, approximate=approximate, k=k)
-            for why_not in why_nots
-        ]
+        return engine._execute(
+            *engine._request("batch", why_nots, q, approximate=approximate, k=k)
+        )

@@ -14,54 +14,50 @@ caches, exposing the full pipeline of the paper:
 
 Customers may be addressed by row position (which enables monochromatic
 self-exclusion) or by raw coordinates.
+
+Since the planner/executor decomposition the engine is a *facade*: each
+surface method builds a coordinate-free logical plan, the
+:class:`~repro.plan.planner.Planner` selects physical operators (cost-
+based under ``config.planner="auto"``, the historical dispatch under
+``"fixed"``), and the executor runs the tree.  All kernel / safe-region
+/ staircase dispatch lives in :mod:`repro.plan.operators`; the engine
+keeps only the state those operators share (stores, index, result
+caches, observability).  ``engine.explain_plan(surface, ...)`` returns
+the executed plan tree with estimated vs. actual costs.
 """
 
 from __future__ import annotations
 
-from contextlib import nullcontext
 from typing import Sequence
 
 import numpy as np
 
-from repro.config import CostWeights, DominancePolicy, WhyNotConfig
+from repro.config import CostWeights, WhyNotConfig
 from repro.core.answer import Explanation, ModificationResult, MWQResult
-from repro.core.approx import ApproximateDSLStore
 from repro.core.cost import MinMaxNormalizer
 from repro.core.dsl_cache import DSLCache
-from repro.core.explain import explain_why_not
-from repro.core.mqp import modify_query_point
-from repro.core.mwp import modify_why_not_point
-from repro.core.mwq import modify_query_and_why_not_point
-from repro.core.safe_region import (
-    SafeRegion,
-    SafeRegionStats,
-    compute_safe_region,
-)
-from repro.core._verify import verify_membership
-from repro.core.invalidation import MutationInvalidator
+from repro.core.engine_obs import install_observability
+from repro.core.mutators import EngineMutationMixin
+from repro.core.safe_region import SafeRegion, SafeRegionStats
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
-from repro.geometry import region_array as _ra
 from repro.geometry.box import Box
 from repro.geometry.point import as_point, as_points
-from repro.index.base import SpatialIndex
-from repro.index.grid import GridIndex
-from repro.index.kdtree import KDTree
-from repro.index.rtree import RTree
-from repro.index.scan import ScanIndex
-from repro.kernels.membership import (
-    KernelCounters,
-    batch_verify_membership,
-    batch_window_membership,
-)
-from repro.obs import Observability
-from repro.skyline.reverse import reverse_skyline_bbrs
-from repro.store.base import CustomerStore, Mutation, ProductStore, VersionedStore
+from repro.index import make_index
+from repro.plan.cache import PlanCache, config_fingerprint
+from repro.plan.cost import DatasetStats
+from repro.plan.executor import ExecutionContext, execute_plan
+from repro.plan.logical import LogicalPlan, RetainedMaskQuery
+from repro.plan.operators import ensure_approx_store
+from repro.plan.planner import Planner
+from repro.plan.prepared import PreparedPlan
+from repro.plan.requests import build_request
+from repro.store.base import CustomerStore, ProductStore, VersionedStore
 from repro.store.session import WhyNotSession
 
 __all__ = ["WhyNotEngine"]
 
 
-class WhyNotEngine:
+class WhyNotEngine(EngineMutationMixin):
     """End-to-end why-not answering over one product / customer universe.
 
     Parameters
@@ -77,7 +73,8 @@ class WhyNotEngine:
         oracle, fastest for bulk sweeps), ``"grid"`` (uniform grid), or
         ``"kdtree"`` (median-split k-d tree).
     config:
-        Dominance policy / sort dimension / margin / verification.
+        Dominance policy / sort dimension / margin / verification /
+        planner mode.
     weights:
         Alpha/beta cost weights (equal, summing to 1, by default).
     bounds:
@@ -114,19 +111,7 @@ class WhyNotEngine:
         self.config = config or WhyNotConfig()
         self._weights = weights or CostWeights()
         self.alpha, self.beta = self._weights.resolved(prods.shape[1])
-        if backend == "rtree":
-            self.index: SpatialIndex = RTree(prods)
-        elif backend == "scan":
-            self.index = ScanIndex(prods)
-        elif backend == "grid":
-            self.index = GridIndex(prods)
-        elif backend == "kdtree":
-            self.index = KDTree(prods)
-        else:
-            raise InvalidParameterError(
-                f"unknown backend {backend!r}; use 'rtree', 'scan', 'grid' "
-                "or 'kdtree'"
-            )
+        self.index = make_index(backend, prods)
         if bounds is None:
             stacked = np.vstack([prods, custs])
             bounds = Box(stacked.min(axis=0), stacked.max(axis=0))
@@ -135,7 +120,7 @@ class WhyNotEngine:
         self._rsl_cache: dict[bytes, np.ndarray] = {}
         self._sr_cache: dict[bytes, SafeRegion] = {}
         self._approx_sr_cache: dict[tuple[bytes, int], SafeRegion] = {}
-        self._approx_stores: dict[int, ApproximateDSLStore] = {}
+        self._approx_stores: dict[tuple, object] = {}
         # Engine-level DSL/anti-dominance cache: per-customer dynamic
         # skylines computed once, shared by safe_region / modify_both /
         # batch answering / approx store / relaxation analysis.
@@ -150,62 +135,16 @@ class WhyNotEngine:
             else None
         )
         self.last_safe_region_stats: SafeRegionStats | None = None
-        # Observability: one tracer + metrics registry per engine.  The
-        # tracer is inert unless config.trace; the registry always exists
-        # so the stats views' live counters are exportable either way.
-        self.obs = Observability(enabled=self.config.trace)
-        self.obs.attach_stats("index", self.index.stats)
-        if self.dsl_cache is not None:
-            self.obs.attach_stats("dsl_cache", self.dsl_cache.stats)
-        # Engine-lifetime safe-region totals (per-build numbers stay on
-        # SafeRegion.stats / last_safe_region_stats).
-        self.safe_region_totals = SafeRegionStats()
-        self.obs.attach_stats("safe_region", self.safe_region_totals)
-        # Kernel counters are only threaded through the hot loops when
-        # tracing: the disabled path must stay counter-free.
-        self._kernel_counters: KernelCounters | None = None
-        if self.config.trace:
-            self._kernel_counters = KernelCounters()
-            for name, counter in self._kernel_counters.counters().items():
-                self.obs.metrics.attach(f"kernels.{name}", counter)
-        # Path-independent work counter: one increment per membership
-        # predicate evaluated, identical under batch_kernels True/False.
-        self._membership_tests = self.obs.counter(
-            "engine.membership_tests",
-            "membership predicates evaluated (path-independent)",
-        )
-        # Mutation accounting: every committed store mutation, plus the
-        # per-entry balance of the scoped invalidation pass
-        # (scoped_considered == evicted_scoped + retained_scoped, the
-        # invariant the CI smoke job asserts).
-        self._mutations = self.obs.counter(
-            "engine.mutations", "committed dataset mutations"
-        )
-        self._scoped_considered = self.obs.counter(
-            "cache.scoped_considered",
-            "cache entries inspected by scoped invalidation",
-        )
-        self._scoped_evicted = self.obs.counter(
-            "cache.evicted_scoped",
-            "cache entries evicted because the mutation could reach them",
-        )
-        self._scoped_retained = self.obs.counter(
-            "cache.retained_scoped",
-            "cache entries kept warm across a mutation",
-        )
-        self._scoped_repaired = self.obs.counter(
-            "cache.repaired_scoped",
-            "retained entries whose content was rewritten in place",
-        )
-        self._evicted_full = self.obs.counter(
-            "cache.evicted_full",
-            "cache entries dropped by full invalidation",
-        )
-        self._epoch_gauge = self.obs.gauge(
-            "engine.dataset_epoch",
-            "combined store epoch the caches are valid for",
-        )
-        self._epoch_gauge.set(self.dataset_epoch)
+        install_observability(self)
+        # Planner/executor wiring: plans are cached per (shape, epoch,
+        # config fingerprint) and dropped whenever a store commits.
+        self._planner = Planner(self.config)
+        self._plan_cache = PlanCache(obs=self.obs)
+        self._config_fp = config_fingerprint(self.config)
+        self.last_plan = None
+        self._product_store.subscribe(self._on_store_commit)
+        if self._customer_store is not self._product_store:
+            self._customer_store.subscribe(self._on_store_commit)
 
     # ------------------------------------------------------------------
     # Versioned dataset surface
@@ -230,6 +169,11 @@ class WhyNotEngine:
     @property
     def customer_store(self) -> VersionedStore:
         return self._customer_store
+
+    @property
+    def backend(self) -> str:
+        """The spatial-index backend name this engine was built with."""
+        return self._backend
 
     @property
     def dataset_epoch(self) -> int:
@@ -280,39 +224,76 @@ class WhyNotEngine:
         )
 
     # ------------------------------------------------------------------
+    # Planning + execution (the dispatch core of the facade)
+    # ------------------------------------------------------------------
+    @property
+    def planner(self) -> Planner:
+        return self._planner
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
+
+    def dataset_stats(self) -> DatasetStats:
+        """The statistics snapshot the cost model plans against."""
+        return DatasetStats.of(self)
+
+    def _on_store_commit(self, mutation) -> None:
+        # Plans were costed against the pre-mutation stats; drop them
+        # all (the cache key's epoch would miss anyway — this keeps the
+        # cache small and the eviction counter honest).
+        self._plan_cache.clear()
+
+    def _request(
+        self, surface: str, *args, **kwargs
+    ) -> tuple[LogicalPlan, dict]:
+        """``(logical plan, execution-context kwargs)`` for one surface
+        request; see :func:`repro.plan.requests.build_request`."""
+        return build_request(self, surface, *args, **kwargs)
+
+    def _prepare(self, logical: LogicalPlan, ctx_kwargs: dict) -> PreparedPlan:
+        key = (logical.cache_key(), self.dataset_epoch, self._config_fp)
+        node = self._plan_cache.get(key)
+        cached = node is not None
+        if node is None:
+            node = self._planner.plan(logical, DatasetStats.of(self))
+            self._plan_cache.put(key, node)
+        self.last_plan = node
+        return PreparedPlan(self, logical, node, ctx_kwargs, plan_cached=cached)
+
+    def _run_plan(self, node, ctx_kwargs: dict):
+        return execute_plan(node, ExecutionContext(engine=self, **ctx_kwargs))
+
+    def _execute(self, logical: LogicalPlan, ctx_kwargs: dict):
+        return self._prepare(logical, ctx_kwargs).execute()
+
+    def prepare(self, surface: str, *args, **kwargs) -> PreparedPlan:
+        """Plan a surface request without executing it.  The returned
+        :class:`~repro.plan.prepared.PreparedPlan` is pinned to the
+        current dataset epoch; executing it after a mutation raises
+        :class:`~repro.exceptions.StaleSessionError`."""
+        return self._prepare(*self._request(surface, *args, **kwargs))
+
+    def explain_plan(self, surface: str, *args, **kwargs):
+        """EXPLAIN ANALYZE for one surface call: execute it and return a
+        :class:`~repro.plan.explain.PlanReport` holding the chosen plan
+        tree with estimated and actual costs plus the surface result."""
+        prepared = self.prepare(surface, *args, **kwargs)
+        result = prepared.execute()
+        return prepared.report(result)
+
+    # ------------------------------------------------------------------
     # Reverse skyline
     # ------------------------------------------------------------------
     def reverse_skyline(self, query: Sequence[float]) -> np.ndarray:
         """``RSL(query)`` as positions into the customer matrix (BBRS)."""
-        q = as_point(query, dim=self.dim)
-        key = q.tobytes()
-        cached = self._rsl_cache.get(key)
-        if cached is None:
-            with self.obs.span("engine.reverse_skyline") as span:
-                cached = reverse_skyline_bbrs(
-                    self.index,
-                    self.customers,
-                    q,
-                    policy=self.config.policy,
-                    self_exclude=self.monochromatic,
-                    batch_kernels=self.config.batch_kernels,
-                    block_size=self.config.kernel_block_size,
-                    counters=self._kernel_counters,
-                )
-                span.set(members=int(cached.size))
-            self._rsl_cache[key] = cached
-        return cached
+        return self._execute(*self._request("reverse_skyline", query))
 
     def is_member(
         self, why_not: "int | Sequence[float]", query: Sequence[float]
     ) -> bool:
         """Membership of one customer in ``RSL(query)``."""
-        point, exclude = self._resolve_customer(why_not)
-        q = as_point(query, dim=self.dim)
-        self._membership_tests.inc()
-        return verify_membership(
-            self.index, point, q, self.config.policy, exclude, rtol=0.0
-        )
+        return bool(self.membership_mask([why_not], query)[0])
 
     def membership_mask(
         self,
@@ -321,53 +302,10 @@ class WhyNotEngine:
     ) -> np.ndarray:
         """Boolean :meth:`is_member` vector for many customers at once.
 
-        With ``config.batch_kernels`` the whole sweep is one blocked
-        kernel pass (no per-customer index query); otherwise it loops the
-        per-customer oracle.  Either way the result is bit-identical to
-        calling :meth:`is_member` per entry.
+        The planner picks between one blocked kernel pass and the
+        per-customer oracle loop; the result is bit-identical either way.
         """
-        count = len(why_nots)
-        points = np.empty((count, self.dim), dtype=np.float64)
-        self_positions = np.full(count, -1, dtype=np.int64)
-        for i, why_not in enumerate(why_nots):
-            point, exclude = self._resolve_customer(why_not)
-            points[i] = point
-            if exclude:
-                self_positions[i] = exclude[0]
-        # One predicate per customer regardless of execution path — the
-        # counter-invariance contract of the batch kernels.
-        self._membership_tests.inc(count)
-        with self.obs.span(
-            "engine.membership_mask",
-            customers=count,
-            batch=self.config.batch_kernels,
-        ):
-            if self.config.batch_kernels:
-                return batch_window_membership(
-                    self.products,
-                    points,
-                    query,
-                    self.config.policy,
-                    self_positions=self_positions,
-                    block_size=self.config.kernel_block_size,
-                    counters=self._kernel_counters,
-                )
-            q = as_point(query, dim=self.dim)
-            return np.fromiter(
-                (
-                    verify_membership(
-                        self.index,
-                        points[i],
-                        q,
-                        self.config.policy,
-                        (int(self_positions[i]),) if self_positions[i] >= 0 else (),
-                        rtol=0.0,
-                    )
-                    for i in range(count)
-                ),
-                dtype=bool,
-                count=count,
-            )
+        return self._execute(*self._request("membership", why_nots, query))
 
     # ------------------------------------------------------------------
     # The four why-not methods
@@ -376,45 +314,19 @@ class WhyNotEngine:
         self, why_not: "int | Sequence[float]", query: Sequence[float]
     ) -> Explanation:
         """Aspect 1: the ``Λ`` set of products blocking membership."""
-        point, exclude = self._resolve_customer(why_not)
-        with self.obs.span("engine.explain") as span:
-            result = explain_why_not(
-                self.index, point, query, self.config.policy, exclude
-            )
-            span.set(culprits=len(result.culprit_positions))
-        return result
+        return self._execute(*self._request("explain", why_not, query))
 
     def modify_why_not_point(
         self, why_not: "int | Sequence[float]", query: Sequence[float]
     ) -> ModificationResult:
         """Algorithm 1 (MWP) with normalised costs."""
-        point, exclude = self._resolve_customer(why_not)
-        with self.obs.span("engine.mwp"):
-            return modify_why_not_point(
-                self.index,
-                point,
-                query,
-                config=self.config,
-                weights=self.beta,
-                normalizer=self.normalizer,
-                exclude=exclude,
-            )
+        return self._execute(*self._request("mwp", why_not, query))
 
     def modify_query_point(
         self, why_not: "int | Sequence[float]", query: Sequence[float]
     ) -> ModificationResult:
         """Algorithm 2 (MQP) with normalised movement costs."""
-        point, exclude = self._resolve_customer(why_not)
-        with self.obs.span("engine.mqp"):
-            return modify_query_point(
-                self.index,
-                point,
-                query,
-                config=self.config,
-                weights=self.alpha,
-                normalizer=self.normalizer,
-                exclude=exclude,
-            )
+        return self._execute(*self._request("mqp", why_not, query))
 
     def safe_region(
         self,
@@ -423,66 +335,9 @@ class WhyNotEngine:
         k: int = 10,
     ) -> SafeRegion:
         """Algorithm 3 (exact) or the Section-VI.B approximation."""
-        q = as_point(query, dim=self.dim)
-        key = q.tobytes()
-        if approximate:
-            cached = self._approx_sr_cache.get((key, k))
-            if cached is None:
-                with self.obs.span(
-                    "engine.safe_region", approximate=True, k=k
-                ), self._observe_regions():
-                    store = self.approx_store(k)
-                    cached = store.safe_region(
-                        q, self.reverse_skyline(q), self._geometry_bounds(q)
-                    )
-                self._approx_sr_cache[(key, k)] = cached
-            return cached
-        cached = self._sr_cache.get(key)
-        if cached is None:
-            with self.obs.span("engine.safe_region") as span, self._observe_regions():
-                cached = compute_safe_region(
-                    self.index,
-                    self.customers,
-                    q,
-                    self.reverse_skyline(q),
-                    self._geometry_bounds(q),
-                    config=self.config,
-                    self_exclude=self.monochromatic,
-                    dsl_cache=self.dsl_cache,
-                )
-                span.set(
-                    members=cached.stats.members,
-                    boxes=len(cached.region),
-                    early_exit=cached.stats.early_exit,
-                )
-            self.last_safe_region_stats = cached.stats
-            self._absorb_safe_region_stats(cached.stats)
-            self._sr_cache[key] = cached
-        return cached
-
-    def _observe_regions(self):
-        """Region-kernel counting scope — a null context when not tracing
-        (the kernels' module-level sink stays untouched)."""
-        if self.obs.enabled:
-            return _ra.observe_region_ops(self.obs.metrics)
-        return nullcontext()
-
-    def _absorb_safe_region_stats(self, stats: SafeRegionStats) -> None:
-        """Fold one build's counters into the engine-lifetime totals the
-        registry exports under ``safe_region.*``."""
-        totals = self.safe_region_totals
-        totals.members += stats.members
-        totals.intersections += stats.intersections
-        totals.boxes_before_simplify += stats.boxes_before_simplify
-        totals.boxes_after_simplify += stats.boxes_after_simplify
-        totals.peak_boxes = max(totals.peak_boxes, stats.peak_boxes)
-        totals.budget_truncations += stats.budget_truncations
-        totals.cache_hits += stats.cache_hits
-        totals.cache_misses += stats.cache_misses
-        totals.member_seconds += stats.member_seconds
-        totals.build_seconds += stats.build_seconds
-        if stats.early_exit:
-            totals.early_exit = True
+        return self._execute(
+            *self._request("safe_region", query, approximate=approximate, k=k)
+        )
 
     def modify_both(
         self,
@@ -492,232 +347,29 @@ class WhyNotEngine:
         k: int = 10,
     ) -> MWQResult:
         """Algorithm 4 (MWQ), optionally on the approximate safe region."""
-        point, exclude = self._resolve_customer(why_not)
-        q = as_point(query, dim=self.dim)
-        with self.obs.span("engine.mwq", approximate=approximate):
-            region = self.safe_region(q, approximate=approximate, k=k)
-            bounds = self._geometry_bounds(q)
-            # Position-addressed customers share the cached staircase region
-            # (the cache's self-exclusion convention matches _resolve_customer's).
-            ddr = None
-            if self.dsl_cache is not None and isinstance(why_not, (int, np.integer)):
-                ddr = self.dsl_cache.region(int(why_not), bounds)
-            return modify_query_and_why_not_point(
-                self.index,
-                point,
-                q,
-                safe_region=region,
-                bounds=bounds,
-                config=self.config,
-                weights=self.beta,
-                normalizer=self.normalizer,
-                exclude=exclude,
-                ddr_why_not=ddr,
-            )
+        return self._execute(
+            *self._request("mwq", why_not, query, approximate=approximate, k=k)
+        )
 
-    def approx_store(self, k: int = 10) -> ApproximateDSLStore:
-        """The (cached) pre-computed sampled-DSL store for parameter ``k``.
+    def approx_store(self, k: int = 10):
+        """The (cached) pre-computed sampled-DSL store for parameter
+        ``k``, keyed by ``(k, dataset_epoch)`` so a stale-epoch store is
+        never served."""
+        return ensure_approx_store(self, k)
 
-        Stores are keyed by ``(k, dataset_epoch)``: a store holds sampled
-        skylines of one dataset generation, so a mutation either retires
-        it (full invalidation) or repairs and re-keys it in place (scoped
-        path) — a stale-epoch store is never served.
-        """
-        key = (k, self.dataset_epoch)
-        store = self._approx_stores.get(key)
-        if store is None:
-            store = ApproximateDSLStore(
-                self.index,
-                self.customers,
-                k=k,
-                config=self.config,
-                self_exclude=self.monochromatic,
-                dsl_cache=self.dsl_cache,
-            )
-            self._approx_stores[key] = store
-        return store
+    # Mutations: insert/delete/update for both stores, invalidate_caches
+    # and without_products live in :class:`EngineMutationMixin`; their
+    # post-commit maintenance lives in :mod:`repro.core.invalidation`.
 
     # ------------------------------------------------------------------
-    # Mutations
+    # Lost customers + the experiment cost model (Section VI.A)
     # ------------------------------------------------------------------
-    def insert_products(self, points) -> np.ndarray:
-        """Append product rows; returns their new positions.
-
-        The index absorbs the rows incrementally where the backend
-        supports it, and with ``config.scoped_invalidation`` only the
-        cache entries the new products can reach (window locality) are
-        evicted or repaired — everything else stays warm.  In the
-        monochromatic convention the rows join the customer side too.
-        """
-        mutation = self._product_store.insert(points)
-        return self._after_mutation(mutation, product=True, out=mutation.positions)
-
-    def delete_products(self, positions) -> np.ndarray:
-        """Remove product rows and compact; returns the old-to-new
-        position mapping (``-1`` for deleted rows), the same contract
-        :meth:`without_products` has always used."""
-        target = np.unique(np.asarray(list(positions), dtype=np.int64))
-        n = self._product_store.size
-        if target.size == n and target.size and 0 <= target[0] and target[-1] < n:
-            raise EmptyDatasetError("cannot delete every product")
-        mutation = self._product_store.delete(target)
-        return self._after_mutation(mutation, product=True, out=mutation.mapping)
-
-    def update_products(self, positions, points) -> np.ndarray:
-        """Replace the coordinates of existing product rows; returns the
-        (ascending) updated positions."""
-        mutation = self._product_store.update(positions, points)
-        return self._after_mutation(mutation, product=True, out=mutation.positions)
-
-    def insert_customers(self, points) -> np.ndarray:
-        """Append customer rows (bichromatic engines only); returns their
-        new positions."""
-        self._require_bichromatic()
-        mutation = self._customer_store.insert(points)
-        return self._after_mutation(mutation, product=False, out=mutation.positions)
-
-    def delete_customers(self, positions) -> np.ndarray:
-        """Remove customer rows and compact (bichromatic engines only);
-        returns the old-to-new position mapping."""
-        self._require_bichromatic()
-        mutation = self._customer_store.delete(positions)
-        return self._after_mutation(mutation, product=False, out=mutation.mapping)
-
-    def update_customers(self, positions, points) -> np.ndarray:
-        """Move existing customer rows (bichromatic engines only);
-        returns the (ascending) updated positions."""
-        self._require_bichromatic()
-        mutation = self._customer_store.update(positions, points)
-        return self._after_mutation(mutation, product=False, out=mutation.positions)
-
-    def _require_bichromatic(self) -> None:
-        if self.monochromatic:
-            raise InvalidParameterError(
-                "monochromatic engines share one store for both roles; "
-                "use the product mutators"
-            )
-
-    def _after_mutation(
-        self, mutation: Mutation, product: bool, out: np.ndarray
-    ) -> np.ndarray:
-        """Post-commit maintenance: index upkeep, cache scoping, obs."""
-        if mutation.is_noop:
-            return out
-        store = "product" if product else "customer"
-        with self.obs.span(
-            "engine.mutation", kind=mutation.kind, store=store
-        ) as span:
-            if product:
-                if mutation.kind == "insert":
-                    self.index.insert(mutation.new_points)
-                elif mutation.kind == "delete":
-                    self.index.remove(mutation.positions)
-                else:
-                    self.index.update(mutation.positions, mutation.new_points)
-            scoped = self.config.scoped_invalidation and (
-                not product or self.dsl_cache is not None
-            )
-            if scoped:
-                invalidator = MutationInvalidator(self)
-                outcome = (
-                    invalidator.product_mutation(mutation)
-                    if product
-                    else invalidator.customer_mutation(mutation)
-                )
-                self._scoped_considered.inc(outcome.considered)
-                self._scoped_evicted.inc(outcome.evicted)
-                self._scoped_retained.inc(outcome.retained)
-                self._scoped_repaired.inc(outcome.repaired)
-                span.set(
-                    scoped=True,
-                    evicted=outcome.evicted,
-                    retained=outcome.retained,
-                    repaired=outcome.repaired,
-                )
-            else:
-                self.invalidate_caches()
-                if self.dsl_cache is not None:
-                    self.dsl_cache.rebind(self.customers)
-                span.set(scoped=False)
-        self._mutations.inc()
-        self._epoch_gauge.set(self.dataset_epoch)
-        return out
-
-    def invalidate_caches(self) -> None:
-        """Drop every derived cache (RSL, safe regions, approx stores,
-        DSL cache) — the unscoped fallback after a mutation, counted
-        under ``cache.evicted_full``.  :meth:`without_products` instead
-        builds a fresh engine whose caches start empty."""
-        total = (
-            len(self._rsl_cache)
-            + len(self._sr_cache)
-            + len(self._approx_sr_cache)
-            + sum(len(store) for store in self._approx_stores.values())
-        )
-        if self.dsl_cache is not None:
-            total += self.dsl_cache.entry_count()
-        self._rsl_cache.clear()
-        self._sr_cache.clear()
-        self._approx_sr_cache.clear()
-        self._approx_stores.clear()
-        self.last_safe_region_stats = None
-        if self.dsl_cache is not None:
-            self.dsl_cache.invalidate()
-        self._evicted_full.inc(total)
-
-    def without_products(
-        self, positions: Sequence[int]
-    ) -> "tuple[WhyNotEngine, np.ndarray]":
-        """A what-if engine with the given products deleted.
-
-        Directly supports the paper's first aspect: deleting the ``Λ``
-        culprits admits the why-not point (Lemma 1); this builds the
-        counterfactual market so the claim can be *checked*, e.g.::
-
-            culprits = engine.explain(c_t, q).culprit_positions
-            reduced, mapping = engine.without_products(culprits)
-            assert reduced.is_member(mapping[c_t], q)
-
-        Returns the new engine plus a position-mapping array: old product
-        position -> new position (``-1`` for deleted rows).  In the
-        monochromatic setting the customer matrix shrinks identically.
-        """
-        drop = {int(p) for p in positions}
-        for position in drop:
-            if not 0 <= position < self.products.shape[0]:
-                raise InvalidParameterError(
-                    f"product position {position} out of range"
-                )
-        if len(drop) == self.products.shape[0]:
-            raise EmptyDatasetError("cannot delete every product")
-        # A throwaway store runs the compacting delete: the keep-set and
-        # mapping come out of its vectorised mask arithmetic, with the
-        # exact mapping contract this method has always returned.
-        scratch = ProductStore(self.products)
-        mutation = scratch.delete(sorted(drop))
-        # The reduced engine starts with empty caches (including the DSL
-        # cache): deleting products can change every customer's dynamic
-        # skyline, so no parent entry is reusable.
-        reduced = WhyNotEngine(
-            scratch.matrix,
-            customers=None if self.monochromatic else self.customers,
-            backend=self._backend,
-            config=self.config,
-            weights=self._weights,
-            bounds=self.bounds,
-        )
-        return reduced, mutation.mapping
-
     def lost_customers(
         self, query: Sequence[float], refined_query: Sequence[float]
     ) -> np.ndarray:
         """Existing reverse-skyline members that would be lost by moving
-        ``query`` to ``refined_query``.
-
-        Quantifies the side effect of leaving the safe region (the paper's
-        Section V.B remark on truncating/expanding it): positions into the
-        customer matrix, empty when the move is safe.
-        """
+        ``query`` to ``refined_query`` (positions into the customer
+        matrix, empty when the move is safe — Section V.B)."""
         q = as_point(query, dim=self.dim)
         q_star = as_point(refined_query, dim=self.dim)
         members = self.reverse_skyline(q)
@@ -728,32 +380,13 @@ class WhyNotEngine:
         self, members: np.ndarray, refined_query: np.ndarray
     ) -> np.ndarray:
         """Which reverse-skyline ``members`` remain members under the
-        refined query (tolerance-aware, one kernel pass when enabled)."""
+        refined query (tolerance-aware, one kernel pass when planned)."""
         members = np.asarray(members, dtype=np.int64)
-        if members.size == 0:
-            return np.empty(0, dtype=bool)
-        self._membership_tests.inc(int(members.size))
-        if self.config.batch_kernels:
-            return batch_verify_membership(
-                self.products,
-                self.customers[members],
-                refined_query,
-                self.config.policy,
-                self_positions=members if self.monochromatic else None,
-                block_size=self.config.kernel_block_size,
-                counters=self._kernel_counters,
-            )
-        retained = np.empty(members.size, dtype=bool)
-        for i, position in enumerate(members):
-            point, exclude = self._resolve_customer(int(position))
-            retained[i] = verify_membership(
-                self.index, point, refined_query, self.config.policy, exclude
-            )
-        return retained
+        return self._execute(
+            RetainedMaskQuery(),
+            {"refined_query": refined_query, "members": members},
+        )
 
-    # ------------------------------------------------------------------
-    # Experiment cost model (Section VI.A)
-    # ------------------------------------------------------------------
     def why_not_movement_cost(
         self, original: Sequence[float], moved: Sequence[float]
     ) -> float:
@@ -787,16 +420,7 @@ class WhyNotEngine:
         members = self.reverse_skyline(q)
         retained = self._retained_mask(members, q_star)
         for position in members[~retained]:
-            point, exclude = self._resolve_customer(int(position))
-            repair = modify_why_not_point(
-                self.index,
-                point,
-                q_star,
-                config=self.config,
-                weights=self.beta,
-                normalizer=self.normalizer,
-                exclude=exclude,
-            ).best()
+            repair = self.modify_why_not_point(int(position), q_star).best()
             if repair is not None:
                 total += repair.cost
         return total

@@ -1,0 +1,80 @@
+"""Observability wiring of one :class:`~repro.core.engine.WhyNotEngine`.
+
+Split out of the engine facade: everything here is registration — the
+tracer/metrics bundle, the attached stats views, and the named counters
+the rest of the codebase (operators, scoped invalidation, exporters,
+the CI smoke) reads back off the engine by attribute.  The attribute
+names are load-bearing: :mod:`repro.core.invalidation` and the plan
+operators access ``engine._membership_tests``, ``engine._kernel_counters``
+and friends directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.safe_region import SafeRegionStats
+from repro.kernels.membership import KernelCounters
+from repro.obs import Observability
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import WhyNotEngine
+
+__all__ = ["install_observability"]
+
+
+def install_observability(engine: "WhyNotEngine") -> None:
+    """Create ``engine.obs`` and every engine-owned counter/gauge."""
+    engine.obs = Observability(enabled=engine.config.trace)
+    engine.obs.attach_stats("index", engine.index.stats)
+    if engine.dsl_cache is not None:
+        engine.obs.attach_stats("dsl_cache", engine.dsl_cache.stats)
+    # Engine-lifetime safe-region totals (per-build numbers stay on
+    # SafeRegion.stats / last_safe_region_stats).
+    engine.safe_region_totals = SafeRegionStats()
+    engine.obs.attach_stats("safe_region", engine.safe_region_totals)
+    # Kernel counters are only threaded through the hot loops when
+    # tracing: the disabled path must stay counter-free.
+    engine._kernel_counters = None
+    if engine.config.trace:
+        engine._kernel_counters = KernelCounters()
+        for name, counter in engine._kernel_counters.counters().items():
+            engine.obs.metrics.attach(f"kernels.{name}", counter)
+    # Path-independent work counter: one increment per membership
+    # predicate evaluated, identical under batch_kernels True/False.
+    engine._membership_tests = engine.obs.counter(
+        "engine.membership_tests",
+        "membership predicates evaluated (path-independent)",
+    )
+    # Mutation accounting: every committed store mutation, plus the
+    # per-entry balance of the scoped invalidation pass
+    # (scoped_considered == evicted_scoped + retained_scoped, the
+    # invariant the CI smoke job asserts).
+    engine._mutations = engine.obs.counter(
+        "engine.mutations", "committed dataset mutations"
+    )
+    engine._scoped_considered = engine.obs.counter(
+        "cache.scoped_considered",
+        "cache entries inspected by scoped invalidation",
+    )
+    engine._scoped_evicted = engine.obs.counter(
+        "cache.evicted_scoped",
+        "cache entries evicted because the mutation could reach them",
+    )
+    engine._scoped_retained = engine.obs.counter(
+        "cache.retained_scoped",
+        "cache entries kept warm across a mutation",
+    )
+    engine._scoped_repaired = engine.obs.counter(
+        "cache.repaired_scoped",
+        "retained entries whose content was rewritten in place",
+    )
+    engine._evicted_full = engine.obs.counter(
+        "cache.evicted_full",
+        "cache entries dropped by full invalidation",
+    )
+    engine._epoch_gauge = engine.obs.gauge(
+        "engine.dataset_epoch",
+        "combined store epoch the caches are valid for",
+    )
+    engine._epoch_gauge.set(engine.dataset_epoch)

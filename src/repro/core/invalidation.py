@@ -52,10 +52,87 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "InvalidationOutcome",
     "MutationInvalidator",
+    "apply_mutation",
     "in_closed_window",
+    "invalidate_all",
     "thresholds_affected_by_delete",
     "thresholds_affected_by_insert",
 ]
+
+
+def apply_mutation(
+    engine: "WhyNotEngine", mutation: "Mutation", product: bool, out: np.ndarray
+) -> np.ndarray:
+    """Post-commit maintenance of one store mutation: index upkeep,
+    cache scoping (or the full-invalidate fallback), obs accounting.
+
+    Called by every engine mutator; the plan cache is cleared separately
+    through the store's post-commit subscribers, so it is already empty
+    by the time this runs.
+    """
+    if mutation.is_noop:
+        return out
+    store = "product" if product else "customer"
+    with engine.obs.span(
+        "engine.mutation", kind=mutation.kind, store=store
+    ) as span:
+        if product:
+            if mutation.kind == "insert":
+                engine.index.insert(mutation.new_points)
+            elif mutation.kind == "delete":
+                engine.index.remove(mutation.positions)
+            else:
+                engine.index.update(mutation.positions, mutation.new_points)
+        scoped = engine.config.scoped_invalidation and (
+            not product or engine.dsl_cache is not None
+        )
+        if scoped:
+            invalidator = MutationInvalidator(engine)
+            outcome = (
+                invalidator.product_mutation(mutation)
+                if product
+                else invalidator.customer_mutation(mutation)
+            )
+            engine._scoped_considered.inc(outcome.considered)
+            engine._scoped_evicted.inc(outcome.evicted)
+            engine._scoped_retained.inc(outcome.retained)
+            engine._scoped_repaired.inc(outcome.repaired)
+            span.set(
+                scoped=True,
+                evicted=outcome.evicted,
+                retained=outcome.retained,
+                repaired=outcome.repaired,
+            )
+        else:
+            invalidate_all(engine)
+            if engine.dsl_cache is not None:
+                engine.dsl_cache.rebind(engine.customers)
+            span.set(scoped=False)
+    engine._mutations.inc()
+    engine._epoch_gauge.set(engine.dataset_epoch)
+    return out
+
+
+def invalidate_all(engine: "WhyNotEngine") -> None:
+    """Drop every derived result cache (RSL, safe regions, approx
+    stores, DSL cache) — the unscoped fallback after a mutation, counted
+    under ``cache.evicted_full``."""
+    total = (
+        len(engine._rsl_cache)
+        + len(engine._sr_cache)
+        + len(engine._approx_sr_cache)
+        + sum(len(store) for store in engine._approx_stores.values())
+    )
+    if engine.dsl_cache is not None:
+        total += engine.dsl_cache.entry_count()
+    engine._rsl_cache.clear()
+    engine._sr_cache.clear()
+    engine._approx_sr_cache.clear()
+    engine._approx_stores.clear()
+    engine.last_safe_region_stats = None
+    if engine.dsl_cache is not None:
+        engine.dsl_cache.invalidate()
+    engine._evicted_full.inc(total)
 
 
 @dataclass

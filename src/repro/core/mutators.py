@@ -1,0 +1,121 @@
+"""The engine's write surface, split from the read facade.
+
+:class:`EngineMutationMixin` carries the six store mutators, the
+full-invalidation fallback and the ``without_products`` what-if
+constructor.  Post-commit maintenance (index upkeep, scoped cache
+invalidation, obs accounting) lives in :func:`repro.core.invalidation.
+apply_mutation`; the mixin only sequences store commit -> maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.invalidation import apply_mutation, invalidate_all
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.store.base import ProductStore
+
+__all__ = ["EngineMutationMixin"]
+
+
+class EngineMutationMixin:
+    """Mutation methods of :class:`~repro.core.engine.WhyNotEngine`."""
+
+    def insert_products(self, points) -> np.ndarray:
+        """Append product rows; returns their new positions."""
+        mutation = self._product_store.insert(points)
+        return apply_mutation(self, mutation, product=True, out=mutation.positions)
+
+    def delete_products(self, positions) -> np.ndarray:
+        """Remove product rows and compact; returns the old-to-new
+        position mapping (``-1`` for deleted rows), the same contract
+        :meth:`without_products` has always used."""
+        target = np.unique(np.asarray(list(positions), dtype=np.int64))
+        n = self._product_store.size
+        if target.size == n and target.size and 0 <= target[0] and target[-1] < n:
+            raise EmptyDatasetError("cannot delete every product")
+        mutation = self._product_store.delete(target)
+        return apply_mutation(self, mutation, product=True, out=mutation.mapping)
+
+    def update_products(self, positions, points) -> np.ndarray:
+        """Replace the coordinates of existing product rows; returns the
+        (ascending) updated positions."""
+        mutation = self._product_store.update(positions, points)
+        return apply_mutation(self, mutation, product=True, out=mutation.positions)
+
+    def insert_customers(self, points) -> np.ndarray:
+        """Append customer rows (bichromatic engines only); returns their
+        new positions."""
+        self._require_bichromatic()
+        mutation = self._customer_store.insert(points)
+        return apply_mutation(self, mutation, product=False, out=mutation.positions)
+
+    def delete_customers(self, positions) -> np.ndarray:
+        """Remove customer rows and compact (bichromatic engines only);
+        returns the old-to-new position mapping."""
+        self._require_bichromatic()
+        mutation = self._customer_store.delete(positions)
+        return apply_mutation(self, mutation, product=False, out=mutation.mapping)
+
+    def update_customers(self, positions, points) -> np.ndarray:
+        """Move existing customer rows (bichromatic engines only);
+        returns the (ascending) updated positions."""
+        self._require_bichromatic()
+        mutation = self._customer_store.update(positions, points)
+        return apply_mutation(self, mutation, product=False, out=mutation.positions)
+
+    def _require_bichromatic(self) -> None:
+        if self.monochromatic:
+            raise InvalidParameterError(
+                "monochromatic engines share one store for both roles; "
+                "use the product mutators"
+            )
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived result cache (RSL, safe regions, approx
+        stores, DSL cache) — the unscoped fallback after a mutation,
+        counted under ``cache.evicted_full``."""
+        invalidate_all(self)
+
+    def without_products(self, positions: Sequence[int]):
+        """A what-if engine with the given products deleted.
+
+        Directly supports the paper's first aspect: deleting the ``Λ``
+        culprits admits the why-not point (Lemma 1); this builds the
+        counterfactual market so the claim can be *checked*, e.g.::
+
+            culprits = engine.explain(c_t, q).culprit_positions
+            reduced, mapping = engine.without_products(culprits)
+            assert reduced.is_member(mapping[c_t], q)
+
+        Returns the new engine plus a position-mapping array: old product
+        position -> new position (``-1`` for deleted rows).  In the
+        monochromatic setting the customer matrix shrinks identically.
+        """
+        drop = {int(p) for p in positions}
+        for position in drop:
+            if not 0 <= position < self.products.shape[0]:
+                raise InvalidParameterError(
+                    f"product position {position} out of range"
+                )
+        if len(drop) == self.products.shape[0]:
+            raise EmptyDatasetError("cannot delete every product")
+        # A throwaway store runs the compacting delete: the keep-set and
+        # mapping come out of its vectorised mask arithmetic, with the
+        # exact mapping contract this method has always returned.
+        scratch = ProductStore(self.products)
+        mutation = scratch.delete(sorted(drop))
+        # The reduced engine starts with empty caches (including the DSL
+        # cache): deleting products can change every customer's dynamic
+        # skyline, so no parent entry is reusable.
+        reduced = type(self)(
+            scratch.matrix,
+            customers=None if self.monochromatic else self.customers,
+            backend=self._backend,
+            config=self.config,
+            weights=self._weights,
+            bounds=self.bounds,
+        )
+        return reduced, mutation.mapping

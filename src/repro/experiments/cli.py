@@ -54,13 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation",
             "run",
             "trace",
+            "explain",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
         "qualitative claim of Section VI and exits non-zero on failure; "
         "'updates' runs a mixed insert/delete/update churn and asserts the "
         "incrementally maintained engine stays bit-identical to a rebuild; "
-        "'trace' runs an instrumented workload and prints the span tree)",
+        "'trace' runs an instrumented workload and prints the span tree; "
+        "'explain' prints the planner's EXPLAIN ANALYZE tree for every "
+        "why-not surface)",
     )
     parser.add_argument(
         "--sizes",
@@ -223,6 +226,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _run_archive(args)
     if experiment == "trace":
         return _trace(args)
+    if experiment == "explain":
+        return _explain(args)
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -285,6 +290,66 @@ def _trace(args: argparse.Namespace) -> str:
         f"Traced workload over {dataset.name} "
         f"({len(workload)} why-not questions)",
         "\n".join(lines),
+    )
+
+
+def _explain(args: argparse.Namespace) -> str:
+    """EXPLAIN ANALYZE every why-not surface over one sampled question.
+
+    Builds a uniform synthetic dataset (first ``--sizes`` entry, default
+    1000 rows) with tracing on, draws one why-not question from the
+    standard workload generator, then runs ``engine.explain_plan`` for
+    each surface under the configured planner mode and prints the chosen
+    plan trees (operator per logical node, estimated vs. measured cost,
+    run counts) plus the plan-cache counters.  Every report is validated
+    — a node that executed without both costs fails the command.
+    """
+    from repro.config import WhyNotConfig
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+    from repro.data.workload import build_workload
+    from repro.experiments.runner import make_engine
+
+    size = args.sizes[0] if args.sizes else 1_000
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    engine = make_engine(
+        dataset, backend=args.backend, config=WhyNotConfig(trace=True)
+    )
+    workload = build_workload(engine, targets=(2,), seed=args.seed)
+    question = workload[0]
+    c_t, q = question.why_not_position, question.query
+    k = args.k[0]
+    calls = [
+        ("reverse_skyline", (q,), {}),
+        ("membership", ([c_t], q), {}),
+        ("explain", (c_t, q), {}),
+        ("mwp", (c_t, q), {}),
+        ("mqp", (c_t, q), {}),
+        ("safe_region", (q,), {}),
+        ("safe_region", (q,), {"approximate": True, "k": k}),
+        ("mwq", (c_t, q), {}),
+        ("batch", ([c_t], q), {}),
+    ]
+    sections = []
+    for surface, call_args, call_kwargs in calls:
+        report = engine.explain_plan(surface, *call_args, **call_kwargs)
+        sections.append(report.validate().render())
+    cache = engine.plan_cache
+    considered = int(cache.considered.value)
+    hits = int(cache.hits.value)
+    misses = int(cache.misses.value)
+    if considered != hits + misses:
+        raise ValueError(
+            f"plan-cache counter imbalance: {considered} != {hits} + {misses}"
+        )
+    sections.append(
+        "plan cache: "
+        f"considered={considered} hits={hits} misses={misses} "
+        f"evicted={int(cache.evicted.value)} entries={len(cache)}"
+    )
+    return format_block(
+        f"EXPLAIN over {dataset.name} (planner={engine.config.planner}, "
+        f"backend={args.backend}, why-not position {c_t})",
+        "\n\n".join(sections),
     )
 
 

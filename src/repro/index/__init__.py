@@ -32,4 +32,30 @@ __all__ = [
     "KDTree",
     "IndexStats",
     "str_bulk_load",
+    "make_index",
 ]
+
+_BACKENDS = {
+    "rtree": RTree,
+    "scan": ScanIndex,
+    "grid": GridIndex,
+    "kdtree": KDTree,
+}
+
+
+def make_index(backend: str, points) -> SpatialIndex:
+    """Construct the named backend over ``points``.
+
+    Raises :class:`~repro.exceptions.InvalidParameterError` for unknown
+    backend names (the error the engine has always raised).
+    """
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        from repro.exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; use 'rtree', 'scan', 'grid' "
+            "or 'kdtree'"
+        ) from None
+    return cls(points)

@@ -1,0 +1,76 @@
+"""``repro.plan`` — logical plans, cost-based planning, and EXPLAIN.
+
+The planner/executor decomposition of the why-not engine:
+
+* :mod:`repro.plan.logical` — coordinate-free descriptions of each
+  paper surface (RSL, Λ, Algorithms 1-4, approx-MWQ, batch);
+* :mod:`repro.plan.operators` — physical operators wrapping the
+  existing execution paths behind one protocol;
+* :mod:`repro.plan.cost` — dataset statistics and the calibrated cost
+  model;
+* :mod:`repro.plan.planner` — ``auto`` (cost-based) vs. ``fixed``
+  (historical dispatch) operator selection;
+* :mod:`repro.plan.executor` — plan nodes and the span-instrumented
+  tree executor;
+* :mod:`repro.plan.cache` — planned trees keyed by (shape, epoch,
+  config fingerprint);
+* :mod:`repro.plan.explain` — EXPLAIN reports (estimated vs. actual);
+* :mod:`repro.plan.prepared` — epoch-pinned plan-then-execute handles.
+
+Layering: this package sits between the algorithm layer
+(``repro.core``/``repro.kernels``/``repro.index``) and the engine
+facade; it must never import ``repro.experiments`` or ``repro.viz``
+(checked in CI).
+"""
+
+from repro.plan.cache import PlanCache, config_fingerprint
+from repro.plan.cost import CostEstimate, CostModel, DatasetStats
+from repro.plan.executor import ExecutionContext, PlanNode, execute_plan
+from repro.plan.explain import (
+    PlanReport,
+    render_plan_tree,
+    validate_plan_report,
+)
+from repro.plan.logical import (
+    BatchWhyNotQuery,
+    LambdaQuery,
+    LogicalPlan,
+    MembershipMaskQuery,
+    MQPQuery,
+    MWPQuery,
+    MWQQuery,
+    RetainedMaskQuery,
+    RSLQuery,
+    SafeRegionQuery,
+)
+from repro.plan.operators import Operator, candidate_operators
+from repro.plan.planner import Planner
+from repro.plan.prepared import PreparedPlan
+
+__all__ = [
+    "BatchWhyNotQuery",
+    "CostEstimate",
+    "CostModel",
+    "DatasetStats",
+    "ExecutionContext",
+    "LambdaQuery",
+    "LogicalPlan",
+    "MembershipMaskQuery",
+    "MQPQuery",
+    "MWPQuery",
+    "MWQQuery",
+    "Operator",
+    "PlanCache",
+    "PlanNode",
+    "PlanReport",
+    "Planner",
+    "PreparedPlan",
+    "RSLQuery",
+    "RetainedMaskQuery",
+    "SafeRegionQuery",
+    "candidate_operators",
+    "config_fingerprint",
+    "execute_plan",
+    "render_plan_tree",
+    "validate_plan_report",
+]

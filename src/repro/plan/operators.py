@@ -1,0 +1,760 @@
+"""Physical operators: the execution strategies behind each surface.
+
+Every operator wraps one *existing* implementation path of the codebase
+(per-customer index probes, blocked kernels, the DSLCache-backed
+staircase fold, exact vs. approximate safe regions) behind a uniform
+protocol the planner can choose between:
+
+* :meth:`Operator.available` — capability gating.  ``batch_kernels=
+  False`` *removes* the kernel operators from the candidate set (it is a
+  capability, not a preference), so configurations that force the
+  per-customer oracle keep exercising exactly that path.
+* :meth:`Operator.fixed_choice` — whether this operator is the one the
+  pre-planner engine dispatched to under the given config; ``planner=
+  "fixed"`` reproduces that dispatch bit-for-bit.
+* :meth:`Operator.estimate` — predicted cost from dataset statistics,
+  used by ``planner="auto"``.
+* :meth:`Operator.run` — the actual execution, emitting the same spans,
+  counters and result-cache traffic as the pre-planner engine methods
+  (the caches themselves stay on the engine; scoped invalidation in
+  :mod:`repro.core.invalidation` reads them there).
+
+Operator *answers* are bit-identical across alternatives by the
+property-tested kernel/oracle and cached/direct equivalences of PRs
+1-2, so a planner choice can change the runtime but never the result.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, ClassVar
+
+import numpy as np
+
+from repro.config import WhyNotConfig
+from repro.core._verify import verify_membership
+from repro.core.approx import ApproximateDSLStore
+from repro.core.explain import explain_why_not
+from repro.core.mqp import modify_query_point
+from repro.core.mwp import modify_why_not_point
+from repro.core.mwq import modify_query_and_why_not_point
+from repro.core.safe_region import compute_safe_region
+from repro.geometry import region_array as _ra
+from repro.geometry.point import as_point
+from repro.kernels.membership import (
+    batch_verify_membership,
+    batch_window_membership,
+)
+from repro.plan.cost import CostEstimate, CostModel, DatasetStats
+from repro.skyline.reverse import reverse_skyline_bbrs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.plan.executor import ExecutionContext, PlanNode
+    from repro.plan.logical import LogicalPlan
+
+__all__ = ["Operator", "candidate_operators", "ensure_approx_store"]
+
+
+def _observe_regions(engine):
+    """Region-kernel counting scope — a null context when not tracing
+    (the kernels' module-level sink stays untouched)."""
+    if engine.obs.enabled:
+        return _ra.observe_region_ops(engine.obs.metrics)
+    return nullcontext()
+
+
+def _absorb_safe_region_stats(engine, stats) -> None:
+    """Fold one build's counters into the engine-lifetime totals the
+    registry exports under ``safe_region.*``."""
+    totals = engine.safe_region_totals
+    totals.members += stats.members
+    totals.intersections += stats.intersections
+    totals.boxes_before_simplify += stats.boxes_before_simplify
+    totals.boxes_after_simplify += stats.boxes_after_simplify
+    totals.peak_boxes = max(totals.peak_boxes, stats.peak_boxes)
+    totals.budget_truncations += stats.budget_truncations
+    totals.cache_hits += stats.cache_hits
+    totals.cache_misses += stats.cache_misses
+    totals.member_seconds += stats.member_seconds
+    totals.build_seconds += stats.build_seconds
+    if stats.early_exit:
+        totals.early_exit = True
+
+
+def ensure_approx_store(engine, k: int) -> ApproximateDSLStore:
+    """The engine's (cached) sampled-DSL store for parameter ``k``,
+    keyed by ``(k, dataset_epoch)`` so a stale-epoch store is never
+    served (scoped invalidation repairs and re-keys them in place)."""
+    key = (k, engine.dataset_epoch)
+    store = engine._approx_stores.get(key)
+    if store is None:
+        store = ApproximateDSLStore(
+            engine.index,
+            engine.customers,
+            k=k,
+            config=engine.config,
+            self_exclude=engine.monochromatic,
+            dsl_cache=engine.dsl_cache,
+        )
+        engine._approx_stores[key] = store
+    return store
+
+
+def _resolve_batch(ctx: "ExecutionContext") -> tuple[np.ndarray, np.ndarray]:
+    """``(points, self_positions)`` for the customers in ``ctx.why_nots``
+    (-1 marks coordinate-addressed customers with no self-exclusion)."""
+    eng = ctx.engine
+    why_nots = ctx.why_nots
+    count = len(why_nots)
+    points = np.empty((count, eng.dim), dtype=np.float64)
+    self_positions = np.full(count, -1, dtype=np.int64)
+    for i, why_not in enumerate(why_nots):
+        point, exclude = eng._resolve_customer(why_not)
+        points[i] = point
+        if exclude:
+            self_positions[i] = exclude[0]
+    return points, self_positions
+
+
+class Operator:
+    """One physical execution strategy for one logical surface."""
+
+    name: ClassVar[str] = "abstract"
+    span_name: ClassVar[str] = "engine.abstract"
+
+    def available(self, config: WhyNotConfig, stats: DatasetStats) -> bool:
+        """May the planner consider this operator at all?"""
+        return True
+
+    def fixed_choice(self, config: WhyNotConfig) -> bool:
+        """Is this the operator the pre-planner engine dispatched to?"""
+        return True
+
+    def child_plans(self, logical: "LogicalPlan") -> tuple:
+        """The sub-plans this operator actually executes (defaults to
+        the logical definition; e.g. the sequential batch operator
+        drops the membership-prefilter child)."""
+        return logical.child_plans()
+
+    def estimate(
+        self, logical: "LogicalPlan", stats: DatasetStats, model: CostModel
+    ) -> CostEstimate:
+        raise NotImplementedError
+
+    def run(self, ctx: "ExecutionContext", node: "PlanNode", span) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<operator {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# Reverse skyline (BBRS candidate generation + membership verification)
+# ----------------------------------------------------------------------
+class _ReverseSkylineOp(Operator):
+    span_name = "engine.reverse_skyline"
+    batch: ClassVar[bool] = True
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        key = q.tobytes()
+        cached = eng._rsl_cache.get(key)
+        if cached is None:
+            cached = reverse_skyline_bbrs(
+                eng.index,
+                eng.customers,
+                q,
+                policy=eng.config.policy,
+                self_exclude=eng.monochromatic,
+                batch_kernels=self.batch,
+                block_size=eng.config.kernel_block_size,
+                counters=eng._kernel_counters,
+            )
+            eng._rsl_cache[key] = cached
+            span.set(members=int(cached.size))
+        else:
+            span.set(members=int(cached.size), result_cache="hit")
+        return cached
+
+
+class RSLKernelVerify(_ReverseSkylineOp):
+    """BBRS with the blocked-kernel verification sweep (PR 1)."""
+
+    name = "rsl-kernel-verify"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels
+
+    def fixed_choice(self, config):
+        return config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_candidates
+        return CostEstimate(
+            ops=rows * stats.n * stats.d,
+            seconds=model.kernel_seconds(rows, stats) + model.DISPATCH_S,
+            detail=f"kernel verify of ~{rows:.0f} candidates x n={stats.n}",
+        )
+
+
+class RSLIndexVerify(_ReverseSkylineOp):
+    """BBRS with one window probe per candidate (the oracle path)."""
+
+    name = "rsl-index-verify"
+    batch = False
+
+    def fixed_choice(self, config):
+        return not config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_candidates
+        return CostEstimate(
+            ops=rows * model.window_nodes(stats),
+            seconds=rows * model.window_seconds(stats) + model.DISPATCH_S,
+            detail=f"~{rows:.0f} window probes on {stats.backend}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Membership mask (is_member for many customers at once)
+# ----------------------------------------------------------------------
+class _MembershipOp(Operator):
+    span_name = "engine.membership_mask"
+    batch: ClassVar[bool] = True
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        points, self_positions = _resolve_batch(ctx)
+        count = points.shape[0]
+        # One predicate per customer regardless of execution path — the
+        # counter-invariance contract of the batch kernels.
+        eng._membership_tests.inc(count)
+        span.set(customers=count, batch=self.batch)
+        if self.batch:
+            return batch_window_membership(
+                eng.products,
+                points,
+                ctx.query,
+                eng.config.policy,
+                self_positions=self_positions,
+                block_size=eng.config.kernel_block_size,
+                counters=eng._kernel_counters,
+            )
+        q = ctx.query
+        return np.fromiter(
+            (
+                verify_membership(
+                    eng.index,
+                    points[i],
+                    q,
+                    eng.config.policy,
+                    (int(self_positions[i]),) if self_positions[i] >= 0 else (),
+                    rtol=0.0,
+                )
+                for i in range(count)
+            ),
+            dtype=bool,
+            count=count,
+        )
+
+
+class MembershipKernel(_MembershipOp):
+    """One blocked kernel pass over all probes (no index queries)."""
+
+    name = "membership-kernel"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels
+
+    def fixed_choice(self, config):
+        return config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        rows = max(1, getattr(logical, "count", 1))
+        return CostEstimate(
+            ops=rows * stats.n * stats.d,
+            seconds=model.kernel_seconds(rows, stats) + model.DISPATCH_S,
+            detail=f"kernel pass, {rows} probes x n={stats.n}",
+        )
+
+
+class MembershipIndexLoop(_MembershipOp):
+    """The per-customer ``verify_membership`` oracle loop."""
+
+    name = "membership-index-loop"
+    batch = False
+
+    def fixed_choice(self, config):
+        return not config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        rows = max(1, getattr(logical, "count", 1))
+        return CostEstimate(
+            ops=rows * model.window_nodes(stats),
+            seconds=rows * model.window_seconds(stats) + model.DISPATCH_S,
+            detail=f"{rows} window probes on {stats.backend}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Retained mask (which RSL members survive a refined query)
+# ----------------------------------------------------------------------
+class _RetainedOp(Operator):
+    span_name = "engine.retained_mask"
+    batch: ClassVar[bool] = True
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        members = np.asarray(ctx.members, dtype=np.int64)
+        span.set(members=int(members.size), batch=self.batch)
+        if members.size == 0:
+            return np.empty(0, dtype=bool)
+        eng._membership_tests.inc(int(members.size))
+        if self.batch:
+            return batch_verify_membership(
+                eng.products,
+                eng.customers[members],
+                ctx.refined_query,
+                eng.config.policy,
+                self_positions=members if eng.monochromatic else None,
+                block_size=eng.config.kernel_block_size,
+                counters=eng._kernel_counters,
+            )
+        retained = np.empty(members.size, dtype=bool)
+        for i, position in enumerate(members):
+            point, exclude = eng._resolve_customer(int(position))
+            retained[i] = verify_membership(
+                eng.index, point, ctx.refined_query, eng.config.policy, exclude
+            )
+        return retained
+
+
+class RetainedKernel(_RetainedOp):
+    name = "retained-kernel"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels
+
+    def fixed_choice(self, config):
+        return config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_rsl
+        return CostEstimate(
+            ops=rows * stats.n * stats.d,
+            seconds=model.kernel_seconds(rows, stats) + model.DISPATCH_S,
+            detail=f"kernel verify of ~{rows:.0f} members",
+        )
+
+
+class RetainedIndexLoop(_RetainedOp):
+    name = "retained-index-loop"
+    batch = False
+
+    def fixed_choice(self, config):
+        return not config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_rsl
+        return CostEstimate(
+            ops=rows * model.window_nodes(stats),
+            seconds=rows * model.window_seconds(stats) + model.DISPATCH_S,
+            detail=f"~{rows:.0f} tolerance probes on {stats.backend}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Single-strategy surfaces: Λ window, Algorithm 1, Algorithm 2
+# ----------------------------------------------------------------------
+class LambdaWindow(Operator):
+    """Aspect 1: one window query for the ``Λ`` culprit set."""
+
+    name = "lambda-window"
+    span_name = "engine.explain"
+
+    def estimate(self, logical, stats, model):
+        return CostEstimate(
+            ops=model.window_nodes(stats),
+            seconds=model.window_seconds(stats) + model.DISPATCH_S,
+            detail=f"one window query on {stats.backend}",
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        point, exclude = eng._resolve_customer(ctx.why_not)
+        result = explain_why_not(
+            eng.index, point, ctx.query, eng.config.policy, exclude
+        )
+        span.set(culprits=len(result.culprit_positions))
+        return result
+
+
+class _StaircaseOp(Operator):
+    """Common cost shape of the Algorithm 1/2 staircase scans."""
+
+    def estimate(self, logical, stats, model):
+        lam = stats.expected_rsl + 2.0
+        return CostEstimate(
+            ops=2.0 * model.window_nodes(stats) + lam * lam,
+            seconds=(
+                2.0 * model.window_seconds(stats)
+                + lam * lam * model.PY_OP_S * 0.1
+                + model.DISPATCH_S
+            ),
+            detail=f"window + staircase scan (~{lam:.0f} boundary points)",
+        )
+
+
+class MWPStaircase(_StaircaseOp):
+    """Algorithm 1 — move the why-not point to the cheapest boundary."""
+
+    name = "mwp-staircase"
+    span_name = "engine.mwp"
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        point, exclude = eng._resolve_customer(ctx.why_not)
+        return modify_why_not_point(
+            eng.index,
+            point,
+            ctx.query,
+            config=eng.config,
+            weights=eng.beta,
+            normalizer=eng.normalizer,
+            exclude=exclude,
+        )
+
+
+class MQPStaircase(_StaircaseOp):
+    """Algorithm 2 — move the query point to the cheapest admission."""
+
+    name = "mqp-staircase"
+    span_name = "engine.mqp"
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        point, exclude = eng._resolve_customer(ctx.why_not)
+        return modify_query_point(
+            eng.index,
+            point,
+            ctx.query,
+            config=eng.config,
+            weights=eng.alpha,
+            normalizer=eng.normalizer,
+            exclude=exclude,
+        )
+
+
+# ----------------------------------------------------------------------
+# Safe region (Algorithm 3 exact, Section VI.B approximate)
+# ----------------------------------------------------------------------
+class _ExactSafeRegionOp(Operator):
+    span_name = "engine.safe_region"
+    use_dsl_cache: ClassVar[bool] = True
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        key = q.tobytes()
+        cached = eng._sr_cache.get(key)
+        if cached is not None:
+            span.set(
+                members=cached.stats.members if cached.stats else 0,
+                boxes=len(cached.region),
+                early_exit=bool(cached.stats and cached.stats.early_exit),
+                result_cache="hit",
+            )
+            return cached
+        with _observe_regions(eng):
+            rsl = ctx.execute(node.children[0])
+            cached = compute_safe_region(
+                eng.index,
+                eng.customers,
+                q,
+                rsl,
+                eng._geometry_bounds(q),
+                config=eng.config,
+                self_exclude=eng.monochromatic,
+                dsl_cache=eng.dsl_cache if self.use_dsl_cache else None,
+            )
+            span.set(
+                members=cached.stats.members,
+                boxes=len(cached.region),
+                early_exit=cached.stats.early_exit,
+            )
+        eng.last_safe_region_stats = cached.stats
+        _absorb_safe_region_stats(eng, cached.stats)
+        eng._sr_cache[key] = cached
+        return cached
+
+
+class SafeRegionCachedFold(_ExactSafeRegionOp):
+    """Exact fold reusing the DSLCache's staircase regions (PR 2)."""
+
+    name = "sr-cached-fold"
+    use_dsl_cache = True
+
+    def available(self, config, stats):
+        return config.dsl_cache
+
+    def fixed_choice(self, config):
+        return config.dsl_cache
+
+    def estimate(self, logical, stats, model):
+        members = stats.expected_rsl
+        cold = max(0.0, members - stats.dsl_warm)
+        return CostEstimate(
+            ops=cold * stats.n * stats.d + members,
+            seconds=(
+                cold * model.dsl_build_seconds(stats)
+                + model.region_fold_seconds(members, stats)
+                + model.DISPATCH_S
+            ),
+            detail=(
+                f"~{members:.0f} members, ~{cold:.0f} cold DSL builds "
+                f"({stats.dsl_warm} warm)"
+            ),
+        )
+
+
+class SafeRegionDirectFold(_ExactSafeRegionOp):
+    """Exact fold rebuilding every member's staircase from scratch."""
+
+    name = "sr-direct-fold"
+    use_dsl_cache = False
+
+    def fixed_choice(self, config):
+        return not config.dsl_cache
+
+    def estimate(self, logical, stats, model):
+        members = stats.expected_rsl
+        return CostEstimate(
+            ops=members * stats.n * stats.d + members,
+            seconds=(
+                members * model.dsl_build_seconds(stats)
+                + model.region_fold_seconds(members, stats)
+                + model.DISPATCH_S
+            ),
+            detail=f"~{members:.0f} members, all staircases rebuilt",
+        )
+
+
+class SafeRegionApproxStore(Operator):
+    """Sampled-DSL approximation via the precomputed store."""
+
+    name = "sr-approx-store"
+    span_name = "engine.safe_region"
+
+    def estimate(self, logical, stats, model):
+        members = stats.expected_rsl
+        k = getattr(logical, "k", 10)
+        return CostEstimate(
+            ops=members * k * stats.d,
+            seconds=(
+                members * k * stats.d * model.VECTOR_OP_S * 50
+                + model.region_fold_seconds(members, stats)
+                + model.DISPATCH_S
+            ),
+            detail=f"~{members:.0f} members x k={k} sampled skylines",
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        k = node.logical.k
+        key = (q.tobytes(), k)
+        span.set(approximate=True, k=k)
+        cached = eng._approx_sr_cache.get(key)
+        if cached is not None:
+            span.set(result_cache="hit")
+            return cached
+        with _observe_regions(eng):
+            store = ensure_approx_store(eng, k)
+            rsl = ctx.execute(node.children[0])
+            cached = store.safe_region(q, rsl, eng._geometry_bounds(q))
+        eng._approx_sr_cache[key] = cached
+        return cached
+
+
+# ----------------------------------------------------------------------
+# MWQ (Algorithm 4 over the exact or approximate safe region)
+# ----------------------------------------------------------------------
+class MWQCombine(Operator):
+    """Algorithm 4: intersect the safe region with the why-not DDR."""
+
+    name = "mwq-combine"
+    span_name = "engine.mwq"
+
+    def estimate(self, logical, stats, model):
+        return CostEstimate(
+            ops=6.0 * model.window_nodes(stats),
+            seconds=6.0 * model.window_seconds(stats) + model.DISPATCH_S,
+            detail="case analysis + candidate scoring over SR(q)",
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        point, exclude = eng._resolve_customer(ctx.why_not)
+        span.set(approximate=node.logical.approximate)
+        region = ctx.execute(node.children[0])
+        bounds = eng._geometry_bounds(q)
+        # Position-addressed customers share the cached staircase region
+        # (the cache's self-exclusion convention matches _resolve_customer's).
+        ddr = None
+        if eng.dsl_cache is not None and isinstance(
+            ctx.why_not, (int, np.integer)
+        ):
+            ddr = eng.dsl_cache.region(int(ctx.why_not), bounds)
+        return modify_query_and_why_not_point(
+            eng.index,
+            point,
+            q,
+            safe_region=region,
+            bounds=bounds,
+            config=eng.config,
+            weights=eng.beta,
+            normalizer=eng.normalizer,
+            exclude=exclude,
+            ddr_why_not=ddr,
+        )
+
+
+# ----------------------------------------------------------------------
+# Batch why-not answering
+# ----------------------------------------------------------------------
+class _BatchOp(Operator):
+    span_name = "engine.answer_batch"
+
+    def _answer(self, ctx, why_not, q):
+        from repro.core.batch import answer_why_not
+
+        return answer_why_not(
+            ctx.engine,
+            why_not,
+            q,
+            approximate=ctx.approximate,
+            k=ctx.k,
+        )
+
+
+class BatchPrefilter(_BatchOp):
+    """Resolve every question's membership in one kernel pass first;
+    members skip their four per-question window queries entirely."""
+
+    name = "batch-prefilter"
+
+    def available(self, config, stats):
+        return config.batch_kernels
+
+    def fixed_choice(self, config):
+        return config.batch_kernels
+
+    def estimate(self, logical, stats, model):
+        count = max(1, getattr(logical, "count", 1))
+        member_rate = min(0.5, stats.expected_rsl / max(1, stats.m))
+        question = 4.0 * model.window_seconds(stats) + 4.0 * model.DISPATCH_S
+        return CostEstimate(
+            ops=count * stats.n * stats.d,
+            seconds=(
+                model.kernel_seconds(count, stats)
+                + count * (1.0 - member_rate) * question
+                + model.DISPATCH_S
+            ),
+            detail=f"kernel prefilter + ~{count} pipelines",
+        )
+
+    def run(self, ctx, node, span):
+        from repro.core.batch import _member_answer
+
+        q = ctx.query
+        why_nots = list(ctx.why_nots)
+        span.set(questions=len(why_nots), prefilter=True)
+        ctx.execute(node.children[0])  # Warm the safe-region cache once.
+        if not why_nots:
+            return []
+        members = ctx.execute(node.children[1])
+        return [
+            _member_answer(ctx.engine, why_not, q)
+            if members[i]
+            else self._answer(ctx, why_not, q)
+            for i, why_not in enumerate(why_nots)
+        ]
+
+
+class BatchSequential(_BatchOp):
+    """Run the full per-question pipeline for every question."""
+
+    name = "batch-sequential"
+
+    def fixed_choice(self, config):
+        return not config.batch_kernels
+
+    def child_plans(self, logical):
+        # No membership prefilter: only the shared safe-region warmup.
+        return logical.child_plans()[:1]
+
+    def estimate(self, logical, stats, model):
+        count = max(1, getattr(logical, "count", 1))
+        question = 4.0 * model.window_seconds(stats) + 4.0 * model.DISPATCH_S
+        return CostEstimate(
+            ops=count * 4.0 * model.window_nodes(stats),
+            seconds=count * question + model.DISPATCH_S,
+            detail=f"{count} full per-question pipelines",
+        )
+
+    def run(self, ctx, node, span):
+        q = ctx.query
+        why_nots = list(ctx.why_nots)
+        span.set(questions=len(why_nots), prefilter=False)
+        ctx.execute(node.children[0])  # Warm the safe-region cache once.
+        return [self._answer(ctx, why_not, q) for why_not in why_nots]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_RSL_OPS = (RSLKernelVerify(), RSLIndexVerify())
+_MEMBERSHIP_OPS = (MembershipKernel(), MembershipIndexLoop())
+_RETAINED_OPS = (RetainedKernel(), RetainedIndexLoop())
+_LAMBDA_OPS = (LambdaWindow(),)
+_MWP_OPS = (MWPStaircase(),)
+_MQP_OPS = (MQPStaircase(),)
+_SR_EXACT_OPS = (SafeRegionCachedFold(), SafeRegionDirectFold())
+_SR_APPROX_OPS = (SafeRegionApproxStore(),)
+_MWQ_OPS = (MWQCombine(),)
+_BATCH_OPS = (BatchPrefilter(), BatchSequential())
+
+_REGISTRY: dict[str, tuple[Operator, ...]] = {
+    "reverse_skyline": _RSL_OPS,
+    "membership": _MEMBERSHIP_OPS,
+    "retained_mask": _RETAINED_OPS,
+    "explain": _LAMBDA_OPS,
+    "mwp": _MWP_OPS,
+    "mqp": _MQP_OPS,
+    "mwq": _MWQ_OPS,
+    "batch": _BATCH_OPS,
+}
+
+
+def candidate_operators(logical: "LogicalPlan") -> tuple[Operator, ...]:
+    """Every physical operator that can, in principle, execute
+    ``logical`` — in fixed-preference order (the pre-planner default
+    first), before capability gating."""
+    if logical.surface == "safe_region":
+        return (
+            _SR_APPROX_OPS
+            if getattr(logical, "approximate", False)
+            else _SR_EXACT_OPS
+        )
+    try:
+        return _REGISTRY[logical.surface]
+    except KeyError:
+        raise ValueError(
+            f"no physical operators registered for surface "
+            f"{logical.surface!r}"
+        ) from None

@@ -1,0 +1,85 @@
+"""Cost-based operator selection.
+
+The planner turns a logical plan into a :class:`~repro.plan.executor.
+PlanNode` tree by choosing, per node, among the physical operators
+registered for the surface:
+
+* ``planner="auto"`` (the default) — pick the available operator with
+  the lowest estimated cost.  Ties break toward the fixed-preference
+  registry order, so planning is deterministic.
+* ``planner="fixed"`` — pick the operator the pre-planner engine
+  dispatched to under this config (``Operator.fixed_choice``),
+  reproducing the historical dispatch bit-for-bit.
+
+Capability gating happens before either mode: an operator whose
+:meth:`~repro.plan.operators.Operator.available` returns false (e.g.
+any kernel operator under ``batch_kernels=False``) is not a candidate
+at all.  Because every alternative for a surface is property-tested
+bit-identical, the mode changes runtimes, never answers.
+"""
+
+from __future__ import annotations
+
+from repro.config import WhyNotConfig
+from repro.plan.cost import CostModel, DatasetStats
+from repro.plan.executor import PlanNode
+from repro.plan.logical import LogicalPlan
+from repro.plan.operators import Operator, candidate_operators
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Build physical plan trees for one engine's config + cost model."""
+
+    def __init__(
+        self, config: WhyNotConfig, model: CostModel | None = None
+    ) -> None:
+        self.config = config
+        self.model = model or CostModel()
+
+    def candidates(
+        self, logical: LogicalPlan, stats: DatasetStats
+    ) -> list[Operator]:
+        """Available operators for ``logical``, fixed preference first."""
+        ops = [
+            op
+            for op in candidate_operators(logical)
+            if op.available(self.config, stats)
+        ]
+        if not ops:
+            raise ValueError(
+                f"no operator available for surface {logical.surface!r} "
+                f"under config {self.config!r}"
+            )
+        return ops
+
+    def choose(
+        self, logical: LogicalPlan, stats: DatasetStats
+    ) -> Operator:
+        """The operator the active planner mode selects for one node."""
+        ops = self.candidates(logical, stats)
+        if self.config.planner == "fixed":
+            for op in ops:
+                if op.fixed_choice(self.config):
+                    return op
+            return ops[0]
+        # auto: min estimated seconds; min() is stable, so ties keep the
+        # fixed-preference registry order.
+        return min(
+            ops,
+            key=lambda op: op.estimate(logical, stats, self.model).seconds,
+        )
+
+    def plan(self, logical: LogicalPlan, stats: DatasetStats) -> PlanNode:
+        """Recursively select operators for ``logical`` and its children."""
+        operator = self.choose(logical, stats)
+        node = PlanNode(
+            logical=logical,
+            operator=operator,
+            estimate=operator.estimate(logical, stats, self.model),
+            stats=stats,
+        )
+        for child in operator.child_plans(logical):
+            node.children.append(self.plan(child, stats))
+        return node

@@ -155,3 +155,19 @@ class WhyNotSession:
     ) -> np.ndarray:
         self._check()
         return self._engine.lost_customers(query, refined_query)
+
+    # ------------------------------------------------------------------
+    # Planner surface
+    # ------------------------------------------------------------------
+    def prepare(self, surface: str, *args, **kwargs):
+        """Plan a surface request (see :meth:`WhyNotEngine.prepare`).
+        The prepared plan carries its own epoch pin, so both this
+        session *and* the plan itself refuse a mutated dataset."""
+        self._check()
+        return self._engine.prepare(surface, *args, **kwargs)
+
+    def explain_plan(self, surface: str, *args, **kwargs):
+        """Execute one surface call and return its EXPLAIN report (see
+        :meth:`WhyNotEngine.explain_plan`)."""
+        self._check()
+        return self._engine.explain_plan(surface, *args, **kwargs)

@@ -178,6 +178,36 @@ class TestTraceExperiment:
         validate_export(json.loads(target.read_text()))
 
 
+class TestExplainExperiment:
+    def test_explain_prints_plan_trees(self, capsys):
+        code = main(["explain", "--sizes", "250", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN over UN-250" in out
+        assert "planner=auto" in out
+        # One report per surface, with operators and both cost columns.
+        for surface in (
+            "surface=reverse_skyline",
+            "surface=membership",
+            "surface=explain",
+            "surface=mwp",
+            "surface=mqp",
+            "surface=safe_region",
+            "surface=mwq",
+            "surface=batch",
+        ):
+            assert surface in out
+        assert "est=" in out and "actual=" in out
+        assert "plan cache: considered=" in out
+
+    def test_explain_rtree_backend(self, capsys):
+        code = main(
+            ["explain", "--sizes", "200", "--seed", "2", "--backend", "rtree"]
+        )
+        assert code == 0
+        assert "backend=rtree" in capsys.readouterr().out
+
+
 class TestUpdates:
     def test_updates_passes_and_exits_zero(self, capsys):
         code = main(["updates", "--sizes", "150", "--seed", "3"])

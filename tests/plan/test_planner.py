@@ -1,0 +1,183 @@
+"""Planner operator selection: fixed mode reproduces the historical
+dispatch, auto mode picks the cheapest estimate, and capability gating
+removes operators the config cannot run."""
+
+import numpy as np
+import pytest
+
+from repro.config import WhyNotConfig
+from repro.core.engine import WhyNotEngine
+from repro.plan.cost import CostModel, DatasetStats
+from repro.plan.logical import (
+    BatchWhyNotQuery,
+    MembershipMaskQuery,
+    RetainedMaskQuery,
+    RSLQuery,
+    SafeRegionQuery,
+)
+from repro.plan.planner import Planner
+
+
+def make_stats(n=1_000, m=1_000, kernels=True, dsl_warm=0):
+    return DatasetStats(
+        n=n,
+        m=m,
+        d=2,
+        backend="scan",
+        epoch=0,
+        dsl_warm=dsl_warm,
+        kernels_enabled=kernels,
+    )
+
+
+class TestFixedMode:
+    """fixed must pick exactly what the pre-planner engine dispatched to."""
+
+    def test_kernel_config_picks_kernel_operators(self):
+        planner = Planner(WhyNotConfig(planner="fixed", batch_kernels=True))
+        stats = make_stats(kernels=True)
+        assert planner.choose(RSLQuery(), stats).name == "rsl-kernel-verify"
+        assert (
+            planner.choose(MembershipMaskQuery(count=5), stats).name
+            == "membership-kernel"
+        )
+        assert planner.choose(RetainedMaskQuery(), stats).name == "retained-kernel"
+        assert (
+            planner.choose(BatchWhyNotQuery(count=5), stats).name
+            == "batch-prefilter"
+        )
+
+    def test_no_kernel_config_picks_index_operators(self):
+        planner = Planner(WhyNotConfig(planner="fixed", batch_kernels=False))
+        stats = make_stats(kernels=False)
+        assert planner.choose(RSLQuery(), stats).name == "rsl-index-verify"
+        assert (
+            planner.choose(MembershipMaskQuery(count=5), stats).name
+            == "membership-index-loop"
+        )
+        assert (
+            planner.choose(RetainedMaskQuery(), stats).name
+            == "retained-index-loop"
+        )
+        assert (
+            planner.choose(BatchWhyNotQuery(count=5), stats).name
+            == "batch-sequential"
+        )
+
+    def test_dsl_cache_config_selects_safe_region_fold(self):
+        stats = make_stats()
+        cached = Planner(WhyNotConfig(planner="fixed", dsl_cache=True))
+        direct = Planner(WhyNotConfig(planner="fixed", dsl_cache=False))
+        assert cached.choose(SafeRegionQuery(), stats).name == "sr-cached-fold"
+        assert direct.choose(SafeRegionQuery(), stats).name == "sr-direct-fold"
+
+    def test_approximate_safe_region_has_one_operator(self):
+        planner = Planner(WhyNotConfig(planner="fixed"))
+        chosen = planner.choose(
+            SafeRegionQuery(approximate=True, k=10), make_stats()
+        )
+        assert chosen.name == "sr-approx-store"
+
+
+class TestAutoMode:
+    def test_picks_minimum_estimated_cost(self):
+        planner = Planner(WhyNotConfig(planner="auto"))
+        stats = make_stats()
+        logical = MembershipMaskQuery(count=8)
+        model = CostModel()
+        chosen = planner.choose(logical, stats)
+        best = min(
+            planner.candidates(logical, stats),
+            key=lambda op: op.estimate(logical, stats, model).seconds,
+        )
+        assert chosen.name == best.name
+
+    def test_auto_is_deterministic(self):
+        planner = Planner(WhyNotConfig(planner="auto"))
+        stats = make_stats()
+        names = {planner.choose(RSLQuery(), stats).name for _ in range(10)}
+        assert len(names) == 1
+
+
+class TestCapabilityGating:
+    def test_kernel_operators_unavailable_without_batch_kernels(self):
+        planner = Planner(WhyNotConfig(planner="auto", batch_kernels=False))
+        stats = make_stats(kernels=False)
+        for logical in (
+            RSLQuery(),
+            MembershipMaskQuery(count=5),
+            RetainedMaskQuery(),
+            BatchWhyNotQuery(count=5),
+        ):
+            names = {op.name for op in planner.candidates(logical, stats)}
+            assert not any("kernel" in n or "prefilter" in n for n in names), (
+                logical.surface,
+                names,
+            )
+
+    def test_dsl_cache_gating(self):
+        planner = Planner(WhyNotConfig(planner="auto", dsl_cache=False))
+        names = {
+            op.name
+            for op in planner.candidates(SafeRegionQuery(), make_stats())
+        }
+        assert names == {"sr-direct-fold"}
+
+    def test_unknown_surface_rejected(self):
+        class Bogus(RSLQuery):
+            surface = "bogus"
+
+        planner = Planner(WhyNotConfig())
+        with pytest.raises(ValueError):
+            planner.candidates(Bogus(), make_stats())
+
+
+class TestPlanTrees:
+    def test_safe_region_plan_nests_rsl_child(self):
+        planner = Planner(WhyNotConfig())
+        node = planner.plan(SafeRegionQuery(), make_stats())
+        assert node.logical.surface == "safe_region"
+        assert [c.logical.surface for c in node.children] == ["reverse_skyline"]
+        assert node.estimate.seconds >= 0
+
+    def test_batch_prefilter_plan_has_two_children(self):
+        planner = Planner(WhyNotConfig(planner="fixed", batch_kernels=True))
+        node = planner.plan(BatchWhyNotQuery(count=7), make_stats())
+        assert node.operator.name == "batch-prefilter"
+        surfaces = [c.logical.surface for c in node.children]
+        assert surfaces == ["safe_region", "membership"]
+
+    def test_batch_sequential_plan_drops_prefilter_child(self):
+        planner = Planner(WhyNotConfig(planner="fixed", batch_kernels=False))
+        node = planner.plan(
+            BatchWhyNotQuery(count=7), make_stats(kernels=False)
+        )
+        assert node.operator.name == "batch-sequential"
+        surfaces = [c.logical.surface for c in node.children]
+        assert surfaces == ["safe_region"]
+
+
+class TestEngineWiring:
+    def test_engine_planner_mode_from_config(self):
+        points = np.random.default_rng(0).random((40, 2))
+        auto = WhyNotEngine(points)
+        fixed = WhyNotEngine(points, config=WhyNotConfig(planner="fixed"))
+        assert auto.planner.config.planner == "auto"
+        assert fixed.planner.config.planner == "fixed"
+
+    def test_last_plan_tracks_surface_calls(self):
+        points = np.random.default_rng(1).random((40, 2))
+        engine = WhyNotEngine(points)
+        q = np.array([0.5, 0.5])
+        engine.reverse_skyline(q)
+        assert engine.last_plan.logical.surface == "reverse_skyline"
+        engine.safe_region(q)
+        assert engine.last_plan.logical.surface == "safe_region"
+
+    def test_dataset_stats_snapshot(self):
+        points = np.random.default_rng(2).random((30, 2))
+        engine = WhyNotEngine(points, backend="grid")
+        stats = engine.dataset_stats()
+        assert stats.n == 30 and stats.m == 30 and stats.d == 2
+        assert stats.backend == "grid"
+        assert stats.epoch == engine.dataset_epoch

@@ -1,0 +1,96 @@
+"""Prepared plans are epoch-pinned: a mutation between planning and
+execution raises StaleSessionError — never a mixed-epoch answer."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WhyNotEngine
+from repro.exceptions import InvalidParameterError, StaleSessionError
+
+
+@pytest.fixture
+def engine():
+    points = np.random.default_rng(11).random((40, 2))
+    return WhyNotEngine(points)
+
+
+Q = np.array([0.5, 0.5])
+
+
+class TestStaleness:
+    def test_execute_after_mutation_raises(self, engine):
+        prepared = engine.prepare("reverse_skyline", Q)
+        engine.insert_products(np.array([[0.25, 0.75]]))
+        assert prepared.stale
+        with pytest.raises(StaleSessionError):
+            prepared.execute()
+
+    def test_every_surface_is_pinned(self, engine):
+        surfaces = [
+            ("reverse_skyline", (Q,), {}),
+            ("membership", ([1, 2], Q), {}),
+            ("explain", (1, Q), {}),
+            ("mwp", (1, Q), {}),
+            ("mqp", (1, Q), {}),
+            ("safe_region", (Q,), {}),
+            ("safe_region", (Q,), {"approximate": True, "k": 4}),
+            ("mwq", (1, Q), {}),
+            ("batch", ([1, 2], Q), {}),
+        ]
+        prepared = [
+            engine.prepare(surface, *args, **kwargs)
+            for surface, args, kwargs in surfaces
+        ]
+        engine.update_products([0], np.array([[0.9, 0.9]]))
+        for plan in prepared:
+            with pytest.raises(StaleSessionError):
+                plan.execute()
+
+    def test_replan_recovers(self, engine):
+        prepared = engine.prepare("reverse_skyline", Q)
+        before = prepared.execute()
+        engine.insert_products(np.array([[0.25, 0.75]]))
+        replanned = prepared.replan()
+        assert not replanned.stale
+        after = replanned.execute()
+        assert after.dtype == before.dtype
+        # The replanned answer reflects the mutated dataset.
+        assert np.array_equal(after, engine.reverse_skyline(Q))
+
+    def test_fresh_plan_executes_repeatedly(self, engine):
+        prepared = engine.prepare("safe_region", Q)
+        first = prepared.execute()
+        second = prepared.execute()
+        assert np.array_equal(first.region.lo, second.region.lo)
+        assert np.array_equal(first.region.hi, second.region.hi)
+
+    def test_results_match_direct_surface_calls(self, engine):
+        prepared = engine.prepare("reverse_skyline", Q)
+        assert np.array_equal(prepared.execute(), engine.reverse_skyline(Q))
+
+
+class TestSessionPlannerSurface:
+    def test_session_prepare_checks_epoch_first(self, engine):
+        session = engine.session()
+        engine.insert_products(np.array([[0.1, 0.1]]))
+        with pytest.raises(StaleSessionError):
+            session.prepare("reverse_skyline", Q)
+        with pytest.raises(StaleSessionError):
+            session.explain_plan("reverse_skyline", Q)
+        session.refresh()
+        session.prepare("reverse_skyline", Q).execute()
+
+    def test_session_explain_plan_delegates(self, engine):
+        report = engine.session().explain_plan("reverse_skyline", Q)
+        assert report.surface == "reverse_skyline"
+        report.validate()
+
+
+class TestRequestValidation:
+    def test_unknown_surface(self, engine):
+        with pytest.raises(InvalidParameterError, match="unknown surface"):
+            engine.prepare("bogus", Q)
+
+    def test_unknown_kwargs(self, engine):
+        with pytest.raises(InvalidParameterError, match="unknown arguments"):
+            engine.prepare("reverse_skyline", Q, wrong=1)

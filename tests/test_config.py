@@ -35,6 +35,27 @@ class TestWhyNotConfig:
         with pytest.raises(ValueError):
             WhyNotConfig(sort_dim=-1)
 
+    def test_planner_modes(self):
+        assert WhyNotConfig().planner == "auto"
+        WhyNotConfig(planner="fixed")
+        with pytest.raises(ValueError, match="planner"):
+            WhyNotConfig(planner="bogus")
+
+    def test_n_jobs_validated(self):
+        WhyNotConfig(n_jobs=1)
+        WhyNotConfig(n_jobs=-1)
+        with pytest.raises(ValueError):
+            WhyNotConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            WhyNotConfig(n_jobs=-2)
+
+    def test_kernel_block_size_validated(self):
+        WhyNotConfig(kernel_block_size=1)
+        with pytest.raises(ValueError):
+            WhyNotConfig(kernel_block_size=0)
+        with pytest.raises(ValueError):
+            WhyNotConfig(kernel_block_size=-4)
+
 
 class TestPolicyEnum:
     def test_values(self):
