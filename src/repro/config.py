@@ -106,6 +106,34 @@ class WhyNotConfig:
         bit-for-bit.  Answers are identical under both modes —
         operators are property-tested equivalent — only runtimes
         differ.
+    shards:
+        Number of data shards for the partitioned execution layer
+        (:mod:`repro.shard`).  ``1`` (default) disables sharding
+        entirely; with ``shards > 1`` the planner may (``"auto"``) or
+        will (``"fixed"``) run the membership / Λ-count / verification
+        / safe-region kernels per shard and merge — mask union, count
+        sum, region intersection — with float64 results bit-identical
+        to the single-process path (property-tested).
+    shard_backend:
+        ``"process"`` (default) dispatches shard tasks to a
+        ``ProcessPoolExecutor`` over ``multiprocessing.shared_memory``
+        views of the matrices; ``"serial"`` runs the identical per-shard
+        code in-process (the deterministic oracle for tests and the
+        honest baseline for dispatch-overhead measurements).
+    shard_partition:
+        How rows are assigned to shards: ``"str"`` (default) uses the
+        Sort-Tile-Recursive tiling of :mod:`repro.index.bulkload` (space
+        partitioning, preserves kernel early-exit locality), ``"grid"``
+        buckets rows by uniform grid cell, ``"rows"`` splits contiguous
+        row ranges.  Any choice yields identical merged results; only
+        per-shard work balance differs.
+    shard_dtype:
+        Element type the sharded kernels compute in.  ``"float64"``
+        (default) is bit-identical to the single-core kernels;
+        ``"float32"`` halves shared-memory bandwidth and is opt-in —
+        results may differ near window boundaries by float32 rounding
+        (see docs/API.md for the documented tolerance) and the
+        safe-region fold always promotes back to float64.
     scoped_invalidation:
         When true (default), engine mutations (``insert_products``,
         ``delete_products``, ...) evict only the cache entries the
@@ -134,6 +162,10 @@ class WhyNotConfig:
     sr_chunk_size: int = 16
     trace: bool = False
     planner: str = "auto"
+    shards: int = 1
+    shard_backend: str = "process"
+    shard_partition: str = "str"
+    shard_dtype: str = "float64"
     scoped_invalidation: bool = True
 
     def __post_init__(self) -> None:
@@ -153,6 +185,23 @@ class WhyNotConfig:
             raise ValueError(
                 f"unknown planner mode {self.planner!r}; "
                 "use 'auto' or 'fixed'"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be a positive integer")
+        if self.shard_backend not in ("process", "serial"):
+            raise ValueError(
+                f"unknown shard_backend {self.shard_backend!r}; "
+                "use 'process' or 'serial'"
+            )
+        if self.shard_partition not in ("str", "grid", "rows"):
+            raise ValueError(
+                f"unknown shard_partition {self.shard_partition!r}; "
+                "use 'str', 'grid' or 'rows'"
+            )
+        if self.shard_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unknown shard_dtype {self.shard_dtype!r}; "
+                "use 'float64' or 'float32'"
             )
 
 

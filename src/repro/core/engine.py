@@ -121,6 +121,10 @@ class WhyNotEngine(EngineMutationMixin):
         self._sr_cache: dict[bytes, SafeRegion] = {}
         self._approx_sr_cache: dict[tuple[bytes, int], SafeRegion] = {}
         self._approx_stores: dict[tuple, object] = {}
+        # Sharded execution: one ShardExecutor per dataset epoch, built
+        # lazily by the sharded operators (repro.plan.operators.
+        # ensure_shard_executor) and torn down on every store commit.
+        self._shard_executors: dict[int, object] = {}
         # Engine-level DSL/anti-dominance cache: per-customer dynamic
         # skylines computed once, shared by safe_region / modify_both /
         # batch answering / approx store / relaxation analysis.
@@ -243,6 +247,21 @@ class WhyNotEngine(EngineMutationMixin):
         # all (the cache key's epoch would miss anyway — this keeps the
         # cache small and the eviction counter honest).
         self._plan_cache.clear()
+        # Shard executors hold shared-memory copies of the pre-mutation
+        # matrices; close them eagerly (unlinking the segments) rather
+        # than waiting for the next sharded call.
+        for executor in self._shard_executors.values():
+            executor.close()
+        self._shard_executors.clear()
+
+    def close_shard_executors(self) -> None:
+        """Release the sharded execution resources (worker pool and
+        shared-memory segments) now instead of at garbage collection.
+        Safe to call at any time: the next sharded operator dispatch
+        simply rebuilds an executor for the current epoch."""
+        for executor in self._shard_executors.values():
+            executor.close()
+        self._shard_executors.clear()
 
     def _request(
         self, surface: str, *args, **kwargs

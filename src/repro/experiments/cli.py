@@ -55,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
             "run",
             "trace",
             "explain",
+            "shard",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
@@ -63,7 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
         "incrementally maintained engine stays bit-identical to a rebuild; "
         "'trace' runs an instrumented workload and prints the span tree; "
         "'explain' prints the planner's EXPLAIN ANALYZE tree for every "
-        "why-not surface)",
+        "why-not surface; 'shard' answers the same workload through the "
+        "single-process and sharded execution paths and asserts the "
+        "answers agree bit-for-bit)",
     )
     parser.add_argument(
         "--sizes",
@@ -228,6 +231,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _trace(args)
     if experiment == "explain":
         return _explain(args)
+    if experiment == "shard":
+        return _shard(args)
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -571,6 +576,139 @@ def _updates(args: argparse.Namespace) -> str:
     )
 
 
+def _shard(args: argparse.Namespace) -> str:
+    """Sharded-execution smoke check: fan-out never changes answers.
+
+    Builds a uniform synthetic dataset (first ``--sizes`` entry, default
+    2000 rows) and answers the same probe set through three arms — the
+    single-process engine (``shards=1``), the sharded serial backend and
+    the sharded process-pool backend (both ``shards=2``, forced via
+    ``planner="fixed"``).  Reverse skylines, membership masks and
+    safe regions (canonical maximal box set + exact area) are compared
+    bit-for-bit across the arms; any divergence prints a FAIL line and
+    the process exits non-zero.  Also reports the shard fan-out counters
+    and the operators the auto planner picked on this machine.
+    """
+    import numpy as np
+
+    from repro.config import WhyNotConfig
+    from repro.core.engine import WhyNotEngine
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+
+    size = args.sizes[0] if args.sizes else 2_000
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    lines = []
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    def canonical_boxes(safe_region):
+        # simplify keeps zero-volume boxes contained in a later sibling,
+        # and which redundant ones survive depends on fold order; the
+        # maximal set (drop any box contained in another) is canonical.
+        lo = np.asarray(safe_region.region.lo)
+        hi = np.asarray(safe_region.region.hi)
+        keep = np.ones(lo.shape[0], dtype=bool)
+        for i in range(lo.shape[0]):
+            if not keep[i]:
+                continue
+            for j in range(lo.shape[0]):
+                if i == j or not keep[j]:
+                    continue
+                if np.all(lo[j] >= lo[i]) and np.all(hi[j] <= hi[i]):
+                    same = np.array_equal(lo[j], lo[i]) and np.array_equal(
+                        hi[j], hi[i]
+                    )
+                    if not same or j > i:
+                        keep[j] = False
+        lo, hi = lo[keep], hi[keep]
+        order = np.lexsort(np.hstack([lo, hi]).T[::-1])
+        return lo[order], hi[order]
+
+    arms = {
+        "single": WhyNotConfig(planner="fixed"),
+        "sharded-serial": WhyNotConfig(
+            planner="fixed", shards=2, shard_backend="serial"
+        ),
+        "sharded-process": WhyNotConfig(
+            planner="fixed", shards=2, shard_backend="process"
+        ),
+    }
+    engines = {
+        name: WhyNotEngine(
+            dataset.points,
+            backend=args.backend,
+            config=config,
+            bounds=dataset.bounds,
+        )
+        for name, config in arms.items()
+    }
+    span = dataset.bounds.hi - dataset.bounds.lo
+    probes = [
+        dataset.bounds.lo + rng.random(dataset.points.shape[1]) * span
+        for _ in range(4)
+    ]
+    everyone = list(range(min(size, 512)))
+    answers: dict[str, list] = {}
+    timings: dict[str, float] = {}
+    for name, engine in engines.items():
+        start = time.perf_counter()
+        out = []
+        for q in probes:
+            rsl = engine.reverse_skyline(q)
+            mask = engine.membership_mask(everyone, q)
+            sr = engine.safe_region(q)
+            lo, hi = canonical_boxes(sr)
+            out.append(
+                (rsl.tolist(), mask.tolist(), lo.tolist(), hi.tolist(),
+                 sr.area())
+            )
+        timings[name] = time.perf_counter() - start
+        answers[name] = out
+    base = answers["single"]
+    for name in ("sharded-serial", "sharded-process"):
+        check(
+            f"{name} answers bit-identical to single-process "
+            "(RSL + masks + canonical SR boxes + exact area)",
+            answers[name] == base,
+        )
+        snap = engines[name].shard_stats.snapshot()
+        check(
+            f"{name} actually fanned out "
+            f"(fanouts={snap['fanouts']}, dispatched={snap['dispatched']}, "
+            f"merged={snap['merged']})",
+            snap["fanouts"] > 0 and snap["dispatched"] > 0
+            and snap["merged"] == snap["fanouts"],
+        )
+        engines[name].close_shard_executors()
+    auto = WhyNotEngine(
+        dataset.points,
+        backend=args.backend,
+        config=WhyNotConfig(planner="auto", shards=2),
+        bounds=dataset.bounds,
+    )
+    auto.reverse_skyline(probes[0])
+    picked = auto.last_plan.operator.name
+    lines.append(
+        f"auto planner on this machine picked {picked!r} for the "
+        "reverse skyline (fan-out only when the cost model says it wins)"
+    )
+    for name, seconds in timings.items():
+        lines.append(f"  {name}: {seconds:.3f}s over {len(probes)} probes")
+    verdict = "all checks passed" if not failures else f"{failures} FAILURES"
+    lines.append(verdict)
+    return format_block(
+        f"Sharded execution over {dataset.name} (n={size}, seed "
+        f"{args.seed}, backend {args.backend})",
+        "\n".join(lines),
+    )
+
+
 def _ablation(args: argparse.Namespace) -> str:
     """Run the backend / pruning / k-sweep ablation studies."""
     from repro.data.cardb import generate_cardb
@@ -675,7 +813,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         output += f"[{experiment} regenerated in {elapsed:.1f}s]\n\n"
         sys.stdout.write(output)
         chunks.append(output)
-        if experiment in ("validate", "updates") and "FAIL" in output:
+        if experiment in ("validate", "updates", "shard") and "FAIL" in output:
             failed = True
     if args.output:
         with open(args.output, "w") as handle:

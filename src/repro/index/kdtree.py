@@ -48,15 +48,20 @@ class _Node:
 class KDTree(SpatialIndex):
     """Median-split k-d tree with tight per-node bounding boxes.
 
-    Mutation support is the documented **rebuild fallback**: the median
-    splits and tight boxes depend on the global point distribution, so
-    every ``insert``/``remove``/``update`` reconstructs the tree from the
-    updated matrix (``stats.rebuilds``).  Construction is O(n log n) with
-    vectorised partitioning — cheap enough that churn-heavy workloads
-    should simply prefer an incremental backend (scan or grid).
+    Mutation support is the documented **lazy rebuild fallback**: the
+    median splits and tight boxes depend on the global point
+    distribution, so mutations cannot be absorbed in place — but instead
+    of reconstructing once per ``insert``/``remove``/``update``, each
+    mutation only marks the tree dirty (``stats.deferred_rebuilds``) and
+    the next query rebuilds from the current matrix
+    (``stats.rebuilds``).  A batch program of ``k`` mutations therefore
+    coalesces into a single O(n log n) construction.  Churn-heavy
+    workloads interleaving queries should still prefer an incremental
+    backend (scan or grid).
     """
 
     incremental_ops = frozenset()
+    deferred_ops = frozenset({"insert", "remove", "update"})
 
     def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
         super().__init__(points)
@@ -64,6 +69,7 @@ class KDTree(SpatialIndex):
             raise ValueError("leaf_size must be positive")
         self._leaf_size = leaf_size
         self._root: _Node | None = None
+        self._dirty = False
         if self.size:
             self._root = self._build(np.arange(self.size, dtype=np.int64), 0)
 
@@ -73,6 +79,24 @@ class KDTree(SpatialIndex):
             if self.size
             else None
         )
+        self._dirty = False
+
+    # Lazy-rebuild hooks: every mutation defers; queries rebuild once.
+    def _apply_insert(self, start: int, points: np.ndarray) -> None:
+        self._dirty = True
+        self._defer_rebuild()
+
+    def _apply_remove(self, dropped, mapping, old_points) -> None:
+        self._dirty = True
+        self._defer_rebuild()
+
+    def _apply_update(self, positions, old_points, new_points) -> None:
+        self._dirty = True
+        self._defer_rebuild()
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._rebuild()
 
     def _build(self, positions: np.ndarray, depth: int) -> _Node:
         node = _Node()
@@ -127,6 +151,7 @@ class KDTree(SpatialIndex):
     def range_indices(self, box: Box) -> np.ndarray:
         if box.dim != self.dim:
             raise ValueError(f"box dim {box.dim} != index dim {self.dim}")
+        self._ensure_built()
         self.stats.queries += 1
         if self._root is None:
             return np.empty(0, dtype=np.int64)
@@ -152,6 +177,7 @@ class KDTree(SpatialIndex):
 
     def knn_indices(self, point: Sequence[float], k: int) -> np.ndarray:
         p = as_point(point, dim=self.dim)
+        self._ensure_built()
         if k <= 0 or self._root is None:
             return np.empty(0, dtype=np.int64)
         self.stats.queries += 1
@@ -191,6 +217,8 @@ class KDTree(SpatialIndex):
     # Introspection
     # ------------------------------------------------------------------
     def height(self) -> int:
+        self._ensure_built()
+
         def depth(node: "_Node | None") -> int:
             if node is None or node.is_leaf:
                 return 1

@@ -34,9 +34,15 @@ class IndexStats(CounterBackedStats):
         (no rebuild).  One increment per ``insert``/``remove``/``update``
         call, however many rows it carried.
     rebuilds:
-        Mutations that fell back to reconstructing the structure from
-        the full point matrix (the documented fallback of backends
-        without an incremental path for that operation).
+        Structure reconstructions from the full point matrix actually
+        performed (the documented fallback of backends without an
+        incremental path for that operation) — whether triggered
+        eagerly by the mutation or lazily by the next query.
+    deferred_rebuilds:
+        Mutations absorbed by marking the structure dirty instead of
+        rebuilding immediately (lazy-rebuild backends); the rebuild is
+        coalesced into the next query, so a batch of ``k`` mutations
+        costs ``k`` deferrals but a single ``rebuilds`` increment.
     """
 
     _INT_FIELDS = (
@@ -47,6 +53,7 @@ class IndexStats(CounterBackedStats):
         "incremental_removes",
         "incremental_updates",
         "rebuilds",
+        "deferred_rebuilds",
     )
 
     def merge(self, other: "IndexStats") -> "IndexStats":

@@ -97,18 +97,48 @@ class KernelCounters:
         return {name: int(getattr(self, name).value) for name in self.__slots__}
 
 
+def _as_matrix(values: np.ndarray, dim: int, dtype: np.dtype) -> np.ndarray:
+    """The non-float64 twin of :func:`repro.geometry.point.as_points`:
+    same shape/finiteness validation, but coerces to ``dtype`` directly
+    (no intermediate float64 copy) so float32 inputs stay zero-copy."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return np.empty((0, dim), dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] != dim:
+        raise InvalidParameterError(
+            f"points must form an (n, {dim}) matrix, got shape {arr.shape}"
+        )
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if not np.all(np.isfinite(out)):
+        raise InvalidParameterError("points contain non-finite values")
+    return out
+
+
 def _prepare(
     products: np.ndarray,
     customers: np.ndarray,
     query: Sequence[float],
     self_positions: np.ndarray | None,
     block_size: int,
+    dtype: str | np.dtype = np.float64,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
     if block_size < 1:
         raise InvalidParameterError("block_size must be a positive integer")
     q = as_point(query)
-    prods = as_points(products, dim=q.size)
-    custs = as_points(customers, dim=q.size)
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        prods = as_points(products, dim=q.size)
+        custs = as_points(customers, dim=q.size)
+    else:
+        if dt != np.float32:
+            raise InvalidParameterError(
+                f"kernel dtype must be float64 or float32, got {dt}"
+            )
+        prods = _as_matrix(products, q.size, dt)
+        custs = _as_matrix(customers, q.size, dt)
+        q = q.astype(dt)
     positions = None
     if self_positions is not None:
         positions = np.asarray(self_positions, dtype=np.int64)
@@ -249,6 +279,7 @@ def batch_window_membership(
     block_size: int = DEFAULT_BLOCK_SIZE,
     rtol: float = 0.0,
     counters: KernelCounters | None = None,
+    dtype: str | np.dtype = np.float64,
 ) -> np.ndarray:
     """``(m,)`` boolean vector: is each customer in ``RSL(query)``?
 
@@ -277,9 +308,15 @@ def batch_window_membership(
     counters:
         Optional :class:`KernelCounters` incremented in place (tiles,
         chunks, early exits); ``None`` skips all accounting.
+    dtype:
+        Element type of the sweep.  ``float64`` (default) is the exact
+        path; ``float32`` computes windows and distances in single
+        precision — float32 inputs stay zero-copy (the sharded layer's
+        bandwidth mode) at the cost of possible boundary flips within
+        float32 rounding of the float64 answer.
     """
     prods, custs, q, positions = _prepare(
-        products, customers, query, self_positions, block_size
+        products, customers, query, self_positions, block_size, dtype
     )
     m = custs.shape[0]
     members = np.empty(m, dtype=bool)
@@ -305,6 +342,7 @@ def batch_lambda_counts(
     self_positions: np.ndarray | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     counters: KernelCounters | None = None,
+    dtype: str | np.dtype = np.float64,
 ) -> np.ndarray:
     """``(m,)`` int64 vector of ``|Λ|`` per customer.
 
@@ -314,7 +352,7 @@ def batch_lambda_counts(
     block?) are bulk sweeps of these counts.
     """
     prods, custs, q, positions = _prepare(
-        products, customers, query, self_positions, block_size
+        products, customers, query, self_positions, block_size, dtype
     )
     m = custs.shape[0]
     counts = np.zeros(m, dtype=np.int64)

@@ -21,16 +21,34 @@ from typing import Callable, Sequence, TypeVar
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["resolve_n_jobs", "parallel_map_chunks"]
+__all__ = ["available_cpus", "resolve_n_jobs", "parallel_map_chunks"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: under CPU
+    affinity masks or container cgroup limits it oversubscribes workers
+    badly.  ``sched_getaffinity`` reflects both (Linux); platforms
+    without it fall back to the machine count.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def resolve_n_jobs(n_jobs: int) -> int:
-    """Concrete worker count: ``-1`` means one per CPU, otherwise >= 1."""
+    """Concrete worker count: ``-1`` means one per *available* CPU
+    (affinity/cgroup aware, see :func:`available_cpus`), otherwise >= 1."""
     if n_jobs == -1:
-        return max(1, os.cpu_count() or 1)
+        return available_cpus()
     if n_jobs < 1:
         raise InvalidParameterError(
             f"n_jobs must be a positive integer or -1, got {n_jobs}"

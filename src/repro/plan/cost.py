@@ -49,6 +49,15 @@ class DatasetStats:
     kernels_enabled:
         ``WhyNotConfig.batch_kernels`` — whether blocked operators are
         available at all.
+    cpus:
+        Schedulable CPUs of this process (affinity/cgroup-aware, see
+        :func:`repro.kernels.parallel.available_cpus`) — caps the worker
+        count the sharded operators can actually use, which is what
+        makes ``planner="auto"`` decline to fan out on small machines.
+    shards, shard_backend:
+        The configured shard count and backend (``WhyNotConfig.shards``
+        / ``shard_backend``), echoed here so estimates can price the
+        per-task dispatch overhead of the active backend.
     """
 
     n: int
@@ -58,10 +67,15 @@ class DatasetStats:
     epoch: int
     dsl_warm: int = 0
     kernels_enabled: bool = True
+    cpus: int = 1
+    shards: int = 1
+    shard_backend: str = "process"
 
     @classmethod
     def of(cls, engine: "WhyNotEngine") -> "DatasetStats":
         """Sample the live statistics of one engine."""
+        from repro.kernels.parallel import available_cpus
+
         return cls(
             n=int(engine.products.shape[0]),
             m=int(engine.customers.shape[0]),
@@ -74,6 +88,9 @@ class DatasetStats:
                 else 0
             ),
             kernels_enabled=bool(engine.config.batch_kernels),
+            cpus=available_cpus(),
+            shards=int(engine.config.shards),
+            shard_backend=engine.config.shard_backend,
         )
 
     @property
@@ -135,6 +152,16 @@ class CostModel:
     PY_OP_S = 2.5e-6
     #: Fixed overhead of entering any operator (plan node dispatch).
     DISPATCH_S = 5.0e-6
+    #: Per-shard-task overhead of the process backend: payload pickling,
+    #: queue round-trip and result unpickling (the shared-memory design
+    #: keeps the matrices out of this, so it is size-independent).
+    SHARD_DISPATCH_S = 1.5e-3
+    #: Per-shard-task overhead of the in-process serial backend (one
+    #: extra function call plus payload slicing).
+    SERIAL_SHARD_DISPATCH_S = 2.0e-5
+    #: Merge cost per shard (mask scatter / count sum / one region
+    #: intersection), interpreted-regime work.
+    SHARD_MERGE_S = 1.0e-5
 
     def window_nodes(self, stats: DatasetStats) -> float:
         """Nodes/rows one window query touches, per backend."""
@@ -170,3 +197,47 @@ class CostModel:
         the staircase size ~ sqrt(n))."""
         boxes = math.sqrt(max(1.0, stats.n)) + 2.0
         return members * boxes * 8.0 * self.VECTOR_OP_S * 100 + self.PY_OP_S
+
+    # ------------------------------------------------------------------
+    # Sharded (fan-out) regime
+    # ------------------------------------------------------------------
+    def shard_workers(self, stats: DatasetStats) -> int:
+        """Concurrent workers a fan-out actually gets: the serial
+        backend is one by construction, the process pool is capped by
+        the schedulable CPUs.  This is the term that makes ``auto``
+        refuse to fan out on a one-core machine — dividing by 1 never
+        beats the extra dispatch cost."""
+        if stats.shard_backend == "serial":
+            return 1
+        return max(1, min(stats.shards, stats.cpus))
+
+    def shard_task_seconds(self, stats: DatasetStats) -> float:
+        """Fixed per-task overhead of the active shard backend."""
+        if stats.shard_backend == "serial":
+            return self.SERIAL_SHARD_DISPATCH_S
+        return self.SHARD_DISPATCH_S
+
+    def fanout_seconds(self, stats: DatasetStats) -> float:
+        """Fixed cost of one sharded call: per-task dispatch for every
+        shard plus the merge pass."""
+        return stats.shards * (
+            self.shard_task_seconds(stats) + self.SHARD_MERGE_S
+        )
+
+    def sharded_kernel_seconds(self, rows: float, stats: DatasetStats) -> float:
+        """One blocked kernel pass over ``rows`` customers, split across
+        the shard workers: the vector work divides by the concurrency,
+        the dispatch/merge overhead multiplies by the shard count."""
+        vector = rows * stats.n * stats.d * self.VECTOR_OP_S
+        return vector / self.shard_workers(stats) + self.fanout_seconds(stats)
+
+    def sharded_fold_seconds(self, members: float, stats: DatasetStats) -> float:
+        """The sharded safe-region fold: per-member staircase builds and
+        the region algebra divide by the workers; dispatch, merge and
+        one cross-shard region intersection per shard do not."""
+        per_member = members * self.dsl_build_seconds(stats)
+        fold = self.region_fold_seconds(members, stats)
+        return (per_member + fold) / self.shard_workers(stats) + (
+            self.fanout_seconds(stats)
+            + stats.shards * self.region_fold_seconds(1.0, stats)
+        )

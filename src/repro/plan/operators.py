@@ -26,6 +26,7 @@ property-tested kernel/oracle and cached/direct equivalences of PRs
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, ClassVar
 
@@ -38,21 +39,81 @@ from repro.core.explain import explain_why_not
 from repro.core.mqp import modify_query_point
 from repro.core.mwp import modify_why_not_point
 from repro.core.mwq import modify_query_and_why_not_point
-from repro.core.safe_region import compute_safe_region
+from repro.core.safe_region import (
+    SafeRegion,
+    SafeRegionStats,
+    compute_safe_region,
+)
 from repro.geometry import region_array as _ra
+from repro.geometry.box import Box
 from repro.geometry.point import as_point
+from repro.geometry.region import BoxRegion
 from repro.kernels.membership import (
+    _VERIFY_RTOL,
     batch_verify_membership,
     batch_window_membership,
 )
 from repro.plan.cost import CostEstimate, CostModel, DatasetStats
+from repro.skyline.global_skyline import global_skyline_candidates
 from repro.skyline.reverse import reverse_skyline_bbrs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.plan.executor import ExecutionContext, PlanNode
     from repro.plan.logical import LogicalPlan
 
-__all__ = ["Operator", "candidate_operators", "ensure_approx_store"]
+__all__ = [
+    "Operator",
+    "candidate_operators",
+    "ensure_approx_store",
+    "ensure_shard_executor",
+]
+
+
+def _shard_fold_enabled(config: WhyNotConfig) -> bool:
+    """May the sharded safe-region fold replace the sequential one?
+
+    Requires float64 (the fold's bit-identity argument needs exact box
+    corners) and no box budget (truncating an intermediate breaks the
+    order-invariance the cross-shard merge relies on)."""
+    return (
+        config.shards > 1
+        and config.sr_box_budget == 0
+        and config.shard_dtype == "float64"
+    )
+
+
+def ensure_shard_executor(engine):
+    """The engine's shard executor for the current dataset epoch.
+
+    Lazily imported so :mod:`repro.core` (which loads this module via
+    the engine) never pulls :mod:`repro.shard` — and through it the
+    multiprocessing machinery — unless a sharded operator actually runs.
+    Keyed by epoch: a mutation makes the partition and the published
+    shared-memory copies stale, so stale executors are closed and
+    rebuilt on the next sharded call.
+    """
+    from repro.shard.executor import ShardExecutor
+
+    key = engine.dataset_epoch
+    executor = engine._shard_executors.get(key)
+    if executor is None:
+        for stale in engine._shard_executors.values():
+            stale.close()
+        engine._shard_executors.clear()
+        config = engine.config
+        executor = ShardExecutor(
+            engine.products,
+            None if engine.monochromatic else engine.customers,
+            shards=config.shards,
+            backend=config.shard_backend,
+            partition=config.shard_partition,
+            dtype=config.shard_dtype,
+            block_size=config.kernel_block_size,
+            obs=engine.obs,
+            stats=engine.shard_stats,
+        )
+        engine._shard_executors[key] = executor
+    return executor
 
 
 def _observe_regions(engine):
@@ -188,7 +249,7 @@ class RSLKernelVerify(_ReverseSkylineOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels
+        return config.batch_kernels and config.shards == 1
 
     def estimate(self, logical, stats, model):
         rows = stats.expected_candidates
@@ -270,7 +331,7 @@ class MembershipKernel(_MembershipOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels
+        return config.batch_kernels and config.shards == 1
 
     def estimate(self, logical, stats, model):
         rows = max(1, getattr(logical, "count", 1))
@@ -340,7 +401,7 @@ class RetainedKernel(_RetainedOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels
+        return config.batch_kernels and config.shards == 1
 
     def estimate(self, logical, stats, model):
         rows = stats.expected_rsl
@@ -502,7 +563,7 @@ class SafeRegionCachedFold(_ExactSafeRegionOp):
         return config.dsl_cache
 
     def fixed_choice(self, config):
-        return config.dsl_cache
+        return config.dsl_cache and not _shard_fold_enabled(config)
 
     def estimate(self, logical, stats, model):
         members = stats.expected_rsl
@@ -528,7 +589,7 @@ class SafeRegionDirectFold(_ExactSafeRegionOp):
     use_dsl_cache = False
 
     def fixed_choice(self, config):
-        return not config.dsl_cache
+        return not config.dsl_cache and not _shard_fold_enabled(config)
 
     def estimate(self, logical, stats, model):
         members = stats.expected_rsl
@@ -652,7 +713,7 @@ class BatchPrefilter(_BatchOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels
+        return config.batch_kernels and config.shards == 1
 
     def estimate(self, logical, stats, model):
         count = max(1, getattr(logical, "count", 1))
@@ -716,18 +777,306 @@ class BatchSequential(_BatchOp):
 
 
 # ----------------------------------------------------------------------
+# Sharded operators (fan-out over repro.shard, merge in the parent)
+# ----------------------------------------------------------------------
+class RSLShardedKernel(_ReverseSkylineOp):
+    """BBRS with the verification sweep fanned out across shards.
+
+    The candidate generation stays in the parent (it is one cheap
+    vectorised pruning pass); only the expensive per-candidate
+    verification kernel is sharded.  Merged result is bit-identical to
+    :class:`RSLKernelVerify` for float64 because membership is decided
+    row-by-row."""
+
+    name = "rsl-sharded-kernel"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.shards > 1
+
+    def fixed_choice(self, config):
+        return config.batch_kernels and config.shards > 1
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_candidates
+        return CostEstimate(
+            ops=rows * stats.n * stats.d,
+            seconds=model.sharded_kernel_seconds(rows, stats)
+            + model.DISPATCH_S,
+            detail=(
+                f"sharded verify of ~{rows:.0f} candidates x n={stats.n} "
+                f"({stats.shards} shards, {model.shard_workers(stats)} "
+                f"workers)"
+            ),
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        key = q.tobytes()
+        cached = eng._rsl_cache.get(key)
+        if cached is None:
+            candidates = np.asarray(
+                global_skyline_candidates(
+                    eng.products,
+                    eng.customers,
+                    q,
+                    self_exclude=eng.monochromatic,
+                ),
+                dtype=np.int64,
+            )
+            if candidates.size == 0:
+                cached = candidates
+            else:
+                executor = ensure_shard_executor(eng)
+                mask = executor.membership_rows(
+                    candidates,
+                    q,
+                    eng.config.policy,
+                    self_positions=(
+                        candidates if eng.monochromatic else None
+                    ),
+                )
+                cached = candidates[mask]
+            eng._rsl_cache[key] = cached
+            span.set(members=int(cached.size))
+        else:
+            span.set(members=int(cached.size), result_cache="hit")
+        return cached
+
+
+class MembershipSharded(_MembershipOp):
+    """The blocked membership kernel fanned out across shards (probe
+    points are shipped in the payloads; the product matrix is read from
+    shared memory)."""
+
+    name = "membership-sharded"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.shards > 1
+
+    def fixed_choice(self, config):
+        return config.batch_kernels and config.shards > 1
+
+    def estimate(self, logical, stats, model):
+        rows = max(1, getattr(logical, "count", 1))
+        return CostEstimate(
+            ops=rows * stats.n * stats.d,
+            seconds=model.sharded_kernel_seconds(rows, stats)
+            + model.DISPATCH_S,
+            detail=(
+                f"sharded kernel pass, {rows} probes x n={stats.n} "
+                f"({stats.shards} shards)"
+            ),
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        points, self_positions = _resolve_batch(ctx)
+        count = points.shape[0]
+        eng._membership_tests.inc(count)
+        span.set(customers=count, batch=True, sharded=True)
+        if count == 0:
+            return np.empty(0, dtype=bool)
+        executor = ensure_shard_executor(eng)
+        return executor.membership_points(
+            points,
+            ctx.query,
+            eng.config.policy,
+            self_positions=self_positions,
+        )
+
+
+class RetainedSharded(_RetainedOp):
+    """The tolerance-aware retained-mask verification kernel fanned out
+    across the customer shards."""
+
+    name = "retained-sharded"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.shards > 1
+
+    def fixed_choice(self, config):
+        return config.batch_kernels and config.shards > 1
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_rsl
+        return CostEstimate(
+            ops=rows * stats.n * stats.d,
+            seconds=model.sharded_kernel_seconds(rows, stats)
+            + model.DISPATCH_S,
+            detail=(
+                f"sharded verify of ~{rows:.0f} members "
+                f"({stats.shards} shards)"
+            ),
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        members = np.asarray(ctx.members, dtype=np.int64)
+        span.set(members=int(members.size), batch=True, sharded=True)
+        if members.size == 0:
+            return np.empty(0, dtype=bool)
+        eng._membership_tests.inc(int(members.size))
+        executor = ensure_shard_executor(eng)
+        return executor.membership_rows(
+            members,
+            ctx.refined_query,
+            eng.config.policy,
+            self_positions=members if eng.monochromatic else None,
+            rtol=_VERIFY_RTOL,
+        )
+
+
+class SafeRegionShardedFold(Operator):
+    """Algorithm 3 with the member fold fanned out across shards.
+
+    Each shard folds a contiguous slice of ``RSL(q)`` exactly like the
+    sequential loop; the parent intersects the partial regions.  The
+    final set of maximal boxes is order-invariant (box intersection
+    distributes; containment survives further intersection), so the
+    region equals the sequential one — asserted bit-identical on
+    canonicalised box arrays by the property tests.  Gated to float64
+    and ``sr_box_budget == 0``; the DSL cache is bypassed (workers
+    rebuild staircases from the shared matrices)."""
+
+    name = "sr-sharded-fold"
+    span_name = "engine.safe_region"
+
+    def available(self, config, stats):
+        return _shard_fold_enabled(config)
+
+    def fixed_choice(self, config):
+        return _shard_fold_enabled(config)
+
+    def estimate(self, logical, stats, model):
+        members = stats.expected_rsl
+        return CostEstimate(
+            ops=members * stats.n * stats.d + members,
+            seconds=model.sharded_fold_seconds(members, stats)
+            + model.DISPATCH_S,
+            detail=(
+                f"sharded fold of ~{members:.0f} members "
+                f"({stats.shards} shards, {model.shard_workers(stats)} "
+                f"workers)"
+            ),
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        key = q.tobytes()
+        cached = eng._sr_cache.get(key)
+        if cached is not None:
+            span.set(
+                members=cached.stats.members if cached.stats else 0,
+                boxes=len(cached.region),
+                early_exit=bool(cached.stats and cached.stats.early_exit),
+                result_cache="hit",
+            )
+            return cached
+        t_start = time.perf_counter()
+        with _observe_regions(eng):
+            rsl = ctx.execute(node.children[0])
+            executor = ensure_shard_executor(eng)
+            bounds = eng._geometry_bounds(q)
+            lo, hi, info = executor.safe_region_fold(
+                rsl,
+                bounds.lo,
+                bounds.hi,
+                eng.config.sort_dim,
+                self_exclude=eng.monochromatic,
+                chunk_size=eng.config.sr_chunk_size,
+            )
+            region = BoxRegion.from_arrays(lo, hi, dim=eng.dim)
+            point = as_point(q, dim=eng.dim)
+            if not region.contains_point(point):
+                region = region.union(
+                    BoxRegion([Box(point, point)], dim=eng.dim)
+                )
+            stats = SafeRegionStats()
+            stats.members = info["members"]
+            stats.intersections = info["intersections"]
+            stats.boxes_before_simplify = info["boxes_before_simplify"]
+            stats.boxes_after_simplify = info["boxes_after_simplify"]
+            stats.peak_boxes = info["peak_boxes"]
+            if info["early_exit"]:
+                stats.early_exit = True
+            stats.build_seconds += time.perf_counter() - t_start
+            cached = SafeRegion(
+                query=point,
+                region=region,
+                rsl_positions=np.asarray(rsl, dtype=np.int64),
+                stats=stats,
+            )
+            span.set(
+                members=stats.members,
+                boxes=len(region),
+                early_exit=stats.early_exit,
+                sharded=True,
+            )
+        eng.last_safe_region_stats = stats
+        _absorb_safe_region_stats(eng, stats)
+        eng._sr_cache[key] = cached
+        return cached
+
+
+class BatchSharded(BatchPrefilter):
+    """Batch answering over the sharded prefilter: the membership and
+    safe-region children are planned recursively, so under a sharded
+    config they resolve to :class:`MembershipSharded` /
+    :class:`SafeRegionShardedFold`; the per-question pipelines stay in
+    the parent (they are index-probe bound, not kernel bound)."""
+
+    name = "batch-sharded"
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.shards > 1
+
+    def fixed_choice(self, config):
+        return config.batch_kernels and config.shards > 1
+
+    def estimate(self, logical, stats, model):
+        count = max(1, getattr(logical, "count", 1))
+        member_rate = min(0.5, stats.expected_rsl / max(1, stats.m))
+        question = 4.0 * model.window_seconds(stats) + 4.0 * model.DISPATCH_S
+        return CostEstimate(
+            ops=count * stats.n * stats.d,
+            seconds=(
+                model.sharded_kernel_seconds(count, stats)
+                + count * (1.0 - member_rate) * question
+                + model.DISPATCH_S
+            ),
+            detail=(
+                f"sharded prefilter + ~{count} pipelines "
+                f"({stats.shards} shards)"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-_RSL_OPS = (RSLKernelVerify(), RSLIndexVerify())
-_MEMBERSHIP_OPS = (MembershipKernel(), MembershipIndexLoop())
-_RETAINED_OPS = (RetainedKernel(), RetainedIndexLoop())
+_RSL_OPS = (RSLKernelVerify(), RSLIndexVerify(), RSLShardedKernel())
+_MEMBERSHIP_OPS = (
+    MembershipKernel(),
+    MembershipIndexLoop(),
+    MembershipSharded(),
+)
+_RETAINED_OPS = (RetainedKernel(), RetainedIndexLoop(), RetainedSharded())
 _LAMBDA_OPS = (LambdaWindow(),)
 _MWP_OPS = (MWPStaircase(),)
 _MQP_OPS = (MQPStaircase(),)
-_SR_EXACT_OPS = (SafeRegionCachedFold(), SafeRegionDirectFold())
+_SR_EXACT_OPS = (
+    SafeRegionCachedFold(),
+    SafeRegionDirectFold(),
+    SafeRegionShardedFold(),
+)
 _SR_APPROX_OPS = (SafeRegionApproxStore(),)
 _MWQ_OPS = (MWQCombine(),)
-_BATCH_OPS = (BatchPrefilter(), BatchSequential())
+_BATCH_OPS = (BatchPrefilter(), BatchSequential(), BatchSharded())
 
 _REGISTRY: dict[str, tuple[Operator, ...]] = {
     "reverse_skyline": _RSL_OPS,

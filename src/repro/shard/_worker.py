@@ -1,0 +1,225 @@
+"""Worker-side shard tasks.
+
+Every task is a top-level picklable function ``(products, customers,
+payload) -> result`` over the *full* matrices; the payload carries only
+row positions, the query and scalar knobs.  The same functions run in
+three places:
+
+* in a ``ProcessPoolExecutor`` worker, where :func:`init_worker`
+  attached the matrices from shared memory once per process
+  (:func:`pool_task` looks them up);
+* in-process through :func:`run_task` (the ``"serial"`` backend — the
+  deterministic oracle the process backend is property-tested against);
+* in tests, directly.
+
+The kernel calls are exactly the single-process ones, applied to a row
+subset — which is why the merged results are bit-identical for float64:
+each customer's membership/count depends only on its own row, the
+products and the query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DominancePolicy
+from repro.kernels.membership import (
+    batch_lambda_counts,
+    batch_window_membership,
+)
+from repro.shard.sharedmem import MatrixSpec, attach_matrix
+
+__all__ = ["init_worker", "pool_task", "run_task"]
+
+#: Process-local attachment state: matrices plus the SharedMemory
+#: handles that must stay alive while the views are used.
+_STATE: dict = {}
+
+
+def init_worker(
+    product_spec: MatrixSpec, customer_spec: MatrixSpec | None
+) -> None:
+    """Pool initializer: attach the published matrices once per worker.
+    ``customer_spec=None`` is the monochromatic convention (customers
+    are the product matrix)."""
+    products, p_shm = attach_matrix(product_spec)
+    handles = [p_shm]
+    if customer_spec is None:
+        customers = products
+    else:
+        customers, c_shm = attach_matrix(customer_spec)
+        handles.append(c_shm)
+    _STATE["products"] = products
+    _STATE["customers"] = customers
+    _STATE["handles"] = handles
+
+
+def _policy(payload: dict) -> DominancePolicy:
+    return DominancePolicy(payload["policy"])
+
+
+def membership_rows(
+    products: np.ndarray, customers: np.ndarray, payload: dict
+) -> np.ndarray:
+    """Membership/verification mask for one customer-row shard."""
+    rows = payload["rows"]
+    return batch_window_membership(
+        products,
+        customers[rows],
+        payload["query"],
+        _policy(payload),
+        self_positions=payload["self_positions"],
+        block_size=payload["block_size"],
+        rtol=payload["rtol"],
+        dtype=products.dtype,
+    )
+
+
+def membership_points(
+    products: np.ndarray, customers: np.ndarray, payload: dict
+) -> np.ndarray:
+    """Membership/verification mask for a shipped probe-point block."""
+    return batch_window_membership(
+        products,
+        payload["points"],
+        payload["query"],
+        _policy(payload),
+        self_positions=payload["self_positions"],
+        block_size=payload["block_size"],
+        rtol=payload["rtol"],
+        dtype=products.dtype,
+    )
+
+
+def lambda_rows(
+    products: np.ndarray, customers: np.ndarray, payload: dict
+) -> np.ndarray:
+    """|Λ| counts for one customer-row shard (all products)."""
+    rows = payload["rows"]
+    return batch_lambda_counts(
+        products,
+        customers[rows],
+        payload["query"],
+        _policy(payload),
+        self_positions=payload["self_positions"],
+        block_size=payload["block_size"],
+        dtype=products.dtype,
+    )
+
+
+def lambda_products(
+    products: np.ndarray, customers: np.ndarray, payload: dict
+) -> np.ndarray:
+    """Partial |Λ| counts of every probe against one *product* shard
+    (the parent sums the partials — integer-sum merge).
+    ``self_positions`` arrive already localised to the shard's rows."""
+    prods = products[payload["product_rows"]]
+    return batch_lambda_counts(
+        prods,
+        payload["points"],
+        payload["query"],
+        _policy(payload),
+        self_positions=payload["self_positions"],
+        block_size=payload["block_size"],
+        dtype=products.dtype,
+    )
+
+
+def safe_region_chunk(
+    products: np.ndarray, customers: np.ndarray, payload: dict
+) -> dict:
+    """Fold one shard's members into a partial safe-region intersection.
+
+    Mirrors the sequential fold of :func:`repro.core.safe_region.
+    compute_safe_region` — same staircase construction, same
+    ``sr_chunk_size`` chunking with a size-ascending fold and the
+    empty-region early exit — over this shard's member subset only.
+    The parent intersects the partials; the final set of maximal boxes
+    is order-invariant, so the merged region equals the sequential one.
+    """
+    # Imported lazily: repro.core pulls in the engine (and the plan
+    # layer), which this module must not load before it is itself fully
+    # importable from the plan operators.
+    from repro.core.safe_region import _member_chunks, staircase_boxes
+    from repro.geometry import region_array as _ra
+    from repro.geometry.box import Box
+    from repro.geometry.transform import to_query_space
+    from repro.skyline.dynamic import dynamic_skyline_indices
+
+    if products.dtype != np.float64:
+        raise ValueError("the sharded safe-region fold requires float64")
+    dim = products.shape[1]
+    bounds = Box(payload["bounds_lo"], payload["bounds_hi"])
+    sort_dim = int(payload["sort_dim"])
+    self_exclude = bool(payload["self_exclude"])
+    run_lo, run_hi = _ra.boxes_to_arrays(
+        [Box(bounds.lo.copy(), bounds.hi.copy())], dim
+    )
+    intersections = before_simplify = after_simplify = 0
+    peak_boxes = 1
+    early_exit = False
+    for chunk in _member_chunks(payload["rows"], payload["chunk_size"]):
+        regions = []
+        for position in chunk:
+            origin = customers[position]
+            exclude = (int(position),) if self_exclude else ()
+            dsl = dynamic_skyline_indices(products, origin, exclude)
+            thresholds = (
+                to_query_space(products[dsl], origin)
+                if dsl.size
+                else np.empty((0, dim))
+            )
+            lo, hi = _ra.boxes_to_arrays(
+                staircase_boxes(origin, thresholds, bounds, sort_dim), dim
+            )
+            regions.append(_ra.simplify_arrays(lo, hi))
+        order = sorted(
+            range(len(regions)), key=lambda i: (regions[i][0].shape[0], i)
+        )
+        for i in order:
+            member_lo, member_hi = regions[i]
+            piece_lo, piece_hi = _ra.pairwise_intersect(
+                run_lo, run_hi, member_lo, member_hi
+            )
+            intersections += 1
+            before_simplify += piece_lo.shape[0]
+            run_lo, run_hi = _ra.simplify_arrays(piece_lo, piece_hi)
+            after_simplify += run_lo.shape[0]
+            peak_boxes = max(peak_boxes, run_lo.shape[0])
+            if run_lo.shape[0] == 0:
+                early_exit = True
+                break
+        if early_exit:
+            break
+    return {
+        "lo": run_lo,
+        "hi": run_hi,
+        "members": len(payload["rows"]),
+        "intersections": intersections,
+        "boxes_before_simplify": before_simplify,
+        "boxes_after_simplify": after_simplify,
+        "peak_boxes": peak_boxes,
+        "early_exit": early_exit,
+    }
+
+
+_TASKS = {
+    "membership_rows": membership_rows,
+    "membership_points": membership_points,
+    "lambda_rows": lambda_rows,
+    "lambda_products": lambda_products,
+    "safe_region_chunk": safe_region_chunk,
+}
+
+
+def run_task(kind: str, payload: dict, arrays: tuple) -> object:
+    """Execute one shard task against explicitly supplied matrices
+    (the serial backend and unit tests)."""
+    products, customers = arrays
+    return _TASKS[kind](products, customers, payload)
+
+
+def pool_task(kind: str, payload: dict) -> object:
+    """Execute one shard task against the process-local attached
+    matrices (the process backend)."""
+    return _TASKS[kind](_STATE["products"], _STATE["customers"], payload)

@@ -1,0 +1,480 @@
+"""Fan-out/merge driver of the sharded kernels.
+
+A :class:`ShardExecutor` is built once per (dataset epoch, shard
+config) pair, holds the partition and — for the process backend — the
+lazily started worker pool plus the shared-memory copies of both
+matrices, and answers the four sharded calls:
+
+* :meth:`membership_rows` / :meth:`membership_points` — disjoint-union
+  mask merge;
+* :meth:`lambda_rows` — disjoint-union count merge (customer axis);
+* :meth:`lambda_products` — integer-sum count merge (product axis);
+* :meth:`safe_region_fold` — region-intersection merge of per-shard
+  partial folds (float64 only).
+
+``backend="serial"`` runs the identical task functions in-process in
+shard order; it is the deterministic oracle the process backend is
+property-tested against, and the two produce the same bits because the
+worker code path is shared (:mod:`repro.shard._worker`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.config import DominancePolicy
+from repro.exceptions import InvalidParameterError
+from repro.kernels.parallel import available_cpus
+from repro.shard import _worker
+from repro.shard.partition import (
+    STRATEGIES,
+    partition_matrix,
+    shard_assignment,
+)
+from repro.shard.sharedmem import SharedMatrix
+from repro.shard.stats import ShardStats
+
+__all__ = ["ShardExecutor"]
+
+BACKENDS = ("process", "serial")
+
+
+def _mp_context():
+    """Prefer ``fork`` (no module re-import, instant start); fall back
+    to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+class ShardExecutor:
+    """Partitioned execution of the batch kernels over fixed matrices.
+
+    Parameters
+    ----------
+    products, customers:
+        The matrices the kernels read.  ``customers=None`` is the
+        monochromatic convention: customers are the product matrix and
+        only one shared-memory segment is published.
+    shards:
+        Number of partitions (≥ 1).  The pool runs
+        ``min(shards, available_cpus())`` workers; extra shards queue.
+    backend:
+        ``"process"`` (ProcessPoolExecutor over shared memory) or
+        ``"serial"`` (same tasks in-process, deterministic oracle).
+    partition:
+        Row-to-shard strategy, see :mod:`repro.shard.partition`.
+    dtype:
+        ``"float64"`` (bit-identical to the single-process kernels) or
+        ``"float32"`` (half the shared-memory bandwidth, results within
+        float32 rounding; the safe-region fold refuses it).
+    """
+
+    def __init__(
+        self,
+        products: np.ndarray,
+        customers: np.ndarray | None = None,
+        *,
+        shards: int,
+        backend: str = "process",
+        partition: str = "str",
+        dtype: str | np.dtype = np.float64,
+        block_size: int = 512,
+        obs=None,
+        stats: ShardStats | None = None,
+    ):
+        if shards < 1:
+            raise InvalidParameterError("shards must be a positive integer")
+        if backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown shard backend {backend!r}; one of {BACKENDS}"
+            )
+        if partition not in STRATEGIES:
+            raise InvalidParameterError(
+                f"unknown shard partition strategy {partition!r}; "
+                f"one of {STRATEGIES}"
+            )
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise InvalidParameterError(
+                f"shard dtype must be float64 or float32, got {dt}"
+            )
+        # One cast up front: serial and process backends then read the
+        # exact same bits, and float32 mode pays its precision cost
+        # once instead of per task.
+        self._products = np.ascontiguousarray(products, dtype=dt)
+        self._mono = customers is None
+        self._customers = (
+            self._products
+            if self._mono
+            else np.ascontiguousarray(customers, dtype=dt)
+        )
+        self.shards = int(shards)
+        self.backend = backend
+        self.partition = partition
+        self.dtype = dt
+        self.block_size = int(block_size)
+        self.stats = stats if stats is not None else ShardStats()
+        self._obs = obs
+        self._customer_parts = partition_matrix(
+            self._customers, self.shards, partition
+        )
+        self._shard_of = shard_assignment(
+            self._customer_parts, self._customers.shape[0]
+        )
+        self._product_parts = partition_matrix(
+            self._products, self.shards, partition
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._segments: list[SharedMatrix] = []
+        self._closed = False
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise InvalidParameterError("shard executor is closed")
+        if self._pool is None:
+            shared_products = SharedMatrix(self._products, dtype=self.dtype)
+            self._segments.append(shared_products)
+            customer_spec = None
+            if not self._mono:
+                shared_customers = SharedMatrix(
+                    self._customers, dtype=self.dtype
+                )
+                self._segments.append(shared_customers)
+                customer_spec = shared_customers.spec
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(1, min(self.shards, available_cpus())),
+                mp_context=_mp_context(),
+                initializer=_worker.init_worker,
+                initargs=(shared_products.spec, customer_spec),
+            )
+            self.stats.pool_starts += 1
+            self.stats.bytes_shared += sum(s.nbytes for s in self._segments)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared segments
+        (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for segment in self._segments:
+            segment.close()
+        self._segments = []
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch -------------------------------------------------------
+
+    def _span(self, op: str, live: int):
+        if self._obs is None:
+            return nullcontext()
+        return self._obs.span(
+            "engine.shard",
+            op=op,
+            shards=self.shards,
+            live=live,
+            backend=self.backend,
+        )
+
+    def _dispatch(self, kind: str, payloads: list[dict | None], op: str):
+        """Run one payload per shard (``None`` = empty shard, skipped)
+        and return the results in shard order (``None`` kept in place)."""
+        live = sum(1 for p in payloads if p is not None)
+        results: list = [None] * len(payloads)
+        with self._span(op, live):
+            self.stats.fanouts += 1
+            if live:
+                if self.backend == "serial":
+                    arrays = (self._products, self._customers)
+                    for i, payload in enumerate(payloads):
+                        if payload is not None:
+                            results[i] = _worker.run_task(
+                                kind, payload, arrays
+                            )
+                            self.stats.dispatched += 1
+                else:
+                    pool = self._ensure_pool()
+                    futures = {
+                        i: pool.submit(_worker.pool_task, kind, payload)
+                        for i, payload in enumerate(payloads)
+                        if payload is not None
+                    }
+                    self.stats.dispatched += len(futures)
+                    for i, future in futures.items():
+                        results[i] = future.result()
+                self.stats.merged += 1
+        return results
+
+    def _base_payload(self, policy, **extra) -> dict:
+        payload = {
+            "policy": DominancePolicy(policy).value,
+            "block_size": self.block_size,
+        }
+        payload.update(extra)
+        return payload
+
+    # -- sharded calls --------------------------------------------------
+
+    def membership_rows(
+        self,
+        rows: np.ndarray,
+        query: np.ndarray,
+        policy,
+        *,
+        self_positions: np.ndarray | None = None,
+        rtol: float = 0.0,
+    ) -> np.ndarray:
+        """Membership mask of the given customer rows (scatter by the
+        customer partition, disjoint-union merge)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        sp = (
+            None
+            if self_positions is None
+            else np.asarray(self_positions, dtype=np.int64)
+        )
+        owner = self._shard_of[rows] if rows.size else rows
+        payloads: list[dict | None] = []
+        locals_: list[np.ndarray | None] = []
+        for shard_id in range(self.shards):
+            local = np.flatnonzero(owner == shard_id)
+            if local.size == 0:
+                payloads.append(None)
+                locals_.append(None)
+                continue
+            payloads.append(
+                self._base_payload(
+                    policy,
+                    rows=rows[local],
+                    query=query,
+                    self_positions=None if sp is None else sp[local],
+                    rtol=rtol,
+                )
+            )
+            locals_.append(local)
+        results = self._dispatch("membership_rows", payloads, "membership")
+        out = np.zeros(rows.shape[0], dtype=bool)
+        for local, result in zip(locals_, results):
+            if local is not None:
+                out[local] = result
+        return out
+
+    def membership_points(
+        self,
+        points: np.ndarray,
+        query: np.ndarray,
+        policy,
+        *,
+        self_positions: np.ndarray | None = None,
+        rtol: float = 0.0,
+    ) -> np.ndarray:
+        """Membership mask of shipped probe points (contiguous split,
+        concatenation merge)."""
+        points = np.ascontiguousarray(points, dtype=self.dtype)
+        sp = (
+            None
+            if self_positions is None
+            else np.asarray(self_positions, dtype=np.int64)
+        )
+        splits = np.array_split(np.arange(points.shape[0]), self.shards)
+        payloads: list[dict | None] = [
+            None
+            if idx.size == 0
+            else self._base_payload(
+                policy,
+                points=points[idx],
+                query=query,
+                self_positions=None if sp is None else sp[idx],
+                rtol=rtol,
+            )
+            for idx in splits
+        ]
+        results = self._dispatch("membership_points", payloads, "membership")
+        kept = [r for r in results if r is not None]
+        if not kept:
+            return np.zeros(points.shape[0], dtype=bool)
+        return np.concatenate(kept)
+
+    def lambda_rows(
+        self,
+        rows: np.ndarray,
+        query: np.ndarray,
+        policy,
+        *,
+        self_positions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """|Λ| culprit counts of the given customer rows (scatter by the
+        customer partition, disjoint-union merge)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        sp = (
+            None
+            if self_positions is None
+            else np.asarray(self_positions, dtype=np.int64)
+        )
+        owner = self._shard_of[rows] if rows.size else rows
+        payloads: list[dict | None] = []
+        locals_: list[np.ndarray | None] = []
+        for shard_id in range(self.shards):
+            local = np.flatnonzero(owner == shard_id)
+            if local.size == 0:
+                payloads.append(None)
+                locals_.append(None)
+                continue
+            payloads.append(
+                self._base_payload(
+                    policy,
+                    rows=rows[local],
+                    query=query,
+                    self_positions=None if sp is None else sp[local],
+                )
+            )
+            locals_.append(local)
+        results = self._dispatch("lambda_rows", payloads, "lambda")
+        out = np.zeros(rows.shape[0], dtype=np.int64)
+        for local, result in zip(locals_, results):
+            if local is not None:
+                out[local] = result
+        return out
+
+    def lambda_products(
+        self,
+        points: np.ndarray,
+        query: np.ndarray,
+        policy,
+        *,
+        self_positions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """|Λ| culprit counts of shipped probe points, sharded over the
+        *product* axis: every shard counts its products' contribution to
+        every probe, and the partials sum to the full counts."""
+        points = np.ascontiguousarray(points, dtype=self.dtype)
+        sp = (
+            None
+            if self_positions is None
+            else np.asarray(self_positions, dtype=np.int64)
+        )
+        n = self._products.shape[0]
+        payloads: list[dict | None] = []
+        for part in self._product_parts:
+            if part.size == 0:
+                payloads.append(None)
+                continue
+            local_sp = None
+            if sp is not None:
+                # Localise absolute product positions to the shard's
+                # rows; a self that lives in another shard becomes -1
+                # (no exclusion here — its own shard excludes it).
+                inverse = np.full(n, -1, dtype=np.int64)
+                inverse[part] = np.arange(part.size, dtype=np.int64)
+                local_sp = np.where(sp >= 0, inverse[sp], -1)
+            payloads.append(
+                self._base_payload(
+                    policy,
+                    product_rows=part,
+                    points=points,
+                    query=query,
+                    self_positions=local_sp,
+                )
+            )
+        results = self._dispatch("lambda_products", payloads, "lambda")
+        out = np.zeros(points.shape[0], dtype=np.int64)
+        for result in results:
+            if result is not None:
+                out += result
+        return out
+
+    def safe_region_fold(
+        self,
+        rows: np.ndarray,
+        bounds_lo: np.ndarray,
+        bounds_hi: np.ndarray,
+        sort_dim: int,
+        *,
+        self_exclude: bool,
+        chunk_size: int,
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Intersect the anti-dominance regions of the given members,
+        sharded: each shard folds a contiguous slice of the member list
+        exactly like the sequential fold, and the partial regions are
+        intersected pairwise.  Returns ``(lo, hi, info)`` box arrays of
+        the final maximal set plus merged fold counters.
+
+        Float64 only — the region algebra's subtractions are not
+        associative under float32 rounding, so the bandwidth mode is
+        refused rather than silently drifting.
+        """
+        if self.dtype != np.dtype(np.float64):
+            raise InvalidParameterError(
+                "the sharded safe-region fold requires dtype=float64"
+            )
+        from repro.geometry import region_array as _ra
+
+        rows = np.asarray(rows, dtype=np.int64)
+        dim = self._products.shape[1]
+        splits = np.array_split(rows, self.shards)
+        payloads: list[dict | None] = [
+            None
+            if part.size == 0
+            else {
+                "rows": part,
+                "bounds_lo": np.asarray(bounds_lo, dtype=np.float64),
+                "bounds_hi": np.asarray(bounds_hi, dtype=np.float64),
+                "sort_dim": int(sort_dim),
+                "self_exclude": bool(self_exclude),
+                "chunk_size": int(chunk_size),
+            }
+            for part in splits
+        ]
+        results = self._dispatch("safe_region_chunk", payloads, "safe_region")
+        partials = [r for r in results if r is not None]
+        info = {
+            "members": 0,
+            "intersections": 0,
+            "boxes_before_simplify": 0,
+            "boxes_after_simplify": 0,
+            "peak_boxes": 1,
+            "early_exit": False,
+        }
+        if not partials:
+            # No members: the safe region is the whole universe.
+            return (
+                np.asarray(bounds_lo, dtype=np.float64).reshape(1, dim),
+                np.asarray(bounds_hi, dtype=np.float64).reshape(1, dim),
+                info,
+            )
+        for partial in partials:
+            info["members"] += partial["members"]
+            info["intersections"] += partial["intersections"]
+            info["boxes_before_simplify"] += partial["boxes_before_simplify"]
+            info["boxes_after_simplify"] += partial["boxes_after_simplify"]
+            info["peak_boxes"] = max(
+                info["peak_boxes"], partial["peak_boxes"]
+            )
+            info["early_exit"] = info["early_exit"] or partial["early_exit"]
+        run_lo, run_hi = partials[0]["lo"], partials[0]["hi"]
+        for partial in partials[1:]:
+            if run_lo.shape[0] == 0:
+                break
+            piece_lo, piece_hi = _ra.pairwise_intersect(
+                run_lo, run_hi, partial["lo"], partial["hi"]
+            )
+            info["intersections"] += 1
+            info["boxes_before_simplify"] += piece_lo.shape[0]
+            run_lo, run_hi = _ra.simplify_arrays(piece_lo, piece_hi)
+            info["boxes_after_simplify"] += run_lo.shape[0]
+            info["peak_boxes"] = max(info["peak_boxes"], run_lo.shape[0])
+        return run_lo, run_hi, info

@@ -1,0 +1,43 @@
+"""Counters of the sharded execution layer.
+
+Attached by the engine under ``shard.*`` registry names (see
+:mod:`repro.core.engine_obs`), so ``shard.dispatched`` /
+``shard.merged`` flow into traced exports next to the kernel and index
+counters.  Counting never changes results.
+"""
+
+from __future__ import annotations
+
+from repro.obs.stats import CounterBackedStats
+
+__all__ = ["ShardStats"]
+
+
+class ShardStats(CounterBackedStats):
+    """Live counters of one :class:`~repro.shard.executor.ShardExecutor`
+    (or one engine's lifetime of them).
+
+    Attributes
+    ----------
+    fanouts:
+        Sharded calls answered (one per executor method invocation).
+    dispatched:
+        Shard tasks actually sent to a worker (empty shards are skipped,
+        so this is ≤ ``fanouts * shards``).
+    merged:
+        Merge operations performed (one per sharded call that had at
+        least one live shard).
+    pool_starts:
+        Process pools (and their shared-memory segments) created —
+        lazily, on the first process-backend dispatch.
+    bytes_shared:
+        Bytes published into ``multiprocessing.shared_memory`` blocks.
+    """
+
+    _INT_FIELDS = (
+        "fanouts",
+        "dispatched",
+        "merged",
+        "pool_starts",
+        "bytes_shared",
+    )

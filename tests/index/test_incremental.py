@@ -34,6 +34,26 @@ def _points(n: int = 40, d: int = 2, seed: int = 5) -> np.ndarray:
     return np.round(rng.uniform(0.0, 1.0, size=(n, d)) * 16) / 16
 
 
+def _assert_counted(index, op: str) -> None:
+    """One mutation must be accounted under exactly one regime: absorbed
+    in place, deferred (lazy rebuild on next query), or eager rebuild."""
+    snap = index.stats.snapshot()
+    incremental = (
+        snap["incremental_inserts"]
+        + snap["incremental_removes"]
+        + snap["incremental_updates"]
+    )
+    if op in index.incremental_ops:
+        assert incremental == 1 and snap["rebuilds"] == 0
+        assert snap["deferred_rebuilds"] == 0
+    elif op in index.deferred_ops:
+        assert incremental == 0 and snap["rebuilds"] == 0
+        assert snap["deferred_rebuilds"] == 1
+    else:
+        assert incremental == 0 and snap["rebuilds"] == 1
+        assert snap["deferred_rebuilds"] == 0
+
+
 def _assert_matches_fresh(index, backend: str) -> None:
     """Mutated index ≡ fresh index over the same matrix, on both query
     surfaces, over a deterministic probe battery."""
@@ -70,13 +90,7 @@ class TestInsert:
     def test_counted(self, backend):
         index = BACKENDS[backend](_points())
         index.insert([[0.3, 0.3]])
-        snap = index.stats.snapshot()
-        if "insert" in index.incremental_ops:
-            assert snap["incremental_inserts"] == 1
-            assert snap["rebuilds"] == 0
-        else:
-            assert snap["rebuilds"] == 1
-            assert snap["incremental_inserts"] == 0
+        _assert_counted(index, "insert")
 
 
 class TestRemove:
@@ -93,12 +107,7 @@ class TestRemove:
     def test_counted(self, backend):
         index = BACKENDS[backend](_points())
         index.remove([3])
-        snap = index.stats.snapshot()
-        if "remove" in index.incremental_ops:
-            assert snap["incremental_removes"] == 1
-            assert snap["rebuilds"] == 0
-        else:
-            assert snap["rebuilds"] == 1
+        _assert_counted(index, "remove")
 
     def test_out_of_range(self, backend):
         index = BACKENDS[backend](_points())
@@ -120,12 +129,7 @@ class TestUpdate:
     def test_counted(self, backend):
         index = BACKENDS[backend](_points())
         index.update([0], [[0.4, 0.4]])
-        snap = index.stats.snapshot()
-        if "update" in index.incremental_ops:
-            assert snap["incremental_updates"] == 1
-            assert snap["rebuilds"] == 0
-        else:
-            assert snap["rebuilds"] == 1
+        _assert_counted(index, "update")
 
     def test_duplicate_positions_rejected(self, backend):
         index = BACKENDS[backend](_points())
@@ -167,22 +171,46 @@ class TestMutationSequences:
         _assert_matches_fresh(index, backend)
 
     def test_advertised_ops_are_accurate(self, backend):
-        """incremental_ops must agree with the counters for single ops."""
+        """incremental_ops/deferred_ops must agree with the counters."""
         for op in ("insert", "remove", "update"):
             index = BACKENDS[backend](_points())
+            assert not (index.incremental_ops & index.deferred_ops)
             if op == "insert":
                 index.insert([[0.5, 0.5]])
             elif op == "remove":
                 index.remove([0])
             else:
                 index.update([0], [[0.5, 0.5]])
-            snap = index.stats.snapshot()
-            incremental = (
-                snap["incremental_inserts"]
-                + snap["incremental_removes"]
-                + snap["incremental_updates"]
-            )
-            if op in index.incremental_ops:
-                assert incremental == 1 and snap["rebuilds"] == 0, (backend, op)
-            else:
-                assert incremental == 0 and snap["rebuilds"] == 1, (backend, op)
+            _assert_counted(index, op)
+
+
+class TestDeferredRebuilds:
+    """The KDTree's lazy-rebuild coalescing (deferred_ops backends)."""
+
+    def test_mutation_batch_coalesces_into_one_rebuild(self):
+        index = KDTree(_points())
+        index.insert([[0.3, 0.3], [0.6, 0.1]])
+        index.update([0], [[0.45, 0.45]])
+        index.remove([2])
+        snap = index.stats.snapshot()
+        assert snap["deferred_rebuilds"] == 3
+        assert snap["rebuilds"] == 0
+        # The first query pays for exactly one reconstruction...
+        index.range_indices(Box(np.zeros(2), np.ones(2)))
+        assert index.stats.rebuilds == 1
+        # ...and later queries reuse it.
+        index.knn_indices([0.5, 0.5], 3)
+        assert index.stats.rebuilds == 1
+        _assert_matches_fresh(index, "kdtree")
+
+    def test_queries_after_mutation_match_fresh(self):
+        index = KDTree(_points())
+        index.insert([[0.05, 0.95]])
+        _assert_matches_fresh(index, "kdtree")
+
+    def test_height_triggers_rebuild(self):
+        index = KDTree(_points(200))
+        before = index.height()
+        index.remove(list(range(150)))
+        assert index.height() <= before
+        assert index.stats.rebuilds == 1

@@ -1,11 +1,16 @@
 """Unit tests for the chunked parallel mapping helper."""
 
+import os
 import threading
 
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
+from repro.kernels.parallel import (
+    available_cpus,
+    parallel_map_chunks,
+    resolve_n_jobs,
+)
 
 
 class TestResolveNJobs:
@@ -15,6 +20,17 @@ class TestResolveNJobs:
 
     def test_minus_one_means_cpu_count(self):
         assert resolve_n_jobs(-1) >= 1
+
+    def test_minus_one_respects_affinity(self):
+        """-1 must track the scheduler mask (cgroup/affinity aware), not
+        the raw machine CPU count."""
+        if hasattr(os, "sched_getaffinity"):
+            assert resolve_n_jobs(-1) == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            assert resolve_n_jobs(-1) == max(1, os.cpu_count() or 1)
+
+    def test_available_cpus_bounded_by_machine(self):
+        assert 1 <= available_cpus() <= max(1, os.cpu_count() or 1)
 
     @pytest.mark.parametrize("bad", [0, -2, -100])
     def test_rejects_non_positive(self, bad):
