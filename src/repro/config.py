@@ -61,8 +61,10 @@ class WhyNotConfig:
         oracle and is forced by setting this to false.
     kernel_block_size:
         Customer tile width of the blocked kernels; peak intermediate
-        memory is ``O(kernel_block_size * n)`` per array.  Any positive
-        value yields the same results.
+        memory is ``O(kernel_block_size ** 2)`` per array.  ``None``
+        (default) picks the width from the dimensionality and a
+        working-set budget (:func:`repro.kernels.membership.
+        auto_block_size`).  Any positive value yields the same results.
     n_jobs:
         Worker count for the parallel pre-computation paths (sampled-DSL
         store, exact safe-region assembly).  ``1`` keeps the sequential
@@ -134,6 +136,20 @@ class WhyNotConfig:
         results may differ near window boundaries by float32 rounding
         (see docs/API.md for the documented tolerance) and the
         safe-region fold always promotes back to float64.
+    prune:
+        Filter-refinement pruning mode of the batch kernels
+        (:mod:`repro.prune`).  ``"auto"`` (default) makes the pruned
+        physical operators *available* and lets the cost model decide
+        per query whether classifying (customer-tile, product-chunk)
+        AABB pairs predicts a win; ``"always"`` forces the pruned
+        kernels wherever they apply; ``"off"`` removes them entirely.
+        Results are bit-identical in every mode (property-tested) —
+        the classifier is conservative, only runtimes differ.
+    prune_tile_size:
+        Tile width of the pruning classifier (customer tiles and
+        product chunks of the summaries).  ``None`` (default) follows
+        the resolved kernel block size so one tile of classification
+        describes exactly one kernel tile.
     scoped_invalidation:
         When true (default), engine mutations (``insert_products``,
         ``delete_products``, ...) evict only the cache entries the
@@ -155,7 +171,7 @@ class WhyNotConfig:
     margin: float = 0.0
     verify: bool = True
     batch_kernels: bool = True
-    kernel_block_size: int = 512
+    kernel_block_size: int | None = None
     n_jobs: int = 1
     dsl_cache: bool = True
     sr_box_budget: int = 0
@@ -166,6 +182,8 @@ class WhyNotConfig:
     shard_backend: str = "process"
     shard_partition: str = "str"
     shard_dtype: str = "float64"
+    prune: str = "auto"
+    prune_tile_size: int | None = None
     scoped_invalidation: bool = True
 
     def __post_init__(self) -> None:
@@ -173,8 +191,10 @@ class WhyNotConfig:
             raise ValueError("sort_dim must be non-negative")
         if not 0.0 <= self.margin < 1.0:
             raise ValueError("margin must lie in [0, 1)")
-        if self.kernel_block_size < 1:
-            raise ValueError("kernel_block_size must be a positive integer")
+        if self.kernel_block_size is not None and self.kernel_block_size < 1:
+            raise ValueError(
+                "kernel_block_size must be a positive integer or None (auto)"
+            )
         if self.n_jobs != -1 and self.n_jobs < 1:
             raise ValueError("n_jobs must be a positive integer or -1")
         if self.sr_box_budget < 0:
@@ -202,6 +222,15 @@ class WhyNotConfig:
             raise ValueError(
                 f"unknown shard_dtype {self.shard_dtype!r}; "
                 "use 'float64' or 'float32'"
+            )
+        if self.prune not in ("off", "auto", "always"):
+            raise ValueError(
+                f"unknown prune mode {self.prune!r}; "
+                "use 'off', 'auto' or 'always'"
+            )
+        if self.prune_tile_size is not None and self.prune_tile_size < 1:
+            raise ValueError(
+                "prune_tile_size must be a positive integer or None"
             )
 
 

@@ -51,6 +51,7 @@ from repro.plan.operators import ensure_approx_store
 from repro.plan.planner import Planner
 from repro.plan.prepared import PreparedPlan
 from repro.plan.requests import build_request
+from repro.prune.summaries import PruneSummaries
 from repro.store.base import CustomerStore, ProductStore, VersionedStore
 from repro.store.session import WhyNotSession
 
@@ -112,6 +113,19 @@ class WhyNotEngine(EngineMutationMixin):
         self._weights = weights or CostWeights()
         self.alpha, self.beta = self._weights.resolved(prods.shape[1])
         self.index = make_index(backend, prods)
+        # Filter-refinement summaries (repro.prune): epoch-versioned
+        # per-tile AABBs kept coherent by store subscribers.  Built
+        # whenever pruning is not disabled — the classifier tiles and
+        # the cost model's selectivity probe both read them.
+        self.prune_summaries: PruneSummaries | None = (
+            PruneSummaries(
+                self._product_store,
+                self._customer_store,
+                tile_size=self.prune_tile_size,
+            )
+            if self.config.prune != "off"
+            else None
+        )
         if bounds is None:
             stacked = np.vstack([prods, custs])
             bounds = Box(stacked.min(axis=0), stacked.max(axis=0))
@@ -199,6 +213,24 @@ class WhyNotEngine(EngineMutationMixin):
     @property
     def dim(self) -> int:
         return self.products.shape[1]
+
+    @property
+    def kernel_block_size(self) -> int:
+        """The *resolved* kernel block width: the configured value, or
+        the working-set heuristic when ``kernel_block_size=None``.
+        Every kernel call site reads this, never the raw config field."""
+        from repro.kernels.membership import resolve_block_size
+
+        return resolve_block_size(self.config.kernel_block_size, self.dim)
+
+    @property
+    def prune_tile_size(self) -> int:
+        """The resolved classifier tile width: the configured value, or
+        the resolved kernel block size so one classification tile maps
+        to exactly one kernel tile."""
+        if self.config.prune_tile_size is not None:
+            return int(self.config.prune_tile_size)
+        return self.kernel_block_size
 
     def _resolve_customer(
         self, why_not: "int | Sequence[float]"

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 from repro.core.safe_region import SafeRegionStats
 from repro.kernels.membership import KernelCounters
 from repro.obs import Observability
+from repro.prune.counters import PruneCounters
 from repro.shard.stats import ShardStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,6 +46,15 @@ def install_observability(engine: "WhyNotEngine") -> None:
         engine._kernel_counters = KernelCounters()
         for name, counter in engine._kernel_counters.counters().items():
             engine.obs.metrics.attach(f"kernels.{name}", counter)
+    # Pruning counters (prune.*): same discipline, and additionally
+    # gated on pruning being enabled at all.  The pair-balance invariant
+    # (pairs_skipped + pairs_blocked + pairs_refined == pairs_total) is
+    # asserted over these by the tests and the `prune` CLI experiment.
+    engine._prune_counters = None
+    if engine.config.trace and engine.config.prune != "off":
+        engine._prune_counters = PruneCounters()
+        for name, counter in engine._prune_counters.counters().items():
+            engine.obs.metrics.attach(f"prune.{name}", counter)
     # Path-independent work counter: one increment per membership
     # predicate evaluated, identical under batch_kernels True/False.
     engine._membership_tests = engine.obs.counter(

@@ -296,7 +296,7 @@ class MutationInvalidator:
                 query,
                 eng.config.policy,
                 self_positions=self_positions,
-                block_size=eng.config.kernel_block_size,
+                block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
             )
         return np.fromiter(

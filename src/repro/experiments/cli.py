@@ -56,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
             "trace",
             "explain",
             "shard",
+            "prune",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
@@ -66,7 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
         "'explain' prints the planner's EXPLAIN ANALYZE tree for every "
         "why-not surface; 'shard' answers the same workload through the "
         "single-process and sharded execution paths and asserts the "
-        "answers agree bit-for-bit)",
+        "answers agree bit-for-bit; 'prune' does the same for the "
+        "tile-summary pruned kernels, including across dataset "
+        "mutations, and asserts the prune counter balance invariant)",
     )
     parser.add_argument(
         "--sizes",
@@ -233,6 +236,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _explain(args)
     if experiment == "shard":
         return _shard(args)
+    if experiment == "prune":
+        return _prune(args)
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -709,6 +714,140 @@ def _shard(args: argparse.Namespace) -> str:
     )
 
 
+def _prune(args: argparse.Namespace) -> str:
+    """Pruned-kernel smoke check: pruning never changes answers.
+
+    Builds a uniform synthetic dataset (first ``--sizes`` entry, default
+    2000 rows) and answers the same probe set through three arms — the
+    plain kernels (``prune="off"``), the always-pruned kernels
+    (``prune="always"``, forced via ``planner="fixed"``) and the
+    cost-based ``prune="auto"`` planner.  Reverse skylines, membership
+    masks and ``Λ`` culprit sets are compared bit-for-bit against the
+    unpruned arm, then a round of inserts/deletes/updates exercises the
+    incremental tile-summary maintenance and the comparison is repeated.
+    The pruning counter balance invariant (skipped + blocked + refined
+    == total pairs) is asserted on the traced arm.  Any divergence
+    prints a FAIL line and the process exits non-zero.
+    """
+    import numpy as np
+
+    from repro.config import WhyNotConfig
+    from repro.core.engine import WhyNotEngine
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+
+    size = args.sizes[0] if args.sizes else 2_000
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    lines = []
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    arms = {
+        "off": WhyNotConfig(planner="fixed", prune="off"),
+        "always": WhyNotConfig(planner="fixed", prune="always", trace=True),
+        "auto": WhyNotConfig(planner="auto", prune="auto"),
+    }
+    engines = {
+        name: WhyNotEngine(
+            dataset.points,
+            backend=args.backend,
+            config=config,
+            bounds=dataset.bounds,
+        )
+        for name, config in arms.items()
+    }
+    span = dataset.bounds.hi - dataset.bounds.lo
+    probes = [
+        dataset.bounds.lo + rng.random(dataset.points.shape[1]) * span
+        for _ in range(4)
+    ]
+    everyone = list(range(min(size, 512)))
+    why_nots = [int(i) for i in rng.integers(0, size, 3)]
+
+    def answer_all() -> dict[str, list]:
+        answers: dict[str, list] = {}
+        for name, engine in engines.items():
+            out = []
+            for q in probes:
+                rsl = engine.reverse_skyline(q)
+                mask = engine.membership_mask(everyone, q)
+                culprits = [
+                    sorted(engine.explain(w, q).culprit_positions.tolist())
+                    for w in why_nots
+                ]
+                out.append((rsl.tolist(), mask.tolist(), culprits))
+            answers[name] = out
+        return answers
+
+    answers = answer_all()
+    for name in ("always", "auto"):
+        check(
+            f"{name} answers bit-identical to unpruned "
+            "(RSL + masks + Λ culprit sets)",
+            answers[name] == answers["off"],
+        )
+    counters = engines["always"]._prune_counters
+    snap = counters.snapshot() if counters is not None else {}
+    check(
+        "always arm exercised the pruned kernels "
+        f"(pairs_total={snap.get('pairs_total', 0)})",
+        snap.get("pairs_total", 0) > 0,
+    )
+    check(
+        "prune counter balance (skipped + blocked + refined == total): "
+        f"{snap.get('pairs_skipped', 0)} + {snap.get('pairs_blocked', 0)}"
+        f" + {snap.get('pairs_refined', 0)} == {snap.get('pairs_total', 0)}",
+        counters is not None and counters.balanced(),
+    )
+    # Mutate every arm identically, then re-compare: the tile summaries
+    # must track insert/delete/update incrementally, not just at build.
+    fresh = dataset.bounds.lo + rng.random((8, dataset.points.shape[1])) * span
+    doomed = sorted(int(i) for i in rng.choice(size, 4, replace=False))
+    moved = sorted(int(i) for i in rng.choice(size - 4, 4, replace=False))
+    replacement = (
+        dataset.bounds.lo + rng.random((4, dataset.points.shape[1])) * span
+    )
+    for engine in engines.values():
+        engine.insert_products(fresh)
+        engine.delete_products(doomed)
+        engine.update_products(moved, replacement)
+    answers = answer_all()
+    for name in ("always", "auto"):
+        check(
+            f"{name} still bit-identical after insert/delete/update "
+            "(incremental tile-summary maintenance)",
+            answers[name] == answers["off"],
+        )
+    check(
+        "prune counter balance holds after mutations",
+        counters is not None and counters.balanced(),
+    )
+    engines["auto"].reverse_skyline(probes[0])
+    picked = engines["auto"].last_plan.operator.name
+    lines.append(
+        f"auto planner on this machine picked {picked!r} for the "
+        "reverse skyline (prunes only when the tile summary predicts "
+        "a win)"
+    )
+    if snap:
+        lines.append(
+            "prune.* fingerprint (always arm): "
+            + ", ".join(f"{k}={v}" for k, v in sorted(snap.items()))
+        )
+    verdict = "all checks passed" if not failures else f"{failures} FAILURES"
+    lines.append(verdict)
+    return format_block(
+        f"Pruned kernels over {dataset.name} (n={size}, seed "
+        f"{args.seed}, backend {args.backend})",
+        "\n".join(lines),
+    )
+
+
 def _ablation(args: argparse.Namespace) -> str:
     """Run the backend / pruning / k-sweep ablation studies."""
     from repro.data.cardb import generate_cardb
@@ -813,7 +952,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         output += f"[{experiment} regenerated in {elapsed:.1f}s]\n\n"
         sys.stdout.write(output)
         chunks.append(output)
-        if experiment in ("validate", "updates", "shard") and "FAIL" in output:
+        if (
+            experiment in ("validate", "updates", "shard", "prune")
+            and "FAIL" in output
+        ):
             failed = True
     if args.output:
         with open(args.output, "w") as handle:

@@ -10,26 +10,48 @@ configurable block size so the intermediate arrays stay bounded.
 
 * :mod:`repro.kernels.membership` — blocked batch membership / Λ-count /
   tolerance-aware verification kernels;
+* :mod:`repro.kernels.pruned` — filter-refinement twins of the same
+  kernels, classifying (tile, chunk) AABB pairs via :mod:`repro.prune`
+  before touching the exact blocked path;
 * :mod:`repro.kernels.parallel` — ``concurrent.futures``-based chunked
   parallel mapping for per-customer pre-computation (sampled DSLs,
   anti-dominance regions).
 """
 
 from repro.kernels.membership import (
+    AUTO_BLOCK_BYTES,
     DEFAULT_BLOCK_SIZE,
     KernelCounters,
+    auto_block_size,
     batch_lambda_counts,
     batch_verify_membership,
     batch_window_membership,
+    resolve_block_size,
 )
-from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
+from repro.kernels.parallel import (
+    available_cpus,
+    parallel_map_chunks,
+    resolve_n_jobs,
+)
+from repro.kernels.pruned import (
+    batch_lambda_counts_pruned,
+    batch_verify_membership_pruned,
+    batch_window_membership_pruned,
+)
 
 __all__ = [
+    "AUTO_BLOCK_BYTES",
     "DEFAULT_BLOCK_SIZE",
     "KernelCounters",
+    "auto_block_size",
+    "available_cpus",
     "batch_window_membership",
     "batch_lambda_counts",
     "batch_verify_membership",
+    "batch_window_membership_pruned",
+    "batch_lambda_counts_pruned",
+    "batch_verify_membership_pruned",
     "parallel_map_chunks",
+    "resolve_block_size",
     "resolve_n_jobs",
 ]

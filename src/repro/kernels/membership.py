@@ -37,16 +37,52 @@ from repro.geometry.point import as_point, as_points
 from repro.obs.metrics import Counter
 
 __all__ = [
+    "AUTO_BLOCK_BYTES",
     "DEFAULT_BLOCK_SIZE",
     "KernelCounters",
+    "auto_block_size",
     "batch_window_membership",
     "batch_lambda_counts",
     "batch_verify_membership",
+    "resolve_block_size",
 ]
 
 DEFAULT_BLOCK_SIZE = 512
 
+# Target working set of one (tile, chunk) sweep step; ~4 MiB sits inside
+# every L2/L3 budget this code meets while keeping NumPy dispatch
+# overhead amortised over large operands.
+AUTO_BLOCK_BYTES = 4 << 20
+
 _VERIFY_RTOL = 1e-12  # Mirrors repro.core._verify.VERIFY_RTOL.
+
+
+def auto_block_size(dim: int) -> int:
+    """Block width for ``kernel_block_size=None``: the largest power of
+    two whose per-step working set fits :data:`AUTO_BLOCK_BYTES`.
+
+    One sweep step materialises, per (tile, chunk) cell: the ``dd``
+    distance matrix (8 bytes), two boolean accumulators plus the
+    comparison temporary (3 bytes), and for each dimension beyond the
+    accumulator pair roughly two more transient bytes — ``11 + 2 *
+    max(0, d - 2)`` bytes per cell.  The result is clamped to
+    ``[128, 2048]`` and rounded *down* to a power of two; block size
+    never changes results (property-tested), only the memory/dispatch
+    trade."""
+    if dim < 1:
+        raise InvalidParameterError("dim must be a positive integer")
+    per_cell = 11 + 2 * max(0, int(dim) - 2)
+    width = int(float(AUTO_BLOCK_BYTES / per_cell) ** 0.5)
+    return min(2048, 1 << max(7, width.bit_length() - 1))
+
+
+def resolve_block_size(block_size: int | None, dim: int) -> int:
+    """``block_size`` if given, else the :func:`auto_block_size`
+    heuristic for ``dim`` — the single resolution point used by the
+    engine, the planner and the shard executor."""
+    if block_size is None:
+        return auto_block_size(dim)
+    return int(block_size)
 
 
 class KernelCounters:

@@ -26,22 +26,35 @@ __all__ = ["available_cpus", "resolve_n_jobs", "parallel_map_chunks"]
 T = TypeVar("T")
 R = TypeVar("R")
 
+_CPU_CACHE: int | None = None
 
-def available_cpus() -> int:
-    """CPUs this process may actually run on.
+
+def available_cpus(refresh: bool = False) -> int:
+    """CPUs this process may actually run on, memoized per process.
 
     ``os.cpu_count()`` reports the machine, not the process: under CPU
     affinity masks or container cgroup limits it oversubscribes workers
     badly.  ``sched_getaffinity`` reflects both (Linux); platforms
     without it fall back to the machine count.
+
+    The answer is cached after the first call — ``DatasetStats.cpus``
+    samples it on every plan-cache miss and the fan-out cost term must
+    agree with :func:`resolve_n_jobs` on one stable number.  Pass
+    ``refresh=True`` after changing the process affinity.
     """
-    getaffinity = getattr(os, "sched_getaffinity", None)
-    if getaffinity is not None:
-        try:
-            return max(1, len(getaffinity(0)))
-        except OSError:  # pragma: no cover - exotic platforms
-            pass
-    return max(1, os.cpu_count() or 1)
+    global _CPU_CACHE
+    if _CPU_CACHE is None or refresh:
+        count = None
+        getaffinity = getattr(os, "sched_getaffinity", None)
+        if getaffinity is not None:
+            try:
+                count = len(getaffinity(0))
+            except OSError:  # pragma: no cover - exotic platforms
+                count = None
+        if count is None:
+            count = os.cpu_count() or 1
+        _CPU_CACHE = max(1, count)
+    return _CPU_CACHE
 
 
 def resolve_n_jobs(n_jobs: int) -> int:

@@ -19,13 +19,65 @@ of two bit-identical operators.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import WhyNotEngine
 
-__all__ = ["CostEstimate", "CostModel", "DatasetStats"]
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "DatasetStats",
+    "measured_shard_dispatch_s",
+]
+
+_MEASURED_SHARD_DISPATCH: float | None = None
+
+
+def _pool_dispatch_probe_task(x: int) -> int:
+    """Top-level (hence picklable) no-op task for the dispatch probe."""
+    return x
+
+
+def measured_shard_dispatch_s(
+    probe_tasks: int = 8, refresh: bool = False
+) -> float:
+    """Measured per-task dispatch overhead of a process pool, cached
+    per process.
+
+    The hardcoded ``CostModel.SHARD_DISPATCH_S`` was calibrated on one
+    machine; queue round-trip latency varies enough across hosts to
+    flip fan-out decisions near the break-even point (ROADMAP, PR 6).
+    This probe times ``probe_tasks`` no-op round-trips through a
+    one-worker ``ProcessPoolExecutor`` (fork-preferred, one warm-up
+    submit excluded) and keeps the per-task mean.  Any failure —
+    platforms without working multiprocessing, sandboxed test runs —
+    falls back to the calibrated constant, so the probe can only
+    *improve* estimates, never break planning.
+    """
+    global _MEASURED_SHARD_DISPATCH
+    if _MEASURED_SHARD_DISPATCH is not None and not refresh:
+        return _MEASURED_SHARD_DISPATCH
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            pool.submit(_pool_dispatch_probe_task, 0).result()  # warm up
+            start = time.perf_counter()
+            for i in range(probe_tasks):
+                pool.submit(_pool_dispatch_probe_task, i).result()
+            elapsed = time.perf_counter() - start
+        _MEASURED_SHARD_DISPATCH = max(elapsed / probe_tasks, 1e-5)
+    except Exception:  # pragma: no cover - no usable process pool
+        _MEASURED_SHARD_DISPATCH = CostModel.SHARD_DISPATCH_S
+    return _MEASURED_SHARD_DISPATCH
 
 
 @dataclass(frozen=True)
@@ -58,6 +110,19 @@ class DatasetStats:
         The configured shard count and backend (``WhyNotConfig.shards``
         / ``shard_backend``), echoed here so estimates can price the
         per-task dispatch overhead of the active backend.
+    prune, prune_tile_size:
+        The configured pruning mode and the *resolved* classifier tile
+        width — the pruned operators are available iff
+        ``prune != "off"``.
+    prune_refine_rate:
+        Predicted fraction of (customer-tile, product-chunk) pairs the
+        pruned kernels would have to refine exactly, sampled from the
+        engine's epoch-versioned tile summaries at the dataset centroid
+        (:meth:`repro.prune.summaries.PruneSummaries.
+        centroid_refine_rate`).  ``1.0`` — nothing prunable — whenever
+        summaries are absent or pruning is off, which makes the pruned
+        estimate strictly worse than the plain kernel and ``auto``
+        declines.
     """
 
     n: int
@@ -70,12 +135,22 @@ class DatasetStats:
     cpus: int = 1
     shards: int = 1
     shard_backend: str = "process"
+    prune: str = "off"
+    prune_tile_size: int = 512
+    prune_refine_rate: float = 1.0
 
     @classmethod
     def of(cls, engine: "WhyNotEngine") -> "DatasetStats":
         """Sample the live statistics of one engine."""
         from repro.kernels.parallel import available_cpus
 
+        prune = str(engine.config.prune)
+        summaries = getattr(engine, "prune_summaries", None)
+        refine_rate = 1.0
+        tile = 512
+        if summaries is not None and prune != "off":
+            tile = int(summaries.tile_size)
+            refine_rate = float(summaries.centroid_refine_rate())
         return cls(
             n=int(engine.products.shape[0]),
             m=int(engine.customers.shape[0]),
@@ -91,6 +166,9 @@ class DatasetStats:
             cpus=available_cpus(),
             shards=int(engine.config.shards),
             shard_backend=engine.config.shard_backend,
+            prune=prune,
+            prune_tile_size=tile,
+            prune_refine_rate=refine_rate,
         )
 
     @property
@@ -212,10 +290,13 @@ class CostModel:
         return max(1, min(stats.shards, stats.cpus))
 
     def shard_task_seconds(self, stats: DatasetStats) -> float:
-        """Fixed per-task overhead of the active shard backend."""
+        """Fixed per-task overhead of the active shard backend.  The
+        process backend uses the measured dispatch probe
+        (:func:`measured_shard_dispatch_s`) so the fan-out break-even
+        tracks the actual host instead of the calibration machine."""
         if stats.shard_backend == "serial":
             return self.SERIAL_SHARD_DISPATCH_S
-        return self.SHARD_DISPATCH_S
+        return measured_shard_dispatch_s()
 
     def fanout_seconds(self, stats: DatasetStats) -> float:
         """Fixed cost of one sharded call: per-task dispatch for every
@@ -230,6 +311,34 @@ class CostModel:
         the dispatch/merge overhead multiplies by the shard count."""
         vector = rows * stats.n * stats.d * self.VECTOR_OP_S
         return vector / self.shard_workers(stats) + self.fanout_seconds(stats)
+
+    # ------------------------------------------------------------------
+    # Filter-refinement (pruned) regime
+    # ------------------------------------------------------------------
+    def prune_classify_seconds(self, rows: float, stats: DatasetStats) -> float:
+        """Fixed cost of the classification pass: per-tile customer AABB
+        reductions over ``rows`` rows plus the (tiles x chunks x d)
+        label fold — a few vectorised ops per pair — plus one
+        interpreted step per customer tile."""
+        tile = max(1, stats.prune_tile_size)
+        tiles = math.ceil(max(1.0, rows) / tile)
+        chunks = math.ceil(max(1, stats.n) / tile)
+        bound_ops = (rows + stats.n) * stats.d
+        label_ops = tiles * chunks * stats.d * 8.0
+        return (bound_ops + label_ops) * self.VECTOR_OP_S + tiles * self.PY_OP_S
+
+    def pruned_kernel_seconds(self, rows: float, stats: DatasetStats) -> float:
+        """One pruned kernel pass: classification up front, then the
+        exact blocked kernel over only the predicted refine fraction of
+        (tile, chunk) pairs.  With ``prune_refine_rate == 1`` this is
+        strictly worse than :meth:`kernel_seconds` — which is exactly
+        how ``auto`` declines to prune when summaries predict no win."""
+        refine = min(1.0, max(0.0, stats.prune_refine_rate))
+        return (
+            self.prune_classify_seconds(rows, stats)
+            + refine * self.kernel_seconds(rows, stats)
+            + self.PY_OP_S
+        )
 
     def sharded_fold_seconds(self, members: float, stats: DatasetStats) -> float:
         """The sharded safe-region fold: per-member staircase builds and

@@ -53,6 +53,7 @@ from repro.kernels.membership import (
     batch_verify_membership,
     batch_window_membership,
 )
+from repro.kernels.pruned import batch_window_membership_pruned
 from repro.plan.cost import CostEstimate, CostModel, DatasetStats
 from repro.skyline.global_skyline import global_skyline_candidates
 from repro.skyline.reverse import reverse_skyline_bbrs
@@ -108,7 +109,9 @@ def ensure_shard_executor(engine):
             backend=config.shard_backend,
             partition=config.shard_partition,
             dtype=config.shard_dtype,
-            block_size=config.kernel_block_size,
+            block_size=engine.kernel_block_size,
+            prune=config.prune == "always",
+            prune_tile_size=engine.prune_tile_size,
             obs=engine.obs,
             stats=engine.shard_stats,
         )
@@ -229,7 +232,7 @@ class _ReverseSkylineOp(Operator):
                 policy=eng.config.policy,
                 self_exclude=eng.monochromatic,
                 batch_kernels=self.batch,
-                block_size=eng.config.kernel_block_size,
+                block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
             )
             eng._rsl_cache[key] = cached
@@ -249,7 +252,11 @@ class RSLKernelVerify(_ReverseSkylineOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels and config.shards == 1
+        return (
+            config.batch_kernels
+            and config.shards == 1
+            and config.prune != "always"
+        )
 
     def estimate(self, logical, stats, model):
         rows = stats.expected_candidates
@@ -300,7 +307,7 @@ class _MembershipOp(Operator):
                 ctx.query,
                 eng.config.policy,
                 self_positions=self_positions,
-                block_size=eng.config.kernel_block_size,
+                block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
             )
         q = ctx.query
@@ -331,7 +338,11 @@ class MembershipKernel(_MembershipOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels and config.shards == 1
+        return (
+            config.batch_kernels
+            and config.shards == 1
+            and config.prune != "always"
+        )
 
     def estimate(self, logical, stats, model):
         rows = max(1, getattr(logical, "count", 1))
@@ -381,7 +392,7 @@ class _RetainedOp(Operator):
                 ctx.refined_query,
                 eng.config.policy,
                 self_positions=members if eng.monochromatic else None,
-                block_size=eng.config.kernel_block_size,
+                block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
             )
         retained = np.empty(members.size, dtype=bool)
@@ -713,7 +724,11 @@ class BatchPrefilter(_BatchOp):
         return config.batch_kernels
 
     def fixed_choice(self, config):
-        return config.batch_kernels and config.shards == 1
+        return (
+            config.batch_kernels
+            and config.shards == 1
+            and config.prune != "always"
+        )
 
     def estimate(self, logical, stats, model):
         count = max(1, getattr(logical, "count", 1))
@@ -1057,13 +1072,182 @@ class BatchSharded(BatchPrefilter):
 
 
 # ----------------------------------------------------------------------
+# Pruned operators (filter-refinement over repro.prune tile summaries)
+# ----------------------------------------------------------------------
+def _pruned_membership(eng, points, query, self_positions, rtol=0.0):
+    """One pruned membership sweep reading the engine's epoch-versioned
+    product summaries; bit-identical to the plain kernel."""
+    summaries = eng.prune_summaries
+    return batch_window_membership_pruned(
+        eng.products,
+        points,
+        query,
+        eng.config.policy,
+        self_positions=self_positions,
+        block_size=eng.kernel_block_size,
+        rtol=rtol,
+        counters=eng._kernel_counters,
+        prune_counters=eng._prune_counters,
+        tile_size=eng.prune_tile_size,
+        product_bounds=(
+            summaries.product_bounds() if summaries is not None else None
+        ),
+    )
+
+
+class RSLPrunedKernel(_ReverseSkylineOp):
+    """BBRS with the verification sweep through the pruned kernel: the
+    candidate generation stays identical, each candidate's membership is
+    decided by the filter-refinement sweep.  Bit-identical to
+    :class:`RSLKernelVerify` because membership is decided row-by-row
+    and the classifier is conservative."""
+
+    name = "rsl-pruned-kernel"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.prune != "off"
+
+    def fixed_choice(self, config):
+        return (
+            config.batch_kernels
+            and config.shards == 1
+            and config.prune == "always"
+        )
+
+    def estimate(self, logical, stats, model):
+        rows = stats.expected_candidates
+        return CostEstimate(
+            ops=rows * stats.n * stats.d * stats.prune_refine_rate,
+            seconds=model.pruned_kernel_seconds(rows, stats)
+            + model.DISPATCH_S,
+            detail=(
+                f"pruned verify of ~{rows:.0f} candidates x n={stats.n} "
+                f"(refine~{stats.prune_refine_rate:.0%})"
+            ),
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        q = ctx.query
+        key = q.tobytes()
+        cached = eng._rsl_cache.get(key)
+        if cached is None:
+            candidates = np.asarray(
+                global_skyline_candidates(
+                    eng.products,
+                    eng.customers,
+                    q,
+                    self_exclude=eng.monochromatic,
+                ),
+                dtype=np.int64,
+            )
+            if candidates.size == 0:
+                cached = candidates
+            else:
+                mask = _pruned_membership(
+                    eng,
+                    eng.customers[candidates],
+                    q,
+                    candidates if eng.monochromatic else None,
+                )
+                cached = candidates[mask]
+            eng._rsl_cache[key] = cached
+            span.set(members=int(cached.size), pruned=True)
+        else:
+            span.set(members=int(cached.size), result_cache="hit")
+        return cached
+
+
+class MembershipPruned(_MembershipOp):
+    """The blocked membership kernel behind the AABB classifier."""
+
+    name = "membership-pruned"
+    batch = True
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.prune != "off"
+
+    def fixed_choice(self, config):
+        return (
+            config.batch_kernels
+            and config.shards == 1
+            and config.prune == "always"
+        )
+
+    def estimate(self, logical, stats, model):
+        rows = max(1, getattr(logical, "count", 1))
+        return CostEstimate(
+            ops=rows * stats.n * stats.d * stats.prune_refine_rate,
+            seconds=model.pruned_kernel_seconds(rows, stats)
+            + model.DISPATCH_S,
+            detail=(
+                f"pruned kernel pass, {rows} probes x n={stats.n} "
+                f"(refine~{stats.prune_refine_rate:.0%})"
+            ),
+        )
+
+    def run(self, ctx, node, span):
+        eng = ctx.engine
+        points, self_positions = _resolve_batch(ctx)
+        count = points.shape[0]
+        eng._membership_tests.inc(count)
+        span.set(customers=count, batch=True, pruned=True)
+        if count == 0:
+            return np.empty(0, dtype=bool)
+        return _pruned_membership(eng, points, ctx.query, self_positions)
+
+
+class BatchPruned(BatchPrefilter):
+    """Batch answering over the pruned prefilter: the membership child
+    is planned recursively, so it resolves to :class:`MembershipPruned`
+    under ``prune="always"`` (and to whatever the cost model picks
+    under ``"auto"``); the per-question pipelines stay unchanged."""
+
+    name = "batch-pruned"
+
+    def available(self, config, stats):
+        return config.batch_kernels and config.prune != "off"
+
+    def fixed_choice(self, config):
+        return (
+            config.batch_kernels
+            and config.shards == 1
+            and config.prune == "always"
+        )
+
+    def estimate(self, logical, stats, model):
+        count = max(1, getattr(logical, "count", 1))
+        member_rate = min(0.5, stats.expected_rsl / max(1, stats.m))
+        question = 4.0 * model.window_seconds(stats) + 4.0 * model.DISPATCH_S
+        return CostEstimate(
+            ops=count * stats.n * stats.d * stats.prune_refine_rate,
+            seconds=(
+                model.pruned_kernel_seconds(count, stats)
+                + count * (1.0 - member_rate) * question
+                + model.DISPATCH_S
+            ),
+            detail=(
+                f"pruned prefilter + ~{count} pipelines "
+                f"(refine~{stats.prune_refine_rate:.0%})"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-_RSL_OPS = (RSLKernelVerify(), RSLIndexVerify(), RSLShardedKernel())
+_RSL_OPS = (
+    RSLKernelVerify(),
+    RSLIndexVerify(),
+    RSLShardedKernel(),
+    RSLPrunedKernel(),
+)
 _MEMBERSHIP_OPS = (
     MembershipKernel(),
     MembershipIndexLoop(),
     MembershipSharded(),
+    MembershipPruned(),
 )
 _RETAINED_OPS = (RetainedKernel(), RetainedIndexLoop(), RetainedSharded())
 _LAMBDA_OPS = (LambdaWindow(),)
@@ -1076,7 +1260,7 @@ _SR_EXACT_OPS = (
 )
 _SR_APPROX_OPS = (SafeRegionApproxStore(),)
 _MWQ_OPS = (MWQCombine(),)
-_BATCH_OPS = (BatchPrefilter(), BatchSequential(), BatchSharded())
+_BATCH_OPS = (BatchPrefilter(), BatchSequential(), BatchSharded(), BatchPruned())
 
 _REGISTRY: dict[str, tuple[Operator, ...]] = {
     "reverse_skyline": _RSL_OPS,

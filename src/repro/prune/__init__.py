@@ -1,0 +1,30 @@
+"""Tile-summary filter-refinement pruning.
+
+Layering: ``repro.prune`` may import ``repro.store``, ``repro.obs``
+and ``repro.exceptions`` only.  The kernels import
+*us* (``repro.kernels.pruned``), the planner imports the kernels —
+never the other way around.
+"""
+
+from repro.prune.classify import (
+    PAIR_BLOCKED,
+    PAIR_REFINE,
+    PAIR_SKIP,
+    classify_pairs,
+    tile_bounds,
+    tile_count,
+)
+from repro.prune.counters import PruneCounters
+from repro.prune.summaries import PruneSummaries, TileSummary
+
+__all__ = [
+    "PAIR_BLOCKED",
+    "PAIR_REFINE",
+    "PAIR_SKIP",
+    "PruneCounters",
+    "PruneSummaries",
+    "TileSummary",
+    "classify_pairs",
+    "tile_bounds",
+    "tile_count",
+]

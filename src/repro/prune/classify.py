@@ -1,0 +1,150 @@
+"""Conservative (tile, chunk) classification for filter-refinement.
+
+The membership and Λ kernels decide, per (customer, product) pair,
+whether the product falls strictly/weakly inside the customer's window
+around the query.  For most (customer-tile, product-chunk) pairs that
+outcome is already decided by the bounding boxes alone:
+
+* **skip** — some dimension keeps every chunk product farther from
+  every tile customer than the widest window the tile can produce, so
+  no chunk product can fall in any window (contributes nothing to
+  membership or Λ);
+* **all-blocked** — every point of the chunk box is strictly closer to
+  every tile customer than the query in every dimension, so every
+  chunk product blocks every tile customer (membership resolves to
+  ``False`` for the whole tile without exact tests);
+* **refine** — the boxes straddle a window boundary; fall through to
+  the exact blocked kernels.
+
+Soundness under floating point: tile/chunk corners are exact stored
+coordinates (mins/maxes of data values, no rounding), every bound here
+is one rounded arithmetic op on them, and IEEE rounding is monotone —
+so the computed ``dmin``/``dmax``/radius bounds dominate the kernels'
+per-pair computed distances, and a strict comparison against them is
+conservative.  Both labels are sound under both dominance policies
+(strict blocking implies weak blocking; "outside the closed window"
+implies no blocking under either), so the classifier takes no policy
+argument.  ``rtol`` widens both thresholds by an upper bound of the
+kernels' per-customer slack so the verification kernel can prune too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PAIR_SKIP",
+    "PAIR_BLOCKED",
+    "PAIR_REFINE",
+    "classify_pairs",
+    "tile_bounds",
+    "tile_count",
+]
+
+PAIR_SKIP = np.int8(0)
+PAIR_BLOCKED = np.int8(1)
+PAIR_REFINE = np.int8(2)
+
+
+def tile_count(rows: int, tile_size: int) -> int:
+    """Number of contiguous row tiles of width ``tile_size``."""
+    return -(-int(rows) // int(tile_size))
+
+
+def tile_bounds(
+    points: np.ndarray, tile_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-tile AABBs ``(lo, hi)`` of contiguous ``tile_size`` row runs.
+
+    Tiles follow row order (tile ``t`` covers rows ``[t * tile_size,
+    (t + 1) * tile_size)``), matching the blocked kernels' iteration, so
+    a summary row describes exactly one kernel tile.  Corners are exact
+    coordinate values — no arithmetic, hence no rounding.
+    """
+    if tile_size < 1:
+        raise ValueError("tile_size must be a positive integer")
+    pts = np.asarray(points)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be a matrix, got shape {pts.shape}")
+    if pts.shape[0] == 0:
+        empty = np.empty((0, pts.shape[1]), dtype=pts.dtype)
+        return empty, empty.copy()
+    starts = np.arange(0, pts.shape[0], tile_size)
+    lo = np.minimum.reduceat(pts, starts, axis=0)
+    hi = np.maximum.reduceat(pts, starts, axis=0)
+    return lo, hi
+
+
+def classify_pairs(
+    cust_lo: np.ndarray,
+    cust_hi: np.ndarray,
+    prod_lo: np.ndarray,
+    prod_hi: np.ndarray,
+    query: np.ndarray,
+    rtol: float = 0.0,
+) -> np.ndarray:
+    """``(tiles, chunks)`` int8 label matrix over AABB pairs.
+
+    For customer tile ``[cl, ch]`` the per-dimension window radius of
+    any member customer lies in ``[rlo, rhi]`` with ``rhi = max(|cl-q|,
+    |ch-q|)`` and ``rlo = 0`` if ``q`` falls inside the interval else
+    ``min(|cl-q|, |ch-q|)``.  For product chunk ``[pl, ph]`` the
+    customer-product distance lies in ``[dmin, dmax]``.  Then:
+
+    * ``dmin > rhi + slack`` in **any** dimension → no chunk product can
+      enter any tile window → :data:`PAIR_SKIP`;
+    * ``dmax < rlo - slack`` in **every** dimension → every chunk-box
+      point strictly blocks every tile customer → :data:`PAIR_BLOCKED`;
+    * otherwise :data:`PAIR_REFINE`.
+
+    ``slack`` is an upper bound of the kernels' per-customer tolerance
+    (``rtol * max(1, max |coordinate|)`` over the tile and the query);
+    with ``rtol == 0`` it vanishes and the thresholds are exact.
+    """
+    cust_lo = np.atleast_2d(np.asarray(cust_lo))
+    cust_hi = np.atleast_2d(np.asarray(cust_hi))
+    prod_lo = np.atleast_2d(np.asarray(prod_lo))
+    prod_hi = np.atleast_2d(np.asarray(prod_hi))
+    q = np.asarray(query).reshape(-1)
+    tiles, dim = cust_lo.shape
+    chunks = prod_lo.shape[0]
+    if rtol > 0.0 and tiles:
+        scale = np.maximum(
+            1.0,
+            np.max(
+                np.maximum(np.abs(cust_lo), np.abs(cust_hi)),
+                axis=1,
+                initial=np.max(np.abs(q)),
+            ),
+        )
+        slack = (rtol * scale)[:, None]  # (tiles, 1)
+    else:
+        slack = 0.0
+    skip = np.zeros((tiles, chunks), dtype=bool)
+    blocked = np.ones((tiles, chunks), dtype=bool)
+    # Fold the dimension axis in a Python loop (d is small) so the live
+    # intermediates stay (tiles, chunks) — same memory shape discipline
+    # as the exact kernels.
+    for d in range(dim):
+        cl = cust_lo[:, d, None]
+        ch = cust_hi[:, d, None]
+        lo_dist = np.abs(cl - q[d])
+        hi_dist = np.abs(ch - q[d])
+        rhi = np.maximum(lo_dist, hi_dist)
+        rlo = np.where(
+            (cl <= q[d]) & (q[d] <= ch),
+            0.0,
+            np.minimum(lo_dist, hi_dist),
+        )
+        pl = prod_lo[None, :, d]
+        ph = prod_hi[None, :, d]
+        dmin = np.maximum(np.maximum(pl - ch, cl - ph), 0.0)
+        dmax = np.maximum(ph - cl, ch - pl)
+        skip |= dmin > rhi + slack
+        blocked &= dmax < rlo - slack
+    labels = np.full((tiles, chunks), PAIR_REFINE, dtype=np.int8)
+    labels[blocked] = PAIR_BLOCKED
+    # A pair cannot satisfy both tests (dmin <= dmax and rlo <= rhi),
+    # but skip is the stronger save so it takes precedence anyway.
+    labels[skip] = PAIR_SKIP
+    return labels

@@ -1,0 +1,199 @@
+"""Epoch-versioned tile summaries over the versioned stores.
+
+A :class:`TileSummary` mirrors one :class:`~repro.store.base.
+VersionedStore` with per-tile AABBs of its matrix, kept coherent by a
+post-commit subscription: inserts recompute only the trailing partial
+tile plus the appended ones, updates only the tiles containing the
+touched rows, deletes from the tile containing the first removed row
+onward (rows below it never move — the store compacts downward).  The
+summary therefore always describes the *current* matrix at the store's
+current epoch, at incremental cost proportional to the mutation's
+locality rather than the matrix size.
+
+:class:`PruneSummaries` is the engine-facing bundle: the product-chunk
+summary feeds the pruned kernels directly (every sweep scans the same
+product matrix, so its AABBs are the shared, reusable side — customer
+tile bounds are recomputed inline per sweep because probe sets are
+arbitrary subsets), and both summaries feed the planner's selectivity
+probe (:meth:`PruneSummaries.predict`), memoized per epoch pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prune.classify import (
+    PAIR_BLOCKED,
+    PAIR_SKIP,
+    classify_pairs,
+    tile_bounds,
+    tile_count,
+)
+from repro.store.base import Mutation, VersionedStore
+
+__all__ = ["PruneSummaries", "TileSummary"]
+
+
+class TileSummary:
+    """Per-tile AABBs of one store's matrix, incrementally maintained.
+
+    Attributes
+    ----------
+    tiles_rebuilt:
+        Lifetime count of tile AABBs recomputed by incremental
+        maintenance — the observability hook the tests use to pin that
+        a local mutation does *not* trigger a full rebuild.
+    """
+
+    def __init__(self, store: VersionedStore, tile_size: int) -> None:
+        if tile_size < 1:
+            raise ValueError("tile_size must be a positive integer")
+        self.store = store
+        self.tile_size = int(tile_size)
+        self._lo, self._hi = tile_bounds(store.matrix, self.tile_size)
+        self.epoch = store.epoch
+        self.tiles_rebuilt = 0
+        store.subscribe(self._on_commit)
+
+    @property
+    def tiles(self) -> int:
+        return self._lo.shape[0]
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` tile AABB matrices for the current matrix."""
+        if self.epoch != self.store.epoch:  # pragma: no cover - defensive
+            self._rebuild_all()
+        return self._lo, self._hi
+
+    def _rebuild_all(self) -> None:
+        self._lo, self._hi = tile_bounds(self.store.matrix, self.tile_size)
+        self.epoch = self.store.epoch
+        self.tiles_rebuilt += self._lo.shape[0]
+
+    def _rebuild_from(self, first_tile: int) -> None:
+        """Recompute tiles ``first_tile`` onward against the current
+        matrix (rows below ``first_tile * tile_size`` are unchanged and
+        unmoved, so their AABBs still hold)."""
+        matrix = self.store.matrix
+        t = self.tile_size
+        tail_lo, tail_hi = tile_bounds(matrix[first_tile * t :], t)
+        self._lo = np.concatenate([self._lo[:first_tile], tail_lo])
+        self._hi = np.concatenate([self._hi[:first_tile], tail_hi])
+        self.tiles_rebuilt += tail_lo.shape[0]
+
+    def _on_commit(self, mutation: Mutation) -> None:
+        if mutation.is_noop:
+            return
+        t = self.tile_size
+        matrix = self.store.matrix
+        if mutation.kind == "update":
+            # Rows keep their positions; only tiles containing them move.
+            for tile in np.unique(mutation.positions // t):
+                seg = matrix[tile * t : (tile + 1) * t]
+                self._lo[int(tile)] = seg.min(axis=0)
+                self._hi[int(tile)] = seg.max(axis=0)
+                self.tiles_rebuilt += 1
+        elif mutation.kind == "insert":
+            # Appended rows: the previous last (possibly partial) tile
+            # and everything after it are the only tiles that change.
+            old_rows = matrix.shape[0] - mutation.positions.size
+            self._rebuild_from(int(old_rows // t))
+        else:  # delete: survivors shift down from the first removed row.
+            self._rebuild_from(int(mutation.positions.min() // t))
+        self.epoch = mutation.epoch
+
+    def _on_update_writable(self) -> None:  # pragma: no cover - helper
+        pass
+
+
+class PruneSummaries:
+    """The engine's summary bundle: product chunks + customer tiles.
+
+    In the monochromatic convention both stores are one object and the
+    two summaries are one object too — one subscription, one rebuild.
+    """
+
+    def __init__(
+        self,
+        product_store: VersionedStore,
+        customer_store: VersionedStore,
+        tile_size: int,
+    ) -> None:
+        self.tile_size = int(tile_size)
+        self.products = TileSummary(product_store, self.tile_size)
+        self.customers = (
+            self.products
+            if customer_store is product_store
+            else TileSummary(customer_store, self.tile_size)
+        )
+        self._predictions: dict[tuple, dict] = {}
+
+    def product_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Product-chunk AABBs for the pruned kernels."""
+        return self.products.bounds
+
+    def predict(self, query: np.ndarray, rtol: float = 0.0) -> dict:
+        """Classify every (customer-tile, product-chunk) pair for
+        ``query`` and return the label fractions — the planner's
+        selectivity estimate.  Memoized per (epoch, query) because
+        ``DatasetStats`` is sampled on every plan-cache miss.
+        """
+        q = np.asarray(query, dtype=np.float64).reshape(-1)
+        key = (
+            self.products.epoch,
+            self.customers.epoch,
+            q.tobytes(),
+            float(rtol),
+        )
+        cached = self._predictions.get(key)
+        if cached is not None:
+            return cached
+        cust_lo, cust_hi = self.customers.bounds
+        prod_lo, prod_hi = self.products.bounds
+        pairs = cust_lo.shape[0] * prod_lo.shape[0]
+        if pairs == 0:
+            result = {
+                "pairs": 0,
+                "skip": 0.0,
+                "blocked": 0.0,
+                "refine": 1.0,
+            }
+        else:
+            labels = classify_pairs(
+                cust_lo, cust_hi, prod_lo, prod_hi, q, rtol=rtol
+            )
+            skip = int(np.count_nonzero(labels == PAIR_SKIP))
+            blocked = int(np.count_nonzero(labels == PAIR_BLOCKED))
+            result = {
+                "pairs": pairs,
+                "skip": skip / pairs,
+                "blocked": blocked / pairs,
+                "refine": (pairs - skip - blocked) / pairs,
+            }
+        # The memo only needs the current generation; one entry per
+        # rtol value (0 and the verify tolerance) is plenty.
+        self._predictions = {key: result}
+        return result
+
+    def predicted_refine_rate(
+        self, query: np.ndarray, rtol: float = 0.0
+    ) -> float:
+        """Fraction of pairs the pruned kernels would refine exactly —
+        the number the cost model multiplies into the kernel term."""
+        return float(self.predict(query, rtol=rtol)["refine"])
+
+    def centroid_refine_rate(self) -> float:
+        """Refine rate at the dataset centroid — the representative
+        probe :meth:`repro.plan.cost.DatasetStats.of` samples when no
+        concrete query is in scope (plans are cached across queries).
+        A centroid query has the least prunable geometry of any point
+        inside the data, so this is a conservative (pessimistic)
+        selectivity estimate."""
+        cust_lo, cust_hi = self.customers.bounds
+        prod_lo, prod_hi = self.products.bounds
+        if cust_lo.shape[0] == 0 or prod_lo.shape[0] == 0:
+            return 1.0
+        lo = np.minimum(cust_lo.min(axis=0), prod_lo.min(axis=0))
+        hi = np.maximum(cust_hi.max(axis=0), prod_hi.max(axis=0))
+        return self.predicted_refine_rate((lo + hi) / 2.0)

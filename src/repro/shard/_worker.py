@@ -20,6 +20,8 @@ products and the query.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.config import DominancePolicy
@@ -27,6 +29,11 @@ from repro.kernels.membership import (
     batch_lambda_counts,
     batch_window_membership,
 )
+from repro.kernels.pruned import (
+    batch_lambda_counts_pruned,
+    batch_window_membership_pruned,
+)
+from repro.prune.classify import tile_bounds
 from repro.shard.sharedmem import MatrixSpec, attach_matrix
 
 __all__ = ["init_worker", "pool_task", "run_task"]
@@ -34,6 +41,44 @@ __all__ = ["init_worker", "pool_task", "run_task"]
 #: Process-local attachment state: matrices plus the SharedMemory
 #: handles that must stay alive while the views are used.
 _STATE: dict = {}
+
+#: Per-process product-summary cache for the pruned tasks: chunk AABBs
+#: of the (immutable within one executor generation) product matrix,
+#: keyed by (id(matrix), tile_size) with a weakref guard so a recycled
+#: id after a matrix is garbage-collected can never serve stale bounds.
+_SUMMARIES: dict = {}
+
+
+def _product_summary(
+    products: np.ndarray, tile_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    key = (id(products), int(tile_size))
+    entry = _SUMMARIES.get(key)
+    if entry is not None:
+        ref, bounds = entry
+        if ref() is products:
+            return bounds
+    bounds = tile_bounds(products, int(tile_size))
+    try:
+        ref = weakref.ref(products)
+    except TypeError:  # pragma: no cover - non-weakrefable view
+        return bounds
+    if len(_SUMMARIES) > 8:
+        _SUMMARIES.clear()
+    _SUMMARIES[key] = (ref, bounds)
+    return bounds
+
+
+def _prune_args(products: np.ndarray, payload: dict) -> dict | None:
+    """Pruned-kernel keyword arguments, or ``None`` for the plain path.
+    Payloads built by older callers carry no ``prune`` key (off)."""
+    if not payload.get("prune"):
+        return None
+    tile = int(payload.get("prune_tile_size") or payload["block_size"])
+    return {
+        "tile_size": tile,
+        "product_bounds": _product_summary(products, tile),
+    }
 
 
 def init_worker(
@@ -63,6 +108,19 @@ def membership_rows(
 ) -> np.ndarray:
     """Membership/verification mask for one customer-row shard."""
     rows = payload["rows"]
+    pruned = _prune_args(products, payload)
+    if pruned is not None:
+        return batch_window_membership_pruned(
+            products,
+            customers[rows],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            rtol=payload["rtol"],
+            dtype=products.dtype,
+            **pruned,
+        )
     return batch_window_membership(
         products,
         customers[rows],
@@ -79,6 +137,19 @@ def membership_points(
     products: np.ndarray, customers: np.ndarray, payload: dict
 ) -> np.ndarray:
     """Membership/verification mask for a shipped probe-point block."""
+    pruned = _prune_args(products, payload)
+    if pruned is not None:
+        return batch_window_membership_pruned(
+            products,
+            payload["points"],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            rtol=payload["rtol"],
+            dtype=products.dtype,
+            **pruned,
+        )
     return batch_window_membership(
         products,
         payload["points"],
@@ -96,6 +167,18 @@ def lambda_rows(
 ) -> np.ndarray:
     """|Λ| counts for one customer-row shard (all products)."""
     rows = payload["rows"]
+    pruned = _prune_args(products, payload)
+    if pruned is not None:
+        return batch_lambda_counts_pruned(
+            products,
+            customers[rows],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            dtype=products.dtype,
+            **pruned,
+        )
     return batch_lambda_counts(
         products,
         customers[rows],
@@ -114,6 +197,20 @@ def lambda_products(
     (the parent sums the partials — integer-sum merge).
     ``self_positions`` arrive already localised to the shard's rows."""
     prods = products[payload["product_rows"]]
+    if payload.get("prune"):
+        # Fresh fancy-indexed subset every call: compute its chunk
+        # bounds inline rather than caching by a throwaway id.
+        tile = int(payload.get("prune_tile_size") or payload["block_size"])
+        return batch_lambda_counts_pruned(
+            prods,
+            payload["points"],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            dtype=products.dtype,
+            tile_size=tile,
+        )
     return batch_lambda_counts(
         prods,
         payload["points"],

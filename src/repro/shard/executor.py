@@ -73,6 +73,11 @@ class ShardExecutor:
         ``"float64"`` (bit-identical to the single-process kernels) or
         ``"float32"`` (half the shared-memory bandwidth, results within
         float32 rounding; the safe-region fold refuses it).
+    prune, prune_tile_size:
+        When ``prune`` is true, the membership / Λ tasks run the
+        filter-refinement kernels of :mod:`repro.kernels.pruned` inside
+        each worker, over a per-process product-summary cache (pruning
+        and fan-out stack).  Bit-identical either way.
     """
 
     def __init__(
@@ -85,6 +90,8 @@ class ShardExecutor:
         partition: str = "str",
         dtype: str | np.dtype = np.float64,
         block_size: int = 512,
+        prune: bool = False,
+        prune_tile_size: int | None = None,
         obs=None,
         stats: ShardStats | None = None,
     ):
@@ -119,6 +126,12 @@ class ShardExecutor:
         self.partition = partition
         self.dtype = dt
         self.block_size = int(block_size)
+        self.prune = bool(prune)
+        self.prune_tile_size = (
+            int(prune_tile_size)
+            if prune_tile_size is not None
+            else self.block_size
+        )
         self.stats = stats if stats is not None else ShardStats()
         self._obs = obs
         self._customer_parts = partition_matrix(
@@ -224,6 +237,8 @@ class ShardExecutor:
         payload = {
             "policy": DominancePolicy(policy).value,
             "block_size": self.block_size,
+            "prune": self.prune,
+            "prune_tile_size": self.prune_tile_size,
         }
         payload.update(extra)
         return payload

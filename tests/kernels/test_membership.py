@@ -6,9 +6,12 @@ import pytest
 from repro.config import DominancePolicy
 from repro.exceptions import InvalidParameterError
 from repro.kernels.membership import (
+    AUTO_BLOCK_BYTES,
+    auto_block_size,
     batch_lambda_counts,
     batch_verify_membership,
     batch_window_membership,
+    resolve_block_size,
 )
 
 
@@ -119,3 +122,53 @@ class TestBatchVerifyMembership:
         tolerant = batch_verify_membership(pts, cust, q, DominancePolicy.WEAK)
         assert not exact[0]
         assert tolerant[0]
+
+
+class TestAutoBlockSize:
+    def test_low_dims_pick_512(self):
+        for d in (2, 3, 4):
+            assert auto_block_size(d) == 512
+
+    def test_mid_dims_pick_256(self):
+        for d in (5, 6, 7, 8):
+            assert auto_block_size(d) == 256
+
+    def test_floor_and_cap(self):
+        # Very wide rows still get a usable tile, and the result can
+        # never exceed the dispatch-amortisation cap.
+        assert auto_block_size(10_000) == 128
+        for d in range(1, 64):
+            assert 128 <= auto_block_size(d) <= 2048
+
+    def test_power_of_two(self):
+        for d in range(1, 32):
+            width = auto_block_size(d)
+            assert width & (width - 1) == 0
+
+    def test_working_set_fits_budget(self):
+        # The per-cell byte model times the chosen width squared must
+        # stay within the target (that is the whole point).
+        for d in range(2, 16):
+            width = auto_block_size(d)
+            per_cell = 11 + 2 * max(0, d - 2)
+            assert width * width * per_cell <= AUTO_BLOCK_BYTES
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(InvalidParameterError):
+            auto_block_size(0)
+
+    def test_resolve_passthrough_and_auto(self):
+        assert resolve_block_size(64, 2) == 64
+        assert resolve_block_size(None, 2) == auto_block_size(2)
+        assert resolve_block_size(None, 6) == auto_block_size(6)
+
+    def test_block_size_does_not_change_results(self):
+        rng = np.random.default_rng(17)
+        products = rng.random((40, 2))
+        customers = rng.random((30, 2))
+        q = np.array([0.5, 0.5])
+        auto = batch_window_membership(
+            products, customers, q, block_size=resolve_block_size(None, 2)
+        )
+        tiny = batch_window_membership(products, customers, q, block_size=3)
+        np.testing.assert_array_equal(auto, tiny)

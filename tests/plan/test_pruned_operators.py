@@ -1,0 +1,195 @@
+"""Planner integration of the filter-refinement (pruned) operators.
+
+Fixed mode dispatches to the pruned arms whenever the user forces them
+(``prune="always"`` at ``shards == 1``); auto mode treats pruning as
+one more candidate whose kernel term is scaled by the tile-summary
+selectivity probe, so it declines when the predicted refine rate says
+classification cannot pay for itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import WhyNotConfig
+from repro.core.engine import WhyNotEngine
+from repro.plan.cache import config_fingerprint
+from repro.plan.cost import CostModel, DatasetStats
+from repro.plan.logical import (
+    BatchWhyNotQuery,
+    MembershipMaskQuery,
+    RSLQuery,
+)
+from repro.plan.planner import Planner
+
+PRUNED_NAMES = {"rsl-pruned-kernel", "membership-pruned", "batch-pruned"}
+
+LOGICALS = (RSLQuery(), MembershipMaskQuery(count=8), BatchWhyNotQuery(count=8))
+
+
+def make_stats(n=10_000, m=10_000, prune="off", refine_rate=1.0, **kwargs):
+    return DatasetStats(
+        n=n,
+        m=m,
+        d=2,
+        backend="scan",
+        epoch=0,
+        kernels_enabled=True,
+        cpus=1,
+        prune=prune,
+        prune_tile_size=512,
+        prune_refine_rate=refine_rate,
+        **kwargs,
+    )
+
+
+class TestFixedMode:
+    def test_always_picks_pruned_operators(self):
+        planner = Planner(WhyNotConfig(planner="fixed", prune="always"))
+        stats = make_stats(prune="always")
+        expected = {
+            "reverse_skyline": "rsl-pruned-kernel",
+            "membership": "membership-pruned",
+            "batch": "batch-pruned",
+        }
+        for logical in LOGICALS:
+            assert planner.choose(logical, stats).name == (
+                expected[logical.surface]
+            )
+
+    def test_prune_off_keeps_historical_dispatch(self):
+        planner = Planner(WhyNotConfig(planner="fixed", prune="off"))
+        stats = make_stats(prune="off")
+        for logical in LOGICALS:
+            assert planner.choose(logical, stats).name not in PRUNED_NAMES
+
+    def test_auto_prune_config_keeps_fixed_dispatch_unpruned(self):
+        # prune="auto" under a fixed planner: pruning is a cost-based
+        # decision, so fixed mode keeps the historical operators.
+        planner = Planner(WhyNotConfig(planner="fixed", prune="auto"))
+        stats = make_stats(prune="auto")
+        for logical in LOGICALS:
+            assert planner.choose(logical, stats).name not in PRUNED_NAMES
+
+    def test_sharding_outranks_pruning_in_fixed_mode(self):
+        planner = Planner(
+            WhyNotConfig(
+                planner="fixed",
+                prune="always",
+                shards=2,
+                shard_backend="serial",
+            )
+        )
+        stats = make_stats(prune="always", shards=2, shard_backend="serial")
+        assert planner.choose(RSLQuery(), stats).name == "rsl-sharded-kernel"
+
+
+class TestAutoMode:
+    def test_declines_pruning_at_full_refine_rate(self):
+        planner = Planner(WhyNotConfig(planner="auto", prune="auto"))
+        stats = make_stats(prune="auto", refine_rate=1.0)
+        for logical in LOGICALS:
+            assert planner.choose(logical, stats).name not in PRUNED_NAMES
+
+    def test_prunes_at_low_refine_rate(self):
+        planner = Planner(WhyNotConfig(planner="auto", prune="auto"))
+        stats = make_stats(
+            n=50_000, m=50_000, prune="auto", refine_rate=0.02
+        )
+        chosen = planner.choose(MembershipMaskQuery(count=512), stats)
+        assert chosen.name == "membership-pruned"
+
+    @pytest.mark.parametrize("refine_rate", [0.0, 0.05, 0.5, 1.0])
+    def test_auto_never_loses_to_best_fixed_arm(self, refine_rate):
+        planner = Planner(WhyNotConfig(planner="auto", prune="auto"))
+        stats = make_stats(prune="auto", refine_rate=refine_rate)
+        model = CostModel()
+        for logical in LOGICALS:
+            chosen = planner.choose(logical, stats)
+            best = min(
+                op.estimate(logical, stats, model).seconds
+                for op in planner.candidates(logical, stats)
+            )
+            got = chosen.estimate(logical, stats, model).seconds
+            assert got <= best * 1.05
+
+    def test_pruned_estimate_scales_with_refine_rate(self):
+        model = CostModel()
+        logical = MembershipMaskQuery(count=512)
+        from repro.plan.operators import MembershipPruned
+
+        op = MembershipPruned()
+        cheap = op.estimate(
+            logical, make_stats(prune="auto", refine_rate=0.01), model
+        )
+        dear = op.estimate(
+            logical, make_stats(prune="auto", refine_rate=1.0), model
+        )
+        assert cheap.seconds < dear.seconds
+
+
+class TestPlanCacheKeys:
+    def test_fingerprint_differs_across_prune_values(self):
+        fps = {
+            config_fingerprint(WhyNotConfig(prune=mode))
+            for mode in ("off", "auto", "always")
+        }
+        assert len(fps) == 3
+
+    def test_fingerprint_differs_across_tile_sizes(self):
+        assert config_fingerprint(
+            WhyNotConfig(prune_tile_size=128)
+        ) != config_fingerprint(WhyNotConfig(prune_tile_size=256))
+
+
+class TestEngineWiring:
+    def test_explain_plan_reports_pruned_operator(self):
+        points = np.random.default_rng(0).random((60, 2))
+        engine = WhyNotEngine(
+            points,
+            backend="scan",
+            config=WhyNotConfig(planner="fixed", prune="always"),
+        )
+        report = engine.explain_plan("reverse_skyline", np.array([0.5, 0.5]))
+        assert report.root.operator.name == "rsl-pruned-kernel"
+
+    def test_prune_off_builds_no_summaries(self):
+        points = np.random.default_rng(1).random((30, 2))
+        engine = WhyNotEngine(
+            points, backend="scan", config=WhyNotConfig(prune="off")
+        )
+        assert engine.prune_summaries is None
+
+    def test_default_config_builds_summaries(self):
+        points = np.random.default_rng(2).random((30, 2))
+        engine = WhyNotEngine(points, backend="scan")
+        assert engine.config.prune == "auto"
+        assert engine.prune_summaries is not None
+        assert engine.prune_summaries.tile_size == engine.prune_tile_size
+
+    def test_dataset_stats_sample_the_selectivity_probe(self):
+        rng = np.random.default_rng(3)
+        products = np.vstack(
+            [
+                rng.uniform(0.0, 0.05, size=(32, 2)),
+                rng.uniform(0.95, 1.0, size=(32, 2)),
+            ]
+        )
+        customers = rng.uniform(0.45, 0.55, size=(64, 2))
+        engine = WhyNotEngine(
+            products,
+            customers,
+            backend="scan",
+            config=WhyNotConfig(prune="auto", prune_tile_size=8),
+        )
+        stats = DatasetStats.of(engine)
+        assert stats.prune == "auto"
+        assert stats.prune_tile_size == 8
+        assert stats.prune_refine_rate < 0.5
+
+    def test_prune_off_stats_pin_refine_rate_to_one(self):
+        points = np.random.default_rng(4).random((30, 2))
+        engine = WhyNotEngine(
+            points, backend="scan", config=WhyNotConfig(prune="off")
+        )
+        stats = DatasetStats.of(engine)
+        assert stats.prune_refine_rate == 1.0

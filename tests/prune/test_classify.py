@@ -1,0 +1,163 @@
+"""Unit tests of the conservative (tile, chunk) classifier."""
+
+import numpy as np
+import pytest
+
+from repro.prune.classify import (
+    PAIR_BLOCKED,
+    PAIR_REFINE,
+    PAIR_SKIP,
+    classify_pairs,
+    tile_bounds,
+    tile_count,
+)
+
+
+class TestTileCount:
+    def test_exact_multiple(self):
+        assert tile_count(100, 10) == 10
+
+    def test_partial_tail(self):
+        assert tile_count(101, 10) == 11
+
+    def test_empty(self):
+        assert tile_count(0, 10) == 0
+
+
+class TestTileBounds:
+    def test_bounds_cover_their_rows_exactly(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((37, 3))
+        lo, hi = tile_bounds(points, 8)
+        assert lo.shape == (tile_count(37, 8), 3)
+        for t in range(lo.shape[0]):
+            seg = points[t * 8 : (t + 1) * 8]
+            np.testing.assert_array_equal(lo[t], seg.min(axis=0))
+            np.testing.assert_array_equal(hi[t], seg.max(axis=0))
+
+    def test_corners_are_exact_data_values(self):
+        # No arithmetic: every corner coordinate must be a value that
+        # literally occurs in the tile (the float-soundness premise).
+        points = np.array([[0.1, 0.7], [0.3, 0.2], [0.9, 0.5]])
+        lo, hi = tile_bounds(points, 2)
+        for row in np.vstack([lo, hi]):
+            for d, value in enumerate(row):
+                assert value in points[:, d]
+
+    def test_empty_matrix(self):
+        lo, hi = tile_bounds(np.empty((0, 2)), 4)
+        assert lo.shape == (0, 2) and hi.shape == (0, 2)
+
+    def test_single_row_tiles(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        lo, hi = tile_bounds(points, 1)
+        np.testing.assert_array_equal(lo, points)
+        np.testing.assert_array_equal(hi, points)
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            tile_bounds(np.ones((3, 2)), 0)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            tile_bounds(np.ones(5), 2)
+
+
+class TestClassifyPairs:
+    def test_far_chunk_is_skip(self):
+        # Customers near q with tiny radii, products far away in dim 0.
+        labels = classify_pairs(
+            cust_lo=[[0.45, 0.45]],
+            cust_hi=[[0.55, 0.55]],
+            prod_lo=[[0.9, 0.0]],
+            prod_hi=[[1.0, 1.0]],
+            query=np.array([0.5, 0.5]),
+        )
+        assert labels.shape == (1, 1)
+        assert labels[0, 0] == PAIR_SKIP
+
+    def test_near_chunk_far_tile_is_blocked(self):
+        # Every chunk point is strictly closer to every tile customer
+        # than the query in every dimension.
+        labels = classify_pairs(
+            cust_lo=[[0.9, 0.9]],
+            cust_hi=[[1.0, 1.0]],
+            prod_lo=[[0.88, 0.88]],
+            prod_hi=[[1.0, 1.0]],
+            query=np.array([0.0, 0.0]),
+        )
+        assert labels[0, 0] == PAIR_BLOCKED
+
+    def test_straddling_chunk_is_refine(self):
+        labels = classify_pairs(
+            cust_lo=[[0.4, 0.4]],
+            cust_hi=[[0.6, 0.6]],
+            prod_lo=[[0.0, 0.0]],
+            prod_hi=[[1.0, 1.0]],
+            query=np.array([0.5, 0.5]),
+        )
+        assert labels[0, 0] == PAIR_REFINE
+
+    def test_query_inside_tile_zeroes_rlo(self):
+        # With q inside the tile interval some customer may coincide
+        # with q (radius 0), so nothing can be all-blocked.
+        labels = classify_pairs(
+            cust_lo=[[0.4, 0.4]],
+            cust_hi=[[0.6, 0.6]],
+            prod_lo=[[0.49, 0.49]],
+            prod_hi=[[0.51, 0.51]],
+            query=np.array([0.5, 0.5]),
+        )
+        assert labels[0, 0] == PAIR_REFINE
+
+    def test_labels_sound_against_brute_force(self):
+        # Randomized soundness oracle: a skip pair must have no blocking
+        # (weak OR strict) between any (customer, product) drawn from
+        # the boxes; a blocked pair must have every product strictly
+        # blocking every customer.
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            d = rng.integers(1, 4)
+            q = rng.random(d)
+            c_pts = rng.random((6, d)) * rng.choice([0.2, 1.0])
+            p_pts = rng.random((6, d)) * rng.choice([0.2, 1.0]) + rng.choice(
+                [0.0, 0.8]
+            )
+            cl, ch = c_pts.min(axis=0)[None], c_pts.max(axis=0)[None]
+            pl, ph = p_pts.min(axis=0)[None], p_pts.max(axis=0)[None]
+            label = classify_pairs(cl, ch, pl, ph, q)[0, 0]
+            radii = np.abs(c_pts - q)
+            dd = np.abs(c_pts[:, None, :] - p_pts[None, :, :])
+            weak = (dd <= radii[:, None, :]).all(axis=2) & (
+                dd < radii[:, None, :]
+            ).any(axis=2)
+            strict = (dd < radii[:, None, :]).all(axis=2)
+            if label == PAIR_SKIP:
+                assert not weak.any() and not strict.any()
+            elif label == PAIR_BLOCKED:
+                assert strict.all() and weak.all()
+
+    def test_rtol_slack_widens_both_thresholds(self):
+        # A pair right on the skip threshold flips to refine once the
+        # slack covers the margin.
+        kwargs = dict(
+            cust_lo=[[0.45]],
+            cust_hi=[[0.55]],
+            prod_lo=[[0.66]],
+            prod_hi=[[0.70]],
+            query=np.array([0.5]),
+        )
+        assert classify_pairs(**kwargs)[0, 0] == PAIR_SKIP
+        assert classify_pairs(**kwargs, rtol=1e-1)[0, 0] == PAIR_REFINE
+
+    def test_shapes(self):
+        rng = np.random.default_rng(1)
+        labels = classify_pairs(
+            rng.random((3, 2)),
+            rng.random((3, 2)) + 1,
+            rng.random((5, 2)),
+            rng.random((5, 2)) + 1,
+            np.array([0.5, 0.5]),
+        )
+        assert labels.shape == (3, 5)
+        assert labels.dtype == np.int8

@@ -51,10 +51,30 @@ class TestWhyNotConfig:
 
     def test_kernel_block_size_validated(self):
         WhyNotConfig(kernel_block_size=1)
+        # None is the default: the engine resolves it from d via the
+        # auto_block_size working-set heuristic.
+        assert WhyNotConfig().kernel_block_size is None
+        WhyNotConfig(kernel_block_size=None)
         with pytest.raises(ValueError):
             WhyNotConfig(kernel_block_size=0)
         with pytest.raises(ValueError):
             WhyNotConfig(kernel_block_size=-4)
+
+    def test_prune_modes(self):
+        assert WhyNotConfig().prune == "auto"
+        WhyNotConfig(prune="off")
+        WhyNotConfig(prune="always")
+        with pytest.raises(ValueError, match="prune"):
+            WhyNotConfig(prune="bogus")
+
+    def test_prune_tile_size_validated(self):
+        assert WhyNotConfig().prune_tile_size is None
+        WhyNotConfig(prune_tile_size=1)
+        WhyNotConfig(prune_tile_size=512)
+        with pytest.raises(ValueError):
+            WhyNotConfig(prune_tile_size=0)
+        with pytest.raises(ValueError):
+            WhyNotConfig(prune_tile_size=-8)
 
 
 class TestPolicyEnum:

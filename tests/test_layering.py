@@ -1,0 +1,80 @@
+"""Import-layering contract, mirrored from the CI walk.
+
+Source-level scan (so even lazy/function-local imports are caught) of
+the library layers that must stay below the planner and the
+presentation layers.  The CI job runs the same walk out-of-process;
+keeping a tier-1 replica means a violation fails the fast local suite,
+not just the workflow.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+RULES = {
+    "repro/plan": ("repro.experiments", "repro.viz"),
+    "repro/kernels": ("repro.plan",),
+    "repro/shard": ("repro.plan", "repro.experiments", "repro.viz"),
+    "repro/obs": (
+        "repro.core",
+        "repro.plan",
+        "repro.index",
+        "repro.kernels",
+        "repro.experiments",
+        "repro.viz",
+    ),
+    # The prune layer sits beside the kernels: summaries/classifier may
+    # read the stores and obs counters but must never reach up into the
+    # compute, planning or presentation layers (kernels import prune,
+    # never the reverse).
+    "repro/prune": (
+        "repro.core",
+        "repro.plan",
+        "repro.kernels",
+        "repro.index",
+        "repro.shard",
+        "repro.experiments",
+        "repro.viz",
+    ),
+}
+
+IMPORT_RE = re.compile(
+    r"^\s*(?:from\s+([\w.]+)\s+import|import\s+([\w.]+))", re.MULTILINE
+)
+
+
+def violations_for(root: str, forbidden: tuple) -> list[str]:
+    found = []
+    for path in (SRC / root).rglob("*.py"):
+        for match in IMPORT_RE.finditer(path.read_text()):
+            module = match.group(1) or match.group(2)
+            for banned in forbidden:
+                if module == banned or module.startswith(banned + "."):
+                    found.append(f"{path}: imports {module}")
+    return found
+
+
+def test_layer_rules_hold():
+    problems = []
+    for root, forbidden in RULES.items():
+        assert (SRC / root).is_dir(), f"layer {root} disappeared"
+        problems += violations_for(root, forbidden)
+    assert not problems, "layering violations:\n" + "\n".join(problems)
+
+
+def test_prune_layer_has_only_allowed_dependencies():
+    """Positive pin: every repro.* import inside repro/prune must come
+    from the explicitly allowed foundations."""
+    allowed = ("repro.prune", "repro.store", "repro.obs", "repro.exceptions")
+    offending = []
+    for path in (SRC / "repro/prune").rglob("*.py"):
+        for match in IMPORT_RE.finditer(path.read_text()):
+            module = match.group(1) or match.group(2)
+            if not module.startswith("repro"):
+                continue
+            if not any(
+                module == a or module.startswith(a + ".") for a in allowed
+            ):
+                offending.append(f"{path}: imports {module}")
+    assert not offending, "\n".join(offending)
