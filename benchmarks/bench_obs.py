@@ -1,0 +1,242 @@
+"""Observability pricing: the per-query journal and worker telemetry.
+
+The journal (``journal=True``) takes two counter snapshots and appends
+one ring record per executed plan; the drift sentinel aggregates those
+records after the fact.  Both must stay invisible on the serving path:
+
+* ``journal A/B`` — the same warm safe-region workload (every cache
+  layer warmed before timing) on two traced engines, journal off vs
+  journal on, interleaved best-of-3 with an off/off repeat pair whose
+  spread is the noise floor.  The documented bound: journal + one
+  drift aggregation add <2% to the warm workload.
+* ``telemetry A/B`` — the same sharded probe set through a serial
+  :class:`~repro.shard.executor.ShardExecutor` with worker telemetry
+  off vs on (local counters + snapshot merge per task), plus a
+  serial-vs-process equality fingerprint of the merged worker totals —
+  the balance invariant the ``obs`` CLI experiment asserts.
+
+Entry points::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full, 4k
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI, 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import WhyNotConfig
+from repro.core.engine import WhyNotEngine
+from repro.geometry.box import Box
+
+BENCH_SEED = 7
+
+
+def _dataset(n: int, d: int, seed: int = BENCH_SEED) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, d))
+
+
+def _probes(d: int, count: int, seed: int = BENCH_SEED + 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.25, 0.75, size=(count, d))
+
+
+def _engine(points: np.ndarray, config: WhyNotConfig) -> WhyNotEngine:
+    d = points.shape[1]
+    return WhyNotEngine(
+        points, backend="scan", config=config, bounds=Box(np.zeros(d), np.ones(d))
+    )
+
+
+def _warm_workload(
+    engine: WhyNotEngine, warmers: np.ndarray, probes: np.ndarray
+) -> float:
+    """Warm the engine (index, tile summaries, plan cache, DSL cache)
+    on the warm-up probes, then time fresh safe-region + reverse-skyline
+    queries — real per-query work on warm structures, the serving shape
+    the journal must not tax."""
+    for q in warmers:
+        engine.reverse_skyline(q)
+        engine.safe_region(q)
+    t0 = time.perf_counter()
+    for q in probes:
+        engine.reverse_skyline(q)
+        engine.safe_region(q)
+    return time.perf_counter() - t0
+
+
+def run_journal_ab(n: int, d: int, probe_count: int, rounds: int) -> dict:
+    """Warm-workload cost of journal recording + one drift aggregation.
+
+    Both arms trace (the journal rides on the traced registry); the
+    only difference is ``journal=True`` and the final
+    ``engine.drift_report()`` the journaled arm pays.  Interleaved
+    best-of-3; the off/off spread is the noise floor.
+    """
+    points = _dataset(n, d)
+    warmers = _probes(d, probe_count)
+    probes = _probes(d, probe_count * rounds, seed=BENCH_SEED + 2)
+    off, off2, on = [], [], []
+    journaled_records = 0
+    for _ in range(3):
+        engine = _engine(points, WhyNotConfig(trace=True))
+        off.append(_warm_workload(engine, warmers, probes))
+        engine = _engine(
+            points,
+            WhyNotConfig(trace=True, journal=True, journal_capacity=4096),
+        )
+        t = _warm_workload(engine, warmers, probes)
+        t0 = time.perf_counter()
+        report = engine.drift_report()
+        t += time.perf_counter() - t0
+        assert len(report.operators) > 0, "drift sentinel saw no operators"
+        journaled_records = len(engine.journal)
+        on.append(t)
+        engine = _engine(points, WhyNotConfig(trace=True))
+        off2.append(_warm_workload(engine, warmers, probes))
+    disabled_s, disabled2_s, enabled_s = min(off), min(off2), min(on)
+    base = min(disabled_s, disabled2_s)
+    return {
+        "n": n,
+        "d": d,
+        "probes": probe_count,
+        "rounds": rounds,
+        "journal_records": journaled_records,
+        "journal_off_s": round(disabled_s, 6),
+        "journal_off_repeat_s": round(disabled2_s, 6),
+        "journal_on_s": round(enabled_s, 6),
+        "off_ab_noise_pct": round(
+            100.0 * abs(disabled_s - disabled2_s) / base, 2
+        ),
+        "journal_overhead_pct": round(100.0 * (enabled_s - base) / base, 2),
+        "bound": "journal + drift aggregation must add <2% to the warm "
+        "safe-region workload",
+    }
+
+
+def run_telemetry_ab(n: int, d: int, probe_count: int, rounds: int) -> dict:
+    """Serial-executor cost of worker counter telemetry, plus the
+    serial-vs-process merged-total equality fingerprint."""
+    from repro.kernels.membership import KernelCounters
+    from repro.shard.executor import ShardExecutor
+
+    points = _dataset(n, d)
+    probes = _probes(d, probe_count)
+    rows = np.arange(points.shape[0])
+
+    def timed(telemetry: bool) -> float:
+        with ShardExecutor(
+            points, shards=2, backend="serial", telemetry=telemetry
+        ) as ex:
+            for q in probes:  # warm the partition paths
+                ex.membership_rows(rows, q, "strict")
+            t0 = time.perf_counter()
+            for _ in range(rounds):
+                for q in probes:
+                    ex.membership_rows(rows, q, "strict")
+                    ex.lambda_rows(rows, q, "strict")
+            return time.perf_counter() - t0
+
+    off = min(timed(False) for _ in range(3))
+    on = min(timed(True) for _ in range(3))
+
+    def totals(backend: str) -> dict:
+        kc = KernelCounters()
+        with ShardExecutor(
+            points, shards=2, backend=backend, kernel_counters=kc
+        ) as ex:
+            for q in probes:
+                ex.membership_rows(rows, q, "strict")
+                ex.lambda_rows(rows, q, "strict")
+            return {k: dict(v) for k, v in ex.worker_totals.items()}
+
+    serial_totals = totals("serial")
+    process_totals = totals("process")
+    assert serial_totals == process_totals, (
+        "worker-telemetry balance broken: serial and process backends "
+        f"merged different totals: {serial_totals} != {process_totals}"
+    )
+    return {
+        "n": n,
+        "d": d,
+        "probes": probe_count,
+        "rounds": rounds,
+        "telemetry_off_s": round(off, 6),
+        "telemetry_on_s": round(on, 6),
+        "telemetry_overhead_pct": round(100.0 * (on - off) / off, 2),
+        "balance": "serial == process merged worker totals (asserted)",
+        "worker_totals": serial_totals,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=4_000)
+    parser.add_argument("--dim", type=int, default=2)
+    parser.add_argument("--probes", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny size, equality assertions only (no overhead gates)",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.size = min(args.size, 400)
+        args.rounds = min(args.rounds, 5)
+
+    journal = run_journal_ab(args.size, args.dim, args.probes, args.rounds)
+    print(
+        f"journal A/B n={journal['n']} d={journal['d']} "
+        f"({journal['rounds']} warm rounds x {journal['probes']} probes, "
+        f"{journal['journal_records']} records): "
+        f"off {journal['journal_off_s']:.4f}s vs on "
+        f"{journal['journal_on_s']:.4f}s "
+        f"(+{journal['journal_overhead_pct']}%), off/off noise "
+        f"{journal['off_ab_noise_pct']}%"
+    )
+    telemetry = run_telemetry_ab(
+        args.size, args.dim, args.probes, max(2, args.rounds // 4)
+    )
+    print(
+        f"telemetry A/B: off {telemetry['telemetry_off_s']:.4f}s vs on "
+        f"{telemetry['telemetry_on_s']:.4f}s "
+        f"(+{telemetry['telemetry_overhead_pct']}%); "
+        "serial == process merged totals"
+    )
+    if not args.smoke:
+        assert journal["journal_overhead_pct"] < 2.0, journal
+        assert journal["off_ab_noise_pct"] < 2.0, journal
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from conftest import bench_environment
+
+    payload = {
+        "benchmark": "observability: per-query journal + shard worker telemetry overhead",
+        "methodology": "see EXPERIMENTS.md, section 'Observability overhead'",
+        "seed": BENCH_SEED,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "env": bench_environment(),
+        "journal_ab": journal,
+        "telemetry_ab": telemetry,
+    }
+    out = args.out or Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,19 @@ class WhyNotConfig:
         (see docs/OBSERVABILITY.md); results are unchanged.  When false
         (default) every instrumented call site takes the no-op fast
         path, costing about one attribute lookup.
+    journal:
+        When true, the engine keeps a bounded per-query journal
+        (:class:`repro.obs.journal.QueryJournal`): one provenance
+        record per executed plan — surface, chosen operator, dataset
+        epoch, config fingerprint, estimated vs. actual seconds and
+        the per-request counter deltas — feeding ``engine.journal``,
+        ``engine.drift_report()`` and the ``repro.obs/2`` export.
+        Independent of ``trace`` (journaling without spans is the
+        cheap serving-mode default posture); overhead is bounded by
+        the <2% A/B of ``benchmarks/bench_obs.py``.
+    journal_capacity:
+        Ring size of the query journal; older records are evicted
+        FIFO and counted in ``journal.dropped``.
     planner:
         Operator-selection mode of the :mod:`repro.plan` layer.
         ``"auto"`` (default) lets the cost model pick the cheapest
@@ -177,6 +190,8 @@ class WhyNotConfig:
     sr_box_budget: int = 0
     sr_chunk_size: int = 16
     trace: bool = False
+    journal: bool = False
+    journal_capacity: int = 256
     planner: str = "auto"
     shards: int = 1
     shard_backend: str = "process"
@@ -201,6 +216,8 @@ class WhyNotConfig:
             raise ValueError("sr_box_budget must be non-negative (0 = unlimited)")
         if self.sr_chunk_size < 1:
             raise ValueError("sr_chunk_size must be a positive integer")
+        if self.journal_capacity < 1:
+            raise ValueError("journal_capacity must be a positive integer")
         if self.planner not in ("auto", "fixed"):
             raise ValueError(
                 f"unknown planner mode {self.planner!r}; "

@@ -28,6 +28,7 @@ the executed plan tree with estimated vs. actual costs.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence
 
 import numpy as np
@@ -159,6 +160,11 @@ class WhyNotEngine(EngineMutationMixin):
         self._planner = Planner(self.config)
         self._plan_cache = PlanCache(obs=self.obs)
         self._config_fp = config_fingerprint(self.config)
+        # Short *stable* digest of the fingerprint for journal records
+        # (hash() is salted per process; JSONL must compare across runs).
+        self._config_fp_digest = hashlib.sha1(
+            repr(self._config_fp).encode()
+        ).hexdigest()[:12]
         self.last_plan = None
         self._product_store.subscribe(self._on_store_commit)
         if self._customer_store is not self._product_store:
@@ -313,7 +319,25 @@ class WhyNotEngine(EngineMutationMixin):
         return PreparedPlan(self, logical, node, ctx_kwargs, plan_cached=cached)
 
     def _run_plan(self, node, ctx_kwargs: dict):
-        return execute_plan(node, ExecutionContext(engine=self, **ctx_kwargs))
+        journal = self.obs.journal
+        if journal is None:
+            return execute_plan(
+                node, ExecutionContext(engine=self, **ctx_kwargs)
+            )
+        # Journaled path: bracket the execution with tracked-counter
+        # snapshots so the record carries this request's deltas only.
+        before = journal.counter_snapshot()
+        result = execute_plan(node, ExecutionContext(engine=self, **ctx_kwargs))
+        journal.record(
+            surface=node.logical.surface,
+            operator=node.operator.name,
+            epoch=self.dataset_epoch,
+            config_fingerprint=self._config_fp_digest,
+            estimated_seconds=node.estimate.seconds,
+            actual_seconds=node.actual_seconds or 0.0,
+            counters=journal.counter_delta(before),
+        )
+        return result
 
     def _execute(self, logical: LogicalPlan, ctx_kwargs: dict):
         return self._prepare(logical, ctx_kwargs).execute()
@@ -332,6 +356,49 @@ class WhyNotEngine(EngineMutationMixin):
         prepared = self.prepare(surface, *args, **kwargs)
         result = prepared.execute()
         return prepared.report(result)
+
+    # ------------------------------------------------------------------
+    # Query journal + cost-drift sentinel
+    # ------------------------------------------------------------------
+    @property
+    def journal(self):
+        """The per-query :class:`~repro.obs.journal.QueryJournal`
+        (``None`` unless ``WhyNotConfig(journal=True)``)."""
+        return self.obs.journal
+
+    def drift_report(
+        self,
+        *,
+        ewma_alpha: float = 0.3,
+        band: Sequence[float] | None = None,
+        min_samples: int = 3,
+        publish: bool = True,
+    ):
+        """Aggregate the journal into a per-operator
+        :class:`~repro.obs.drift.DriftReport` (EWMA of actual/estimated
+        seconds, flags outside ``band``, recalibration proposals).
+
+        ``publish=True`` also sets one ``plan.drift.<operator>`` gauge
+        per operator on the engine registry, so the sentinel's view is
+        scrapeable through ``to_prometheus``.
+        """
+        from repro.obs.drift import DEFAULT_DRIFT_BAND, aggregate_drift
+
+        journal = self.obs.journal
+        if journal is None:
+            raise InvalidParameterError(
+                "drift_report needs the query journal; build the engine "
+                "with WhyNotConfig(journal=True)"
+            )
+        report = aggregate_drift(
+            journal.records(),
+            ewma_alpha=ewma_alpha,
+            band=band if band is not None else DEFAULT_DRIFT_BAND,
+            min_samples=min_samples,
+        )
+        if publish:
+            report.publish(self.obs.metrics)
+        return report
 
     # ------------------------------------------------------------------
     # Reverse skyline

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.safe_region import SafeRegionStats
 from repro.kernels.membership import KernelCounters
-from repro.obs import Observability
+from repro.obs import Observability, QueryJournal
 from repro.prune.counters import PruneCounters
 from repro.shard.stats import ShardStats
 
@@ -24,10 +24,26 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["install_observability"]
 
+#: Root-span retention of a traced engine: enough history for any
+#: realistic export or test, bounded so a long-lived traced server
+#: cannot grow without limit (evictions count in
+#: ``tracer.spans_dropped``).
+TRACER_MAX_ROOTS = 4096
+
 
 def install_observability(engine: "WhyNotEngine") -> None:
     """Create ``engine.obs`` and every engine-owned counter/gauge."""
-    engine.obs = Observability(enabled=engine.config.trace)
+    engine.obs = Observability(
+        enabled=engine.config.trace, max_roots=TRACER_MAX_ROOTS
+    )
+    # Per-query journal: one JournalRecord per executed plan, recorded
+    # by WhyNotEngine._run_plan.  Installed only when asked for — the
+    # journal-off path must not pay the per-request counter snapshots.
+    if engine.config.journal:
+        engine.obs.journal = QueryJournal(
+            capacity=engine.config.journal_capacity,
+            metrics=engine.obs.metrics,
+        )
     engine.obs.attach_stats("index", engine.index.stats)
     if engine.dsl_cache is not None:
         engine.obs.attach_stats("dsl_cache", engine.dsl_cache.stats)

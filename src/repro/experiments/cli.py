@@ -57,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
             "explain",
             "shard",
             "prune",
+            "obs",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
@@ -69,7 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         "single-process and sharded execution paths and asserts the "
         "answers agree bit-for-bit; 'prune' does the same for the "
         "tile-summary pruned kernels, including across dataset "
-        "mutations, and asserts the prune counter balance invariant)",
+        "mutations, and asserts the prune counter balance invariant; "
+        "'obs' runs a journaled workload, prints the per-query journal "
+        "summary and the cost-drift sentinel table, and asserts the "
+        "sharded worker-telemetry counter balance)",
     )
     parser.add_argument(
         "--sizes",
@@ -125,8 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         type=str,
         default=None,
-        help="write the observability export (repro.obs/1 JSON: span tree, "
-        "counters, environment provenance) to this file",
+        help="write the observability export (repro.obs/2 JSON: span tree, "
+        "counters, query journal, environment provenance) to this file",
     )
     return parser
 
@@ -238,6 +242,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _shard(args)
     if experiment == "prune":
         return _prune(args)
+    if experiment == "obs":
+        return _obs(args)
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -257,7 +263,7 @@ def _trace(args: argparse.Namespace) -> str:
 
     Builds a uniform synthetic dataset (first ``--sizes`` entry, default
     1000 rows), answers a small why-not workload with ``trace=True``,
-    validates the exported payload against the ``repro.obs/1`` schema
+    validates the exported payload against the ``repro.obs/2`` schema
     (negative durations or unbalanced nesting raise), optionally writes
     it to ``--metrics-out``, and prints the span tree plus the counter
     snapshot.
@@ -407,7 +413,7 @@ def _run_archive(args: argparse.Namespace) -> str:
         written = _write_metrics(
             args,
             {
-                "schema": "repro.obs/1",
+                "schema": "repro.obs/2",
                 "env": environment_provenance(),
                 "datasets": obs_payloads,
             },
@@ -848,6 +854,173 @@ def _prune(args: argparse.Namespace) -> str:
     )
 
 
+def _obs(args: argparse.Namespace) -> str:
+    """Journaled observability smoke check: journal, drift, telemetry.
+
+    Builds a uniform synthetic dataset (first ``--sizes`` entry, default
+    1000 rows), answers a probe workload twice (the second pass warms
+    every cache, so the drift sentinel sees both cold and warm samples)
+    on a journaled engine (``trace=True, journal=True``), and asserts:
+    the journal captured every plan with balanced ring accounting
+    (:func:`repro.obs.validate_journal`); the cost-drift sentinel
+    aggregates a non-empty per-operator table; the export validates
+    against the ``repro.obs/2`` schema including the journal section;
+    and the sharded worker-telemetry counters balance — the same probe
+    set answered through the serial and process shard backends merges
+    identical ``kernels.*`` / ``prune.*`` worker totals, and the merged
+    prune counters keep the pair-balance invariant.  Any violation
+    prints a FAIL line and the process exits non-zero.
+    """
+    import numpy as np
+
+    from repro.config import WhyNotConfig
+    from repro.core.engine import WhyNotEngine
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+    from repro.obs import validate_export, validate_journal
+
+    size = args.sizes[0] if args.sizes else 1_000
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    lines = []
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    span = dataset.bounds.hi - dataset.bounds.lo
+    probes = [
+        dataset.bounds.lo + rng.random(dataset.points.shape[1]) * span
+        for _ in range(3)
+    ]
+    everyone = list(range(min(size, 256)))
+
+    def workload(engine) -> None:
+        for _ in range(2):  # second pass hits the caches (warm drift rows)
+            for q in probes:
+                engine.reverse_skyline(q)
+                engine.membership_mask(everyone, q)
+                engine.safe_region(q)
+
+    engine = WhyNotEngine(
+        dataset.points,
+        backend=args.backend,
+        config=WhyNotConfig(trace=True, journal=True, prune="always"),
+        bounds=dataset.bounds,
+    )
+    workload(engine)
+    journal = engine.journal
+    check(
+        f"journal populated ({len(journal)} records, "
+        f"appended={journal.appended})",
+        len(journal) > 0,
+    )
+    try:
+        validate_journal(journal)
+        check("journal validates (seq order, accounting, field shapes)", True)
+    except ValueError as exc:
+        check(f"journal validates: {exc}", False)
+    check(
+        "journal records carry kernel counter deltas",
+        any(
+            name.startswith("kernels.")
+            for entry in journal
+            for name in entry.counters
+        ),
+    )
+    report = engine.drift_report()
+    check(
+        f"drift sentinel aggregated {len(report.operators)} operators",
+        len(report.operators) > 0,
+    )
+    payload = engine.obs.export(
+        env=True,
+        extra={"experiment": "obs", "dataset": dataset.name, "size": size},
+    )
+    try:
+        validate_export(payload)
+        check(f"export validates ({payload['schema']})", True)
+    except ValueError as exc:
+        check(f"export validates: {exc}", False)
+    check(
+        "export carries the journal section",
+        bool(payload.get("journal", {}).get("records")),
+    )
+    written = _write_metrics(args, payload)
+
+    # Worker-telemetry balance: the serial and process shard backends
+    # run the identical task code, so the worker counter totals they
+    # merge back must be exactly equal for the same probe set.
+    shard_totals: dict[str, dict] = {}
+    prune_balanced: dict[str, bool] = {}
+    for backend_name in ("serial", "process"):
+        sharded = WhyNotEngine(
+            dataset.points,
+            backend=args.backend,
+            config=WhyNotConfig(
+                trace=True,
+                journal=True,
+                prune="always",
+                planner="fixed",
+                shards=2,
+                shard_backend=backend_name,
+            ),
+            bounds=dataset.bounds,
+        )
+        workload(sharded)
+        executor = next(iter(sharded._shard_executors.values()), None)
+        shard_totals[backend_name] = (
+            {k: dict(v) for k, v in executor.worker_totals.items()}
+            if executor is not None
+            else {}
+        )
+        prune_balanced[backend_name] = (
+            sharded._prune_counters is not None
+            and sharded._prune_counters.balanced()
+        )
+        check(
+            f"{backend_name} backend merged worker telemetry "
+            f"(worker_merges={sharded.shard_stats.worker_merges})",
+            sharded.shard_stats.worker_merges > 0,
+        )
+        sharded.close_shard_executors()
+    check(
+        "worker counter totals balance across backends "
+        "(serial == process, kernels.* and prune.*)",
+        shard_totals["serial"] == shard_totals["process"]
+        and bool(shard_totals["serial"].get("kernels")),
+    )
+    check(
+        "merged prune counters keep the pair-balance invariant",
+        prune_balanced["serial"] and prune_balanced["process"],
+    )
+
+    summary = journal.summary()
+    lines.append("")
+    lines.append(
+        f"journal: retained={summary['retained']}/{summary['capacity']}, "
+        f"appended={summary['appended']}, dropped={summary['dropped']}"
+    )
+    for surface, agg in sorted(summary["surfaces"].items()):
+        lines.append(
+            f"  {surface}: {agg['count']} plans, "
+            f"mean {agg['mean_s'] * 1e3:.3f} ms"
+        )
+    lines.append("")
+    lines.append(report.render())
+    if written:
+        lines.append(f"\nmetrics exported to {written}")
+    verdict = "all checks passed" if not failures else f"{failures} FAILURES"
+    lines.append(verdict)
+    return format_block(
+        f"Journaled observability over {dataset.name} (n={size}, seed "
+        f"{args.seed}, backend {args.backend})",
+        "\n".join(lines),
+    )
+
+
 def _ablation(args: argparse.Namespace) -> str:
     """Run the backend / pruning / k-sweep ablation studies."""
     from repro.data.cardb import generate_cardb
@@ -930,7 +1103,7 @@ def _validate(args: argparse.Namespace) -> str:
         )
         validate_export(payload)
         written = _write_metrics(args, payload)
-        body += "\nobservability export validated (repro.obs/1)"
+        body += f"\nobservability export validated ({payload['schema']})"
         if written:
             body += f"; written to {written}"
     return format_block(header, body)
@@ -953,7 +1126,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         sys.stdout.write(output)
         chunks.append(output)
         if (
-            experiment in ("validate", "updates", "shard", "prune")
+            experiment in ("validate", "updates", "shard", "prune", "obs")
             and "FAIL" in output
         ):
             failed = True

@@ -21,6 +21,11 @@ class QueryRecord:
     Costs are the Section-VI normalised scores (lower is better); times
     are wall-clock seconds.  ``approx`` maps each tested ``k`` to a
     ``(cost, sr_time, mwq_time, sr_area)`` tuple for the Approx-MWQ runs.
+
+    Not to be confused with :class:`repro.obs.journal.JournalRecord` —
+    that class is the serving layer's per-executed-plan provenance row;
+    this one is an offline experiment measurement.  The two never share
+    a module or a name.
     """
 
     dataset: str

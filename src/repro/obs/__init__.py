@@ -7,9 +7,13 @@ One subsystem replaces the three disconnected ad-hoc stats dataclasses:
 * :class:`MetricsRegistry` — named counters/gauges/histograms; the
   legacy stats classes are thin views over its counters
   (:mod:`repro.obs.metrics`, :mod:`repro.obs.stats`).
-* Exporters — JSON payloads (``repro.obs/1`` schema), Prometheus text,
-  a human span-tree renderer, and a validator used by CI
-  (:mod:`repro.obs.exporters`).
+* Exporters — JSON payloads (``repro.obs/2`` schema; ``/1`` still
+  validates), Prometheus text, a human span-tree renderer, and a
+  validator used by CI (:mod:`repro.obs.exporters`).
+* :class:`QueryJournal` — bounded ring of per-executed-plan
+  :class:`JournalRecord` provenance rows (:mod:`repro.obs.journal`).
+* :func:`aggregate_drift` — the cost-drift sentinel over journal
+  records (:mod:`repro.obs.drift`).
 * :func:`environment_provenance` — machine/commit facts for benchmark
   artifacts (:mod:`repro.obs.provenance`).
 
@@ -21,12 +25,26 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.drift import (
+    DEFAULT_DRIFT_BAND,
+    DriftReport,
+    OperatorDrift,
+    aggregate_drift,
+)
 from repro.obs.exporters import (
     SCHEMA,
+    SCHEMA_V1,
     export_obs,
+    prom_name,
     render_span_tree,
     to_prometheus,
     validate_export,
+)
+from repro.obs.journal import (
+    TRACKED_COUNTER_PREFIXES,
+    JournalRecord,
+    QueryJournal,
+    validate_journal,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -41,21 +59,31 @@ from repro.obs.tracer import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
     "DEFAULT_BUCKETS",
+    "DEFAULT_DRIFT_BAND",
     "NULL_SPAN",
+    "TRACKED_COUNTER_PREFIXES",
     "Counter",
     "CounterBackedStats",
+    "DriftReport",
     "Gauge",
     "Histogram",
+    "JournalRecord",
     "MetricsRegistry",
     "Observability",
+    "OperatorDrift",
+    "QueryJournal",
     "Span",
     "Tracer",
+    "aggregate_drift",
     "environment_provenance",
     "export_obs",
+    "prom_name",
     "render_span_tree",
     "to_prometheus",
     "validate_export",
+    "validate_journal",
 ]
 
 
@@ -69,16 +97,20 @@ class Observability:
     records nothing.
     """
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "journal")
 
     def __init__(
         self,
         enabled: bool = False,
         clock: Callable[[], float] | None = None,
+        max_roots: int | None = None,
     ) -> None:
         self.enabled = enabled
-        self.tracer = Tracer(enabled=enabled, clock=clock)
+        self.tracer = Tracer(enabled=enabled, clock=clock, max_roots=max_roots)
         self.metrics = MetricsRegistry()
+        # Installed by the engine when WhyNotConfig.journal is on; a
+        # bare bundle has no journal and the executor hook stays free.
+        self.journal: QueryJournal | None = None
 
     # Thin delegates so call sites hold one object, not two.
     def span(self, name: str, **attributes):
@@ -99,12 +131,14 @@ class Observability:
             self.metrics.attach(f"{prefix}.{field}", counter)
 
     def export(self, env: bool = False, extra=None) -> dict:
-        """JSON-serialisable payload (``repro.obs/1``) of this bundle."""
+        """JSON-serialisable payload (``repro.obs/2``) of this bundle,
+        including the query journal when one is installed."""
         return export_obs(
             tracer=self.tracer,
             metrics=self.metrics,
             env=environment_provenance() if env else None,
             extra=extra,
+            journal=self.journal,
         )
 
     def render(self) -> str:
@@ -112,8 +146,11 @@ class Observability:
         return render_span_tree(self.tracer)
 
     def clear(self) -> None:
-        """Drop recorded spans; metric values are left untouched."""
+        """Drop recorded spans and journal records; metric values are
+        left untouched."""
         self.tracer.clear()
+        if self.journal is not None:
+            self.journal.clear()
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

@@ -1,0 +1,225 @@
+"""Cost-drift sentinel: estimated-vs-actual statistics per operator.
+
+The planner's calibrated cost model (:mod:`repro.plan.cost`) predicts
+seconds per operator; hardware, dataset shape and cache warmth move the
+truth.  This module aggregates the :class:`~repro.obs.journal.
+QueryJournal`'s per-plan (estimate, actual) pairs into per-operator
+drift statistics — an EWMA of the ``actual / estimated`` ratio, a
+geometric-mean ratio, and a flag when the EWMA leaves a configurable
+band — and proposes the multiplicative recalibration that would centre
+the model again (scale the operator's cost constants by
+``suggested_scale``).
+
+Like the journal, this is pure aggregation: it reads plain records and
+publishes plain gauges (``plan.drift.<operator>``), importing nothing
+from the planner it watches.  The engine surface is
+``engine.drift_report()``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "DEFAULT_DRIFT_BAND",
+    "OperatorDrift",
+    "DriftReport",
+    "aggregate_drift",
+]
+
+#: EWMA ratios inside [lo, hi] are considered calibrated.  2x either
+#: way is generous on purpose: estimates guide *relative* operator
+#: choice, so only order-of-magnitude drift endangers plan quality.
+DEFAULT_DRIFT_BAND = (0.5, 2.0)
+
+#: Guard against zero/degenerate estimates (the cost model emits
+#: strictly positive seconds, but the sentinel must not divide by 0).
+_MIN_ESTIMATE_S = 1e-12
+
+
+@dataclass(frozen=True)
+class OperatorDrift:
+    """Estimation-error statistics of one physical operator.
+
+    ``ewma_ratio`` tracks the recency-weighted ``actual / estimated``
+    ratio (1.0 = perfectly calibrated, >1 = the model is optimistic);
+    ``suggested_scale`` is the geometric-mean ratio — multiplying the
+    operator's cost constants by it recentres the model over the
+    observed window.
+    """
+
+    operator: str
+    samples: int
+    estimated_total_s: float
+    actual_total_s: float
+    ewma_ratio: float
+    geomean_ratio: float
+    flagged: bool
+    suggested_scale: float
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "samples": self.samples,
+            "estimated_total_s": self.estimated_total_s,
+            "actual_total_s": self.actual_total_s,
+            "ewma_ratio": self.ewma_ratio,
+            "geomean_ratio": self.geomean_ratio,
+            "flagged": self.flagged,
+            "suggested_scale": self.suggested_scale,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-operator drift table plus the parameters it was built with."""
+
+    operators: tuple[OperatorDrift, ...]
+    band: tuple[float, float]
+    ewma_alpha: float
+    min_samples: int
+
+    def flagged(self) -> list[OperatorDrift]:
+        """Operators whose EWMA ratio escaped the band."""
+        return [entry for entry in self.operators if entry.flagged]
+
+    def get(self, operator: str) -> OperatorDrift | None:
+        for entry in self.operators:
+            if entry.operator == operator:
+                return entry
+        return None
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Set one ``plan.drift.<operator>`` gauge per operator to its
+        EWMA ratio (scrape-ready through ``to_prometheus``)."""
+        for entry in self.operators:
+            metrics.gauge(
+                f"plan.drift.{entry.operator}",
+                "EWMA of actual/estimated seconds for this operator",
+            ).set(entry.ewma_ratio)
+
+    def render(self) -> str:
+        """Human-readable drift table, worst offenders first."""
+        lines = [
+            f"{'operator':<24} {'n':>4} {'est_ms':>9} {'act_ms':>9} "
+            f"{'ewma':>7} {'scale':>7}  status"
+        ]
+        for entry in self.operators:
+            status = "DRIFTING" if entry.flagged else "ok"
+            if entry.samples < self.min_samples:
+                status = f"ok (<{self.min_samples} samples)"
+            lines.append(
+                f"{entry.operator:<24} {entry.samples:>4} "
+                f"{entry.estimated_total_s * 1e3:>9.3f} "
+                f"{entry.actual_total_s * 1e3:>9.3f} "
+                f"{entry.ewma_ratio:>7.2f} {entry.suggested_scale:>7.2f}  "
+                f"{status}"
+            )
+        if not self.operators:
+            lines.append("(no journal records)")
+        flagged = self.flagged()
+        if flagged:
+            proposals = ", ".join(
+                f"{entry.operator} x{entry.suggested_scale:.2f}"
+                for entry in flagged
+            )
+            lines.append(
+                f"recalibration proposal: scale cost constants by {proposals}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "band": list(self.band),
+            "ewma_alpha": self.ewma_alpha,
+            "min_samples": self.min_samples,
+            "operators": [entry.to_dict() for entry in self.operators],
+        }
+
+
+def aggregate_drift(
+    records: Iterable,
+    *,
+    ewma_alpha: float = 0.3,
+    band: Sequence[float] = DEFAULT_DRIFT_BAND,
+    min_samples: int = 3,
+) -> DriftReport:
+    """Fold journal records into a :class:`DriftReport`.
+
+    Parameters
+    ----------
+    records:
+        :class:`~repro.obs.journal.JournalRecord` iterable (a
+        ``QueryJournal`` works directly), consumed in order — the EWMA
+        weights later records more.
+    ewma_alpha:
+        Recency weight in ``(0, 1]``; 1.0 degenerates to "last ratio".
+    band:
+        ``(lo, hi)`` EWMA-ratio band considered calibrated.
+    min_samples:
+        Operators with fewer samples are reported but never flagged
+        (one cold-cache outlier must not trigger recalibration).
+    """
+    if not 0.0 < ewma_alpha <= 1.0:
+        raise ValueError("ewma_alpha must lie in (0, 1]")
+    lo, hi = float(band[0]), float(band[1])
+    if not 0.0 < lo < hi:
+        raise ValueError(f"band must satisfy 0 < lo < hi, got ({lo}, {hi})")
+    if min_samples < 1:
+        raise ValueError("min_samples must be a positive integer")
+
+    per_op: dict[str, dict] = {}
+    for entry in records:
+        state = per_op.setdefault(
+            entry.operator,
+            {
+                "samples": 0,
+                "est_total": 0.0,
+                "act_total": 0.0,
+                "ewma": None,
+                "log_sum": 0.0,
+            },
+        )
+        ratio = entry.actual_seconds / max(
+            entry.estimated_seconds, _MIN_ESTIMATE_S
+        )
+        ratio = max(ratio, _MIN_ESTIMATE_S)  # log-safe floor
+        state["samples"] += 1
+        state["est_total"] += entry.estimated_seconds
+        state["act_total"] += entry.actual_seconds
+        state["log_sum"] += math.log(ratio)
+        state["ewma"] = (
+            ratio
+            if state["ewma"] is None
+            else ewma_alpha * ratio + (1.0 - ewma_alpha) * state["ewma"]
+        )
+
+    operators = []
+    for name, state in per_op.items():
+        geomean = math.exp(state["log_sum"] / state["samples"])
+        ewma = state["ewma"]
+        flagged = state["samples"] >= min_samples and not lo <= ewma <= hi
+        operators.append(
+            OperatorDrift(
+                operator=name,
+                samples=state["samples"],
+                estimated_total_s=state["est_total"],
+                actual_total_s=state["act_total"],
+                ewma_ratio=ewma,
+                geomean_ratio=geomean,
+                flagged=flagged,
+                suggested_scale=geomean,
+            )
+        )
+    # Worst calibration first: largest |log ewma| sorts to the top.
+    operators.sort(key=lambda entry: -abs(math.log(entry.ewma_ratio)))
+    return DriftReport(
+        operators=tuple(operators),
+        band=(lo, hi),
+        ewma_alpha=float(ewma_alpha),
+        min_samples=int(min_samples),
+    )

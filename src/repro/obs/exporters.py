@@ -3,8 +3,10 @@
 Three consumers, three formats:
 
 * :func:`export_obs` — one JSON-serialisable dict holding the span
-  forest, the metrics snapshot and balance accounting (schema
-  ``repro.obs/1``, validated by :func:`validate_export`).  The CLI's
+  forest, the metrics snapshot, balance accounting and (new in schema
+  ``repro.obs/2``) the optional query-journal section, validated by
+  :func:`validate_export` (which still accepts ``repro.obs/1``
+  payloads written before the journal existed).  The CLI's
   ``--metrics-out`` and the benchmark ``"obs"`` sections use this.
 * :func:`to_prometheus` — classic Prometheus exposition text
   (``# TYPE`` lines, ``_total`` counters, cumulative ``_bucket{le=..}``
@@ -26,13 +28,21 @@ from repro.obs.tracer import Span, Tracer
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "export_obs",
+    "prom_name",
     "to_prometheus",
     "render_span_tree",
     "validate_export",
 ]
 
-SCHEMA = "repro.obs/1"
+#: Current export schema.  ``/2`` added the optional ``journal``
+#: section and the ``spans_dropped`` counter; ``/1`` payloads (no
+#: journal) remain valid input to :func:`validate_export`.
+SCHEMA = "repro.obs/2"
+SCHEMA_V1 = "repro.obs/1"
+SUPPORTED_SCHEMAS = (SCHEMA_V1, SCHEMA)
 
 # Relative slack for the child-inside-parent check: perf_counter is
 # monotonic so violations indicate a bug, but allow for float rounding.
@@ -47,16 +57,25 @@ def export_obs(
     metrics: MetricsRegistry | None = None,
     env: Mapping | None = None,
     extra: Mapping | None = None,
+    journal=None,
 ) -> dict:
-    """The full observability payload of one run as a plain dict."""
+    """The full observability payload of one run as a plain dict.
+
+    ``journal`` accepts a :class:`~repro.obs.journal.QueryJournal`
+    (duck-typed on ``to_payload``); its retained records land under the
+    ``"journal"`` key of the ``repro.obs/2`` payload.
+    """
     payload: dict = {"schema": SCHEMA}
     if tracer is not None:
         payload["spans"] = [span.to_dict() for span in tracer.roots]
         payload["balanced"] = tracer.is_balanced
         payload["spans_started"] = tracer.spans_started
         payload["spans_closed"] = tracer.spans_closed
+        payload["spans_dropped"] = getattr(tracer, "spans_dropped", 0)
     if metrics is not None:
         payload["metrics"] = metrics.snapshot()
+    if journal is not None:
+        payload["journal"] = journal.to_payload()
     if env is not None:
         payload["env"] = dict(env)
     if extra:
@@ -67,12 +86,23 @@ def export_obs(
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
-def _prom_name(name: str) -> str:
-    """``kernels.blocks-pruned`` -> ``repro_kernels_blocks_pruned``."""
+def prom_name(name: str) -> str:
+    """Registry name -> Prometheus metric name.
+
+    ``plan.drift.sr-cached-fold`` -> ``repro_plan_drift_sr_cached_fold``:
+    dots and hyphens (operator names contain ``-``) both become ``_``,
+    so distinct registry names *can* sanitize to the same exposition
+    name — :func:`to_prometheus` refuses such a registry rather than
+    silently exporting two series under one name.
+    """
     sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
     if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
         sanitized = "_" + sanitized
     return f"repro_{sanitized}"
+
+
+#: Backward-compatible alias (pre-/2 internal name).
+_prom_name = prom_name
 
 
 def _prom_value(value) -> str:
@@ -84,10 +114,23 @@ def _prom_value(value) -> str:
 
 
 def to_prometheus(metrics: MetricsRegistry) -> str:
-    """Prometheus text format; counters get the ``_total`` suffix."""
+    """Prometheus text format; counters get the ``_total`` suffix.
+
+    Raises ``ValueError`` when two registry names sanitize to the same
+    exposition name (e.g. ``a.b-c`` vs ``a.b_c``) — exporting both
+    would corrupt the scrape.
+    """
+    seen: dict[str, str] = {}
     lines: list[str] = []
     for metric in metrics:
-        base = _prom_name(metric.name)
+        base = prom_name(metric.name)
+        clash = seen.get(base)
+        if clash is not None:
+            raise ValueError(
+                f"metric names {clash!r} and {metric.name!r} both sanitize "
+                f"to Prometheus name {base!r}; rename one"
+            )
+        seen[base] = metric.name
         if isinstance(metric, Counter):
             name = f"{base}_total"
             if metric.help:
@@ -183,18 +226,64 @@ def _validate_span_dict(span: dict, path: str) -> None:
             )
 
 
+def _validate_journal_section(journal: dict) -> None:
+    """Light structural checks of the ``repro.obs/2`` journal section
+    (the deep record checks live in :func:`repro.obs.journal.
+    validate_journal`, which operates on live journals)."""
+    if not isinstance(journal, dict):
+        raise ValueError("'journal' must be a dict")
+    records = journal.get("records", [])
+    if not isinstance(records, list):
+        raise ValueError("journal 'records' must be a list")
+    appended = journal.get("appended", len(records))
+    dropped = journal.get("dropped", 0)
+    if dropped < 0 or appended != len(records) + dropped:
+        raise ValueError(
+            f"journal accounting broken: appended={appended}, "
+            f"retained={len(records)}, dropped={dropped}"
+        )
+    last_seq = None
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"journal records[{i}] must be a dict")
+        for key in ("surface", "operator"):
+            value = record.get(key)
+            if not isinstance(value, str) or not value:
+                raise ValueError(
+                    f"journal records[{i}]: {key} must be a non-empty string"
+                )
+        for key in ("estimated_seconds", "actual_seconds"):
+            value = record.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"journal records[{i}]: {key} must be non-negative, "
+                    f"got {value!r}"
+                )
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            raise ValueError(f"journal records[{i}]: seq must be an int")
+        if last_seq is not None and seq <= last_seq:
+            raise ValueError(
+                f"journal records[{i}]: seq {seq} not after {last_seq}"
+            )
+        last_seq = seq
+
+
 def validate_export(payload: dict) -> None:
     """Raise ``ValueError`` when ``payload`` violates the obs contract.
 
-    Checks: schema tag, balanced nesting, every span closed with a
-    non-negative duration, children timed inside their parents, and a
-    JSON-shaped metrics mapping.
+    Checks: a supported schema tag (``repro.obs/1`` or ``/2``),
+    balanced nesting, every span closed with a non-negative duration,
+    children timed inside their parents, a JSON-shaped metrics mapping,
+    and — when present (``/2``) — a consistent journal section.
     """
     if not isinstance(payload, dict):
         raise ValueError("payload must be a dict")
     schema = payload.get("schema", "")
-    if not isinstance(schema, str) or not schema.startswith("repro.obs/"):
-        raise ValueError(f"unknown schema tag {schema!r}")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"unknown schema tag {schema!r}; supported: {SUPPORTED_SCHEMAS}"
+        )
     if "balanced" in payload and payload["balanced"] is not True:
         raise ValueError(
             f"unbalanced span nesting: {payload.get('spans_started')} "
@@ -220,3 +309,8 @@ def validate_export(payload: dict) -> None:
             raise ValueError(
                 f"metric {name!r} must be numeric or a histogram summary"
             )
+    dropped = payload.get("spans_dropped", 0)
+    if not isinstance(dropped, int) or dropped < 0:
+        raise ValueError(f"spans_dropped must be a non-negative int, got {dropped!r}")
+    if "journal" in payload:
+        _validate_journal_section(payload["journal"])

@@ -136,21 +136,43 @@ class Tracer:
         Monotonic time source returning seconds; defaults to
         ``time.perf_counter``.  Injected by tests for deterministic
         durations.
+    max_roots:
+        Ring retention bound on :attr:`roots`: when a newly closed root
+        would exceed it, the oldest root *tree* is evicted and every
+        span it held is added to :attr:`spans_dropped`.  ``None``
+        (default) keeps the historical unbounded behaviour; long-lived
+        engines pass a bound (see :mod:`repro.core.engine_obs`).
+        Retention only runs when a root closes, so the disabled fast
+        path stays allocation-free.
     """
 
-    __slots__ = ("enabled", "clock", "roots", "_stack", "spans_started", "spans_closed")
+    __slots__ = (
+        "enabled",
+        "clock",
+        "roots",
+        "max_roots",
+        "_stack",
+        "spans_started",
+        "spans_closed",
+        "spans_dropped",
+    )
 
     def __init__(
         self,
         enabled: bool = True,
         clock: Callable[[], float] | None = None,
+        max_roots: int | None = None,
     ) -> None:
+        if max_roots is not None and max_roots < 1:
+            raise ValueError("max_roots must be a positive integer or None")
         self.enabled = enabled
         self.clock = clock if clock is not None else time.perf_counter
         self.roots: list[Span] = []
+        self.max_roots = max_roots
         self._stack: list[Span] = []
         self.spans_started = 0
         self.spans_closed = 0
+        self.spans_dropped = 0
 
     # ------------------------------------------------------------------
     # The instrumentation surface
@@ -187,6 +209,9 @@ class Tracer:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
+            if self.max_roots is not None and len(self.roots) > self.max_roots:
+                evicted = self.roots.pop(0)
+                self.spans_dropped += sum(1 for _ in evicted.walk())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,10 +242,11 @@ class Tracer:
         self._stack.clear()
         self.spans_started = 0
         self.spans_closed = 0
+        self.spans_dropped = 0
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"
         return (
             f"Tracer({state}, roots={len(self.roots)}, "
-            f"open={len(self._stack)})"
+            f"open={len(self._stack)}, dropped={self.spans_dropped})"
         )

@@ -114,6 +114,8 @@ def ensure_shard_executor(engine):
             prune_tile_size=engine.prune_tile_size,
             obs=engine.obs,
             stats=engine.shard_stats,
+            kernel_counters=engine._kernel_counters,
+            prune_counters=engine._prune_counters,
         )
         engine._shard_executors[key] = executor
     return executor

@@ -16,6 +16,16 @@ The kernel calls are exactly the single-process ones, applied to a row
 subset — which is why the merged results are bit-identical for float64:
 each customer's membership/count depends only on its own row, the
 products and the query.
+
+Telemetry: when the payload carries ``"telemetry": True``, each task
+threads fresh local :class:`~repro.kernels.membership.KernelCounters`
+(and, when pruning, :class:`~repro.prune.counters.PruneCounters`)
+through its kernel call and returns ``(result, counter_snapshots)``
+instead of the bare result — counters cannot cross the process
+boundary live, so their deltas ride home with the result and the
+parent :class:`~repro.shard.executor.ShardExecutor` merges them.
+Without the flag, the historical bare-result contract holds and the
+kernel hot loops stay counter-free.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import numpy as np
 
 from repro.config import DominancePolicy
 from repro.kernels.membership import (
+    KernelCounters,
     batch_lambda_counts,
     batch_window_membership,
 )
@@ -34,6 +45,7 @@ from repro.kernels.pruned import (
     batch_window_membership_pruned,
 )
 from repro.prune.classify import tile_bounds
+from repro.prune.counters import PruneCounters
 from repro.shard.sharedmem import MatrixSpec, attach_matrix
 
 __all__ = ["init_worker", "pool_task", "run_task"]
@@ -81,6 +93,27 @@ def _prune_args(products: np.ndarray, payload: dict) -> dict | None:
     }
 
 
+def _task_counters(
+    payload: dict,
+) -> tuple[KernelCounters | None, PruneCounters | None]:
+    """Fresh per-task counter bundles when the payload asks for
+    telemetry (``None, None`` keeps the hot loops counter-free)."""
+    if not payload.get("telemetry"):
+        return None, None
+    prune_counters = PruneCounters() if payload.get("prune") else None
+    return KernelCounters(), prune_counters
+
+
+def _wrap(result, kernel_counters, prune_counters):
+    """Attach counter snapshots to a telemetry-mode result."""
+    if kernel_counters is None:
+        return result
+    snapshots = {"kernels": kernel_counters.snapshot()}
+    if prune_counters is not None:
+        snapshots["prune"] = prune_counters.snapshot()
+    return result, snapshots
+
+
 def init_worker(
     product_spec: MatrixSpec, customer_spec: MatrixSpec | None
 ) -> None:
@@ -109,8 +142,9 @@ def membership_rows(
     """Membership/verification mask for one customer-row shard."""
     rows = payload["rows"]
     pruned = _prune_args(products, payload)
+    kernel_counters, prune_counters = _task_counters(payload)
     if pruned is not None:
-        return batch_window_membership_pruned(
+        result = batch_window_membership_pruned(
             products,
             customers[rows],
             payload["query"],
@@ -118,19 +152,24 @@ def membership_rows(
             self_positions=payload["self_positions"],
             block_size=payload["block_size"],
             rtol=payload["rtol"],
+            counters=kernel_counters,
+            prune_counters=prune_counters,
             dtype=products.dtype,
             **pruned,
         )
-    return batch_window_membership(
-        products,
-        customers[rows],
-        payload["query"],
-        _policy(payload),
-        self_positions=payload["self_positions"],
-        block_size=payload["block_size"],
-        rtol=payload["rtol"],
-        dtype=products.dtype,
-    )
+    else:
+        result = batch_window_membership(
+            products,
+            customers[rows],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            rtol=payload["rtol"],
+            counters=kernel_counters,
+            dtype=products.dtype,
+        )
+    return _wrap(result, kernel_counters, prune_counters)
 
 
 def membership_points(
@@ -138,8 +177,9 @@ def membership_points(
 ) -> np.ndarray:
     """Membership/verification mask for a shipped probe-point block."""
     pruned = _prune_args(products, payload)
+    kernel_counters, prune_counters = _task_counters(payload)
     if pruned is not None:
-        return batch_window_membership_pruned(
+        result = batch_window_membership_pruned(
             products,
             payload["points"],
             payload["query"],
@@ -147,19 +187,24 @@ def membership_points(
             self_positions=payload["self_positions"],
             block_size=payload["block_size"],
             rtol=payload["rtol"],
+            counters=kernel_counters,
+            prune_counters=prune_counters,
             dtype=products.dtype,
             **pruned,
         )
-    return batch_window_membership(
-        products,
-        payload["points"],
-        payload["query"],
-        _policy(payload),
-        self_positions=payload["self_positions"],
-        block_size=payload["block_size"],
-        rtol=payload["rtol"],
-        dtype=products.dtype,
-    )
+    else:
+        result = batch_window_membership(
+            products,
+            payload["points"],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            rtol=payload["rtol"],
+            counters=kernel_counters,
+            dtype=products.dtype,
+        )
+    return _wrap(result, kernel_counters, prune_counters)
 
 
 def lambda_rows(
@@ -168,26 +213,32 @@ def lambda_rows(
     """|Λ| counts for one customer-row shard (all products)."""
     rows = payload["rows"]
     pruned = _prune_args(products, payload)
+    kernel_counters, prune_counters = _task_counters(payload)
     if pruned is not None:
-        return batch_lambda_counts_pruned(
+        result = batch_lambda_counts_pruned(
             products,
             customers[rows],
             payload["query"],
             _policy(payload),
             self_positions=payload["self_positions"],
             block_size=payload["block_size"],
+            counters=kernel_counters,
+            prune_counters=prune_counters,
             dtype=products.dtype,
             **pruned,
         )
-    return batch_lambda_counts(
-        products,
-        customers[rows],
-        payload["query"],
-        _policy(payload),
-        self_positions=payload["self_positions"],
-        block_size=payload["block_size"],
-        dtype=products.dtype,
-    )
+    else:
+        result = batch_lambda_counts(
+            products,
+            customers[rows],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            counters=kernel_counters,
+            dtype=products.dtype,
+        )
+    return _wrap(result, kernel_counters, prune_counters)
 
 
 def lambda_products(
@@ -197,29 +248,35 @@ def lambda_products(
     (the parent sums the partials — integer-sum merge).
     ``self_positions`` arrive already localised to the shard's rows."""
     prods = products[payload["product_rows"]]
+    kernel_counters, prune_counters = _task_counters(payload)
     if payload.get("prune"):
         # Fresh fancy-indexed subset every call: compute its chunk
         # bounds inline rather than caching by a throwaway id.
         tile = int(payload.get("prune_tile_size") or payload["block_size"])
-        return batch_lambda_counts_pruned(
+        result = batch_lambda_counts_pruned(
             prods,
             payload["points"],
             payload["query"],
             _policy(payload),
             self_positions=payload["self_positions"],
             block_size=payload["block_size"],
+            counters=kernel_counters,
+            prune_counters=prune_counters,
             dtype=products.dtype,
             tile_size=tile,
         )
-    return batch_lambda_counts(
-        prods,
-        payload["points"],
-        payload["query"],
-        _policy(payload),
-        self_positions=payload["self_positions"],
-        block_size=payload["block_size"],
-        dtype=products.dtype,
-    )
+    else:
+        result = batch_lambda_counts(
+            prods,
+            payload["points"],
+            payload["query"],
+            _policy(payload),
+            self_positions=payload["self_positions"],
+            block_size=payload["block_size"],
+            counters=kernel_counters,
+            dtype=products.dtype,
+        )
+    return _wrap(result, kernel_counters, prune_counters)
 
 
 def safe_region_chunk(
@@ -288,7 +345,7 @@ def safe_region_chunk(
                 break
         if early_exit:
             break
-    return {
+    result = {
         "lo": run_lo,
         "hi": run_hi,
         "members": len(payload["rows"]),
@@ -298,6 +355,11 @@ def safe_region_chunk(
         "peak_boxes": peak_boxes,
         "early_exit": early_exit,
     }
+    # The fold runs no kernels; a uniform (result, {}) shape keeps the
+    # executor's telemetry unpacking task-agnostic.
+    if payload.get("telemetry"):
+        return result, {}
+    return result
 
 
 _TASKS = {

@@ -78,6 +78,19 @@ class ShardExecutor:
         filter-refinement kernels of :mod:`repro.kernels.pruned` inside
         each worker, over a per-process product-summary cache (pruning
         and fan-out stack).  Bit-identical either way.
+    kernel_counters, prune_counters:
+        Parent-side counter bundles (the engine's ``kernels.*`` /
+        ``prune.*`` sources).  With telemetry on, every worker's local
+        counter deltas are added to them on merge, so fanned-out
+        requests account exactly like single-process ones.
+    telemetry:
+        When true, task payloads ask workers to collect local kernel /
+        prune counters and ship snapshots home with each result (see
+        :mod:`repro.shard._worker`); merged totals land on
+        :attr:`worker_totals`, the parent bundles, and — when ``obs``
+        is given — ``shard.worker.<family>.<field>`` registry counters.
+        ``None`` (default) auto-enables exactly when there is a place
+        to merge into: a counter bundle or an enabled obs bundle.
     """
 
     def __init__(
@@ -94,6 +107,9 @@ class ShardExecutor:
         prune_tile_size: int | None = None,
         obs=None,
         stats: ShardStats | None = None,
+        kernel_counters=None,
+        prune_counters=None,
+        telemetry: bool | None = None,
     ):
         if shards < 1:
             raise InvalidParameterError("shards must be a positive integer")
@@ -134,6 +150,21 @@ class ShardExecutor:
         )
         self.stats = stats if stats is not None else ShardStats()
         self._obs = obs
+        self._kernel_counters = kernel_counters
+        self._prune_counters = prune_counters
+        if telemetry is None:
+            telemetry = (
+                kernel_counters is not None
+                or prune_counters is not None
+                or bool(getattr(obs, "enabled", False))
+            )
+        self.telemetry = bool(telemetry)
+        #: Lifetime worker-counter totals merged by this executor,
+        #: ``{"kernels": {field: int}, "prune": {field: int}}``.
+        self.worker_totals: dict[str, dict[str, int]] = {
+            "kernels": {},
+            "prune": {},
+        }
         self._customer_parts = partition_matrix(
             self._customers, self.shards, partition
         )
@@ -206,7 +237,10 @@ class ShardExecutor:
 
     def _dispatch(self, kind: str, payloads: list[dict | None], op: str):
         """Run one payload per shard (``None`` = empty shard, skipped)
-        and return the results in shard order (``None`` kept in place)."""
+        and return the results in shard order (``None`` kept in place).
+        With telemetry on, tasks return ``(result, snapshots)``; the
+        snapshots are merged here and the bare results returned, so the
+        per-call merge code never sees the tuple shape."""
         live = sum(1 for p in payloads if p is not None)
         results: list = [None] * len(payloads)
         with self._span(op, live):
@@ -230,8 +264,41 @@ class ShardExecutor:
                     self.stats.dispatched += len(futures)
                     for i, future in futures.items():
                         results[i] = future.result()
+                if self.telemetry:
+                    for i, result in enumerate(results):
+                        if result is None:
+                            continue
+                        results[i], snapshots = result
+                        self._merge_worker(snapshots)
                 self.stats.merged += 1
         return results
+
+    def _merge_worker(self, snapshots: dict) -> None:
+        """Fold one worker's counter snapshots into the parent side:
+        :attr:`worker_totals`, the engine bundles, and (when obs is
+        attached) the ``shard.worker.<family>.<field>`` counters."""
+        if not snapshots:
+            return
+        metrics = getattr(self._obs, "metrics", None)
+        bundles = {
+            "kernels": self._kernel_counters,
+            "prune": self._prune_counters,
+        }
+        for family, fields in snapshots.items():
+            totals = self.worker_totals.setdefault(family, {})
+            bundle = bundles.get(family)
+            for field, value in fields.items():
+                if not value:
+                    continue
+                totals[field] = totals.get(field, 0) + value
+                if bundle is not None:
+                    getattr(bundle, field).inc(value)
+                if metrics is not None:
+                    metrics.counter(
+                        f"shard.worker.{family}.{field}",
+                        f"worker-merged {family} counter {field}",
+                    ).inc(value)
+        self.stats.worker_merges += 1
 
     def _base_payload(self, policy, **extra) -> dict:
         payload = {
@@ -239,6 +306,7 @@ class ShardExecutor:
             "block_size": self.block_size,
             "prune": self.prune,
             "prune_tile_size": self.prune_tile_size,
+            "telemetry": self.telemetry,
         }
         payload.update(extra)
         return payload
@@ -451,6 +519,7 @@ class ShardExecutor:
                 "sort_dim": int(sort_dim),
                 "self_exclude": bool(self_exclude),
                 "chunk_size": int(chunk_size),
+                "telemetry": self.telemetry,
             }
             for part in splits
         ]

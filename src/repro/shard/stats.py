@@ -32,6 +32,10 @@ class ShardStats(CounterBackedStats):
         lazily, on the first process-backend dispatch.
     bytes_shared:
         Bytes published into ``multiprocessing.shared_memory`` blocks.
+    worker_merges:
+        Worker counter snapshots folded into the parent (one per
+        telemetry-mode task result; see
+        :meth:`~repro.shard.executor.ShardExecutor._merge_worker`).
     """
 
     _INT_FIELDS = (
@@ -40,4 +44,5 @@ class ShardStats(CounterBackedStats):
         "merged",
         "pool_starts",
         "bytes_shared",
+        "worker_merges",
     )

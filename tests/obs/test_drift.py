@@ -1,0 +1,219 @@
+"""Cost-drift sentinel: EWMA/geomean math, band flagging, gauge
+publication, Prometheus round-trips, and the engine surface."""
+
+import numpy as np
+import pytest
+
+from repro.config import WhyNotConfig
+from repro.core.engine import WhyNotEngine
+from repro.exceptions import InvalidParameterError
+from repro.geometry.box import Box
+from repro.obs import (
+    DEFAULT_DRIFT_BAND,
+    JournalRecord,
+    MetricsRegistry,
+    aggregate_drift,
+    prom_name,
+    to_prometheus,
+)
+
+BOUNDS = Box(np.zeros(2), np.ones(2))
+
+
+def _rec(seq: int, operator: str, est: float, act: float) -> JournalRecord:
+    return JournalRecord(
+        seq=seq,
+        surface="safe_region",
+        operator=operator,
+        epoch=0,
+        config_fingerprint="fp",
+        estimated_seconds=est,
+        actual_seconds=act,
+        counters={},
+    )
+
+
+class TestAggregation:
+    def test_alpha_one_degenerates_to_last_ratio(self):
+        records = [
+            _rec(0, "op", 1.0, 4.0),
+            _rec(1, "op", 1.0, 2.0),
+        ]
+        report = aggregate_drift(records, ewma_alpha=1.0)
+        entry = report.get("op")
+        assert entry.ewma_ratio == pytest.approx(2.0)
+
+    def test_ewma_weights_recent_records_more(self):
+        records = [_rec(0, "op", 1.0, 1.0), _rec(1, "op", 1.0, 9.0)]
+        report = aggregate_drift(records, ewma_alpha=0.5)
+        assert report.get("op").ewma_ratio == pytest.approx(5.0)
+
+    def test_geomean_is_the_suggested_scale(self):
+        records = [_rec(0, "op", 1.0, 2.0), _rec(1, "op", 1.0, 8.0)]
+        report = aggregate_drift(records)
+        entry = report.get("op")
+        assert entry.geomean_ratio == pytest.approx(4.0)
+        assert entry.suggested_scale == entry.geomean_ratio
+
+    def test_totals_accumulate(self):
+        records = [_rec(0, "op", 0.5, 1.0), _rec(1, "op", 0.25, 0.5)]
+        entry = aggregate_drift(records).get("op")
+        assert entry.samples == 2
+        assert entry.estimated_total_s == pytest.approx(0.75)
+        assert entry.actual_total_s == pytest.approx(1.5)
+
+    def test_worst_offender_sorts_first(self):
+        records = [
+            _rec(0, "mild", 1.0, 1.1),
+            _rec(1, "wild", 1.0, 50.0),
+            _rec(2, "fine", 1.0, 1.0),
+        ]
+        report = aggregate_drift(records, min_samples=1)
+        assert report.operators[0].operator == "wild"
+
+    def test_zero_estimate_is_guarded(self):
+        report = aggregate_drift([_rec(0, "op", 0.0, 1.0)], min_samples=1)
+        entry = report.get("op")
+        assert np.isfinite(entry.ewma_ratio)
+        assert entry.flagged
+
+    def test_a_journal_iterates_directly(self):
+        from repro.obs import QueryJournal
+
+        journal = QueryJournal()
+        journal.record(
+            surface="s",
+            operator="op",
+            epoch=0,
+            config_fingerprint="fp",
+            estimated_seconds=1.0,
+            actual_seconds=3.0,
+        )
+        report = aggregate_drift(journal, min_samples=1)
+        assert report.get("op").samples == 1
+
+
+class TestFlagging:
+    def test_inside_band_not_flagged(self):
+        records = [_rec(i, "op", 1.0, 1.5) for i in range(5)]
+        report = aggregate_drift(records)
+        assert not report.get("op").flagged
+        assert report.flagged() == []
+
+    def test_outside_band_flagged(self):
+        records = [_rec(i, "op", 1.0, 10.0) for i in range(5)]
+        report = aggregate_drift(records)
+        assert report.get("op").flagged
+        assert [e.operator for e in report.flagged()] == ["op"]
+
+    def test_underestimate_band_is_two_sided(self):
+        records = [_rec(i, "op", 10.0, 1.0) for i in range(5)]
+        assert aggregate_drift(records).get("op").flagged
+
+    def test_min_samples_suppresses_cold_outliers(self):
+        records = [_rec(0, "op", 1.0, 100.0)]
+        report = aggregate_drift(records, min_samples=3)
+        assert not report.get("op").flagged
+        report = aggregate_drift(records, min_samples=1)
+        assert report.get("op").flagged
+
+    def test_custom_band(self):
+        records = [_rec(i, "op", 1.0, 3.0) for i in range(4)]
+        assert aggregate_drift(records, band=(0.9, 4.0)).flagged() == []
+        assert len(aggregate_drift(records, band=(0.9, 1.1)).flagged()) == 1
+
+
+class TestParameterValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            aggregate_drift([], ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            aggregate_drift([], ewma_alpha=1.5)
+
+    def test_band_shape(self):
+        with pytest.raises(ValueError):
+            aggregate_drift([], band=(2.0, 0.5))
+        with pytest.raises(ValueError):
+            aggregate_drift([], band=(0.0, 2.0))
+
+    def test_min_samples_positive(self):
+        with pytest.raises(ValueError):
+            aggregate_drift([], min_samples=0)
+
+
+class TestRender:
+    def test_render_lists_operators_and_proposal(self):
+        records = [_rec(i, "sr-cached-fold", 1.0, 10.0) for i in range(4)]
+        text = aggregate_drift(records).render()
+        assert "sr-cached-fold" in text
+        assert "DRIFTING" in text
+        assert "recalibration proposal" in text
+
+    def test_render_empty_report(self):
+        assert "(no journal records)" in aggregate_drift([]).render()
+
+    def test_to_dict_round_trip_shape(self):
+        records = [_rec(0, "op", 1.0, 2.0)]
+        payload = aggregate_drift(records).to_dict()
+        assert payload["band"] == list(DEFAULT_DRIFT_BAND)
+        assert payload["operators"][0]["operator"] == "op"
+
+
+class TestPublish:
+    def test_publish_sets_one_gauge_per_operator(self):
+        records = [
+            _rec(0, "sr-cached-fold", 1.0, 2.0),
+            _rec(1, "rsl-kernel-verify", 1.0, 3.0),
+        ]
+        metrics = MetricsRegistry()
+        aggregate_drift(records, min_samples=1).publish(metrics)
+        assert metrics.get("plan.drift.sr-cached-fold").value == pytest.approx(
+            2.0
+        )
+        assert metrics.get(
+            "plan.drift.rsl-kernel-verify"
+        ).value == pytest.approx(3.0)
+
+    def test_hyphenated_operator_gauges_survive_prometheus(self):
+        metrics = MetricsRegistry()
+        records = [_rec(0, "sr-cached-fold", 1.0, 2.0)]
+        aggregate_drift(records, min_samples=1).publish(metrics)
+        text = to_prometheus(metrics)
+        assert prom_name("plan.drift.sr-cached-fold") in text
+        assert "-" not in prom_name("plan.drift.sr-cached-fold")
+
+
+class TestEngineSurface:
+    def _engine(self, **config_kwargs) -> WhyNotEngine:
+        rng = np.random.default_rng(3)
+        return WhyNotEngine(
+            rng.random((50, 2)),
+            backend="scan",
+            config=WhyNotConfig(**config_kwargs),
+            bounds=BOUNDS,
+        )
+
+    def test_drift_report_requires_journal(self):
+        engine = self._engine(trace=True)
+        with pytest.raises(InvalidParameterError, match="journal"):
+            engine.drift_report()
+
+    def test_drift_report_publishes_gauges(self):
+        engine = self._engine(trace=True, journal=True)
+        q = np.array([0.5, 0.5])
+        engine.reverse_skyline(q)
+        report = engine.drift_report(min_samples=1)
+        assert len(report.operators) >= 1
+        op = report.operators[0].operator
+        assert engine.obs.metrics.get(f"plan.drift.{op}") is not None
+        # The published registry still renders as Prometheus text.
+        assert prom_name(f"plan.drift.{op}") in to_prometheus(
+            engine.obs.metrics
+        )
+
+    def test_drift_report_publish_false_leaves_registry_alone(self):
+        engine = self._engine(trace=True, journal=True)
+        engine.reverse_skyline(np.array([0.5, 0.5]))
+        before = set(engine.obs.metrics.names())
+        engine.drift_report(min_samples=1, publish=False)
+        assert set(engine.obs.metrics.names()) == before

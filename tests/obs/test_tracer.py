@@ -166,6 +166,80 @@ class TestDisabledPath:
             assert s is NULL_SPAN
 
 
+class TestRootRetention:
+    def test_unbounded_by_default(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        for i in range(100):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.roots) == 100
+        assert tracer.spans_dropped == 0
+
+    def test_max_roots_evicts_oldest_tree(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(), max_roots=2)
+        for name in ("a", "b", "c", "d"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.roots] == ["c", "d"]
+        assert tracer.spans_dropped == 2
+
+    def test_eviction_counts_every_span_of_the_dropped_tree(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(), max_roots=1)
+        with tracer.span("bushy"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        with tracer.span("next"):
+            pass
+        assert [r.name for r in tracer.roots] == ["next"]
+        assert tracer.spans_dropped == 3
+
+    def test_balance_survives_eviction(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(), max_roots=1)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.is_balanced
+        assert tracer.spans_started == tracer.spans_closed == 5
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(), max_roots=1)
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.spans_dropped == 2
+        tracer.clear()
+        assert tracer.spans_dropped == 0
+
+    def test_max_roots_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(enabled=True, max_roots=0)
+        with pytest.raises(ValueError):
+            Tracer(enabled=True, max_roots=-3)
+
+    def test_disabled_tracer_with_bound_stays_inert(self):
+        calls = []
+
+        def counting_clock():
+            calls.append(1)
+            return 0.0
+
+        tracer = Tracer(enabled=False, clock=counting_clock, max_roots=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.roots == []
+        assert tracer.spans_dropped == 0
+        assert calls == []  # the fast path never touches retention
+
+    def test_repr_reports_dropped(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(), max_roots=1)
+        for i in range(2):
+            with tracer.span(f"s{i}"):
+                pass
+        assert "dropped=1" in repr(tracer)
+
+
 class TestSpanDict:
     def test_to_dict_round_trip_shape(self):
         tracer = Tracer(enabled=True, clock=FakeClock(step=0.25))
