@@ -1,0 +1,335 @@
+"""Serving-layer benchmark: sustained QPS, tail latency, coalescing.
+
+Three arms over the same mixed read/write workload (N concurrent
+clients issuing why-not requests against one query point while a writer
+interleaves product insertions through the service's mutation queue):
+
+* ``coalesced`` — the service folds concurrent same-(epoch, query)
+  requests into one ``answer_why_not_batch`` kernel dispatch;
+* ``per-request`` — coalescing off; every request runs the full
+  four-surface pipeline by itself;
+* ``shedding`` — a deliberately tiny admission envelope (1 slot, short
+  queue, short deadlines) under a flood, demonstrating that overload
+  degrades to fast 429/503 refusals with bounded completion latency
+  instead of a deadlock or an unbounded queue.
+
+Every response served by the throughput arms is verified bit-identical
+to a direct engine call on a twin engine replayed to the response's
+served epoch — the benchmark *fails* on any divergence.  In full mode
+the coalesced arm must beat per-request dispatch on sustained QPS at
+concurrency >= 16; smoke mode (CI) keeps the assertions and drops the
+speed gate.
+
+Entry points::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke  # CI, tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import answer_why_not
+from repro.core.engine import WhyNotEngine
+from repro.serve import (
+    ServeConfig,
+    ShedError,
+    WhyNotService,
+    canonical_json,
+    serialize_answer,
+)
+
+BENCH_SEED = 7
+BACKEND = "grid"
+
+
+def _stores(n: int, seed: int = BENCH_SEED) -> tuple:
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 1.0, size=(n, 2))
+    half = n // 2
+    return points[:half], points[half:]
+
+
+def _mutation_log(count: int) -> list:
+    rng = np.random.default_rng(BENCH_SEED + 2)
+    return [
+        ("insert_products", {"points": [[round(float(x), 6), round(float(y), 6)]]})
+        for x, y in rng.uniform(0.05, 0.95, size=(count, 2))
+    ]
+
+
+def _percentiles(latencies: list) -> dict:
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(arr, 99)) * 1e3, 3),
+        "max_ms": round(float(arr.max()) * 1e3, 3),
+    }
+
+
+def run_throughput_arm(
+    n: int,
+    coalesce: bool,
+    clients: int,
+    requests_per_client: int,
+    mutations: int,
+) -> dict:
+    """One mixed read/write arm; returns QPS + latency + verification."""
+    products, customers = _stores(n)
+    query = np.quantile(products, 0.5, axis=0)
+    questions = min(12, customers.shape[0])
+    log = _mutation_log(mutations)
+    responses: list = []
+    latencies: list = []
+
+    async def scenario() -> dict:
+        engine = WhyNotEngine(products, customers=customers, backend=BACKEND)
+        config = ServeConfig(
+            coalesce=coalesce,
+            coalesce_window_s=0.002,
+            max_inflight=max(16, clients),
+            max_queue=4 * max(16, clients),
+            default_deadline_s=120.0,
+            executor_threads=2,
+        )
+        service = WhyNotService(engine, config)
+        async with service:
+            loop = asyncio.get_running_loop()
+
+            async def client(cid: int) -> None:
+                for i in range(requests_per_client):
+                    t0 = loop.time()
+                    out = await service.why_not(
+                        (cid + i) % questions, query, deadline_s=120
+                    )
+                    latencies.append(loop.time() - t0)
+                    responses.append(out)
+
+            async def writer() -> None:
+                for op, payload in log:
+                    await asyncio.sleep(0.004)
+                    await service.mutate(op, **payload)
+
+            wall0 = time.perf_counter()
+            await asyncio.gather(
+                *[client(c) for c in range(clients)], writer()
+            )
+            wall = time.perf_counter() - wall0
+            counters = {
+                "requests": int(service.m_requests.value),
+                "completed": int(service.m_completed.value),
+                "coalesced": int(service.m_coalesced.value),
+                "batches": int(service.m_batches.value),
+                "shed": int(service.m_shed_queue.value)
+                + int(service.m_shed_deadline.value),
+                "drains": int(service.m_drains.value),
+                "pool_hits": int(service.pool.hits.value),
+            }
+        return {"wall_s": wall, "counters": counters}
+
+    run = asyncio.run(scenario())
+
+    # Bit-identity verification: replay the mutation log prefix on a
+    # twin per served epoch and compare canonical JSON forms.
+    twins: dict[int, WhyNotEngine] = {}
+    divergent = 0
+    for out in responses:
+        epoch = out["epoch"]
+        if epoch not in twins:
+            twin = WhyNotEngine(
+                products.copy(), customers=customers.copy(), backend=BACKEND
+            )
+            for op, payload in log[:epoch]:
+                getattr(twin, op)(**payload)
+            twins[epoch] = twin
+        direct = canonical_json(
+            serialize_answer(
+                answer_why_not(
+                    twins[epoch], out["result"]["why_not"]["position"], query
+                )
+            )
+        )
+        if canonical_json(out["result"]) != direct:
+            divergent += 1
+    for twin in twins.values():
+        twin.close()
+    total = clients * requests_per_client
+    assert len(responses) == total, (len(responses), total)
+    assert divergent == 0, f"{divergent}/{total} served responses diverged"
+    counters = run["counters"]
+    assert counters["shed"] == 0, counters
+
+    return {
+        "arm": "coalesced" if coalesce else "per-request",
+        "n": n,
+        "clients": clients,
+        "requests": total,
+        "mutations": mutations,
+        "wall_s": round(run["wall_s"], 4),
+        "qps": round(total / run["wall_s"], 1),
+        **_percentiles(latencies),
+        "counters": counters,
+        "verified_bit_identical": total,
+        "divergent": 0,
+    }
+
+
+def run_shedding_arm(n: int, flood: int) -> dict:
+    """Overload a tiny admission envelope; overload must resolve fast
+    (429/503), never deadlock, and completed requests stay correct."""
+    products, customers = _stores(n)
+    query = np.quantile(products, 0.5, axis=0)
+    outcomes = {"completed": 0, "shed_429": 0, "shed_503": 0}
+    resolution_latencies: list = []
+
+    async def scenario() -> dict:
+        engine = WhyNotEngine(products, customers=customers, backend=BACKEND)
+        config = ServeConfig(
+            coalesce=False,
+            max_inflight=1,
+            max_queue=4,
+            default_deadline_s=0.25,
+            executor_threads=1,
+        )
+        service = WhyNotService(engine, config)
+        async with service:
+            loop = asyncio.get_running_loop()
+
+            async def request(i: int) -> None:
+                t0 = loop.time()
+                try:
+                    await service.why_not(i % 8, query)
+                    outcomes["completed"] += 1
+                except ShedError as exc:
+                    outcomes["shed_429" if exc.status == 429 else "shed_503"] += 1
+                finally:
+                    resolution_latencies.append(loop.time() - t0)
+
+            wall0 = time.perf_counter()
+            await asyncio.gather(*[request(i) for i in range(flood)])
+            wall = time.perf_counter() - wall0
+            queue_depth = int(service.g_queue_depth.value)
+        return {"wall_s": wall, "queue_depth_after": queue_depth}
+
+    run = asyncio.run(scenario())
+    resolved = sum(outcomes.values())
+    assert resolved == flood, (resolved, flood)
+    assert outcomes["completed"] >= 1, outcomes
+    assert outcomes["shed_429"] + outcomes["shed_503"] >= 1, (
+        f"flood of {flood} against a 1-slot/4-queue envelope shed nothing: "
+        f"{outcomes}"
+    )
+    assert run["queue_depth_after"] == 0, run
+    stats = _percentiles(resolution_latencies)
+    # Bounded-p99 claim: every outcome (answer or refusal) resolves
+    # within a small multiple of the per-request deadline.
+    assert stats["max_ms"] < 5_000.0, stats
+    return {
+        "arm": "shedding",
+        "n": n,
+        "flood": flood,
+        "envelope": {"max_inflight": 1, "max_queue": 4, "deadline_s": 0.25},
+        "wall_s": round(run["wall_s"], 4),
+        **outcomes,
+        "resolution_" + "p50_ms": stats["p50_ms"],
+        "resolution_" + "p99_ms": stats["p99_ms"],
+        "resolution_" + "max_ms": stats["max_ms"],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=2_000)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests-per-client", type=int, default=12)
+    parser.add_argument("--mutations", type=int, default=4)
+    parser.add_argument("--flood", type=int, default=24)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny size, 2 clients, identity assertions only (no speed gate)",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.size = min(args.size, 300)
+        args.clients = 2
+        args.requests_per_client = min(args.requests_per_client, 4)
+        args.mutations = min(args.mutations, 1)
+        args.flood = min(args.flood, 10)
+
+    arms = []
+    for coalesce in (True, False):
+        arm = run_throughput_arm(
+            args.size, coalesce, args.clients,
+            args.requests_per_client, args.mutations,
+        )
+        arms.append(arm)
+        print(
+            f"{arm['arm']:>12}: {arm['requests']} requests / "
+            f"{arm['clients']} clients (+{arm['mutations']} writes) -> "
+            f"{arm['qps']} qps, p50 {arm['p50_ms']}ms, p99 {arm['p99_ms']}ms, "
+            f"coalesced {arm['counters']['coalesced']}, "
+            f"{arm['verified_bit_identical']} verified bit-identical"
+        )
+    coalesced, per_request = arms
+    speedup = round(coalesced["qps"] / per_request["qps"], 3)
+    print(f"coalescing speedup at concurrency {args.clients}: {speedup}x")
+    if not args.smoke:
+        assert args.clients >= 16, args.clients
+        assert coalesced["qps"] > per_request["qps"], (
+            f"coalescing lost at concurrency {args.clients}: "
+            f"{coalesced['qps']} vs {per_request['qps']} qps"
+        )
+
+    shed = run_shedding_arm(args.size, args.flood)
+    print(
+        f"    shedding: flood {shed['flood']} -> {shed['completed']} served, "
+        f"{shed['shed_429']}x429 + {shed['shed_503']}x503 refused, "
+        f"resolution p99 {shed['resolution_p99_ms']}ms (bounded, no deadlock)"
+    )
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from conftest import bench_environment
+
+    payload = {
+        "benchmark": (
+            "serving layer: sustained QPS + tail latency under mixed "
+            "read/write, coalescing on/off, admission-control shedding"
+        ),
+        "methodology": "see docs/API.md section 'Serving'",
+        "seed": BENCH_SEED,
+        "backend": BACKEND,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "env": bench_environment(),
+        "verification": (
+            "every served response compared bit-identically (canonical "
+            "JSON) against a direct engine call on a twin replayed to "
+            "the response's served epoch; any divergence fails the run"
+        ),
+        "coalescing_speedup": speedup,
+        "results": arms,
+        "shedding": shed,
+    }
+    out = args.out or (
+        Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    )
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,9 +38,14 @@ from repro.core.answer import Explanation, ModificationResult, MWQResult
 from repro.core.cost import MinMaxNormalizer
 from repro.core.dsl_cache import DSLCache
 from repro.core.engine_obs import install_observability
+from repro.core.gate import ReadWriteGate
 from repro.core.mutators import EngineMutationMixin
 from repro.core.safe_region import SafeRegion, SafeRegionStats
-from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.exceptions import (
+    EmptyDatasetError,
+    InvalidParameterError,
+    StaleSessionError,
+)
 from repro.geometry.box import Box
 from repro.geometry.point import as_point, as_points
 from repro.index import make_index
@@ -54,6 +59,7 @@ from repro.plan.prepared import PreparedPlan
 from repro.plan.requests import build_request
 from repro.prune.summaries import PruneSummaries
 from repro.store.base import CustomerStore, ProductStore, VersionedStore
+from repro.store.lease import LeaseRegistry
 from repro.store.session import WhyNotSession
 
 __all__ = ["WhyNotEngine"]
@@ -169,6 +175,13 @@ class WhyNotEngine(EngineMutationMixin):
         self._product_store.subscribe(self._on_store_commit)
         if self._customer_store is not self._product_store:
             self._customer_store.subscribe(self._on_store_commit)
+        # Single-writer / multi-reader contract: the gate serializes
+        # each mutation against concurrent plan executions; the lease
+        # registry extends the pin to whole multi-plan requests (the
+        # serve layer's writer drains leases between batches).
+        self.gate = ReadWriteGate()
+        self.leases = LeaseRegistry(lambda: self.dataset_epoch)
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Versioned dataset surface
@@ -212,6 +225,52 @@ class WhyNotEngine(EngineMutationMixin):
         raise :class:`~repro.exceptions.StaleSessionError` after any
         mutation instead of silently mixing generations."""
         return WhyNotSession(self)
+
+    # ------------------------------------------------------------------
+    # Concurrency + lifecycle contract
+    # ------------------------------------------------------------------
+    def enable_thread_safety(self) -> None:
+        """Prepare this engine for concurrent epoch-pinned readers.
+
+        Locks every metric on the engine registry (counter increments
+        are read-modify-writes that lose updates under threads; see
+        :meth:`repro.obs.MetricsRegistry.make_threadsafe`).  The
+        structural invariants — readers never observing a half-applied
+        mutation — come from :attr:`gate` and :attr:`leases` and hold
+        regardless; this call only makes the *accounting* exact.
+        Idempotent; the serve layer calls it at startup.
+        """
+        self.obs.metrics.make_threadsafe()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release pooled resources now instead of at garbage collection.
+
+        Tears down the shard executors (worker pools + shared-memory
+        segments) and flushes the observability state so a final export
+        is coherent (the epoch gauge reflects the last committed
+        generation).  Idempotent.  The engine object itself remains
+        usable for reads afterwards — lazily-built executors would
+        simply be recreated — but the contract callers should rely on
+        is: after ``close()`` no engine-owned OS resources are live.
+        ``with WhyNotEngine(...) as engine:`` closes on exit; the serve
+        layer's shutdown path calls this.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self.gate.write():
+            self.close_shard_executors()
+            self._epoch_gauge.set(self.dataset_epoch)
+
+    def __enter__(self) -> "WhyNotEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -318,29 +377,58 @@ class WhyNotEngine(EngineMutationMixin):
         self.last_plan = node
         return PreparedPlan(self, logical, node, ctx_kwargs, plan_cached=cached)
 
-    def _run_plan(self, node, ctx_kwargs: dict):
-        journal = self.obs.journal
-        if journal is None:
-            return execute_plan(
+    def _run_plan(
+        self,
+        node,
+        ctx_kwargs: dict,
+        pinned_epoch: "int | None" = None,
+        stale_message: str | None = None,
+    ):
+        with self.gate.read():
+            # The epoch check runs *inside* the read gate, so a plan
+            # pinned to a generation can never race a commit: either the
+            # mutation finished first (stale raises here) or this
+            # execution finishes before the writer gets the gate.
+            if pinned_epoch is not None:
+                current = self.dataset_epoch
+                if current != pinned_epoch:
+                    raise StaleSessionError(
+                        stale_message
+                        or (
+                            f"plan prepared at dataset epoch {pinned_epoch}, "
+                            f"but the engine is now at epoch {current}; "
+                            "call replan() to plan against the mutated market"
+                        ),
+                        pinned_epoch=pinned_epoch,
+                        current_epoch=current,
+                    )
+            journal = self.obs.journal
+            if journal is None:
+                return execute_plan(
+                    node, ExecutionContext(engine=self, **ctx_kwargs)
+                )
+            # Journaled path: bracket the execution with tracked-counter
+            # snapshots so the record carries this request's deltas only.
+            before = journal.counter_snapshot()
+            result = execute_plan(
                 node, ExecutionContext(engine=self, **ctx_kwargs)
             )
-        # Journaled path: bracket the execution with tracked-counter
-        # snapshots so the record carries this request's deltas only.
-        before = journal.counter_snapshot()
-        result = execute_plan(node, ExecutionContext(engine=self, **ctx_kwargs))
-        journal.record(
-            surface=node.logical.surface,
-            operator=node.operator.name,
-            epoch=self.dataset_epoch,
-            config_fingerprint=self._config_fp_digest,
-            estimated_seconds=node.estimate.seconds,
-            actual_seconds=node.actual_seconds or 0.0,
-            counters=journal.counter_delta(before),
-        )
-        return result
+            journal.record(
+                surface=node.logical.surface,
+                operator=node.operator.name,
+                epoch=self.dataset_epoch,
+                config_fingerprint=self._config_fp_digest,
+                estimated_seconds=node.estimate.seconds,
+                actual_seconds=node.actual_seconds or 0.0,
+                counters=journal.counter_delta(before),
+            )
+            return result
 
     def _execute(self, logical: LogicalPlan, ctx_kwargs: dict):
-        return self._prepare(logical, ctx_kwargs).execute()
+        prepared = self._prepare(logical, ctx_kwargs)
+        # Direct surface calls answer from the current generation by
+        # definition — no epoch pin (sessions and prepared plans add it).
+        return self._run_plan(prepared.node, ctx_kwargs)
 
     def prepare(self, surface: str, *args, **kwargs) -> PreparedPlan:
         """Plan a surface request without executing it.  The returned

@@ -21,50 +21,80 @@ __all__ = ["EngineMutationMixin"]
 
 
 class EngineMutationMixin:
-    """Mutation methods of :class:`~repro.core.engine.WhyNotEngine`."""
+    """Mutation methods of :class:`~repro.core.engine.WhyNotEngine`.
+
+    Every mutator runs under the engine's write gate: the store commit
+    and the post-commit maintenance (index upkeep, cache scoping, obs
+    accounting) are one atomic step with respect to concurrent plan
+    executions — a reader either sees the pre-mutation engine entirely
+    or the post-maintenance one, never a half-applied state.
+    """
 
     def insert_products(self, points) -> np.ndarray:
         """Append product rows; returns their new positions."""
-        mutation = self._product_store.insert(points)
-        return apply_mutation(self, mutation, product=True, out=mutation.positions)
+        with self.gate.write():
+            mutation = self._product_store.insert(points)
+            return apply_mutation(
+                self, mutation, product=True, out=mutation.positions
+            )
 
     def delete_products(self, positions) -> np.ndarray:
         """Remove product rows and compact; returns the old-to-new
         position mapping (``-1`` for deleted rows), the same contract
         :meth:`without_products` has always used."""
-        target = np.unique(np.asarray(list(positions), dtype=np.int64))
-        n = self._product_store.size
-        if target.size == n and target.size and 0 <= target[0] and target[-1] < n:
-            raise EmptyDatasetError("cannot delete every product")
-        mutation = self._product_store.delete(target)
-        return apply_mutation(self, mutation, product=True, out=mutation.mapping)
+        with self.gate.write():
+            target = np.unique(np.asarray(list(positions), dtype=np.int64))
+            n = self._product_store.size
+            if (
+                target.size == n
+                and target.size
+                and 0 <= target[0]
+                and target[-1] < n
+            ):
+                raise EmptyDatasetError("cannot delete every product")
+            mutation = self._product_store.delete(target)
+            return apply_mutation(
+                self, mutation, product=True, out=mutation.mapping
+            )
 
     def update_products(self, positions, points) -> np.ndarray:
         """Replace the coordinates of existing product rows; returns the
         (ascending) updated positions."""
-        mutation = self._product_store.update(positions, points)
-        return apply_mutation(self, mutation, product=True, out=mutation.positions)
+        with self.gate.write():
+            mutation = self._product_store.update(positions, points)
+            return apply_mutation(
+                self, mutation, product=True, out=mutation.positions
+            )
 
     def insert_customers(self, points) -> np.ndarray:
         """Append customer rows (bichromatic engines only); returns their
         new positions."""
         self._require_bichromatic()
-        mutation = self._customer_store.insert(points)
-        return apply_mutation(self, mutation, product=False, out=mutation.positions)
+        with self.gate.write():
+            mutation = self._customer_store.insert(points)
+            return apply_mutation(
+                self, mutation, product=False, out=mutation.positions
+            )
 
     def delete_customers(self, positions) -> np.ndarray:
         """Remove customer rows and compact (bichromatic engines only);
         returns the old-to-new position mapping."""
         self._require_bichromatic()
-        mutation = self._customer_store.delete(positions)
-        return apply_mutation(self, mutation, product=False, out=mutation.mapping)
+        with self.gate.write():
+            mutation = self._customer_store.delete(positions)
+            return apply_mutation(
+                self, mutation, product=False, out=mutation.mapping
+            )
 
     def update_customers(self, positions, points) -> np.ndarray:
         """Move existing customer rows (bichromatic engines only);
         returns the (ascending) updated positions."""
         self._require_bichromatic()
-        mutation = self._customer_store.update(positions, points)
-        return apply_mutation(self, mutation, product=False, out=mutation.positions)
+        with self.gate.write():
+            mutation = self._customer_store.update(positions, points)
+            return apply_mutation(
+                self, mutation, product=False, out=mutation.positions
+            )
 
     def _require_bichromatic(self) -> None:
         if self.monochromatic:
@@ -77,7 +107,8 @@ class EngineMutationMixin:
         """Drop every derived result cache (RSL, safe regions, approx
         stores, DSL cache) — the unscoped fallback after a mutation,
         counted under ``cache.evicted_full``."""
-        invalidate_all(self)
+        with self.gate.write():
+            invalidate_all(self)
 
     def without_products(self, positions: Sequence[int]):
         """A what-if engine with the given products deleted.

@@ -48,4 +48,23 @@ class IndexCorruptionError(ReproError):
 class StaleSessionError(ReproError):
     """Raised when a :class:`repro.store.WhyNotSession` pinned to one
     dataset epoch is read after the underlying store mutated.  Refresh the
-    session to accept the new generation."""
+    session to accept the new generation.
+
+    Carries the two epochs as structured attributes so machine callers
+    (the serve layer maps this to a retryable response) never have to
+    parse the message: :attr:`pinned_epoch` is the generation the reader
+    was pinned to, :attr:`current_epoch` the engine's generation at the
+    time of the failed read.  Either may be ``None`` for raise sites
+    that predate the contract.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pinned_epoch: "int | None" = None,
+        current_epoch: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.pinned_epoch = pinned_epoch
+        self.current_epoch = current_epoch

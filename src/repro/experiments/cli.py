@@ -58,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
             "shard",
             "prune",
             "obs",
+            "serve",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
@@ -73,7 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         "mutations, and asserts the prune counter balance invariant; "
         "'obs' runs a journaled workload, prints the per-query journal "
         "summary and the cost-drift sentinel table, and asserts the "
-        "sharded worker-telemetry counter balance)",
+        "sharded worker-telemetry counter balance; 'serve' starts the "
+        "asyncio service in-process, fires concurrent HTTP clients "
+        "through a mixed read/write workload and asserts every served "
+        "response is bit-identical to a direct engine call at its "
+        "served epoch)",
     )
     parser.add_argument(
         "--sizes",
@@ -244,6 +249,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _prune(args)
     if experiment == "obs":
         return _obs(args)
+    if experiment == "serve":
+        return _serve(args)
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -1109,6 +1116,196 @@ def _validate(args: argparse.Namespace) -> str:
     return format_block(header, body)
 
 
+def _serve(args: argparse.Namespace) -> str:
+    """The serving-layer smoke: an in-process asyncio service under
+    concurrent HTTP clients, verified answer-by-answer against direct
+    engine calls replayed at each served epoch."""
+    import asyncio
+
+    import numpy as np
+
+    from repro.core.batch import answer_why_not
+    from repro.core.engine import WhyNotEngine
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+    from repro.serve import (
+        ServeConfig,
+        WhyNotHTTPServer,
+        WhyNotService,
+        canonical_json,
+        http_json,
+        serialize_answer,
+    )
+
+    size = args.sizes[0] if args.sizes else 300
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    half = dataset.points.shape[0] // 2
+    products = dataset.points[:half]
+    customers = dataset.points[half:]
+    query = np.quantile(products, 0.5, axis=0)
+    questions = list(range(min(6, customers.shape[0])))
+    n_readers = 16
+    mutation_log = [
+        ("insert_products", {"points": [[0.81, 0.13]]}),
+        ("insert_products", {"points": [[0.17, 0.88]]}),
+    ]
+
+    lines: list[str] = []
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    async def scenario() -> dict:
+        engine = WhyNotEngine(
+            products, customers=customers, backend=args.backend
+        )
+        service = WhyNotService(
+            engine,
+            ServeConfig(max_inflight=8, coalesce_window_s=0.002),
+        )
+        out: dict = {}
+        async with service:
+            async with WhyNotHTTPServer(service) as server:
+                host, port = server.host, server.port
+
+                async def read(i: int):
+                    return await http_json(
+                        host, port, "POST", "/why-not",
+                        {
+                            "why_not": questions[i % len(questions)],
+                            "query": list(query),
+                            "deadline_s": 30,
+                        },
+                    )
+
+                async def write_all():
+                    results = []
+                    for op, payload in mutation_log:
+                        await asyncio.sleep(0.003)
+                        results.append(
+                            await http_json(
+                                host, port, "POST", "/mutate",
+                                dict(payload, op=op),
+                            )
+                        )
+                    return results
+
+                gathered = await asyncio.gather(
+                    *[read(i) for i in range(n_readers)], write_all()
+                )
+                out["reads"] = gathered[:n_readers]
+                out["writes"] = gathered[n_readers]
+                out["health"] = await http_json(host, port, "GET", "/healthz")
+                out["metrics"] = await http_json(host, port, "GET", "/metrics")
+            out["counters"] = {
+                "requests": int(service.m_requests.value),
+                "completed": int(service.m_completed.value),
+                "coalesced": int(service.m_coalesced.value),
+                "batches": int(service.m_batches.value),
+                "shed": int(service.m_shed_queue.value)
+                + int(service.m_shed_deadline.value),
+                "drains": int(service.m_drains.value),
+            }
+            out["leases_active"] = engine.leases.active
+            out["final_epoch"] = engine.dataset_epoch
+        out["engine_closed"] = engine.closed
+        return out
+
+    out = asyncio.run(scenario())
+
+    check(
+        "every read answered 200",
+        all(status == 200 for status, _ in out["reads"]),
+    )
+    check(
+        "every mutation answered 200 with advancing epochs",
+        [status for status, _ in out["writes"]] == [200, 200]
+        and [body["epoch"] for _, body in out["writes"]] == [1, 2],
+    )
+
+    # Replay verification: a twin engine is rebuilt at each served epoch
+    # by replaying the mutation-log prefix, and every served response
+    # must be bit-identical to the twin's direct answer.
+    twins: dict[int, WhyNotEngine] = {}
+
+    def direct(epoch: int, why_not: int) -> str:
+        if epoch not in twins:
+            twin = WhyNotEngine(
+                products.copy(), customers=customers.copy(),
+                backend=args.backend,
+            )
+            for op, payload in mutation_log[:epoch]:
+                getattr(twin, op)(**payload)
+            twins[epoch] = twin
+        return canonical_json(
+            serialize_answer(answer_why_not(twins[epoch], why_not, query))
+        )
+
+    divergent = 0
+    epochs_served = set()
+    for status, body in out["reads"]:
+        if status != 200:
+            divergent += 1
+            continue
+        epochs_served.add(body["epoch"])
+        expected = direct(body["epoch"], body["result"]["why_not"]["position"])
+        if canonical_json(body["result"]) != expected:
+            divergent += 1
+    for twin in twins.values():
+        twin.close()
+    check(
+        f"all {n_readers} served responses bit-identical to direct "
+        f"engine calls (epochs {sorted(epochs_served)})",
+        divergent == 0,
+    )
+    counters = out["counters"]
+    check(
+        "serve counters balance (requests == completed + shed)",
+        counters["requests"] == counters["completed"] + counters["shed"],
+    )
+    check("coalescer folded concurrent requests", counters["coalesced"] >= 1)
+    check(
+        "writer drained once per mutation batch",
+        1 <= counters["drains"] <= len(mutation_log),
+    )
+    check(
+        "final epoch equals applied mutations",
+        out["final_epoch"] == len(mutation_log),
+    )
+    check("no lease leaked", out["leases_active"] == 0)
+    check("stop() closed the engine", out["engine_closed"])
+    health_status, health = out["health"]
+    check("healthz reported ok", health_status == 200 and health["status"] == "ok")
+    metrics_status, metrics_text = out["metrics"]
+    check(
+        "metrics endpoint exports serve.* and engine counters",
+        metrics_status == 200
+        and "serve_requests_total" in metrics_text
+        and "engine_dataset_epoch" in metrics_text,
+    )
+
+    verdict = "all checks passed" if not failures else f"{failures} FAILURES"
+    body = "\n".join(
+        [
+            f"dataset UN n={size} ({half} products / "
+            f"{customers.shape[0]} customers), backend={args.backend}",
+            f"workload: {n_readers} concurrent why-not clients + "
+            f"{len(mutation_log)} interleaved mutations over HTTP",
+            f"counters: {counters}",
+            "",
+            *lines,
+            "",
+            f"verdict: {verdict}",
+        ]
+    )
+    return format_block(
+        "SERVE — concurrent serving layer vs direct engine calls", body
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     experiments = (
@@ -1126,7 +1323,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         sys.stdout.write(output)
         chunks.append(output)
         if (
-            experiment in ("validate", "updates", "shard", "prune", "obs")
+            experiment
+            in ("validate", "updates", "shard", "prune", "obs", "serve")
             and "FAIL" in output
         ):
             failed = True

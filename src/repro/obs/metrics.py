@@ -23,6 +23,7 @@ wall-clock regression to a specific counter.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Iterator, Mapping, Sequence
 
@@ -36,18 +37,31 @@ class Counter:
     directly (``stats.queries = 0`` in ``reset``), and the hot paths use
     ``inc`` which is one add.  Nothing enforces monotonicity — ``reset``
     and the stats-roll contract legitimately zero it.
+
+    Single-threaded by default: ``value += amount`` is a read-modify-
+    write that can lose increments under concurrent readers.  A registry
+    that has been :meth:`MetricsRegistry.make_threadsafe`-d shares one
+    lock into ``_lock`` on every metric it owns (including attached
+    stats-view counters), and ``inc`` then takes it — the branch costs
+    one attribute load on the default path.
     """
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str, help: str = "", value: "int | float" = 0) -> None:
         self.name = name
         self.help = help
         self.value = value
+        self._lock: threading.RLock | None = None
 
     def inc(self, amount: "int | float" = 1) -> None:
-        self.value += amount
+        lock = self._lock
+        if lock is None:
+            self.value += amount
+        else:
+            with lock:
+                self.value += amount
 
     def set(self, value: "int | float") -> None:
         self.value = value
@@ -65,22 +79,33 @@ class Counter:
 class Gauge:
     """A point-in-time value (cache sizes, box counts, hit rates)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str, help: str = "", value: float = 0.0) -> None:
         self.name = name
         self.help = help
         self.value = value
+        self._lock: threading.RLock | None = None
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        lock = self._lock
+        if lock is None:
+            self.value += amount
+        else:
+            with lock:
+                self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        lock = self._lock
+        if lock is None:
+            self.value -= amount
+        else:
+            with lock:
+                self.value -= amount
 
     def reset(self) -> None:
         self.value = 0.0
@@ -104,7 +129,9 @@ class Histogram:
     overflow slot at the end for observations above the largest bound.
     """
 
-    __slots__ = ("name", "help", "buckets", "bucket_counts", "count", "sum")
+    __slots__ = (
+        "name", "help", "buckets", "bucket_counts", "count", "sum", "_lock",
+    )
     kind = "histogram"
 
     def __init__(
@@ -122,11 +149,19 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        self._lock: threading.RLock | None = None
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
+        lock = self._lock
+        if lock is None:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+        else:
+            with lock:
+                self.bucket_counts[bisect_left(self.buckets, value)] += 1
+                self.count += 1
+                self.sum += value
 
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.buckets) + 1)
@@ -169,11 +204,42 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+        self._shared_lock: threading.RLock | None = None
+
+    # ------------------------------------------------------------------
+    # Thread safety (opt-in, for the concurrent serving layer)
+    # ------------------------------------------------------------------
+    @property
+    def thread_safe(self) -> bool:
+        """True once :meth:`make_threadsafe` has run."""
+        return self._shared_lock is not None
+
+    def make_threadsafe(self) -> None:
+        """Install one shared re-entrant lock into every metric this
+        registry owns, now and in the future.
+
+        After this call, ``inc``/``dec``/``observe`` on any registered
+        metric — including counters :meth:`attach`-ed from stats views,
+        which share the same objects — are atomic across threads, and
+        the registry's own get-or-create path is guarded.  Values and
+        public behaviour are unchanged; idempotent.
+        """
+        if self._shared_lock is None:
+            self._shared_lock = threading.RLock()
+        for metric in self._metrics.values():
+            metric._lock = self._shared_lock
 
     # ------------------------------------------------------------------
     # Get-or-create
     # ------------------------------------------------------------------
     def _get_or_create(self, name: str, factory, kind: str):
+        lock = self._shared_lock
+        if lock is None:
+            return self._get_or_create_unlocked(name, factory, kind)
+        with lock:
+            return self._get_or_create_unlocked(name, factory, kind)
+
+    def _get_or_create_unlocked(self, name: str, factory, kind: str):
         metric = self._metrics.get(name)
         if metric is not None:
             if metric.kind != kind:
@@ -183,6 +249,7 @@ class MetricsRegistry:
                 )
             return metric
         metric = factory()
+        metric._lock = self._shared_lock
         self._metrics[name] = metric
         return metric
 
@@ -213,6 +280,8 @@ class MetricsRegistry:
             return
         if existing is not None:
             raise ValueError(f"metric name {name!r} already in use")
+        if self._shared_lock is not None:
+            metric._lock = self._shared_lock
         self._metrics[name] = metric
 
     # ------------------------------------------------------------------

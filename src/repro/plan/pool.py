@@ -1,0 +1,102 @@
+"""A per-epoch pool of prepared plans, shared across serving requests.
+
+``engine.prepare`` already reuses planned *trees* through the
+:class:`~repro.plan.cache.PlanCache`, but every call still rebuilds the
+request binding and a fresh :class:`~repro.plan.prepared.PreparedPlan`.
+A serving layer answering thousands of structurally identical requests
+per second wants the inverse factoring: plan once per (shape, epoch,
+config) key — the same key the plan cache uses — and *re-bind* the
+pooled tree to each request's coordinates, which is one dataclass
+construction instead of a planner visit.
+
+The pool is read-mostly and epoch-keyed, so stale entries are never
+served: a pooled node from another generation simply misses (its key
+carries the old epoch) and :meth:`PlanPool.prune_stale` lets the serve
+writer drop dead generations after each epoch bump.  Thread-safety
+matches the engine contract — concurrent readers may race to insert
+the same key, which is idempotent (both nodes are equivalent plans and
+dict assignment is atomic); counters are exact once
+``engine.enable_thread_safety()`` has locked the registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.plan.prepared import PreparedPlan
+from repro.plan.requests import build_request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import WhyNotEngine
+    from repro.plan.executor import PlanNode
+    from repro.plan.logical import LogicalPlan
+
+__all__ = ["PlanPool"]
+
+
+class PlanPool:
+    """Epoch-keyed pool of planned trees with per-request re-binding."""
+
+    def __init__(self, engine: "WhyNotEngine") -> None:
+        self._engine = engine
+        self._entries: dict[tuple, tuple["LogicalPlan", "PlanNode"]] = {}
+        obs = engine.obs
+        self.hits = obs.counter(
+            "plan.pool_hits", "prepared-plan pool lookups served pooled"
+        )
+        self.misses = obs.counter(
+            "plan.pool_misses", "prepared-plan pool lookups that planned"
+        )
+        self.pruned = obs.counter(
+            "plan.pool_pruned", "pooled plans dropped from dead epochs"
+        )
+
+    def prepare(self, surface: str, *args, **kwargs) -> PreparedPlan:
+        """A :class:`PreparedPlan` for one surface request, reusing the
+        pooled tree when this (shape, epoch, config) was seen before.
+
+        The returned plan is pinned to the engine's current epoch
+        exactly like ``engine.prepare`` — executing it after a mutation
+        raises :class:`~repro.exceptions.StaleSessionError`.
+        """
+        engine = self._engine
+        logical, ctx_kwargs = build_request(engine, surface, *args, **kwargs)
+        key = (logical.cache_key(), engine.dataset_epoch, engine._config_fp)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses.inc()
+            prepared = engine._prepare(logical, ctx_kwargs)
+            self._entries[key] = (prepared.logical, prepared.node)
+            return prepared
+        self.hits.inc()
+        pooled_logical, node = entry
+        return PreparedPlan(
+            engine, pooled_logical, node, ctx_kwargs, plan_cached=True
+        )
+
+    def prune_stale(self) -> int:
+        """Drop pooled entries from generations other than the current
+        epoch; returns (and counts) how many."""
+        epoch = self._engine.dataset_epoch
+        stale = [key for key in self._entries if key[1] != epoch]
+        for key in stale:
+            self._entries.pop(key, None)
+        if stale:
+            self.pruned.inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> int:
+        dropped = len(self._entries)
+        if dropped:
+            self._entries.clear()
+            self.pruned.inc(dropped)
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanPool(entries={len(self._entries)}, "
+            f"hits={int(self.hits.value)}, misses={int(self.misses.value)})"
+        )

@@ -53,15 +53,27 @@ class PreparedPlan:
         return self._engine.dataset_epoch != self._epoch
 
     def execute(self) -> Any:
-        """Run the plan; refuses on a mutated dataset."""
+        """Run the plan; refuses on a mutated dataset.
+
+        The epoch check happens inside the engine's read gate, so under
+        concurrent readers the refusal is race-free: a commit either
+        lands before this execution (stale raises, with structured
+        ``pinned_epoch``/``current_epoch`` attributes) or after it.
+        """
         current = self._engine.dataset_epoch
         if current != self._epoch:
+            # Fast-path refusal outside the gate keeps the error cheap
+            # in the common single-threaded case; the gate re-checks.
             raise StaleSessionError(
                 f"plan prepared at dataset epoch {self._epoch}, but the "
                 f"engine is now at epoch {current}; call replan() to plan "
-                "against the mutated market"
+                "against the mutated market",
+                pinned_epoch=self._epoch,
+                current_epoch=current,
             )
-        return self._engine._run_plan(self.node, self._ctx_kwargs)
+        return self._engine._run_plan(
+            self.node, self._ctx_kwargs, pinned_epoch=self._epoch
+        )
 
     def replan(self) -> "PreparedPlan":
         """A fresh prepared plan for the same request at the current

@@ -1,0 +1,172 @@
+"""Admission control: bounded queueing, deadlines and load shedding.
+
+A service without admission control does not degrade — it deadlocks or
+grows an unbounded queue whose tail latency is infinite.  The
+controller here enforces the two bounds a why-not service needs:
+
+* at most ``max_inflight`` requests execute concurrently (the NumPy
+  executor has a fixed thread count; admitting more only queues them
+  somewhere less observable);
+* at most ``max_queue`` requests *wait* for a slot.  Arrival number
+  ``max_queue + 1`` is refused immediately (:class:`QueueFullError`,
+  the 429 of the HTTP front) rather than queued to time out later —
+  shedding early is what keeps the p99 of *admitted* requests bounded.
+
+A queued request that reaches its deadline before a slot frees is shed
+with :class:`DeadlineError` (the HTTP 503).  Both are subclasses of
+:class:`ShedError`, which carries the HTTP-ish status code so the
+transport layer is a dumb mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import Gauge
+
+__all__ = [
+    "AdmissionController",
+    "DeadlineError",
+    "QueueFullError",
+    "ShedError",
+]
+
+
+class ShedError(Exception):
+    """A request refused by the service rather than answered.
+
+    ``status`` is the HTTP-style status code (429 or 503) and
+    ``reason`` a short machine-readable tag; ``retryable`` tells the
+    client whether backing off and retrying can succeed.
+    """
+
+    status = 503
+    reason = "shed"
+    retryable = True
+
+    def payload(self) -> dict:
+        """The JSON body the HTTP front sends for this refusal."""
+        return {"error": self.reason, "retryable": self.retryable,
+                "detail": str(self)}
+
+
+class QueueFullError(ShedError):
+    """The admission queue is at capacity (HTTP 429)."""
+
+    status = 429
+    reason = "queue_full"
+
+
+class DeadlineError(ShedError):
+    """The request's deadline expired before it could be served
+    (HTTP 503)."""
+
+    status = 503
+    reason = "deadline_exceeded"
+
+
+class AdmissionController:
+    """Bounded-concurrency, bounded-queue request admission.
+
+    Asyncio-native (single event loop); the gauges, when supplied, track
+    queue depth and in-flight count for the ``serve.*`` metrics.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        queue_depth_gauge: "Gauge | None" = None,
+        inflight_gauge: "Gauge | None" = None,
+    ) -> None:
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self._slots = asyncio.Semaphore(self.max_inflight)
+        self._waiting = 0
+        self._inflight = 0
+        self._queue_depth_gauge = queue_depth_gauge
+        self._inflight_gauge = inflight_gauge
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def _set_gauges(self) -> None:
+        if self._queue_depth_gauge is not None:
+            self._queue_depth_gauge.set(self._waiting)
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.set(self._inflight)
+
+    async def acquire(self, deadline: float) -> None:
+        """Wait for an execution slot; sheds instead of waiting forever.
+
+        ``deadline`` is an absolute ``loop.time()`` instant.  Raises
+        :class:`QueueFullError` when the wait queue is full and
+        :class:`DeadlineError` when the deadline passes first.
+        """
+        loop = asyncio.get_running_loop()
+        if not self._slots.locked():
+            # A slot is free: admit without queueing, so max_queue=0
+            # means "never wait", not "never serve".
+            await self._slots.acquire()
+            self._inflight += 1
+            self._set_gauges()
+            return
+        if self._waiting >= self.max_queue:
+            raise QueueFullError(
+                f"admission queue full ({self._waiting} waiting, "
+                f"limit {self.max_queue})"
+            )
+        self._waiting += 1
+        self._set_gauges()
+        try:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise DeadlineError("deadline expired before admission")
+            try:
+                await asyncio.wait_for(self._slots.acquire(), remaining)
+            except asyncio.TimeoutError:
+                raise DeadlineError(
+                    f"no execution slot within the deadline "
+                    f"({self.max_inflight} in flight)"
+                ) from None
+        finally:
+            self._waiting -= 1
+            self._set_gauges()
+        self._inflight += 1
+        self._set_gauges()
+
+    def release(self) -> None:
+        self._inflight -= 1
+        self._slots.release()
+        self._set_gauges()
+
+    def slot(self, deadline: float) -> "_AdmissionSlot":
+        """``async with admission.slot(deadline): ...`` — acquire on
+        enter, always release on exit."""
+        return _AdmissionSlot(self, deadline)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(inflight={self._inflight}/"
+            f"{self.max_inflight}, waiting={self._waiting}/{self.max_queue})"
+        )
+
+
+class _AdmissionSlot:
+    def __init__(self, controller: AdmissionController, deadline: float):
+        self._controller = controller
+        self._deadline = deadline
+
+    async def __aenter__(self) -> AdmissionController:
+        await self._controller.acquire(self._deadline)
+        return self._controller
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._controller.release()

@@ -1,0 +1,328 @@
+"""A dependency-free asyncio HTTP/1.1 front for :class:`WhyNotService`.
+
+The repo's no-new-dependencies rule extends to the serving layer, so
+the transport is ~200 lines of ``asyncio.start_server``: request-line +
+headers + Content-Length body in, status + JSON (or Prometheus text)
+out, keep-alive honoured.  It deliberately supports only what the
+service needs — no chunked encoding, no TLS, no pipelining — and maps
+service exceptions onto the admission-control status codes:
+
+========================  ======  =================================
+``QueueFullError``        429     bounded queue full, retry later
+``DeadlineError``         503     shed past its deadline
+``StaleEpochError``       503     retryable epoch race
+bad JSON / bad params     400     client error, do not retry
+unknown path              404
+anything else             500     served as ``{"error": "internal"}``
+========================  ======  =================================
+
+Routes: ``POST /why-not``, ``POST /safe-region``, ``POST /explain``,
+``POST /mutate``, ``GET /metrics`` (Prometheus text), ``GET /healthz``.
+:func:`http_json` is the matching minimal client used by the tests,
+the CLI experiment and the benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ReproError
+from repro.serve.admission import ShedError
+from repro.serve.serialize import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.service import WhyNotService
+
+__all__ = ["WhyNotHTTPServer", "http_json"]
+
+_MAX_HEADER_LINE = 16 * 1024
+_MAX_BODY = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    pass
+
+
+class WhyNotHTTPServer:
+    """One service, one listening socket, keep-alive connections."""
+
+    def __init__(
+        self,
+        service: "WhyNotService",
+        host: "str | None" = None,
+        port: "int | None" = None,
+    ) -> None:
+        self.service = service
+        self.host = host if host is not None else service.config.host
+        self.port = port if port is not None else service.config.port
+        self._server: "asyncio.AbstractServer | None" = None
+
+    async def start(self) -> "WhyNotHTTPServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "WhyNotHTTPServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as exc:
+                    _write_response(
+                        writer, 400,
+                        _json_body({"error": "bad_request",
+                                    "detail": str(exc)}),
+                        keep_alive=False,
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                status, content_type, payload = await self._route(
+                    method, path, body
+                )
+                _write_response(
+                    writer, status, payload,
+                    content_type=content_type, keep_alive=keep_alive,
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple:
+        service = self.service
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, "application/json", _json_body(service.health())
+            if method == "GET" and path == "/metrics":
+                return (
+                    200,
+                    "text/plain; version=0.0.4",
+                    service.metrics_text().encode(),
+                )
+            if method != "POST" or path not in (
+                "/why-not", "/safe-region", "/explain", "/mutate"
+            ):
+                return (
+                    404 if path not in (
+                        "/why-not", "/safe-region", "/explain", "/mutate",
+                        "/metrics", "/healthz",
+                    ) else 405,
+                    "application/json",
+                    _json_body({"error": "not_found", "path": path}),
+                )
+            params = _parse_json(body)
+            if path == "/why-not":
+                result = await service.why_not(
+                    params["why_not"],
+                    params["query"],
+                    approximate=bool(params.get("approximate", False)),
+                    k=int(params.get("k", 10)),
+                    deadline_s=params.get("deadline_s"),
+                )
+            elif path == "/safe-region":
+                result = await service.safe_region(
+                    params["query"],
+                    approximate=bool(params.get("approximate", False)),
+                    k=int(params.get("k", 10)),
+                    deadline_s=params.get("deadline_s"),
+                )
+            elif path == "/explain":
+                result = await service.explain(
+                    params["why_not"],
+                    params["query"],
+                    deadline_s=params.get("deadline_s"),
+                )
+            else:  # /mutate
+                op = params.pop("op", None)
+                if not isinstance(op, str):
+                    raise _BadRequest("mutate requires a string 'op' field")
+                result = await service.mutate(op, **params)
+            return 200, "application/json", _json_body(result)
+        except ShedError as exc:
+            return exc.status, "application/json", _json_body(exc.payload())
+        except (_BadRequest, KeyError, TypeError, ValueError) as exc:
+            detail = (
+                f"missing field {exc}" if isinstance(exc, KeyError)
+                else str(exc)
+            )
+            return 400, "application/json", _json_body(
+                {"error": "bad_request", "detail": detail}
+            )
+        except ReproError as exc:
+            return 400, "application/json", _json_body(
+                {"error": type(exc).__name__, "detail": str(exc)}
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            return 500, "application/json", _json_body(
+                {"error": "internal", "detail": str(exc)}
+            )
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+def _json_body(payload: Any) -> bytes:
+    return canonical_json(payload).encode()
+
+
+def _parse_json(body: bytes) -> dict:
+    if not body:
+        raise _BadRequest("empty request body; expected JSON")
+    try:
+        params = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise _BadRequest(f"invalid JSON body: {exc}") from exc
+    if not isinstance(params, dict):
+        raise _BadRequest("JSON body must be an object")
+    return params
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """One request as ``(method, path, headers, body)``; ``None`` at EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_HEADER_LINE:
+        raise _BadRequest("request line too long")
+    try:
+        method, path, _version = line.decode("latin-1").strip().split(" ", 2)
+    except ValueError:
+        raise _BadRequest("malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if len(line) > _MAX_HEADER_LINE:
+            raise _BadRequest("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        raise _BadRequest("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: "dict | None" = None,
+    reader: "asyncio.StreamReader | None" = None,
+    writer: "asyncio.StreamWriter | None" = None,
+) -> tuple:
+    """Minimal JSON-over-HTTP client: ``(status, parsed_body)``.
+
+    Pass an open ``(reader, writer)`` pair to reuse a keep-alive
+    connection (the benchmark does); otherwise one connection is opened
+    and closed per call.
+    """
+    own = reader is None or writer is None
+    if own:
+        reader, writer = await asyncio.open_connection(host, port)
+    assert reader is not None and writer is not None
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if own else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    try:
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await reader.readexactly(length) if length else b""
+    finally:
+        if own:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+    if headers.get("content-type", "").startswith("application/json") and raw:
+        return status, json.loads(raw)
+    return status, raw.decode()

@@ -1,7 +1,9 @@
 """Versioned dataset layer: copy-on-write stores and epoch-pinned sessions.
 
-See :mod:`repro.store.base` for the store/mutation model and
-:mod:`repro.store.session` for stale-read detection.
+See :mod:`repro.store.base` for the store/mutation model,
+:mod:`repro.store.session` for stale-read detection, and
+:mod:`repro.store.lease` for the single-writer / multi-reader snapshot
+leases the concurrent serving layer drains between write batches.
 """
 
 from repro.store.base import (
@@ -11,13 +13,16 @@ from repro.store.base import (
     Snapshot,
     VersionedStore,
 )
+from repro.store.lease import LeaseRegistry, SnapshotLease
 from repro.store.session import WhyNotSession
 
 __all__ = [
     "CustomerStore",
+    "LeaseRegistry",
     "Mutation",
     "ProductStore",
     "Snapshot",
+    "SnapshotLease",
     "VersionedStore",
     "WhyNotSession",
 ]

@@ -1,0 +1,221 @@
+"""Snapshot leases: request-granular epoch pinning for one writer and
+many readers.
+
+The engine's :class:`~repro.core.gate.ReadWriteGate` makes a *single
+plan execution* atomic against a mutation, but a serving request is
+usually several plans (``answer_why_not`` is four surface calls): a
+writer slipping between two of them turns the request into a
+:class:`~repro.exceptions.StaleSessionError` mid-flight.  A
+:class:`SnapshotLease` extends the pin to the whole request: a reader
+acquires a lease before its first plan and releases it after building
+the response, and the writer's :meth:`LeaseRegistry.drain` waits until
+every outstanding lease is released — blocking *new* leases meanwhile,
+so a steady read stream cannot starve the writer — before the mutation
+batch is applied.
+
+Epoch-bump notification rides on the same condition variable:
+:meth:`LeaseRegistry.wait_epoch_beyond` blocks until the published
+epoch moves past a given generation (with a deadline), which is how
+drained serve sessions learn they can re-pin without polling.
+
+The registry is thread-based (the engine's readers run in executor
+threads); the asyncio service wraps the two blocking calls —
+contended ``acquire`` and ``drain`` — in its executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["LeaseRegistry", "SnapshotLease"]
+
+
+class SnapshotLease:
+    """One reader's hold on one dataset generation.
+
+    Context-manager style; releasing twice is a no-op.  The lease only
+    *records* the epoch it was pinned at — consistency comes from the
+    registry's drain protocol, not from copying data.
+    """
+
+    __slots__ = ("_registry", "epoch", "_released")
+
+    def __init__(self, registry: "LeaseRegistry", epoch: int) -> None:
+        self._registry = registry
+        self.epoch = epoch
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._registry._release()
+
+    def __enter__(self) -> "SnapshotLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "held"
+        return f"SnapshotLease(epoch={self.epoch}, {state})"
+
+
+class LeaseRegistry:
+    """Single-writer / multi-reader coordination at request granularity.
+
+    Parameters
+    ----------
+    epoch_fn:
+        Zero-argument callable returning the current dataset epoch
+        (``lambda: engine.dataset_epoch``); leases pin its value at
+        acquisition time and :meth:`publish` re-reads it after a write
+        batch.
+    """
+
+    def __init__(self, epoch_fn: Callable[[], int]) -> None:
+        self._epoch_fn = epoch_fn
+        self._cond = threading.Condition()
+        self._active = 0
+        self._writer_pending = False
+        self._published_epoch = int(epoch_fn())
+        # Lifetime accounting (read by the serve counters and tests).
+        self.acquired_total = 0
+        self.drains_total = 0
+        self.drained_leases_total = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Leases currently held."""
+        return self._active
+
+    @property
+    def writer_pending(self) -> bool:
+        """True while a writer is draining (new leases will block)."""
+        return self._writer_pending
+
+    @property
+    def published_epoch(self) -> int:
+        """The epoch most recently published by :meth:`publish` (or at
+        construction)."""
+        return self._published_epoch
+
+    def acquire(self, timeout: "float | None" = None) -> SnapshotLease:
+        """Pin the current epoch; blocks while a writer is draining.
+
+        Raises ``TimeoutError`` when the writer does not finish within
+        ``timeout`` seconds.
+        """
+        with self._cond:
+            if self._writer_pending and not self._cond.wait_for(
+                lambda: not self._writer_pending, timeout=timeout
+            ):
+                raise TimeoutError(
+                    "timed out waiting for the writer to finish its batch"
+                )
+            self._active += 1
+            self.acquired_total += 1
+            return SnapshotLease(self, int(self._epoch_fn()))
+
+    def _release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            if self._active == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def drain(self, timeout: "float | None" = None) -> "_DrainScope":
+        """Context manager for one write batch::
+
+            with engine.leases.drain():
+                engine.insert_products(rows)   # any number of mutations
+
+        Entering blocks new leases and waits for the active ones to
+        release (``TimeoutError`` on deadline, with admission re-opened);
+        exiting publishes the new epoch and wakes epoch waiters.  Only
+        one writer may drain at a time — a second concurrent ``drain``
+        raises ``RuntimeError`` (the contract is *single*-writer; the
+        serve layer serializes mutations through one writer task).
+        """
+        return _DrainScope(self, timeout)
+
+    def publish(self) -> int:
+        """Re-read and publish the current epoch, waking every
+        :meth:`wait_epoch_beyond` waiter.  Called automatically when a
+        drain scope exits; harmless to call directly after out-of-band
+        mutations."""
+        with self._cond:
+            self._published_epoch = int(self._epoch_fn())
+            self._cond.notify_all()
+            return self._published_epoch
+
+    # ------------------------------------------------------------------
+    # Epoch-bump notification
+    # ------------------------------------------------------------------
+    def wait_epoch_beyond(
+        self, epoch: int, timeout: "float | None" = None
+    ) -> int:
+        """Block until the published epoch exceeds ``epoch``; returns the
+        published epoch, raising ``TimeoutError`` on deadline."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._published_epoch > epoch, timeout=timeout
+            ):
+                raise TimeoutError(
+                    f"epoch did not move beyond {epoch} within the deadline"
+                )
+            return self._published_epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"LeaseRegistry(active={self._active}, "
+            f"writer_pending={self._writer_pending}, "
+            f"published_epoch={self._published_epoch})"
+        )
+
+
+class _DrainScope:
+    """The writer's context manager; see :meth:`LeaseRegistry.drain`."""
+
+    def __init__(self, registry: LeaseRegistry, timeout: "float | None") -> None:
+        self._registry = registry
+        self._timeout = timeout
+
+    def __enter__(self) -> LeaseRegistry:
+        registry = self._registry
+        with registry._cond:
+            if registry._writer_pending:
+                raise RuntimeError(
+                    "another writer is already draining; the lease "
+                    "contract is single-writer"
+                )
+            registry._writer_pending = True
+            registry.drains_total += 1
+            registry.drained_leases_total += registry._active
+            if not registry._cond.wait_for(
+                lambda: registry._active == 0, timeout=self._timeout
+            ):
+                registry._writer_pending = False
+                registry._cond.notify_all()
+                raise TimeoutError(
+                    f"{registry._active} lease(s) still held past the "
+                    "drain deadline"
+                )
+        return registry
+
+    def __exit__(self, *exc_info) -> None:
+        registry = self._registry
+        with registry._cond:
+            registry._writer_pending = False
+            registry._published_epoch = int(registry._epoch_fn())
+            registry._cond.notify_all()

@@ -77,7 +77,9 @@ class WhyNotSession:
             raise StaleSessionError(
                 f"session pinned at dataset epoch {self._epoch}, but the "
                 f"engine is now at epoch {current}; call refresh() to "
-                "accept the mutated market"
+                "accept the mutated market",
+                pinned_epoch=self._epoch,
+                current_epoch=current,
             )
 
     def __enter__(self) -> "WhyNotSession":

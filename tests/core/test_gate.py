@@ -1,0 +1,120 @@
+"""Unit contract of the engine's readers/writer gate."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.gate import ReadWriteGate
+
+
+def test_concurrent_readers_overlap():
+    gate = ReadWriteGate()
+    inside = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with gate.read():
+            inside.wait()  # only passes if all three hold the read side
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert gate.active_readers == 0
+
+
+def test_reader_reentrancy_single_thread():
+    gate = ReadWriteGate()
+    with gate.read():
+        with gate.read():
+            assert gate.active_readers == 1
+        assert gate.active_readers == 1
+    assert gate.active_readers == 0
+
+
+def test_writer_excludes_readers():
+    gate = ReadWriteGate()
+    observed = []
+    release = threading.Event()
+    writing = threading.Event()
+
+    def writer():
+        with gate.write():
+            writing.set()
+            release.wait(timeout=5)
+            observed.append("write-done")
+
+    def reader():
+        writing.wait(timeout=5)
+        with gate.read():
+            observed.append("read")
+
+    w = threading.Thread(target=writer)
+    r = threading.Thread(target=reader)
+    w.start()
+    writing.wait(timeout=5)
+    r.start()
+    time.sleep(0.05)  # the reader must be blocked at this point
+    assert observed == []
+    release.set()
+    w.join(timeout=5)
+    r.join(timeout=5)
+    assert observed == ["write-done", "read"]
+
+
+def test_writer_preference_blocks_new_readers():
+    gate = ReadWriteGate()
+    reader_holding = threading.Event()
+    release_reader = threading.Event()
+    order = []
+
+    def long_reader():
+        with gate.read():
+            reader_holding.set()
+            release_reader.wait(timeout=5)
+
+    def writer():
+        with gate.write():
+            order.append("writer")
+
+    def late_reader():
+        with gate.read():
+            order.append("late-reader")
+
+    r1 = threading.Thread(target=long_reader)
+    r1.start()
+    reader_holding.wait(timeout=5)
+    w = threading.Thread(target=writer)
+    w.start()
+    time.sleep(0.05)  # writer is now queued
+    r2 = threading.Thread(target=late_reader)
+    r2.start()
+    time.sleep(0.05)
+    # Neither may proceed while the first reader holds the gate.
+    assert order == []
+    release_reader.set()
+    w.join(timeout=5)
+    r2.join(timeout=5)
+    r1.join(timeout=5)
+    assert order[0] == "writer"  # preference: the queued writer goes first
+
+
+def test_write_reentrancy_and_read_passthrough():
+    gate = ReadWriteGate()
+    with gate.write():
+        with gate.write():  # same thread re-enters
+            with gate.read():  # writer passes through the read side
+                assert gate.write_held
+    assert not gate.write_held
+    assert gate.active_readers == 0
+
+
+def test_write_while_reading_refused():
+    gate = ReadWriteGate()
+    with gate.read():
+        with pytest.raises(RuntimeError, match="write side"):
+            with gate.write():
+                pass  # pragma: no cover

@@ -1,0 +1,74 @@
+"""Locked-registry mode: exact counters under thread contention."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_make_threadsafe_is_idempotent_and_marks_registry():
+    registry = MetricsRegistry()
+    assert not registry.thread_safe
+    registry.make_threadsafe()
+    assert registry.thread_safe
+    lock = registry._shared_lock
+    registry.make_threadsafe()
+    assert registry._shared_lock is lock
+
+
+def test_existing_and_new_metrics_share_the_lock():
+    registry = MetricsRegistry()
+    before = registry.counter("made.before")
+    registry.make_threadsafe()
+    after = registry.counter("made.after")
+    gauge = registry.gauge("made.gauge")
+    histogram = registry.histogram("made.histogram")
+    assert before._lock is registry._shared_lock
+    assert after._lock is registry._shared_lock
+    assert gauge._lock is registry._shared_lock
+    assert histogram._lock is registry._shared_lock
+
+
+def test_attach_installs_the_lock():
+    registry = MetricsRegistry()
+    registry.make_threadsafe()
+    from repro.obs.metrics import Counter
+
+    foreign = Counter("foreign.counter")
+    assert foreign._lock is None
+    registry.attach("foreign.counter", foreign)
+    assert foreign._lock is registry._shared_lock
+
+
+def test_contended_increments_are_exact():
+    registry = MetricsRegistry()
+    registry.make_threadsafe()
+    counter = registry.counter("contended.counter")
+    histogram = registry.histogram("contended.histogram", buckets=(0.5, 1.0))
+    threads = 8
+    per_thread = 2_000
+    start = threading.Barrier(threads)
+
+    def worker():
+        start.wait()
+        for _ in range(per_thread):
+            counter.inc()
+            histogram.observe(0.25)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert int(counter.value) == threads * per_thread
+    assert histogram.count == threads * per_thread
+    assert histogram.bucket_counts[0] == threads * per_thread
+
+
+def test_unlocked_registry_still_works():
+    registry = MetricsRegistry()
+    counter = registry.counter("plain.counter")
+    counter.inc(3)
+    assert int(counter.value) == 3
+    assert counter._lock is None

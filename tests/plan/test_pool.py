@@ -1,0 +1,61 @@
+"""The per-epoch prepared-plan pool used by the serving layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import WhyNotEngine
+from repro.plan import PlanPool
+
+
+def _engine() -> WhyNotEngine:
+    rng = np.random.default_rng(5)
+    return WhyNotEngine(rng.random((40, 2)), customers=rng.random((25, 2)))
+
+
+def test_pool_hits_on_repeated_request():
+    engine = _engine()
+    pool = PlanPool(engine)
+    q = np.array([0.4, 0.5])
+    first = pool.prepare("safe_region", q, approximate=False, k=10)
+    assert len(pool) == 1
+    again = pool.prepare("safe_region", q, approximate=False, k=10)
+    assert int(pool.hits.value) == 1
+    assert int(pool.misses.value) == 1
+    assert again.node is first.node  # the pooled tree, re-bound
+
+
+def test_pooled_plan_results_match_engine():
+    engine = _engine()
+    pool = PlanPool(engine)
+    q = np.array([0.4, 0.5])
+    direct = engine.reverse_skyline(q)
+    pool.prepare("reverse_skyline", q)  # prime the pool
+    pooled = pool.prepare("reverse_skyline", q).execute()
+    np.testing.assert_array_equal(pooled, direct)
+
+
+def test_prune_stale_drops_dead_epoch():
+    engine = _engine()
+    pool = PlanPool(engine)
+    q = np.array([0.4, 0.5])
+    pool.prepare("reverse_skyline", q)
+    engine.insert_products([[0.9, 0.9]])
+    assert pool.prune_stale() == 1
+    assert len(pool) == 0
+    assert int(pool.pruned.value) == 1
+    # A fresh request at the new epoch misses and repopulates.
+    pool.prepare("reverse_skyline", q)
+    assert len(pool) == 1
+    assert pool.prune_stale() == 0
+
+
+def test_clear_counts_dropped_entries():
+    engine = _engine()
+    pool = PlanPool(engine)
+    q = np.array([0.2, 0.7])
+    pool.prepare("reverse_skyline", q)
+    pool.prepare("safe_region", q, approximate=False, k=10)
+    assert pool.clear() == 2
+    assert len(pool) == 0
+    assert int(pool.pruned.value) == 2

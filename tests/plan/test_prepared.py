@@ -22,8 +22,10 @@ class TestStaleness:
         prepared = engine.prepare("reverse_skyline", Q)
         engine.insert_products(np.array([[0.25, 0.75]]))
         assert prepared.stale
-        with pytest.raises(StaleSessionError):
+        with pytest.raises(StaleSessionError) as excinfo:
             prepared.execute()
+        assert excinfo.value.pinned_epoch == 0
+        assert excinfo.value.current_epoch == 1
 
     def test_every_surface_is_pinned(self, engine):
         surfaces = [

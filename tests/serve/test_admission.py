@@ -1,0 +1,126 @@
+"""Admission control: bounded queue, deadlines, shed accounting."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineError,
+    QueueFullError,
+)
+
+
+def test_slots_bound_concurrency():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=2, max_queue=10)
+        loop = asyncio.get_running_loop()
+        release = asyncio.Event()
+        peak = 0
+
+        async def request():
+            nonlocal peak
+            async with ctrl.slot(loop.time() + 5):
+                peak = max(peak, ctrl.inflight)
+                await release.wait()
+
+        tasks = [asyncio.create_task(request()) for _ in range(6)]
+        await asyncio.sleep(0.05)
+        assert ctrl.inflight == 2
+        assert ctrl.waiting == 4
+        release.set()
+        await asyncio.gather(*tasks)
+        assert peak == 2
+        assert ctrl.inflight == 0
+        assert ctrl.waiting == 0
+
+    asyncio.run(scenario())
+
+
+def test_queue_overflow_sheds_immediately():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=1, max_queue=2)
+        loop = asyncio.get_running_loop()
+        release = asyncio.Event()
+
+        async def holder():
+            async with ctrl.slot(loop.time() + 5):
+                await release.wait()
+
+        async def waiter():
+            async with ctrl.slot(loop.time() + 5):
+                pass
+
+        hold = asyncio.create_task(holder())
+        await asyncio.sleep(0.01)
+        queued = [asyncio.create_task(waiter()) for _ in range(2)]
+        await asyncio.sleep(0.01)
+        with pytest.raises(QueueFullError):
+            await ctrl.acquire(loop.time() + 5)
+        release.set()
+        await asyncio.gather(hold, *queued)
+
+    asyncio.run(scenario())
+
+
+def test_deadline_sheds_queued_request():
+    async def scenario():
+        ctrl = AdmissionController(max_inflight=1, max_queue=5)
+        loop = asyncio.get_running_loop()
+        release = asyncio.Event()
+
+        async def holder():
+            async with ctrl.slot(loop.time() + 5):
+                await release.wait()
+
+        hold = asyncio.create_task(holder())
+        await asyncio.sleep(0.01)
+        with pytest.raises(DeadlineError):
+            await ctrl.acquire(loop.time() + 0.05)
+        assert ctrl.waiting == 0  # the shed request left the queue
+        with pytest.raises(DeadlineError):
+            await ctrl.acquire(loop.time() - 1)  # already expired
+        release.set()
+        await hold
+        # The slot is reusable after the holder leaves.
+        async with ctrl.slot(loop.time() + 1):
+            assert ctrl.inflight == 1
+
+    asyncio.run(scenario())
+
+
+def test_gauges_track_depth():
+    from repro.obs.metrics import MetricsRegistry
+
+    async def scenario():
+        registry = MetricsRegistry()
+        depth = registry.gauge("q")
+        inflight = registry.gauge("i")
+        ctrl = AdmissionController(
+            1, 5, queue_depth_gauge=depth, inflight_gauge=inflight
+        )
+        loop = asyncio.get_running_loop()
+        release = asyncio.Event()
+
+        async def holder():
+            async with ctrl.slot(loop.time() + 5):
+                await release.wait()
+
+        async def waiter():
+            async with ctrl.slot(loop.time() + 5):
+                pass
+
+        hold = asyncio.create_task(holder())
+        await asyncio.sleep(0.01)
+        wait = asyncio.create_task(waiter())
+        await asyncio.sleep(0.01)
+        assert depth.value == 1
+        assert inflight.value == 1
+        release.set()
+        await asyncio.gather(hold, wait)
+        assert depth.value == 0
+        assert inflight.value == 0
+
+    asyncio.run(scenario())

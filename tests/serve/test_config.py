@@ -1,0 +1,39 @@
+"""ServeConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.serve import ServeConfig
+
+
+def test_defaults_are_valid():
+    cfg = ServeConfig()
+    assert cfg.max_inflight >= 1
+    assert cfg.coalesce
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_inflight": 0},
+        {"max_queue": -1},
+        {"default_deadline_s": 0.0},
+        {"coalesce_window_s": -0.1},
+        {"max_batch": 0},
+        {"executor_threads": 0},
+        {"drain_timeout_s": 0.0},
+        {"stale_retries": -1},
+        {"port": 70000},
+    ],
+)
+def test_invalid_values_refused(kwargs):
+    with pytest.raises(InvalidParameterError):
+        ServeConfig(**kwargs)
+
+
+def test_frozen():
+    cfg = ServeConfig()
+    with pytest.raises(Exception):
+        cfg.max_inflight = 2  # type: ignore[misc]

@@ -1,0 +1,170 @@
+"""The asyncio HTTP front: routing, status mapping, wire round trips."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro import WhyNotEngine
+from repro.core.batch import answer_why_not
+from repro.serve import (
+    QueueFullError,
+    ServeConfig,
+    WhyNotHTTPServer,
+    WhyNotService,
+    canonical_json,
+    http_json,
+    serialize_answer,
+)
+
+QUERY = [0.45, 0.55]
+
+
+def _engine() -> WhyNotEngine:
+    rng = np.random.default_rng(9)
+    return WhyNotEngine(rng.random((40, 2)), customers=rng.random((25, 2)))
+
+
+def _run_with_server(handler):
+    async def scenario():
+        async with WhyNotService(_engine()) as svc:
+            async with WhyNotHTTPServer(svc) as server:
+                await handler(svc, server)
+
+    asyncio.run(scenario())
+
+
+def test_why_not_round_trip_matches_direct_engine():
+    async def handler(svc, server):
+        status, body = await http_json(
+            server.host, server.port, "POST", "/why-not",
+            {"why_not": 3, "query": QUERY},
+        )
+        assert status == 200
+        twin = _engine()
+        direct = serialize_answer(answer_why_not(twin, 3, np.asarray(QUERY)))
+        twin.close()
+        assert canonical_json(body["result"]) == canonical_json(direct)
+        assert body["epoch"] == 0
+        assert body["surface"] == "why_not"
+
+    _run_with_server(handler)
+
+
+def test_all_routes_respond():
+    async def handler(svc, server):
+        host, port = server.host, server.port
+        status, body = await http_json(
+            host, port, "POST", "/safe-region", {"query": QUERY}
+        )
+        assert status == 200 and body["surface"] == "safe_region"
+        status, body = await http_json(
+            host, port, "POST", "/explain", {"why_not": 2, "query": QUERY}
+        )
+        assert status == 200 and body["surface"] == "explain"
+        status, body = await http_json(
+            host, port, "POST", "/mutate",
+            {"op": "insert_products", "points": [[0.9, 0.9]]},
+        )
+        assert status == 200 and body["epoch"] == 1
+        status, body = await http_json(host, port, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, text = await http_json(host, port, "GET", "/metrics")
+        assert status == 200
+        assert "serve_requests_total" in text
+        assert "engine_dataset_epoch" in text  # one scrape, whole registry
+
+    _run_with_server(handler)
+
+
+def test_client_errors_map_to_400_and_404():
+    async def handler(svc, server):
+        host, port = server.host, server.port
+        status, body = await http_json(
+            host, port, "POST", "/why-not", {"query": QUERY}  # missing field
+        )
+        assert status == 400 and body["error"] == "bad_request"
+        status, body = await http_json(host, port, "GET", "/nope")
+        assert status == 404
+        status, body = await http_json(
+            host, port, "POST", "/mutate", {"op": "drop_tables"}
+        )
+        assert status == 400 and body["error"] == "InvalidParameterError"
+        status, body = await http_json(host, port, "GET", "/why-not")
+        assert status == 405
+
+    _run_with_server(handler)
+
+
+def test_shed_maps_to_429_with_retryable_body(monkeypatch):
+    async def handler(svc, server):
+        async def always_full(*args, **kwargs):
+            raise QueueFullError("admission queue full (synthetic)")
+
+        monkeypatch.setattr(svc, "why_not", always_full)
+        status, body = await http_json(
+            server.host, server.port, "POST", "/why-not",
+            {"why_not": 1, "query": QUERY},
+        )
+        assert status == 429
+        assert body["error"] == "queue_full"
+        assert body["retryable"] is True
+
+    _run_with_server(handler)
+
+
+def test_keep_alive_connection_serves_multiple_requests():
+    async def handler(svc, server):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port
+        )
+        try:
+            for i in range(3):
+                status, body = await http_json(
+                    server.host, server.port, "POST", "/explain",
+                    {"why_not": i, "query": QUERY},
+                    reader=reader, writer=writer,
+                )
+                assert status == 200
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    _run_with_server(handler)
+
+
+def test_mixed_http_read_write_consistency():
+    async def handler(svc, server):
+        host, port = server.host, server.port
+
+        async def read(i):
+            return await http_json(
+                host, port, "POST", "/why-not",
+                {"why_not": i % 5, "query": QUERY, "deadline_s": 20},
+            )
+
+        async def write():
+            await asyncio.sleep(0.002)
+            return await http_json(
+                host, port, "POST", "/mutate",
+                {"op": "insert_products", "points": [[0.85, 0.15]]},
+            )
+
+        outs = await asyncio.gather(*[read(i) for i in range(6)], write())
+        assert all(status == 200 for status, _ in outs)
+        # Verify each read against a twin at its served epoch.
+        for status, body in outs[:6]:
+            twin = _engine()
+            if body["epoch"] == 1:
+                twin.insert_products([[0.85, 0.15]])
+            direct = serialize_answer(
+                answer_why_not(
+                    twin, body["result"]["why_not"]["position"],
+                    np.asarray(QUERY),
+                )
+            )
+            twin.close()
+            assert canonical_json(body["result"]) == canonical_json(direct)
+
+    _run_with_server(handler)

@@ -1,0 +1,78 @@
+"""Deterministic serialisation of engine answers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import WhyNotEngine
+from repro.core.batch import answer_why_not
+from repro.serve.serialize import (
+    canonical_json,
+    serialize_answer,
+    serialize_candidate,
+    serialize_explanation,
+    serialize_safe_region,
+)
+
+
+def _engine() -> WhyNotEngine:
+    rng = np.random.default_rng(3)
+    return WhyNotEngine(rng.random((40, 2)), customers=rng.random((25, 2)))
+
+
+def test_answer_serialisation_is_deterministic_and_json_safe():
+    engine = _engine()
+    q = np.array([0.4, 0.5])
+    answer = answer_why_not(engine, 2, q)
+    first = canonical_json(serialize_answer(answer))
+    second = canonical_json(serialize_answer(answer_why_not(engine, 2, q)))
+    assert first == second
+    parsed = json.loads(first)  # strictly valid JSON (allow_nan=False)
+    assert parsed["query"] == [0.4, 0.5]
+    assert {"explanation", "mwp", "mqp", "mwq", "recommendation"} <= set(parsed)
+
+
+def test_nan_cost_becomes_none():
+    from repro.core.answer import Candidate
+
+    cand = Candidate(np.array([0.1, 0.2]))
+    assert np.isnan(cand.cost)
+    assert serialize_candidate(cand)["cost"] is None
+    assert serialize_candidate(None) is None
+
+
+def test_why_not_reference_forms():
+    engine = _engine()
+    q = np.array([0.4, 0.5])
+    by_position = serialize_answer(answer_why_not(engine, 2, q))
+    assert by_position["why_not"] == {"position": 2}
+    point = engine.customers[2]
+    by_point = serialize_answer(answer_why_not(engine, point, q))
+    assert "point" in by_point["why_not"]
+    # Same customer, same coordinates: the substantive fields agree.
+    assert canonical_json(by_point["explanation"]) == canonical_json(
+        by_position["explanation"]
+    )
+
+
+def test_safe_region_serialisation_round_trips():
+    engine = _engine()
+    region = engine.safe_region(np.array([0.4, 0.5]))
+    payload = serialize_safe_region(region)
+    assert payload["area"] is not None
+    assert payload["approximate"] is False
+    assert all(len(box) == 2 for box in payload["boxes"])
+    json.loads(canonical_json(payload))
+
+
+def test_explanation_matrix_shape_for_member():
+    engine = _engine()
+    q = np.array([0.99, 0.99])  # far corner: most customers are members
+    rsl = engine.reverse_skyline(q)
+    if rsl.size:
+        member = int(rsl[0])
+        payload = serialize_explanation(engine.explain(member, q))
+        assert payload["is_member"]
+        assert payload["culprits"] == []

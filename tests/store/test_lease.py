@@ -1,0 +1,104 @@
+"""Snapshot-lease protocol: drain, admission, epoch notification."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.store import LeaseRegistry, SnapshotLease
+
+
+class FakeEpoch:
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def __call__(self) -> int:
+        return self.value
+
+
+def test_acquire_pins_current_epoch_and_releases():
+    epoch = FakeEpoch(7)
+    reg = LeaseRegistry(epoch)
+    lease = reg.acquire()
+    assert isinstance(lease, SnapshotLease)
+    assert lease.epoch == 7
+    assert reg.active == 1
+    lease.release()
+    lease.release()  # idempotent
+    assert reg.active == 0
+    assert reg.acquired_total == 1
+
+
+def test_context_manager_releases():
+    reg = LeaseRegistry(FakeEpoch())
+    with reg.acquire() as lease:
+        assert not lease.released
+        assert reg.active == 1
+    assert lease.released
+    assert reg.active == 0
+
+
+def test_drain_waits_for_active_leases_and_publishes():
+    epoch = FakeEpoch(0)
+    reg = LeaseRegistry(epoch)
+    lease = reg.acquire()
+    drained = threading.Event()
+
+    def writer():
+        with reg.drain(timeout=5):
+            epoch.value += 1
+        drained.set()
+
+    w = threading.Thread(target=writer)
+    w.start()
+    # The writer is now pending: new leases must block/timeout.
+    assert reg.writer_pending or not drained.is_set()
+    with pytest.raises(TimeoutError):
+        reg.acquire(timeout=0.05)
+    lease.release()
+    w.join(timeout=5)
+    assert drained.is_set()
+    assert reg.published_epoch == 1
+    assert reg.drains_total == 1
+    assert reg.drained_leases_total == 1
+    # Admission re-opens after the drain.
+    reg.acquire(timeout=1).release()
+
+
+def test_drain_timeout_reopens_admission():
+    reg = LeaseRegistry(FakeEpoch())
+    lease = reg.acquire()
+    with pytest.raises(TimeoutError):
+        with reg.drain(timeout=0.05):
+            pass  # pragma: no cover - never entered
+    assert not reg.writer_pending
+    reg.acquire(timeout=1).release()  # not wedged
+    lease.release()
+
+
+def test_single_writer_enforced():
+    epoch = FakeEpoch()
+    reg = LeaseRegistry(epoch)
+    with reg.drain(timeout=1):
+        with pytest.raises(RuntimeError, match="single-writer"):
+            with reg.drain(timeout=1):
+                pass  # pragma: no cover
+
+
+def test_wait_epoch_beyond_wakes_on_publish():
+    epoch = FakeEpoch(0)
+    reg = LeaseRegistry(epoch)
+    seen = []
+
+    def waiter():
+        seen.append(reg.wait_epoch_beyond(0, timeout=5))
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    epoch.value = 3
+    reg.publish()
+    t.join(timeout=5)
+    assert seen == [3]
+    with pytest.raises(TimeoutError):
+        reg.wait_epoch_beyond(3, timeout=0.05)

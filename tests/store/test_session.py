@@ -78,3 +78,23 @@ class TestPinning:
         engine.insert_customers([[0.5, 0.5]])
         with pytest.raises(StaleSessionError):
             session.reverse_skyline(Q)
+
+
+class TestStructuredStaleError:
+    def test_error_carries_both_epochs(self, engine):
+        session = engine.session()
+        engine.insert_products([[0.9, 0.9]])
+        engine.insert_products([[0.8, 0.8]])
+        with pytest.raises(StaleSessionError) as excinfo:
+            session.reverse_skyline(Q)
+        assert excinfo.value.pinned_epoch == 0
+        assert excinfo.value.current_epoch == 2
+        # The historical message format is part of the contract too.
+        assert "epoch 0" in str(excinfo.value)
+        assert "epoch 2" in str(excinfo.value)
+        assert "refresh()" in str(excinfo.value)
+
+    def test_attributes_default_to_none(self):
+        bare = StaleSessionError("constructed without epochs")
+        assert bare.pinned_epoch is None
+        assert bare.current_epoch is None

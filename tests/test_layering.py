@@ -37,6 +37,17 @@ RULES = {
         "repro.experiments",
         "repro.viz",
     ),
+    # The serving layer is the top of the library: it composes the
+    # engine, planner, store and obs but may not reach into the compute
+    # layers directly (kernels/index/shard are planner implementation
+    # details) nor into the presentation layers.
+    "repro/serve": (
+        "repro.kernels",
+        "repro.index",
+        "repro.shard",
+        "repro.experiments",
+        "repro.viz",
+    ),
 }
 
 IMPORT_RE = re.compile(
@@ -78,3 +89,45 @@ def test_prune_layer_has_only_allowed_dependencies():
             ):
                 offending.append(f"{path}: imports {module}")
     assert not offending, "\n".join(offending)
+
+
+def test_serve_layer_has_only_allowed_dependencies():
+    """Positive pin for the serving layer: it may compose the facade
+    layers (core, plan, store, obs) and the shared config/exception
+    modules, nothing else."""
+    allowed = (
+        "repro.serve",
+        "repro.core",
+        "repro.plan",
+        "repro.store",
+        "repro.obs",
+        "repro.config",
+        "repro.exceptions",
+    )
+    offending = []
+    for path in (SRC / "repro/serve").rglob("*.py"):
+        for match in IMPORT_RE.finditer(path.read_text()):
+            module = match.group(1) or match.group(2)
+            if not module.startswith("repro"):
+                continue
+            if not any(
+                module == a or module.startswith(a + ".") for a in allowed
+            ):
+                offending.append(f"{path}: imports {module}")
+    assert not offending, "\n".join(offending)
+
+
+def test_nothing_below_serve_imports_it():
+    """serve is a leaf: only the experiments CLI (presentation) may
+    import ``repro.serve``; the library underneath must not know the
+    serving layer exists."""
+    offending = []
+    for path in (SRC / "repro").rglob("*.py"):
+        rel = path.relative_to(SRC).as_posix()
+        if rel.startswith(("repro/serve/", "repro/experiments/")):
+            continue
+        for match in IMPORT_RE.finditer(path.read_text()):
+            module = match.group(1) or match.group(2)
+            if module == "repro.serve" or module.startswith("repro.serve."):
+                offending.append(f"{path}: imports {module}")
+    assert not offending, "serve leaked downward:\n" + "\n".join(offending)
