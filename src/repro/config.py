@@ -177,6 +177,18 @@ class WhyNotConfig:
         ``invalidate_caches()`` on every mutation.  Product-side scoping
         additionally requires ``dsl_cache`` (without cached thresholds
         there is nothing to scope, so mutations nuke as before).
+    prefs_weights:
+        The engine's *default* per-dimension preference weights (see
+        :mod:`repro.prefs`): non-negative, finite, at least one
+        positive; ``None`` (default) is unit weights — the historical
+        behaviour, bit-identical to every pre-preference code path.
+        Per-request ``weights=`` arguments override this default
+        without touching it.  A zero weight drops that dimension from
+        every dominance comparison (projection semantics); positive
+        magnitudes only price movement costs.  Non-unit defaults with a
+        dropped dimension force full cache invalidation on mutation
+        (the scoped pass's window locality only holds over the full
+        dimension set).
     """
 
     policy: DominancePolicy = DominancePolicy.STRICT
@@ -200,6 +212,7 @@ class WhyNotConfig:
     prune: str = "auto"
     prune_tile_size: int | None = None
     scoped_invalidation: bool = True
+    prefs_weights: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.sort_dim < 0:
@@ -249,6 +262,26 @@ class WhyNotConfig:
             raise ValueError(
                 "prune_tile_size must be a positive integer or None"
             )
+        if self.prefs_weights is not None:
+            # Validated inline: repro.prefs imports this module for the
+            # policy enum, so the config cannot import it back.
+            try:
+                weights = tuple(float(w) for w in self.prefs_weights)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "prefs_weights must be a sequence of numbers or None"
+                ) from None
+            if not weights:
+                raise ValueError("prefs_weights must not be empty")
+            if any(w != w or w in (float("inf"), float("-inf")) for w in weights):
+                raise ValueError("prefs_weights must be finite")
+            if any(w < 0 for w in weights):
+                raise ValueError("prefs_weights must be non-negative")
+            if not any(w > 0 for w in weights):
+                raise ValueError(
+                    "at least one preference weight must be positive"
+                )
+            object.__setattr__(self, "prefs_weights", weights)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ def staircase_distance_candidates(
     frontier_vectors: np.ndarray,
     cap: np.ndarray,
     sort_dim: int,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """Maximal feasible distance vectors for the staircase covering problem.
 
@@ -49,6 +50,13 @@ def staircase_distance_candidates(
         neither point may move past the other).
     sort_dim:
         The paper's arbitrary sort dimension *i*.
+    dims:
+        Optional preference-support column positions (:mod:`repro.prefs`).
+        The covering problem is solved in the support subspace; in the
+        dropped dimensions every candidate keeps the cap value — the
+        point does not move there (movement off the support buys nothing
+        and costs distance).  ``sort_dim`` is remapped to its support
+        position, or to the first support dimension when it was dropped.
 
     Returns
     -------
@@ -60,6 +68,16 @@ def staircase_distance_candidates(
     """
     vectors = np.asarray(frontier_vectors, dtype=np.float64)
     cap = np.asarray(cap, dtype=np.float64)
+    if dims is not None:
+        sel = np.asarray(dims, dtype=np.int64)
+        where = np.flatnonzero(sel == sort_dim)
+        sub_sort = int(where[0]) if where.size else 0
+        sub = staircase_distance_candidates(
+            vectors[:, sel], cap[sel], sub_sort
+        )
+        out = np.broadcast_to(cap, (sub.shape[0], cap.size)).copy()
+        out[:, sel] = sub
+        return np.unique(out, axis=0)
     m, dim = vectors.shape
     if not 0 <= sort_dim < dim:
         raise ValueError(f"sort_dim {sort_dim} out of range for dim {dim}")

@@ -18,6 +18,7 @@ from repro.config import DominancePolicy
 from repro.geometry.box import Box
 from repro.geometry.point import as_point
 from repro.index.base import SpatialIndex
+from repro.prefs.model import support_dims
 
 __all__ = ["verify_membership", "VERIFY_RTOL"]
 
@@ -31,6 +32,7 @@ def verify_membership(
     policy: DominancePolicy = DominancePolicy.STRICT,
     exclude: Sequence[int] = (),
     rtol: float = VERIFY_RTOL,
+    weights: "np.ndarray | None" = None,
 ) -> bool:
     """True when ``center`` is in ``RSL(query)`` up to rounding tolerance.
 
@@ -40,9 +42,34 @@ def verify_membership(
     somewhere.  The slack scales with the coordinate magnitude — the size
     of floating-point rounding in the distance arithmetic — so it forgives
     1-ulp boundary flips without swallowing deliberate margins.
+
+    ``weights`` restricts the test to the preference support
+    (:mod:`repro.prefs`); dropped dimensions make the window box
+    unbounded, so the partial-support path scans the support columns
+    directly instead of querying the index.
     """
     c = as_point(center, dim=index.dim)
     q = as_point(query, dim=index.dim)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        index.dim,
+    )
+    if dims is not None:
+        cs, qs = c[dims], q[dims]
+        radii = np.abs(cs - qs)
+        scale = max(1.0, float(np.max(np.abs(cs))), float(np.max(np.abs(qs))))
+        slack = rtol * scale
+        dists = np.abs(index.points[:, dims] - cs)
+        if policy is DominancePolicy.STRICT:
+            blocking = np.all(dists < radii - slack, axis=1)
+        else:
+            blocking = np.all(dists <= radii + slack, axis=1) & np.any(
+                dists < radii - slack, axis=1
+            )
+        excluded = np.asarray(tuple(exclude), dtype=np.int64)
+        if excluded.size:
+            blocking[excluded] = False
+        return not bool(blocking.any())
     radii = np.abs(c - q)
     scale = max(1.0, float(np.max(np.abs(c))), float(np.max(np.abs(q))))
     slack = rtol * scale

@@ -28,6 +28,7 @@ from repro.geometry.region import BoxRegion
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
 from repro.kernels.parallel import parallel_map_chunks
+from repro.prefs.model import support_dims
 from repro.skyline.dynamic import dynamic_skyline_indices
 
 from repro.core.safe_region import SafeRegion, _reach
@@ -73,20 +74,39 @@ def approximate_anti_dominance_region(
     sampled_thresholds: np.ndarray,
     per_dim_minima: np.ndarray,
     bounds: Box,
+    dims: np.ndarray | None = None,
 ) -> BoxRegion:
     """Anti-dominance region from a sampled DSL: one box per sampled
     point (no staircase merge) plus one slab per dimension at the exact
-    column minimum.  Every box provably lies inside the true region."""
+    column minimum.  Every box provably lies inside the true region.
+
+    With ``dims`` (a preference support from :mod:`repro.prefs`) the
+    per-point boxes span the full data extent on the dropped dimensions
+    — dominance places no constraint there — and the boundary slabs are
+    emitted only for support dimensions: a slab below the minimum of a
+    dropped dimension's thresholds buys nothing and would overclaim.
+    """
     dim = origin.size
-    entries: list[np.ndarray] = []
     if sampled_thresholds.shape[0] == 0:
         return BoxRegion([Box(bounds.lo.copy(), bounds.hi.copy())], dim=dim)
-    entries.extend(sampled_thresholds)
     reach = _reach(origin, bounds)
-    for d in range(dim):
-        slab = reach.copy()
-        slab[d] = per_dim_minima[d]
-        entries.append(slab)
+    entries: list[np.ndarray] = []
+    if dims is None:
+        entries.extend(sampled_thresholds)
+        for d in range(dim):
+            slab = reach.copy()
+            slab[d] = per_dim_minima[d]
+            entries.append(slab)
+    else:
+        sel = np.asarray(dims, dtype=np.int64)
+        for row in sampled_thresholds:
+            extent = reach.copy()
+            extent[sel] = row[sel]
+            entries.append(extent)
+        for d in sel:
+            slab = reach.copy()
+            slab[d] = per_dim_minima[d]
+            entries.append(slab)
     boxes: list[Box] = []
     for extent in entries:
         box = Box.from_center(origin, extent).clip_to(bounds)
@@ -117,6 +137,7 @@ class ApproximateDSLStore:
         config: WhyNotConfig | None = None,
         self_exclude: bool = False,
         dsl_cache: "DSLCache | None" = None,
+        weights: np.ndarray | None = None,
     ) -> None:
         if k <= 0:
             raise InvalidParameterError("approximation parameter k must be positive")
@@ -125,6 +146,17 @@ class ApproximateDSLStore:
         self.k = k
         self.config = config or WhyNotConfig()
         self.self_exclude = self_exclude
+        # Preference weights (repro.prefs): full-support weights leave the
+        # dynamic skylines — and everything sampled from them — identical
+        # to the unweighted store; partial support projects dominance onto
+        # the support dimensions and must bypass the (full-dimensional)
+        # shared DSL cache.
+        self.weights = (
+            None if weights is None else np.asarray(weights, dtype=np.float64)
+        )
+        self._dims = support_dims(self.weights, index.dim)
+        if self._dims is not None:
+            dsl_cache = None
         # Optional engine-level DSL cache: the full threshold matrix each
         # sample is drawn from is then computed at most once per customer
         # across the exact and approximate pipelines.
@@ -199,7 +231,9 @@ class ApproximateDSLStore:
         else:
             customer = self.customers[position]
             exclude = (position,) if self.self_exclude else ()
-            dsl = dynamic_skyline_indices(self.index.points, customer, exclude)
+            dsl = dynamic_skyline_indices(
+                self.index.points, customer, exclude, weights=self.weights
+            )
             thresholds = (
                 to_query_space(self.index.points[dsl], customer)
                 if dsl.size
@@ -223,7 +257,11 @@ class ApproximateDSLStore:
         """Approximate anti-dominance region of customer ``position``."""
         stored = self.entry(position)
         return approximate_anti_dominance_region(
-            self.customers[position], stored.sampled, stored.minima, bounds
+            self.customers[position],
+            stored.sampled,
+            stored.minima,
+            bounds,
+            dims=self._dims,
         )
 
     def safe_region(

@@ -91,6 +91,7 @@ def answer_why_not(
     query: Sequence[float],
     approximate: bool = False,
     k: int = 10,
+    weights: "Sequence[float] | None" = None,
 ) -> WhyNotAnswer:
     """Run the full pipeline for one why-not question."""
     q = np.asarray(query, dtype=np.float64)
@@ -98,10 +99,12 @@ def answer_why_not(
         return WhyNotAnswer(
             why_not=why_not,
             query=q,
-            explanation=engine.explain(why_not, q),
-            mwp=engine.modify_why_not_point(why_not, q),
-            mqp=engine.modify_query_point(why_not, q),
-            mwq=engine.modify_both(why_not, q, approximate=approximate, k=k),
+            explanation=engine.explain(why_not, q, weights=weights),
+            mwp=engine.modify_why_not_point(why_not, q, weights=weights),
+            mqp=engine.modify_query_point(why_not, q, weights=weights),
+            mwq=engine.modify_both(
+                why_not, q, approximate=approximate, k=k, weights=weights
+            ),
         )
 
 
@@ -157,6 +160,7 @@ def answer_why_not_batch(
     query: Sequence[float],
     approximate: bool = False,
     k: int = 10,
+    weights: "Sequence[float] | None" = None,
 ) -> list[WhyNotAnswer]:
     """Answer several why-not questions for the same query.
 
@@ -176,5 +180,12 @@ def answer_why_not_batch(
         dataset_epoch=engine.dataset_epoch,
     ):
         return engine._execute(
-            *engine._request("batch", why_nots, q, approximate=approximate, k=k)
+            *engine._request(
+                "batch",
+                why_nots,
+                q,
+                approximate=approximate,
+                k=k,
+                weights=weights,
+            )
         )

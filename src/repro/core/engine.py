@@ -57,6 +57,7 @@ from repro.plan.operators import ensure_approx_store
 from repro.plan.planner import Planner
 from repro.plan.prepared import PreparedPlan
 from repro.plan.requests import build_request
+from repro.prefs.model import PreferenceModel
 from repro.prune.summaries import PruneSummaries
 from repro.store.base import CustomerStore, ProductStore, VersionedStore
 from repro.store.lease import LeaseRegistry
@@ -117,6 +118,12 @@ class WhyNotEngine(EngineMutationMixin):
         custs = self._customer_store.matrix
         self._backend = backend
         self.config = config or WhyNotConfig()
+        # The engine-default preference model (repro.prefs): validated
+        # once here; every surface may override it per request via the
+        # ``weights=`` kwarg, resolved through :meth:`resolve_prefs`.
+        self.prefs = PreferenceModel.resolve(
+            self.config.prefs_weights, self.config.policy, prods.shape[1]
+        )
         self._weights = weights or CostWeights()
         self.alpha, self.beta = self._weights.resolved(prods.shape[1])
         self.index = make_index(backend, prods)
@@ -149,6 +156,11 @@ class WhyNotEngine(EngineMutationMixin):
         # Engine-level DSL/anti-dominance cache: per-customer dynamic
         # skylines computed once, shared by safe_region / modify_both /
         # batch answering / approx store / relaxation analysis.
+        # The cache's entries are unweighted DSL structures; they equal
+        # the weighted ones for every *full-support* preference (scale
+        # invariance of dominance), so the cache is only built when the
+        # engine default has full support.  Partial-support per-request
+        # preferences bypass it inside ``compute_safe_region``.
         self.dsl_cache: DSLCache | None = (
             DSLCache(
                 self.index,
@@ -156,7 +168,7 @@ class WhyNotEngine(EngineMutationMixin):
                 config=self.config,
                 self_exclude=self.monochromatic,
             )
-            if self.config.dsl_cache
+            if self.config.dsl_cache and self.prefs.full_support
             else None
         )
         self.last_safe_region_stats: SafeRegionStats | None = None
@@ -297,6 +309,27 @@ class WhyNotEngine(EngineMutationMixin):
             return int(self.config.prune_tile_size)
         return self.kernel_block_size
 
+    def resolve_prefs(
+        self, weights: "Sequence[float] | np.ndarray | PreferenceModel | None" = None
+    ) -> PreferenceModel:
+        """The :class:`~repro.prefs.model.PreferenceModel` of one request.
+
+        ``None`` selects the engine default; a raw weight sequence is
+        validated (length, non-negativity, finiteness) against this
+        dataset's dimensionality; a prebuilt model is length-checked and
+        adopted as-is.  Raises
+        :class:`~repro.exceptions.InvalidParameterError` on malformed
+        weights — the serve layer maps that to a structured 400.
+        """
+        if weights is None:
+            self._prefs_default_requests.inc()
+            return self.prefs
+        self._prefs_weighted_requests.inc()
+        if isinstance(weights, PreferenceModel):
+            weights.resolved(self.dim)  # length check
+            return weights
+        return PreferenceModel.resolve(weights, self.config.policy, self.dim)
+
     def _resolve_customer(
         self, why_not: "int | Sequence[float]"
     ) -> tuple[np.ndarray, tuple[int, ...]]:
@@ -368,7 +401,13 @@ class WhyNotEngine(EngineMutationMixin):
         return build_request(self, surface, *args, **kwargs)
 
     def _prepare(self, logical: LogicalPlan, ctx_kwargs: dict) -> PreparedPlan:
-        key = (logical.cache_key(), self.dataset_epoch, self._config_fp)
+        prefs = ctx_kwargs.get("prefs") or self.prefs
+        key = (
+            logical.cache_key(),
+            self.dataset_epoch,
+            self._config_fp,
+            prefs.fingerprint(),
+        )
         node = self._plan_cache.get(key)
         cached = node is not None
         if node is None:
@@ -491,58 +530,93 @@ class WhyNotEngine(EngineMutationMixin):
     # ------------------------------------------------------------------
     # Reverse skyline
     # ------------------------------------------------------------------
-    def reverse_skyline(self, query: Sequence[float]) -> np.ndarray:
-        """``RSL(query)`` as positions into the customer matrix (BBRS)."""
-        return self._execute(*self._request("reverse_skyline", query))
+    def reverse_skyline(
+        self,
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
+    ) -> np.ndarray:
+        """``RSL(query)`` as positions into the customer matrix (BBRS).
+
+        ``weights`` are optional per-request preference weights
+        (:mod:`repro.prefs`); ``None`` uses the engine default.
+        """
+        return self._execute(
+            *self._request("reverse_skyline", query, weights=weights)
+        )
 
     def is_member(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> bool:
         """Membership of one customer in ``RSL(query)``."""
-        return bool(self.membership_mask([why_not], query)[0])
+        return bool(self.membership_mask([why_not], query, weights=weights)[0])
 
     def membership_mask(
         self,
         why_nots: Sequence["int | Sequence[float]"],
         query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> np.ndarray:
         """Boolean :meth:`is_member` vector for many customers at once.
 
         The planner picks between one blocked kernel pass and the
         per-customer oracle loop; the result is bit-identical either way.
         """
-        return self._execute(*self._request("membership", why_nots, query))
+        return self._execute(
+            *self._request("membership", why_nots, query, weights=weights)
+        )
 
     # ------------------------------------------------------------------
     # The four why-not methods
     # ------------------------------------------------------------------
     def explain(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> Explanation:
         """Aspect 1: the ``Λ`` set of products blocking membership."""
-        return self._execute(*self._request("explain", why_not, query))
+        return self._execute(
+            *self._request("explain", why_not, query, weights=weights)
+        )
 
     def modify_why_not_point(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> ModificationResult:
         """Algorithm 1 (MWP) with normalised costs."""
-        return self._execute(*self._request("mwp", why_not, query))
+        return self._execute(
+            *self._request("mwp", why_not, query, weights=weights)
+        )
 
     def modify_query_point(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> ModificationResult:
         """Algorithm 2 (MQP) with normalised movement costs."""
-        return self._execute(*self._request("mqp", why_not, query))
+        return self._execute(
+            *self._request("mqp", why_not, query, weights=weights)
+        )
 
     def safe_region(
         self,
         query: Sequence[float],
         approximate: bool = False,
         k: int = 10,
+        weights: "Sequence[float] | None" = None,
     ) -> SafeRegion:
         """Algorithm 3 (exact) or the Section-VI.B approximation."""
         return self._execute(
-            *self._request("safe_region", query, approximate=approximate, k=k)
+            *self._request(
+                "safe_region", query, approximate=approximate, k=k,
+                weights=weights,
+            )
         )
 
     def modify_both(
@@ -551,10 +625,14 @@ class WhyNotEngine(EngineMutationMixin):
         query: Sequence[float],
         approximate: bool = False,
         k: int = 10,
+        weights: "Sequence[float] | None" = None,
     ) -> MWQResult:
         """Algorithm 4 (MWQ), optionally on the approximate safe region."""
         return self._execute(
-            *self._request("mwq", why_not, query, approximate=approximate, k=k)
+            *self._request(
+                "mwq", why_not, query, approximate=approximate, k=k,
+                weights=weights,
+            )
         )
 
     def approx_store(self, k: int = 10):
@@ -571,42 +649,64 @@ class WhyNotEngine(EngineMutationMixin):
     # Lost customers + the experiment cost model (Section VI.A)
     # ------------------------------------------------------------------
     def lost_customers(
-        self, query: Sequence[float], refined_query: Sequence[float]
+        self,
+        query: Sequence[float],
+        refined_query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> np.ndarray:
         """Existing reverse-skyline members that would be lost by moving
         ``query`` to ``refined_query`` (positions into the customer
         matrix, empty when the move is safe — Section V.B)."""
         q = as_point(query, dim=self.dim)
         q_star = as_point(refined_query, dim=self.dim)
-        members = self.reverse_skyline(q)
-        retained = self._retained_mask(members, q_star)
+        members = self.reverse_skyline(q, weights=weights)
+        retained = self._retained_mask(members, q_star, weights=weights)
         return members[~retained].astype(np.int64, copy=False)
 
     def _retained_mask(
-        self, members: np.ndarray, refined_query: np.ndarray
+        self,
+        members: np.ndarray,
+        refined_query: np.ndarray,
+        weights: "Sequence[float] | None" = None,
     ) -> np.ndarray:
         """Which reverse-skyline ``members`` remain members under the
         refined query (tolerance-aware, one kernel pass when planned)."""
         members = np.asarray(members, dtype=np.int64)
         return self._execute(
             RetainedMaskQuery(),
-            {"refined_query": refined_query, "members": members},
+            {
+                "refined_query": refined_query,
+                "members": members,
+                "prefs": self.resolve_prefs(weights),
+            },
         )
 
     def why_not_movement_cost(
-        self, original: Sequence[float], moved: Sequence[float]
+        self,
+        original: Sequence[float],
+        moved: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> float:
-        """Eqn. (11): normalised beta-weighted movement of the why-not point."""
-        return self.normalizer.cost(original, moved, self.beta)
+        """Eqn. (11): normalised beta-weighted movement of the why-not
+        point, scaled by the preference magnitudes when given."""
+        beta = self.resolve_prefs(weights).cost_weights(self.beta)
+        return self.normalizer.cost(original, moved, beta)
 
     def query_movement_cost(
-        self, original: Sequence[float], moved: Sequence[float]
+        self,
+        original: Sequence[float],
+        moved: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> float:
         """Normalised alpha-weighted movement of the query point."""
-        return self.normalizer.cost(original, moved, self.alpha)
+        alpha = self.resolve_prefs(weights).cost_weights(self.alpha)
+        return self.normalizer.cost(original, moved, alpha)
 
     def mqp_total_cost(
-        self, query: Sequence[float], refined_query: Sequence[float]
+        self,
+        query: Sequence[float],
+        refined_query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> float:
         """The experiment cost of an MQP answer (Section VI.A):
 
@@ -618,15 +718,18 @@ class WhyNotEngine(EngineMutationMixin):
         """
         q = as_point(query, dim=self.dim)
         q_star = as_point(refined_query, dim=self.dim)
-        region = self.safe_region(q)
+        prefs = self.resolve_prefs(weights)
+        region = self.safe_region(q, weights=weights)
         anchor = region.region.nearest_point_to(q_star)
         if anchor is None:
             anchor = q
-        total = self.normalizer.cost(anchor, q_star, self.alpha)
-        members = self.reverse_skyline(q)
-        retained = self._retained_mask(members, q_star)
+        total = self.normalizer.cost(anchor, q_star, prefs.cost_weights(self.alpha))
+        members = self.reverse_skyline(q, weights=weights)
+        retained = self._retained_mask(members, q_star, weights=weights)
         for position in members[~retained]:
-            repair = self.modify_why_not_point(int(position), q_star).best()
+            repair = self.modify_why_not_point(
+                int(position), q_star, weights=weights
+            ).best()
             if repair is not None:
                 total += repair.cost
         return total

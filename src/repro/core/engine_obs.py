@@ -104,6 +104,22 @@ def install_observability(engine: "WhyNotEngine") -> None:
         "cache.evicted_full",
         "cache entries dropped by full invalidation",
     )
+    # Preference-model traffic (prefs.*): how many surface requests ran
+    # under the engine-default preference vs. a per-request override, and
+    # how many result-cache consultations were bypassed because the
+    # request's preference fingerprint differed from the default's.
+    engine._prefs_default_requests = engine.obs.counter(
+        "prefs.default_requests",
+        "surface requests under the engine-default preference model",
+    )
+    engine._prefs_weighted_requests = engine.obs.counter(
+        "prefs.weighted_requests",
+        "surface requests carrying per-request preference weights",
+    )
+    engine._prefs_cache_bypass = engine.obs.counter(
+        "prefs.cache_bypass",
+        "result-cache consultations skipped on preference-fingerprint mismatch",
+    )
     engine._epoch_gauge = engine.obs.gauge(
         "engine.dataset_epoch",
         "combined store epoch the caches are valid for",

@@ -28,6 +28,7 @@ def explain_why_not(
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> Explanation:
     """Compute the ``Λ`` explanation for ``why_not`` w.r.t. ``query``.
 
@@ -44,10 +45,13 @@ def explain_why_not(
     exclude:
         Index positions excluded from the window (self-exclusion in the
         monochromatic setting).
+    weights:
+        Optional preference weights (:mod:`repro.prefs`) restricting the
+        window test to their support dimensions.
     """
     c = as_point(why_not, dim=index.dim)
     q = as_point(query, dim=index.dim)
-    positions = lambda_set(index, c, q, policy, exclude)
+    positions = lambda_set(index, c, q, policy, exclude, weights)
     return Explanation(
         why_not=c,
         query=q,

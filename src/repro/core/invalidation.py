@@ -83,8 +83,14 @@ def apply_mutation(
                 engine.index.remove(mutation.positions)
             else:
                 engine.index.update(mutation.positions, mutation.new_points)
-        scoped = engine.config.scoped_invalidation and (
-            not product or engine.dsl_cache is not None
+        # Scoped invalidation reasons about full-dimensional windows and
+        # repairs entries with unweighted membership sweeps; under a
+        # partial-support engine default the projected geometry differs,
+        # so the conservative full flush is the only sound choice.
+        scoped = (
+            engine.config.scoped_invalidation
+            and engine.prefs.full_support
+            and (not product or engine.dsl_cache is not None)
         )
         if scoped:
             invalidator = MutationInvalidator(engine)

@@ -30,6 +30,7 @@ from repro.core.cost import MinMaxNormalizer
 from repro.geometry.point import as_point
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
+from repro.prefs.model import support_dims
 from repro.skyline.algorithms import skyline_indices
 from repro.skyline.window import lambda_set
 
@@ -42,29 +43,42 @@ def mqp_candidate_points(
     query: Sequence[float],
     config: WhyNotConfig,
     exclude: Sequence[int] = (),
+    pref_weights: "np.ndarray | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Raw Algorithm-2 computation.
 
     Returns ``(candidates, lambda_positions, frontier_positions)``; the
     candidate matrix is empty when ``c_t`` is already a member.
+
+    ``pref_weights`` are the preference weights of :mod:`repro.prefs`;
+    the refined query keeps its original coordinate in every dropped
+    dimension.
     """
     c_t = as_point(why_not, dim=index.dim)
     q = as_point(query, dim=index.dim)
-    lam = lambda_set(index, c_t, q, config.policy, exclude)
+    pw = (
+        None
+        if pref_weights is None
+        else np.asarray(pref_weights, dtype=np.float64)
+    )
+    dims = support_dims(pw, index.dim)
+    lam = lambda_set(index, c_t, q, config.policy, exclude, weights=pw)
     if lam.size == 0:
         return np.empty((0, index.dim)), lam, lam
 
     # F = Λ ∩ DSL(c_t): minimal distance vectors from c_t within Λ.
     lam_points = index.points[lam]
     from_ct = to_query_space(lam_points, c_t)
-    frontier_local = skyline_indices(from_ct)
+    frontier_local = skyline_indices(from_ct, weights=pw)
     frontier = lam[frontier_local]
 
     thresholds = from_ct[frontier_local]
     if config.margin > 0.0:
         thresholds = thresholds * (1.0 - config.margin)
     cap = np.abs(q - c_t)
-    vectors = staircase_distance_candidates(thresholds, cap, config.sort_dim)
+    vectors = staircase_distance_candidates(
+        thresholds, cap, config.sort_dim, dims=dims
+    )
 
     # q* sits on q's side of c_t at distance w; where q ties c_t the
     # coordinate collapses onto both.
@@ -81,6 +95,7 @@ def modify_query_point(
     weights: Sequence[float] | None = None,
     normalizer: MinMaxNormalizer | None = None,
     exclude: Sequence[int] = (),
+    pref_weights: "np.ndarray | None" = None,
 ) -> ModificationResult:
     """Full MQP: refined query locations with costs and verification.
 
@@ -88,11 +103,16 @@ def modify_query_point(
     Eqn. (9); the lost-customer penalty of Section VI.A is a property of a
     whole experiment (it needs ``RSL(q)`` and ``SR(q)``) and lives in
     :meth:`repro.core.engine.WhyNotEngine.mqp_total_cost`.
+
+    ``weights`` are the Eqn.-9 cost weights; ``pref_weights`` the
+    preference weights shaping dominance (:mod:`repro.prefs`).
     """
     config = config or WhyNotConfig()
     c_t = as_point(why_not, dim=index.dim)
     q = as_point(query, dim=index.dim)
-    points, lam, frontier = mqp_candidate_points(index, c_t, q, config, exclude)
+    points, lam, frontier = mqp_candidate_points(
+        index, c_t, q, config, exclude, pref_weights=pref_weights
+    )
     result = ModificationResult(
         method="MQP",
         why_not=c_t,
@@ -116,7 +136,10 @@ def modify_query_point(
         verified: bool | None = None
         if config.verify:
             # q* must enter DSL(c_t): the window of (c_t, q*) must be empty.
-            verified = verify_membership(index, c_t, point, config.policy, exclude)
+            verified = verify_membership(
+                index, c_t, point, config.policy, exclude,
+                weights=pref_weights,
+            )
         result.candidates.append(Candidate(point, cost=cost, verified=verified))
     result.candidates.sort(key=lambda c: c.cost)
     return result

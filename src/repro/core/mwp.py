@@ -29,6 +29,7 @@ from repro.core.cost import MinMaxNormalizer
 from repro.geometry.point import as_point
 from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
+from repro.prefs.model import support_dims
 from repro.skyline.algorithms import skyline_indices
 from repro.skyline.window import lambda_set
 
@@ -41,16 +42,28 @@ def mwp_candidate_points(
     query: Sequence[float],
     config: WhyNotConfig,
     exclude: Sequence[int] = (),
+    pref_weights: "np.ndarray | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Raw Algorithm-1 computation.
 
     Returns ``(candidates, lambda_positions, frontier_positions)`` where
     ``candidates`` is a ``(k, d)`` matrix of proposed ``c_t*`` locations
     (empty when the point is already a member).
+
+    ``pref_weights`` are the *preference* weights (:mod:`repro.prefs`) —
+    distinct from the Eqn.-11 cost weights: they shape which products
+    block membership and where the staircase lies, while the candidates
+    never move in dropped dimensions (movement there buys nothing).
     """
     c_t = as_point(why_not, dim=index.dim)
     q = as_point(query, dim=index.dim)
-    lam = lambda_set(index, c_t, q, config.policy, exclude)
+    pw = (
+        None
+        if pref_weights is None
+        else np.asarray(pref_weights, dtype=np.float64)
+    )
+    dims = support_dims(pw, index.dim)
+    lam = lambda_set(index, c_t, q, config.policy, exclude, weights=pw)
     if lam.size == 0:
         return np.empty((0, index.dim)), lam, lam
 
@@ -58,7 +71,7 @@ def mwp_candidate_points(
     # non-dominated w.r.t. the dynamic dominance ≻_q (step 3-5 of Alg. 1).
     lam_points = index.points[lam]
     from_q = to_query_space(lam_points, q)
-    frontier_local = skyline_indices(from_q)
+    frontier_local = skyline_indices(from_q, weights=pw)
     frontier = lam[frontier_local]
 
     # Midpoint thresholds (Eqn. 1 in distance space): c_t* may approach q
@@ -67,7 +80,9 @@ def mwp_candidate_points(
     if config.margin > 0.0:
         midpoints = midpoints * (1.0 - config.margin)
     cap = np.abs(q - c_t)
-    vectors = staircase_distance_candidates(midpoints, cap, config.sort_dim)
+    vectors = staircase_distance_candidates(
+        midpoints, cap, config.sort_dim, dims=dims
+    )
 
     # Back to coordinates: c_t* sits on c_t's side of q at distance v.
     direction = np.sign(c_t - q)
@@ -83,6 +98,7 @@ def modify_why_not_point(
     weights: Sequence[float] | None = None,
     normalizer: MinMaxNormalizer | None = None,
     exclude: Sequence[int] = (),
+    pref_weights: "np.ndarray | None" = None,
 ) -> ModificationResult:
     """Full MWP: candidates with movement costs and verification flags.
 
@@ -96,16 +112,23 @@ def modify_why_not_point(
         Policy / sort dimension / margin / verification settings.
     weights:
         The beta weight vector of Eqn. (11); equal weights by default.
+        The engine composes these with the preference weights
+        (``PreferenceModel.cost_weights``) before calling here.
     normalizer:
         Min-max normaliser for cost reporting; raw weighted L1 when absent.
     exclude:
         Product positions excluded from window queries (monochromatic
         self-exclusion).
+    pref_weights:
+        Preference weights shaping the dominance tests
+        (:mod:`repro.prefs`); ``None`` is the unweighted paper setting.
     """
     config = config or WhyNotConfig()
     c_t = as_point(why_not, dim=index.dim)
     q = as_point(query, dim=index.dim)
-    points, lam, frontier = mwp_candidate_points(index, c_t, q, config, exclude)
+    points, lam, frontier = mwp_candidate_points(
+        index, c_t, q, config, exclude, pref_weights=pref_weights
+    )
     result = ModificationResult(
         method="MWP",
         why_not=c_t,
@@ -128,7 +151,10 @@ def modify_why_not_point(
             cost = float(np.sum(w * np.abs(c_t - point)))
         verified: bool | None = None
         if config.verify:
-            verified = verify_membership(index, point, q, config.policy, exclude)
+            verified = verify_membership(
+                index, point, q, config.policy, exclude,
+                weights=pref_weights,
+            )
         result.candidates.append(Candidate(point, cost=cost, verified=verified))
     result.candidates.sort(key=lambda c: c.cost)
     return result

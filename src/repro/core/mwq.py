@@ -49,6 +49,7 @@ def modify_query_and_why_not_point(
     normalizer: MinMaxNormalizer | None = None,
     exclude: Sequence[int] = (),
     ddr_why_not: BoxRegion | None = None,
+    pref_weights: "np.ndarray | None" = None,
 ) -> MWQResult:
     """Run Algorithm 4.
 
@@ -67,20 +68,29 @@ def modify_query_and_why_not_point(
         Beta weight vector of Eqn. (11).
     ddr_why_not:
         Pre-computed anti-dominance region of ``c_t`` (recomputed when
-        absent).
+        absent).  Must have been built under the same ``pref_weights``.
     exclude:
         Product positions excluded from windows / skylines (monochromatic
         self-exclusion of ``c_t``).
+    pref_weights:
+        Preference weights (:mod:`repro.prefs`) shaping every dominance
+        test; the ``safe_region`` must have been built under the same
+        weights (the engine guarantees that).
     """
     config = config or WhyNotConfig()
     c_t = as_point(why_not, dim=index.dim)
     q = as_point(query, dim=index.dim)
+    pw = (
+        None
+        if pref_weights is None
+        else np.asarray(pref_weights, dtype=np.float64)
+    )
     w = np.asarray(
         weights if weights is not None else np.full(index.dim, 1.0 / index.dim),
         dtype=np.float64,
     )
 
-    lam = lambda_set(index, c_t, q, config.policy, exclude)
+    lam = lambda_set(index, c_t, q, config.policy, exclude, weights=pw)
     if lam.size == 0:
         return MWQResult(
             case=MWQCase.ALREADY_MEMBER,
@@ -91,14 +101,15 @@ def modify_query_and_why_not_point(
 
     if ddr_why_not is None:
         ddr_why_not = anti_dominance_region(
-            index, c_t, bounds, sort_dim=config.sort_dim, exclude=exclude
+            index, c_t, bounds, sort_dim=config.sort_dim, exclude=exclude,
+            weights=pw,
         )
     overlap = safe_region.region.intersect(ddr_why_not)
 
     if not overlap.is_empty():
-        return _case_overlap(index, c_t, q, overlap, config, exclude)
+        return _case_overlap(index, c_t, q, overlap, config, exclude, pw)
     return _case_disjoint(
-        index, c_t, q, safe_region, config, w, normalizer, exclude
+        index, c_t, q, safe_region, config, w, normalizer, exclude, pw
     )
 
 
@@ -109,6 +120,7 @@ def _case_overlap(
     overlap: BoxRegion,
     config: WhyNotConfig,
     exclude: Sequence[int],
+    pref_weights: np.ndarray | None = None,
 ) -> MWQResult:
     """Case C1: pick the nearest point of each overlap rectangle to ``q``
     (steps 1-6 of Algorithm 4); cost is zero by Eqn. (10)."""
@@ -122,7 +134,10 @@ def _case_overlap(
         seen.add(key)
         verified: bool | None = None
         if config.verify:
-            verified = verify_membership(index, c_t, point, config.policy, exclude)
+            verified = verify_membership(
+                index, c_t, point, config.policy, exclude,
+                weights=pref_weights,
+            )
         candidates.append(Candidate(point, cost=0.0, verified=verified))
     candidates.sort(key=lambda cand: float(np.sum(np.abs(cand.point - q))))
     return MWQResult(
@@ -142,6 +157,7 @@ def _case_disjoint(
     weights: np.ndarray,
     normalizer: MinMaxNormalizer | None,
     exclude: Sequence[int],
+    pref_weights: np.ndarray | None = None,
 ) -> MWQResult:
     """Case C2: move ``q`` to the safe-region corners nearest ``c_t`` and
     close the gap with Algorithm 1 (steps 7-20 of Algorithm 4)."""
@@ -155,7 +171,7 @@ def _case_disjoint(
     # Keep only corners non-dominated in the space transformed to c_t:
     # those are the extremal moves of q toward the why-not point.
     transformed = to_query_space(corners, c_t)
-    minimal = skyline_indices(transformed)
+    minimal = skyline_indices(transformed, weights=pref_weights)
     corners = corners[minimal]
 
     pairs: list[tuple[Candidate, Candidate]] = []
@@ -168,6 +184,7 @@ def _case_disjoint(
             weights=weights,
             normalizer=normalizer,
             exclude=exclude,
+            pref_weights=pref_weights,
         )
         query_candidate = Candidate(corner, cost=0.0, verified=None)
         for candidate in mwp.candidates:

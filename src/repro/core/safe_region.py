@@ -37,6 +37,7 @@ from repro.geometry.transform import to_query_space
 from repro.index.base import SpatialIndex
 from repro.kernels.parallel import parallel_map_chunks, resolve_n_jobs
 from repro.obs.stats import CounterBackedStats
+from repro.prefs.model import support_dims
 from repro.skyline.dynamic import dynamic_skyline_indices
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dsl_cache imports us)
@@ -64,6 +65,7 @@ def staircase_boxes(
     thresholds: np.ndarray,
     bounds: Box,
     sort_dim: int,
+    dims: np.ndarray | None = None,
 ) -> list[Box]:
     """Rectangles of an anti-dominance region from DSL distance vectors.
 
@@ -72,38 +74,59 @@ def staircase_boxes(
     (first-shifted, pairwise maxima, last-shifted — Fig. 10) and
     ``m + d`` boxes for higher dimensions (per-point boxes plus one slab
     per dimension, the conservative variant).
+
+    ``dims`` restricts dominance to the preference support
+    (:mod:`repro.prefs`): the staircase is built over the support columns
+    (exact when exactly two survive) and every box spans the full data
+    extent in the dropped dimensions, where dominance places no
+    constraint.
     """
     m, dim = thresholds.shape
     if m == 0:
         clipped = Box(bounds.lo.copy(), bounds.hi.copy())
         return [clipped]
-    reach = _reach(origin, bounds)
+    full_reach = _reach(origin, bounds)
+    if dims is None:
+        sub_t, reach, sd, width = thresholds, full_reach, sort_dim, dim
+    else:
+        sel = np.asarray(dims, dtype=np.int64)
+        sub_t = thresholds[:, sel]
+        reach = full_reach[sel]
+        where = np.flatnonzero(sel == sort_dim)
+        sd = int(where[0]) if where.size else 0
+        width = int(sel.size)
     entries: list[np.ndarray] = []
-    if dim == 2:
-        order = np.argsort(thresholds[:, sort_dim], kind="stable")
-        sorted_t = thresholds[order]
+    if width == 2:
+        order = np.argsort(sub_t[:, sd], kind="stable")
+        sorted_t = sub_t[order]
         first = sorted_t[0].copy()
-        for d in range(dim):
-            if d != sort_dim:
+        for d in range(width):
+            if d != sd:
                 first[d] = reach[d]
         entries.append(first)
         for left, right in zip(sorted_t[:-1], sorted_t[1:]):
             entries.append(np.maximum(left, right))
         last = sorted_t[-1].copy()
-        last[sort_dim] = reach[sort_dim]
+        last[sd] = reach[sd]
         entries.append(last)
     else:
-        # Conservative d > 2 construction: each DSL point's own box is
+        # Conservative width > 2 construction: each DSL point's own box is
         # inside the region, and so is the slab below the per-dimension
-        # minimum threshold.
-        entries.extend(thresholds)
-        minima = thresholds.min(axis=0)
-        for d in range(dim):
+        # minimum threshold.  (For width == 1 the slab alone is already
+        # exact: the region is the interval below the smallest threshold.)
+        entries.extend(sub_t)
+        minima = sub_t.min(axis=0)
+        for d in range(width):
             slab = reach.copy()
             slab[d] = minima[d]
             entries.append(slab)
     boxes: list[Box] = []
-    for extent in entries:
+    for entry in entries:
+        if dims is None:
+            extent = entry
+        else:
+            extent = full_reach.copy()
+            extent[np.asarray(dims, dtype=np.int64)] = entry
         box = Box.from_center(origin, extent).clip_to(bounds)
         if box is not None:
             boxes.append(box)
@@ -117,22 +140,28 @@ def anti_dominance_region(
     sort_dim: int = 0,
     exclude: Sequence[int] = (),
     dsl_positions: np.ndarray | None = None,
+    weights: "np.ndarray | None" = None,
 ) -> BoxRegion:
     """The dynamic anti-dominance region of ``origin`` as a box union.
 
     Computes ``DSL(origin)`` over the indexed products (unless
     ``dsl_positions`` is supplied) and decomposes the complement of its
-    dominance region into rectangles.
+    dominance region into rectangles.  With ``weights`` both the dynamic
+    skyline and the staircase run in the preference-support subspace.
     """
     o = as_point(origin, dim=index.dim)
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    dims = support_dims(w, index.dim)
     if dsl_positions is None:
-        dsl_positions = dynamic_skyline_indices(index.points, o, exclude)
+        dsl_positions = dynamic_skyline_indices(
+            index.points, o, exclude, weights=w
+        )
     thresholds = (
         to_query_space(index.points[dsl_positions], o)
         if dsl_positions.size
         else np.empty((0, index.dim))
     )
-    boxes = staircase_boxes(o, thresholds, bounds, sort_dim)
+    boxes = staircase_boxes(o, thresholds, bounds, sort_dim, dims=dims)
     return BoxRegion(boxes, dim=index.dim).simplify()
 
 
@@ -295,6 +324,7 @@ def compute_safe_region(
     n_jobs: int | None = None,
     dsl_cache: "DSLCache | None" = None,
     stats: SafeRegionStats | None = None,
+    weights: "np.ndarray | None" = None,
 ) -> SafeRegion:
     """Algorithm 3: intersect the anti-dominance regions of all members.
 
@@ -335,6 +365,12 @@ def compute_safe_region(
     stats:
         Optional :class:`SafeRegionStats` to fill in place; a fresh one
         is created (and attached to the result) otherwise.
+    weights:
+        Optional preference weights (:mod:`repro.prefs`).  Full-support
+        weights leave dominance — and therefore the region — unchanged,
+        so the DSL cache stays valid; with partial support the member
+        skylines and staircases run in the support subspace and the
+        (full-dimensional) DSL cache is bypassed.
 
     Notes
     -----
@@ -357,6 +393,11 @@ def compute_safe_region(
     positions = np.asarray(rsl_positions, dtype=np.int64)
     custs = np.asarray(customers, dtype=np.float64)
     stats.members = int(positions.size)
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    if w is not None and support_dims(w, index.dim) is not None:
+        # Partial support changes the member skylines; the cache holds
+        # full-dimensional thresholds and must not serve this build.
+        dsl_cache = None
     cache_before = (
         dsl_cache.stats.hit_miss() if dsl_cache is not None else (0, 0)
     )
@@ -370,6 +411,7 @@ def compute_safe_region(
             bounds,
             sort_dim=config.sort_dim,
             exclude=(int(position),) if self_exclude else (),
+            weights=w,
         )
 
     workers = resolve_n_jobs(n_jobs)
@@ -446,6 +488,7 @@ def compute_safe_region_oracle(
     bounds: Box,
     config: WhyNotConfig | None = None,
     self_exclude: bool = False,
+    weights: "np.ndarray | None" = None,
 ) -> SafeRegion:
     """Algorithm 3 on the pure-Python :class:`OracleBoxRegion` algebra.
 
@@ -463,17 +506,19 @@ def compute_safe_region_oracle(
         raise InvalidParameterError("query point lies outside the given bounds")
     positions = np.asarray(rsl_positions, dtype=np.int64)
     custs = np.asarray(customers, dtype=np.float64)
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    dims = support_dims(w, index.dim)
 
     def member_region(position: int) -> OracleBoxRegion:
         o = custs[position]
         exclude = (position,) if self_exclude else ()
-        dsl = dynamic_skyline_indices(index.points, o, exclude)
+        dsl = dynamic_skyline_indices(index.points, o, exclude, weights=w)
         thresholds = (
             to_query_space(index.points[dsl], o)
             if dsl.size
             else np.empty((0, index.dim))
         )
-        boxes = staircase_boxes(o, thresholds, bounds, config.sort_dim)
+        boxes = staircase_boxes(o, thresholds, bounds, config.sort_dim, dims)
         return OracleBoxRegion(boxes, dim=index.dim).simplify()
 
     region = OracleBoxRegion(

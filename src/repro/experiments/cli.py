@@ -59,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
             "prune",
             "obs",
             "serve",
+            "weighted",
             "all",
         ],
         help="which table/figure to regenerate ('validate' checks every "
@@ -78,7 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
         "asyncio service in-process, fires concurrent HTTP clients "
         "through a mixed read/write workload and asserts every served "
         "response is bit-identical to a direct engine call at its "
-        "served epoch)",
+        "served epoch; 'weighted' sweeps preference-weight shapes — "
+        "unit, skewed, partial support — over every query surface and "
+        "asserts each answer matches the brute-force weighted oracle "
+        "exactly, with unit weights bit-identical to the unweighted "
+        "engine)",
     )
     parser.add_argument(
         "--sizes",
@@ -251,6 +256,8 @@ def _run(args: argparse.Namespace, experiment: str) -> str:
         return _obs(args)
     if experiment == "serve":
         return _serve(args)
+    if experiment == "weighted":
+        return _weighted(args)
     raise ValueError(f"unknown experiment {experiment!r}")
 
 
@@ -1306,6 +1313,164 @@ def _serve(args: argparse.Namespace) -> str:
     )
 
 
+def _weighted(args: argparse.Namespace) -> str:
+    """Weighted-dominance divergence check: engine vs brute-force oracle.
+
+    Builds a bichromatic uniform dataset (first ``--sizes`` entry,
+    default 300 rows split products/customers), then sweeps preference
+    weight shapes (unit spelled two ways, magnitude skew, both partial
+    supports) x shard counts over every read surface — reverse skyline,
+    membership mask, culprit explanation and the exact safe region —
+    asserting each answer equals the nested-loop weighted oracle from
+    ``repro.prefs.oracle`` exactly, and that unit weights stay
+    bit-identical to the unweighted engine.  Any divergence prints a
+    FAIL line and the process exits non-zero.
+    """
+    import numpy as np
+
+    from repro.config import WhyNotConfig
+    from repro.core.engine import WhyNotEngine
+    from repro.core.safe_region import compute_safe_region_oracle
+    from repro.data.synthetic import SYNTHETIC_GENERATORS
+    from repro.index.scan import ScanIndex
+    from repro.prefs.oracle import (
+        oracle_lambda_positions,
+        oracle_membership,
+        oracle_reverse_skyline,
+    )
+
+    size = args.sizes[0] if args.sizes else 300
+    dataset = SYNTHETIC_GENERATORS["UN"](size, seed=args.seed)
+    half = dataset.points.shape[0] // 2
+    products = dataset.points[:half]
+    customers = dataset.points[half:]
+    rng = np.random.default_rng(args.seed + 1)
+    span = dataset.bounds.hi - dataset.bounds.lo
+    probes = dataset.bounds.lo + rng.random((3, products.shape[1])) * span
+
+    shapes = [
+        ("unit", None),
+        ("ones", [1.0, 1.0]),
+        ("skew", [4.0, 0.25]),
+        ("drop-hi", [1.0, 0.0]),
+        ("drop-lo", [0.0, 2.0]),
+    ]
+    lines = []
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    plain = WhyNotEngine(
+        products, customers, backend=args.backend, bounds=dataset.bounds
+    )
+    for shards in (1, 2):
+        config = WhyNotConfig(shards=shards, shard_backend="serial")
+        engine = WhyNotEngine(
+            products,
+            customers,
+            backend=args.backend,
+            config=config,
+            bounds=dataset.bounds,
+        )
+        for name, weights in shapes:
+            w = None if weights is None else np.asarray(weights)
+            for j, q in enumerate(probes):
+                rsl = np.sort(engine.reverse_skyline(q, weights=weights))
+                oracle_rsl = np.sort(
+                    oracle_reverse_skyline(
+                        products, customers, q,
+                        weights=w, policy=config.policy,
+                    )
+                )
+                check(
+                    f"shards={shards} {name} probe{j}: RSL == oracle",
+                    np.array_equal(rsl, oracle_rsl),
+                )
+                mask = engine.membership_mask(
+                    list(range(customers.shape[0])), q, weights=weights
+                )
+                oracle_mask = [
+                    oracle_membership(
+                        products, customers[i], q,
+                        weights=w, policy=config.policy,
+                    )
+                    for i in range(customers.shape[0])
+                ]
+                check(
+                    f"shards={shards} {name} probe{j}: membership == oracle",
+                    list(mask) == oracle_mask,
+                )
+                exp = engine.explain(0, q, weights=weights)
+                lam = oracle_lambda_positions(
+                    products, customers[0], q,
+                    weights=w, policy=config.policy,
+                )
+                check(
+                    f"shards={shards} {name} probe{j}: lambda == oracle",
+                    np.array_equal(
+                        np.sort(exp.culprit_positions), np.sort(lam)
+                    ),
+                )
+                sr = engine.safe_region(q, weights=weights)
+                oracle_sr = compute_safe_region_oracle(
+                    ScanIndex(products),
+                    customers,
+                    q,
+                    oracle_rsl,
+                    engine._geometry_bounds(q),
+                    config=config,
+                    weights=w,
+                )
+                check(
+                    f"shards={shards} {name} probe{j}: safe region == oracle",
+                    np.isclose(sr.area(), oracle_sr.area()),
+                )
+                if name in ("unit", "ones"):
+                    check(
+                        f"shards={shards} {name} probe{j}: "
+                        "bit-identical to unweighted engine",
+                        np.array_equal(
+                            rsl, np.sort(plain.reverse_skyline(q))
+                        ),
+                    )
+        counters = {
+            key: engine.obs.counter(key).value
+            for key in (
+                "prefs.default_requests",
+                "prefs.weighted_requests",
+                "prefs.cache_bypass",
+            )
+        }
+        check(
+            f"shards={shards}: weighted requests counted",
+            counters["prefs.weighted_requests"] > 0,
+        )
+        lines.append(f"  shards={shards} counters: {counters}")
+        engine.close()
+    plain.close()
+
+    verdict = "all checks passed" if not failures else f"{failures} FAILURES"
+    body = "\n".join(
+        [
+            f"dataset UN n={size} ({half} products / "
+            f"{customers.shape[0]} customers), backend={args.backend}",
+            f"weight shapes: {[n for n, _ in shapes]}, "
+            f"probes={probes.shape[0]}, shard counts: 1, 2",
+            "",
+            *lines,
+            "",
+            f"verdict: {verdict}",
+        ]
+    )
+    return format_block(
+        "WEIGHTED — preference-model surfaces vs brute-force oracle", body
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     experiments = (
@@ -1324,7 +1489,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         chunks.append(output)
         if (
             experiment
-            in ("validate", "updates", "shard", "prune", "obs", "serve")
+            in (
+                "validate", "updates", "shard", "prune", "obs", "serve",
+                "weighted",
+            )
             and "FAIL" in output
         ):
             failed = True

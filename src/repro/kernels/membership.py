@@ -159,6 +159,7 @@ def _prepare(
     self_positions: np.ndarray | None,
     block_size: int,
     dtype: str | np.dtype = np.float64,
+    dims: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
     if block_size < 1:
         raise InvalidParameterError("block_size must be a positive integer")
@@ -175,6 +176,21 @@ def _prepare(
         prods = _as_matrix(products, q.size, dt)
         custs = _as_matrix(customers, q.size, dt)
         q = q.astype(dt)
+    if dims is not None:
+        # Preference-support projection (see repro.prefs): the window test
+        # runs over the support columns only.  Copies keep the sweep's
+        # column reads contiguous.
+        sel = np.asarray(dims, dtype=np.int64)
+        if sel.ndim != 1 or sel.size == 0 or (
+            sel.size and (sel.min() < 0 or sel.max() >= q.size)
+        ):
+            raise InvalidParameterError(
+                f"dims must be a non-empty 1-d array of valid column "
+                f"positions for dimension {q.size}"
+            )
+        q = q[sel]
+        prods = np.ascontiguousarray(prods[:, sel])
+        custs = np.ascontiguousarray(custs[:, sel])
     positions = None
     if self_positions is not None:
         positions = np.asarray(self_positions, dtype=np.int64)
@@ -316,6 +332,7 @@ def batch_window_membership(
     rtol: float = 0.0,
     counters: KernelCounters | None = None,
     dtype: str | np.dtype = np.float64,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """``(m,)`` boolean vector: is each customer in ``RSL(query)``?
 
@@ -350,9 +367,14 @@ def batch_window_membership(
         precision — float32 inputs stay zero-copy (the sharded layer's
         bandwidth mode) at the cost of possible boundary flips within
         float32 rounding of the float64 answer.
+    dims:
+        Optional int64 column positions restricting the test to the
+        preference-support subspace (:mod:`repro.prefs`); ``None`` is the
+        full-dimensional historical path.
     """
     prods, custs, q, positions = _prepare(
-        products, customers, query, self_positions, block_size, dtype
+        products, customers, query, self_positions, block_size, dtype,
+        dims=dims,
     )
     m = custs.shape[0]
     members = np.empty(m, dtype=bool)
@@ -379,6 +401,7 @@ def batch_lambda_counts(
     block_size: int = DEFAULT_BLOCK_SIZE,
     counters: KernelCounters | None = None,
     dtype: str | np.dtype = np.float64,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """``(m,)`` int64 vector of ``|Λ|`` per customer.
 
@@ -388,7 +411,8 @@ def batch_lambda_counts(
     block?) are bulk sweeps of these counts.
     """
     prods, custs, q, positions = _prepare(
-        products, customers, query, self_positions, block_size, dtype
+        products, customers, query, self_positions, block_size, dtype,
+        dims=dims,
     )
     m = custs.shape[0]
     counts = np.zeros(m, dtype=np.int64)
@@ -424,6 +448,7 @@ def batch_verify_membership(
     block_size: int = DEFAULT_BLOCK_SIZE,
     rtol: float = _VERIFY_RTOL,
     counters: KernelCounters | None = None,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """Tolerance-aware batch membership, matching
     :func:`repro.core._verify.verify_membership` bit-for-bit.
@@ -441,4 +466,5 @@ def batch_verify_membership(
         block_size=block_size,
         rtol=rtol,
         counters=counters,
+        dims=dims,
     )

@@ -70,12 +70,22 @@ def _chunk_bounds(
     prods: np.ndarray,
     tile: int,
     product_bounds: tuple[np.ndarray, np.ndarray] | None,
+    dims: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Product chunk AABBs at width ``tile`` — validated precomputed
-    bounds, or an inline reduceat pass."""
+    bounds, or an inline reduceat pass.
+
+    ``dims`` projects precomputed full-dimensional bounds onto the
+    preference support: the AABB of the projected points is exactly the
+    projection of the full AABB, so the epoch-versioned summaries stay
+    reusable under any weight vector."""
     if product_bounds is None:
         return tile_bounds(prods, tile)
     lo, hi = product_bounds
+    if dims is not None:
+        sel = np.asarray(dims, dtype=np.int64)
+        lo = lo[:, sel]
+        hi = hi[:, sel]
     expected = (tile_count(prods.shape[0], tile), prods.shape[1])
     if lo.shape != expected or hi.shape != expected:
         raise InvalidParameterError(
@@ -164,6 +174,7 @@ def batch_window_membership_pruned(
     tile_size: int | None = None,
     product_bounds: tuple[np.ndarray, np.ndarray] | None = None,
     dtype: str | np.dtype = np.float64,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pruned twin of :func:`repro.kernels.membership.
     batch_window_membership` — identical signature plus ``prune_counters``
@@ -172,7 +183,8 @@ def batch_window_membership_pruned(
     (precomputed product chunk AABBs).  Bit-identical output for every
     parameter combination."""
     prods, custs, q, positions = _prepare(
-        products, customers, query, self_positions, block_size, dtype
+        products, customers, query, self_positions, block_size, dtype,
+        dims=dims,
     )
     m = custs.shape[0]
     n = prods.shape[0]
@@ -185,7 +197,7 @@ def batch_window_membership_pruned(
     tile = int(tile_size) if tile_size is not None else int(block_size)
     if tile < 1:
         raise InvalidParameterError("tile_size must be a positive integer")
-    plo, phi = _chunk_bounds(prods, tile, product_bounds)
+    plo, phi = _chunk_bounds(prods, tile, product_bounds, dims)
     nchunks = plo.shape[0]
     for start in range(0, m, tile):
         block = custs[start : start + tile]
@@ -239,6 +251,7 @@ def batch_lambda_counts_pruned(
     tile_size: int | None = None,
     product_bounds: tuple[np.ndarray, np.ndarray] | None = None,
     dtype: str | np.dtype = np.float64,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pruned twin of :func:`repro.kernels.membership.batch_lambda_counts`.
 
@@ -248,7 +261,8 @@ def batch_lambda_counts_pruned(
     count is ``b * rows`` but not which rows survive self-exclusion, and
     the exact chunk pass is as cheap as that proof."""
     prods, custs, q, positions = _prepare(
-        products, customers, query, self_positions, block_size, dtype
+        products, customers, query, self_positions, block_size, dtype,
+        dims=dims,
     )
     m = custs.shape[0]
     counts = np.zeros(m, dtype=np.int64)
@@ -257,7 +271,7 @@ def batch_lambda_counts_pruned(
     tile = int(tile_size) if tile_size is not None else int(block_size)
     if tile < 1:
         raise InvalidParameterError("tile_size must be a positive integer")
-    plo, phi = _chunk_bounds(prods, tile, product_bounds)
+    plo, phi = _chunk_bounds(prods, tile, product_bounds, dims)
     nchunks = plo.shape[0]
     for start in range(0, m, tile):
         block = custs[start : start + tile]
@@ -309,6 +323,7 @@ def batch_verify_membership_pruned(
     prune_counters: PruneCounters | None = None,
     tile_size: int | None = None,
     product_bounds: tuple[np.ndarray, np.ndarray] | None = None,
+    dims: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pruned twin of :func:`repro.kernels.membership.
     batch_verify_membership` — the classifier widens its thresholds by an
@@ -326,4 +341,5 @@ def batch_verify_membership_pruned(
         prune_counters=prune_counters,
         tile_size=tile_size,
         product_bounds=product_bounds,
+        dims=dims,
     )

@@ -138,6 +138,11 @@ class DatasetStats:
     prune: str = "off"
     prune_tile_size: int = 512
     prune_refine_rate: float = 1.0
+    # Dimensions dominance actually compares under the engine-default
+    # preference model (the support size); 0 means "same as d".  The
+    # selectivity heuristics key their exponents on this — a projected
+    # 2-of-5-dimension preference behaves like 2-D data.
+    effective_d: int = 0
 
     @classmethod
     def of(cls, engine: "WhyNotEngine") -> "DatasetStats":
@@ -155,6 +160,7 @@ class DatasetStats:
             n=int(engine.products.shape[0]),
             m=int(engine.customers.shape[0]),
             d=int(engine.dim),
+            effective_d=int(engine.prefs.effective_dim(engine.dim)),
             backend=engine.backend,
             epoch=int(engine.dataset_epoch),
             dsl_warm=(
@@ -181,7 +187,8 @@ class DatasetStats:
         """
         if self.m <= 1:
             return 1.0
-        grown = math.log(self.m + 1.0) ** max(1, self.d - 1)
+        d_eff = self.effective_d or self.d
+        grown = math.log(self.m + 1.0) ** max(1, d_eff - 1)
         return float(min(self.m, max(1.0, grown)))
 
     @property

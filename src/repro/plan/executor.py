@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.plan.cost import CostEstimate, DatasetStats
     from repro.plan.logical import LogicalPlan
     from repro.plan.operators import Operator
+    from repro.prefs.model import PreferenceModel
 
 __all__ = ["ExecutionContext", "PlanNode", "execute_plan"]
 
@@ -78,6 +79,10 @@ class ExecutionContext:
     members: np.ndarray | None = None
     approximate: bool = False
     k: int = 10
+    # The request's preference model (repro.prefs); ``None`` means the
+    # engine default.  Operators read it through ``_ctx_prefs`` and gate
+    # the engine's result caches on its fingerprint.
+    prefs: "PreferenceModel | None" = None
 
     @property
     def obs(self):

@@ -166,6 +166,20 @@ def ensure_approx_store(engine, k: int) -> ApproximateDSLStore:
     return store
 
 
+def _ctx_prefs(ctx: "ExecutionContext"):
+    """``(prefs, default)`` for one execution: the request's preference
+    model and whether it matches the engine default.  The engine's
+    result caches (RSL, safe regions, approx stores) hold default-prefs
+    answers only; a non-default request computes fresh and uncached,
+    counted under ``prefs.cache_bypass``."""
+    eng = ctx.engine
+    prefs = ctx.prefs if ctx.prefs is not None else eng.prefs
+    default = prefs.fingerprint() == eng.prefs.fingerprint()
+    if not default:
+        eng._prefs_cache_bypass.inc()
+    return prefs, default
+
+
 def _resolve_batch(ctx: "ExecutionContext") -> tuple[np.ndarray, np.ndarray]:
     """``(points, self_positions)`` for the customers in ``ctx.why_nots``
     (-1 marks coordinate-addressed customers with no self-exclusion)."""
@@ -224,20 +238,23 @@ class _ReverseSkylineOp(Operator):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, default = _ctx_prefs(ctx)
         key = q.tobytes()
-        cached = eng._rsl_cache.get(key)
+        cached = eng._rsl_cache.get(key) if default else None
         if cached is None:
             cached = reverse_skyline_bbrs(
                 eng.index,
                 eng.customers,
                 q,
-                policy=eng.config.policy,
+                policy=prefs.policy,
                 self_exclude=eng.monochromatic,
                 batch_kernels=self.batch,
                 block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
+                weights=prefs.weight_array(eng.dim),
             )
-            eng._rsl_cache[key] = cached
+            if default:
+                eng._rsl_cache[key] = cached
             span.set(members=int(cached.size))
         else:
             span.set(members=int(cached.size), result_cache="hit")
@@ -296,6 +313,7 @@ class _MembershipOp(Operator):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         points, self_positions = _resolve_batch(ctx)
         count = points.shape[0]
         # One predicate per customer regardless of execution path — the
@@ -307,21 +325,24 @@ class _MembershipOp(Operator):
                 eng.products,
                 points,
                 ctx.query,
-                eng.config.policy,
+                prefs.policy,
                 self_positions=self_positions,
                 block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
+                dims=prefs.support(eng.dim),
             )
         q = ctx.query
+        w = prefs.weight_array(eng.dim)
         return np.fromiter(
             (
                 verify_membership(
                     eng.index,
                     points[i],
                     q,
-                    eng.config.policy,
+                    prefs.policy,
                     (int(self_positions[i]),) if self_positions[i] >= 0 else (),
                     rtol=0.0,
+                    weights=w,
                 )
                 for i in range(count)
             ),
@@ -382,6 +403,7 @@ class _RetainedOp(Operator):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         members = np.asarray(ctx.members, dtype=np.int64)
         span.set(members=int(members.size), batch=self.batch)
         if members.size == 0:
@@ -392,16 +414,19 @@ class _RetainedOp(Operator):
                 eng.products,
                 eng.customers[members],
                 ctx.refined_query,
-                eng.config.policy,
+                prefs.policy,
                 self_positions=members if eng.monochromatic else None,
                 block_size=eng.kernel_block_size,
                 counters=eng._kernel_counters,
+                dims=prefs.support(eng.dim),
             )
+        w = prefs.weight_array(eng.dim)
         retained = np.empty(members.size, dtype=bool)
         for i, position in enumerate(members):
             point, exclude = eng._resolve_customer(int(position))
             retained[i] = verify_membership(
-                eng.index, point, ctx.refined_query, eng.config.policy, exclude
+                eng.index, point, ctx.refined_query, prefs.policy, exclude,
+                weights=w,
             )
         return retained
 
@@ -459,9 +484,11 @@ class LambdaWindow(Operator):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         point, exclude = eng._resolve_customer(ctx.why_not)
         result = explain_why_not(
-            eng.index, point, ctx.query, eng.config.policy, exclude
+            eng.index, point, ctx.query, prefs.policy, exclude,
+            weights=prefs.weight_array(eng.dim),
         )
         span.set(culprits=len(result.culprit_positions))
         return result
@@ -491,15 +518,17 @@ class MWPStaircase(_StaircaseOp):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         point, exclude = eng._resolve_customer(ctx.why_not)
         return modify_why_not_point(
             eng.index,
             point,
             ctx.query,
             config=eng.config,
-            weights=eng.beta,
+            weights=prefs.cost_weights(eng.beta),
             normalizer=eng.normalizer,
             exclude=exclude,
+            pref_weights=prefs.weight_array(eng.dim),
         )
 
 
@@ -511,15 +540,17 @@ class MQPStaircase(_StaircaseOp):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         point, exclude = eng._resolve_customer(ctx.why_not)
         return modify_query_point(
             eng.index,
             point,
             ctx.query,
             config=eng.config,
-            weights=eng.alpha,
+            weights=prefs.cost_weights(eng.alpha),
             normalizer=eng.normalizer,
             exclude=exclude,
+            pref_weights=prefs.weight_array(eng.dim),
         )
 
 
@@ -533,8 +564,9 @@ class _ExactSafeRegionOp(Operator):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, default = _ctx_prefs(ctx)
         key = q.tobytes()
-        cached = eng._sr_cache.get(key)
+        cached = eng._sr_cache.get(key) if default else None
         if cached is not None:
             span.set(
                 members=cached.stats.members if cached.stats else 0,
@@ -545,6 +577,9 @@ class _ExactSafeRegionOp(Operator):
             return cached
         with _observe_regions(eng):
             rsl = ctx.execute(node.children[0])
+            # compute_safe_region itself bypasses the DSL cache for
+            # partial-support weights (full-support ones leave the
+            # regions unchanged, so sharing the unweighted cache is safe).
             cached = compute_safe_region(
                 eng.index,
                 eng.customers,
@@ -554,6 +589,7 @@ class _ExactSafeRegionOp(Operator):
                 config=eng.config,
                 self_exclude=eng.monochromatic,
                 dsl_cache=eng.dsl_cache if self.use_dsl_cache else None,
+                weights=prefs.weight_array(eng.dim),
             )
             span.set(
                 members=cached.stats.members,
@@ -562,7 +598,8 @@ class _ExactSafeRegionOp(Operator):
             )
         eng.last_safe_region_stats = cached.stats
         _absorb_safe_region_stats(eng, cached.stats)
-        eng._sr_cache[key] = cached
+        if default:
+            eng._sr_cache[key] = cached
         return cached
 
 
@@ -639,18 +676,35 @@ class SafeRegionApproxStore(Operator):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, default = _ctx_prefs(ctx)
         k = node.logical.k
         key = (q.tobytes(), k)
         span.set(approximate=True, k=k)
-        cached = eng._approx_sr_cache.get(key)
+        cached = eng._approx_sr_cache.get(key) if default else None
         if cached is not None:
             span.set(result_cache="hit")
             return cached
         with _observe_regions(eng):
-            store = ensure_approx_store(eng, k)
+            if default:
+                store = ensure_approx_store(eng, k)
+            else:
+                # Non-default preference: a one-shot store (lazy, so it
+                # only samples the members of this query).  The shared
+                # DSL cache may seed it only under full support, where
+                # the weighted and unweighted skylines coincide.
+                store = ApproximateDSLStore(
+                    eng.index,
+                    eng.customers,
+                    k=k,
+                    config=eng.config,
+                    self_exclude=eng.monochromatic,
+                    dsl_cache=eng.dsl_cache if prefs.full_support else None,
+                    weights=prefs.weight_array(eng.dim),
+                )
             rsl = ctx.execute(node.children[0])
             cached = store.safe_region(q, rsl, eng._geometry_bounds(q))
-        eng._approx_sr_cache[key] = cached
+        if default:
+            eng._approx_sr_cache[key] = cached
         return cached
 
 
@@ -673,15 +727,20 @@ class MWQCombine(Operator):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, _ = _ctx_prefs(ctx)
         point, exclude = eng._resolve_customer(ctx.why_not)
         span.set(approximate=node.logical.approximate)
         region = ctx.execute(node.children[0])
         bounds = eng._geometry_bounds(q)
         # Position-addressed customers share the cached staircase region
         # (the cache's self-exclusion convention matches _resolve_customer's).
+        # Valid for every *full-support* preference — the anti-dominance
+        # region depends only on the weight support, not the magnitudes.
         ddr = None
-        if eng.dsl_cache is not None and isinstance(
-            ctx.why_not, (int, np.integer)
+        if (
+            eng.dsl_cache is not None
+            and prefs.full_support
+            and isinstance(ctx.why_not, (int, np.integer))
         ):
             ddr = eng.dsl_cache.region(int(ctx.why_not), bounds)
         return modify_query_and_why_not_point(
@@ -691,10 +750,11 @@ class MWQCombine(Operator):
             safe_region=region,
             bounds=bounds,
             config=eng.config,
-            weights=eng.beta,
+            weights=prefs.cost_weights(eng.beta),
             normalizer=eng.normalizer,
             exclude=exclude,
             ddr_why_not=ddr,
+            pref_weights=prefs.weight_array(eng.dim),
         )
 
 
@@ -707,12 +767,14 @@ class _BatchOp(Operator):
     def _answer(self, ctx, why_not, q):
         from repro.core.batch import answer_why_not
 
+        prefs, _ = _ctx_prefs(ctx)
         return answer_why_not(
             ctx.engine,
             why_not,
             q,
             approximate=ctx.approximate,
             k=ctx.k,
+            weights=prefs.weights,
         )
 
 
@@ -830,8 +892,9 @@ class RSLShardedKernel(_ReverseSkylineOp):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, default = _ctx_prefs(ctx)
         key = q.tobytes()
-        cached = eng._rsl_cache.get(key)
+        cached = eng._rsl_cache.get(key) if default else None
         if cached is None:
             candidates = np.asarray(
                 global_skyline_candidates(
@@ -839,6 +902,7 @@ class RSLShardedKernel(_ReverseSkylineOp):
                     eng.customers,
                     q,
                     self_exclude=eng.monochromatic,
+                    weights=prefs.weight_array(eng.dim),
                 ),
                 dtype=np.int64,
             )
@@ -849,13 +913,15 @@ class RSLShardedKernel(_ReverseSkylineOp):
                 mask = executor.membership_rows(
                     candidates,
                     q,
-                    eng.config.policy,
+                    prefs.policy,
                     self_positions=(
                         candidates if eng.monochromatic else None
                     ),
+                    dims=prefs.support(eng.dim),
                 )
                 cached = candidates[mask]
-            eng._rsl_cache[key] = cached
+            if default:
+                eng._rsl_cache[key] = cached
             span.set(members=int(cached.size))
         else:
             span.set(members=int(cached.size), result_cache="hit")
@@ -890,6 +956,7 @@ class MembershipSharded(_MembershipOp):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         points, self_positions = _resolve_batch(ctx)
         count = points.shape[0]
         eng._membership_tests.inc(count)
@@ -900,8 +967,9 @@ class MembershipSharded(_MembershipOp):
         return executor.membership_points(
             points,
             ctx.query,
-            eng.config.policy,
+            prefs.policy,
             self_positions=self_positions,
+            dims=prefs.support(eng.dim),
         )
 
 
@@ -932,6 +1000,7 @@ class RetainedSharded(_RetainedOp):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         members = np.asarray(ctx.members, dtype=np.int64)
         span.set(members=int(members.size), batch=True, sharded=True)
         if members.size == 0:
@@ -941,9 +1010,10 @@ class RetainedSharded(_RetainedOp):
         return executor.membership_rows(
             members,
             ctx.refined_query,
-            eng.config.policy,
+            prefs.policy,
             self_positions=members if eng.monochromatic else None,
             rtol=_VERIFY_RTOL,
+            dims=prefs.support(eng.dim),
         )
 
 
@@ -984,8 +1054,9 @@ class SafeRegionShardedFold(Operator):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, default = _ctx_prefs(ctx)
         key = q.tobytes()
-        cached = eng._sr_cache.get(key)
+        cached = eng._sr_cache.get(key) if default else None
         if cached is not None:
             span.set(
                 members=cached.stats.members if cached.stats else 0,
@@ -1006,6 +1077,7 @@ class SafeRegionShardedFold(Operator):
                 eng.config.sort_dim,
                 self_exclude=eng.monochromatic,
                 chunk_size=eng.config.sr_chunk_size,
+                weights=prefs.weight_array(eng.dim),
             )
             region = BoxRegion.from_arrays(lo, hi, dim=eng.dim)
             point = as_point(q, dim=eng.dim)
@@ -1036,7 +1108,8 @@ class SafeRegionShardedFold(Operator):
             )
         eng.last_safe_region_stats = stats
         _absorb_safe_region_stats(eng, stats)
-        eng._sr_cache[key] = cached
+        if default:
+            eng._sr_cache[key] = cached
         return cached
 
 
@@ -1076,7 +1149,9 @@ class BatchSharded(BatchPrefilter):
 # ----------------------------------------------------------------------
 # Pruned operators (filter-refinement over repro.prune tile summaries)
 # ----------------------------------------------------------------------
-def _pruned_membership(eng, points, query, self_positions, rtol=0.0):
+def _pruned_membership(
+    eng, points, query, self_positions, rtol=0.0, policy=None, dims=None
+):
     """One pruned membership sweep reading the engine's epoch-versioned
     product summaries; bit-identical to the plain kernel."""
     summaries = eng.prune_summaries
@@ -1084,7 +1159,7 @@ def _pruned_membership(eng, points, query, self_positions, rtol=0.0):
         eng.products,
         points,
         query,
-        eng.config.policy,
+        eng.config.policy if policy is None else policy,
         self_positions=self_positions,
         block_size=eng.kernel_block_size,
         rtol=rtol,
@@ -1094,6 +1169,7 @@ def _pruned_membership(eng, points, query, self_positions, rtol=0.0):
         product_bounds=(
             summaries.product_bounds() if summaries is not None else None
         ),
+        dims=dims,
     )
 
 
@@ -1132,8 +1208,9 @@ class RSLPrunedKernel(_ReverseSkylineOp):
     def run(self, ctx, node, span):
         eng = ctx.engine
         q = ctx.query
+        prefs, default = _ctx_prefs(ctx)
         key = q.tobytes()
-        cached = eng._rsl_cache.get(key)
+        cached = eng._rsl_cache.get(key) if default else None
         if cached is None:
             candidates = np.asarray(
                 global_skyline_candidates(
@@ -1141,6 +1218,7 @@ class RSLPrunedKernel(_ReverseSkylineOp):
                     eng.customers,
                     q,
                     self_exclude=eng.monochromatic,
+                    weights=prefs.weight_array(eng.dim),
                 ),
                 dtype=np.int64,
             )
@@ -1152,9 +1230,12 @@ class RSLPrunedKernel(_ReverseSkylineOp):
                     eng.customers[candidates],
                     q,
                     candidates if eng.monochromatic else None,
+                    policy=prefs.policy,
+                    dims=prefs.support(eng.dim),
                 )
                 cached = candidates[mask]
-            eng._rsl_cache[key] = cached
+            if default:
+                eng._rsl_cache[key] = cached
             span.set(members=int(cached.size), pruned=True)
         else:
             span.set(members=int(cached.size), result_cache="hit")
@@ -1191,13 +1272,21 @@ class MembershipPruned(_MembershipOp):
 
     def run(self, ctx, node, span):
         eng = ctx.engine
+        prefs, _ = _ctx_prefs(ctx)
         points, self_positions = _resolve_batch(ctx)
         count = points.shape[0]
         eng._membership_tests.inc(count)
         span.set(customers=count, batch=True, pruned=True)
         if count == 0:
             return np.empty(0, dtype=bool)
-        return _pruned_membership(eng, points, ctx.query, self_positions)
+        return _pruned_membership(
+            eng,
+            points,
+            ctx.query,
+            self_positions,
+            policy=prefs.policy,
+            dims=prefs.support(eng.dim),
+        )
 
 
 class BatchPruned(BatchPrefilter):

@@ -61,7 +61,13 @@ class PlanPool:
         """
         engine = self._engine
         logical, ctx_kwargs = build_request(engine, surface, *args, **kwargs)
-        key = (logical.cache_key(), engine.dataset_epoch, engine._config_fp)
+        prefs = ctx_kwargs.get("prefs") or engine.prefs
+        key = (
+            logical.cache_key(),
+            engine.dataset_epoch,
+            engine._config_fp,
+            prefs.fingerprint(),
+        )
         entry = self._entries.get(key)
         if entry is None:
             self.misses.inc()

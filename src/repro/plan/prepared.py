@@ -42,11 +42,19 @@ class PreparedPlan:
         self._ctx_kwargs = dict(ctx_kwargs)
         self.plan_cached = plan_cached
         self._epoch = engine.dataset_epoch
+        prefs = self._ctx_kwargs.get("prefs") or engine.prefs
+        self._prefs_fingerprint = prefs.fingerprint()
 
     @property
     def epoch(self) -> int:
         """The dataset epoch this plan was built against."""
         return self._epoch
+
+    @property
+    def prefs_fingerprint(self) -> tuple:
+        """Fingerprint of the preference model the plan was bound under
+        (the engine default when the request carried no weights)."""
+        return self._prefs_fingerprint
 
     @property
     def stale(self) -> bool:

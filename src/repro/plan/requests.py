@@ -48,6 +48,9 @@ def build_request(
     """``(logical plan, execution-context kwargs)`` for one surface call."""
     approximate = bool(kwargs.pop("approximate", False))
     k = int(kwargs.pop("k", 10))
+    # Preference weights ride on every surface; resolution validates them
+    # (length, sign, finiteness) before any planning happens.
+    prefs = engine.resolve_prefs(kwargs.pop("weights", None))
     if kwargs:
         raise InvalidParameterError(
             f"unknown arguments {sorted(kwargs)!r} for {surface!r}"
@@ -61,19 +64,27 @@ def build_request(
     dim = engine.dim
     if surface == "reverse_skyline":
         (query,) = args
-        return logical_cls(), {"query": as_point(query, dim=dim)}
+        return logical_cls(), {"query": as_point(query, dim=dim), "prefs": prefs}
     if surface == "membership":
         why_nots, query = args
         why_nots = tuple(why_nots)
         return (
             logical_cls(count=len(why_nots)),
-            {"query": as_point(query, dim=dim), "why_nots": why_nots},
+            {
+                "query": as_point(query, dim=dim),
+                "why_nots": why_nots,
+                "prefs": prefs,
+            },
         )
     if surface in ("explain", "mwp", "mqp"):
         why_not, query = args
         return (
             logical_cls(),
-            {"query": as_point(query, dim=dim), "why_not": why_not},
+            {
+                "query": as_point(query, dim=dim),
+                "why_not": why_not,
+                "prefs": prefs,
+            },
         )
     if surface == "safe_region":
         (query,) = args
@@ -83,6 +94,7 @@ def build_request(
                 "query": as_point(query, dim=dim),
                 "approximate": approximate,
                 "k": k,
+                "prefs": prefs,
             },
         )
     if surface == "mwq":
@@ -94,6 +106,7 @@ def build_request(
                 "why_not": why_not,
                 "approximate": approximate,
                 "k": k,
+                "prefs": prefs,
             },
         )
     # batch
@@ -106,5 +119,6 @@ def build_request(
             "why_nots": why_nots,
             "approximate": approximate,
             "k": k,
+            "prefs": prefs,
         },
     )

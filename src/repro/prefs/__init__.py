@@ -1,0 +1,59 @@
+"""First-class preference model for weighted dominance.
+
+Every dominance-consuming layer of the library historically assumed
+unit weights: each dimension counts, and counts equally.  This package
+makes the preference explicit — a frozen, validated, fingerprintable
+:class:`PreferenceModel` of per-dimension non-negative weights plus the
+existing WEAK/STRICT :class:`~repro.config.DominancePolicy` — so the
+skyline algorithms, the blocked kernels, the safe-region constructions
+and the planner all take the preference as an argument instead of
+baking the equal-weights assumption in.
+
+Layering: ``repro.prefs`` sits at the bottom of the library, beside
+``repro.config`` — it may import only the shared config/exception
+modules and numpy, and every compute layer above may import it (the
+rule is pinned by ``tests/test_layering.py`` and the CI walk).
+
+Semantics (see DESIGN.md, "Preference model"):
+
+* **Dominance is scale-invariant.**  For strictly positive weights,
+  ``w_i * |c_i - p_i| <= w_i * |c_i - q_i|`` holds exactly when the
+  unweighted comparison does, so positive weight *magnitudes* never
+  change a dominance verdict.  What a weight vector *does* change is
+  its **support**: a zero weight drops that dimension from every
+  comparison (projection semantics — the customer is indifferent to
+  it).  All weighted dominance therefore reduces to running the
+  existing exact machinery over the support's column subset, which is
+  also why unit weights are *bit-identical* to the historical paths:
+  the full-support fast path is literally the same code.
+* **Magnitudes price movement.**  The MWP/MQP/MWQ prescriptions rank
+  candidate modifications by weighted L1 movement cost; the preference
+  weights multiply into the engine's cost weights (unnormalised), so a
+  heavily weighted dimension is expensive to move along.
+"""
+
+from repro.prefs.model import (
+    PreferenceModel,
+    UNIT_PREFS,
+    as_weight_vector,
+    support_dims,
+)
+from repro.prefs.oracle import (
+    oracle_dominates,
+    oracle_dynamic_skyline,
+    oracle_lambda_positions,
+    oracle_membership,
+    oracle_reverse_skyline,
+)
+
+__all__ = [
+    "PreferenceModel",
+    "UNIT_PREFS",
+    "as_weight_vector",
+    "support_dims",
+    "oracle_dominates",
+    "oracle_dynamic_skyline",
+    "oracle_lambda_positions",
+    "oracle_membership",
+    "oracle_reverse_skyline",
+]

@@ -165,6 +165,7 @@ class WhyNotHTTPServer:
                     approximate=bool(params.get("approximate", False)),
                     k=int(params.get("k", 10)),
                     deadline_s=params.get("deadline_s"),
+                    weights=params.get("weights"),
                 )
             elif path == "/safe-region":
                 result = await service.safe_region(
@@ -172,12 +173,14 @@ class WhyNotHTTPServer:
                     approximate=bool(params.get("approximate", False)),
                     k=int(params.get("k", 10)),
                     deadline_s=params.get("deadline_s"),
+                    weights=params.get("weights"),
                 )
             elif path == "/explain":
                 result = await service.explain(
                     params["why_not"],
                     params["query"],
                     deadline_s=params.get("deadline_s"),
+                    weights=params.get("weights"),
                 )
             else:  # /mutate
                 op = params.pop("op", None)

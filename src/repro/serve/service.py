@@ -36,6 +36,7 @@ from repro.core.batch import answer_why_not, answer_why_not_batch
 from repro.exceptions import InvalidParameterError, StaleSessionError
 from repro.obs.exporters import to_prometheus
 from repro.plan.pool import PlanPool
+from repro.prefs.model import PreferenceModel
 from repro.serve.admission import (
     AdmissionController,
     DeadlineError,
@@ -101,6 +102,13 @@ def _freeze_why_not(why_not: Any) -> "int | tuple":
     if isinstance(why_not, (int, np.integer)):
         return int(why_not)
     return tuple(float(v) for v in np.asarray(why_not, dtype=np.float64))
+
+
+def _freeze_weights(weights: Any) -> "tuple | None":
+    """A hashable form of a request's preference weights."""
+    if weights is None:
+        return None
+    return tuple(float(v) for v in np.asarray(weights, dtype=np.float64))
 
 
 class WhyNotService:
@@ -248,6 +256,16 @@ class WhyNotService:
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
+    def _resolve_prefs(self, weights: Any) -> "PreferenceModel":
+        """Validate request weights into a preference model *before*
+        admission, so a malformed vector is a structured 400 and never
+        occupies an execution slot (``None`` = the engine default)."""
+        if weights is None:
+            return self.engine.prefs
+        return PreferenceModel.resolve(
+            weights, self.engine.config.policy, self.engine.dim
+        )
+
     async def why_not(
         self,
         why_not: "int | Sequence[float]",
@@ -255,14 +273,27 @@ class WhyNotService:
         approximate: bool = False,
         k: int = 10,
         deadline_s: "float | None" = None,
+        weights: "Sequence[float] | None" = None,
     ) -> dict:
         """Serve one composite why-not answer (coalesced when enabled)."""
         q = np.asarray(query, dtype=np.float64)
         frozen = _freeze_why_not(why_not)
+        prefs_fp = self._resolve_prefs(weights).fingerprint()
+        frozen_w = _freeze_weights(weights)
 
         async def run(lease: "SnapshotLease") -> dict:
             if self.config.coalesce:
-                key = (lease.epoch, q.tobytes(), bool(approximate), int(k))
+                # Keyed on the preference fingerprint (plus the raw
+                # vector the dispatch re-threads): requests differing
+                # only in weights never share a batch.
+                key = (
+                    lease.epoch,
+                    q.tobytes(),
+                    bool(approximate),
+                    int(k),
+                    prefs_fp,
+                    frozen_w,
+                )
                 assert self.coalescer is not None
                 return await self.coalescer.submit(key, frozen)
             answer = await self._in_executor(
@@ -273,6 +304,7 @@ class WhyNotService:
                     q,
                     approximate=approximate,
                     k=k,
+                    weights=frozen_w,
                 )
             )
             return serialize_answer(answer)
@@ -285,14 +317,18 @@ class WhyNotService:
         approximate: bool = False,
         k: int = 10,
         deadline_s: "float | None" = None,
+        weights: "Sequence[float] | None" = None,
     ) -> dict:
         """Serve ``SR(q)`` through the per-epoch prepared-plan pool."""
         q = np.asarray(query, dtype=np.float64)
+        self._resolve_prefs(weights)
+        frozen_w = _freeze_weights(weights)
 
         async def run(lease: "SnapshotLease") -> dict:
             def work() -> dict:
                 prepared = self.pool.prepare(
-                    "safe_region", q, approximate=approximate, k=k
+                    "safe_region", q, approximate=approximate, k=k,
+                    weights=frozen_w,
                 )
                 return serialize_safe_region(prepared.execute())
 
@@ -305,14 +341,19 @@ class WhyNotService:
         why_not: "int | Sequence[float]",
         query: Sequence[float],
         deadline_s: "float | None" = None,
+        weights: "Sequence[float] | None" = None,
     ) -> dict:
         """Serve the Λ explanation through the prepared-plan pool."""
         q = np.asarray(query, dtype=np.float64)
         frozen = _freeze_why_not(why_not)
+        self._resolve_prefs(weights)
+        frozen_w = _freeze_weights(weights)
 
         async def run(lease: "SnapshotLease") -> dict:
             def work() -> dict:
-                prepared = self.pool.prepare("explain", frozen, q)
+                prepared = self.pool.prepare(
+                    "explain", frozen, q, weights=frozen_w
+                )
                 return serialize_explanation(prepared.execute())
 
             return await self._in_executor(work)
@@ -400,7 +441,7 @@ class WhyNotService:
 
     async def _dispatch_batch(self, key: tuple, payloads: list) -> list:
         """Coalescer dispatch: one batched kernel call for the group."""
-        epoch, query_bytes, approximate, k = key
+        epoch, query_bytes, approximate, k, _prefs_fp, frozen_w = key
         q = np.frombuffer(query_bytes, dtype=np.float64)
         answers = await self._in_executor(
             partial(
@@ -410,6 +451,7 @@ class WhyNotService:
                 q,
                 approximate=approximate,
                 k=k,
+                weights=frozen_w,
             )
         )
         return [serialize_answer(answer) for answer in answers]

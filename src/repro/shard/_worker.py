@@ -136,6 +136,12 @@ def _policy(payload: dict) -> DominancePolicy:
     return DominancePolicy(payload["policy"])
 
 
+def _dims(payload: dict) -> np.ndarray | None:
+    """Preference-support dimensions (``None`` = full support; payloads
+    built by older callers carry no ``dims`` key)."""
+    return payload.get("dims")
+
+
 def membership_rows(
     products: np.ndarray, customers: np.ndarray, payload: dict
 ) -> np.ndarray:
@@ -155,6 +161,7 @@ def membership_rows(
             counters=kernel_counters,
             prune_counters=prune_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
             **pruned,
         )
     else:
@@ -168,6 +175,7 @@ def membership_rows(
             rtol=payload["rtol"],
             counters=kernel_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
         )
     return _wrap(result, kernel_counters, prune_counters)
 
@@ -190,6 +198,7 @@ def membership_points(
             counters=kernel_counters,
             prune_counters=prune_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
             **pruned,
         )
     else:
@@ -203,6 +212,7 @@ def membership_points(
             rtol=payload["rtol"],
             counters=kernel_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
         )
     return _wrap(result, kernel_counters, prune_counters)
 
@@ -225,6 +235,7 @@ def lambda_rows(
             counters=kernel_counters,
             prune_counters=prune_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
             **pruned,
         )
     else:
@@ -237,6 +248,7 @@ def lambda_rows(
             block_size=payload["block_size"],
             counters=kernel_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
         )
     return _wrap(result, kernel_counters, prune_counters)
 
@@ -263,6 +275,7 @@ def lambda_products(
             counters=kernel_counters,
             prune_counters=prune_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
             tile_size=tile,
         )
     else:
@@ -275,6 +288,7 @@ def lambda_products(
             block_size=payload["block_size"],
             counters=kernel_counters,
             dtype=products.dtype,
+            dims=_dims(payload),
         )
     return _wrap(result, kernel_counters, prune_counters)
 
@@ -298,6 +312,7 @@ def safe_region_chunk(
     from repro.geometry import region_array as _ra
     from repro.geometry.box import Box
     from repro.geometry.transform import to_query_space
+    from repro.prefs.model import support_dims
     from repro.skyline.dynamic import dynamic_skyline_indices
 
     if products.dtype != np.float64:
@@ -306,6 +321,8 @@ def safe_region_chunk(
     bounds = Box(payload["bounds_lo"], payload["bounds_hi"])
     sort_dim = int(payload["sort_dim"])
     self_exclude = bool(payload["self_exclude"])
+    weights = payload.get("weights")
+    dims = support_dims(weights, dim)
     run_lo, run_hi = _ra.boxes_to_arrays(
         [Box(bounds.lo.copy(), bounds.hi.copy())], dim
     )
@@ -317,14 +334,19 @@ def safe_region_chunk(
         for position in chunk:
             origin = customers[position]
             exclude = (int(position),) if self_exclude else ()
-            dsl = dynamic_skyline_indices(products, origin, exclude)
+            dsl = dynamic_skyline_indices(
+                products, origin, exclude, weights=weights
+            )
             thresholds = (
                 to_query_space(products[dsl], origin)
                 if dsl.size
                 else np.empty((0, dim))
             )
             lo, hi = _ra.boxes_to_arrays(
-                staircase_boxes(origin, thresholds, bounds, sort_dim), dim
+                staircase_boxes(
+                    origin, thresholds, bounds, sort_dim, dims=dims
+                ),
+                dim,
             )
             regions.append(_ra.simplify_arrays(lo, hi))
         order = sorted(

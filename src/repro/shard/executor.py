@@ -321,6 +321,7 @@ class ShardExecutor:
         *,
         self_positions: np.ndarray | None = None,
         rtol: float = 0.0,
+        dims: np.ndarray | None = None,
     ) -> np.ndarray:
         """Membership mask of the given customer rows (scatter by the
         customer partition, disjoint-union merge)."""
@@ -346,6 +347,7 @@ class ShardExecutor:
                     query=query,
                     self_positions=None if sp is None else sp[local],
                     rtol=rtol,
+                    dims=dims,
                 )
             )
             locals_.append(local)
@@ -364,6 +366,7 @@ class ShardExecutor:
         *,
         self_positions: np.ndarray | None = None,
         rtol: float = 0.0,
+        dims: np.ndarray | None = None,
     ) -> np.ndarray:
         """Membership mask of shipped probe points (contiguous split,
         concatenation merge)."""
@@ -383,6 +386,7 @@ class ShardExecutor:
                 query=query,
                 self_positions=None if sp is None else sp[idx],
                 rtol=rtol,
+                dims=dims,
             )
             for idx in splits
         ]
@@ -399,6 +403,7 @@ class ShardExecutor:
         policy,
         *,
         self_positions: np.ndarray | None = None,
+        dims: np.ndarray | None = None,
     ) -> np.ndarray:
         """|Λ| culprit counts of the given customer rows (scatter by the
         customer partition, disjoint-union merge)."""
@@ -423,6 +428,7 @@ class ShardExecutor:
                     rows=rows[local],
                     query=query,
                     self_positions=None if sp is None else sp[local],
+                    dims=dims,
                 )
             )
             locals_.append(local)
@@ -440,6 +446,7 @@ class ShardExecutor:
         policy,
         *,
         self_positions: np.ndarray | None = None,
+        dims: np.ndarray | None = None,
     ) -> np.ndarray:
         """|Λ| culprit counts of shipped probe points, sharded over the
         *product* axis: every shard counts its products' contribution to
@@ -471,6 +478,7 @@ class ShardExecutor:
                     points=points,
                     query=query,
                     self_positions=local_sp,
+                    dims=dims,
                 )
             )
         results = self._dispatch("lambda_products", payloads, "lambda")
@@ -489,6 +497,7 @@ class ShardExecutor:
         *,
         self_exclude: bool,
         chunk_size: int,
+        weights: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, dict]:
         """Intersect the anti-dominance regions of the given members,
         sharded: each shard folds a contiguous slice of the member list
@@ -519,6 +528,9 @@ class ShardExecutor:
                 "sort_dim": int(sort_dim),
                 "self_exclude": bool(self_exclude),
                 "chunk_size": int(chunk_size),
+                "weights": None
+                if weights is None
+                else np.asarray(weights, dtype=np.float64),
                 "telemetry": self.telemetry,
             }
             for part in splits

@@ -19,27 +19,43 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.point import as_points
+from repro.prefs.model import support_dims
 
 __all__ = ["skyline_indices", "skyline_points"]
 
 _BLOCK = 256  # Vectorised dominance checks are batched in blocks.
 
 
-def skyline_indices(points: np.ndarray) -> np.ndarray:
-    """Positions of the skyline rows of ``points`` (minimising), sorted."""
+def skyline_indices(
+    points: np.ndarray, weights: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Positions of the skyline rows of ``points`` (minimising), sorted.
+
+    With ``weights``, dominance runs over the weights' support columns
+    only (see :mod:`repro.prefs`); full-support vectors take the exact
+    historical path.
+    """
     arr = as_points(points)
     n = arr.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.int64)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        arr.shape[1],
+    )
+    if dims is not None:
+        arr = arr[:, dims]
     if arr.shape[1] == 2:
         return _skyline_2d(arr)
     return _skyline_sfs(arr)
 
 
-def skyline_points(points: np.ndarray) -> np.ndarray:
+def skyline_points(
+    points: np.ndarray, weights: "np.ndarray | None" = None
+) -> np.ndarray:
     """The skyline rows themselves."""
     arr = as_points(points)
-    return arr[skyline_indices(arr)]
+    return arr[skyline_indices(arr, weights)]
 
 
 def _skyline_2d(arr: np.ndarray) -> np.ndarray:

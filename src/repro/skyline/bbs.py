@@ -24,6 +24,7 @@ from repro.config import DominancePolicy
 from repro.geometry.point import as_point
 from repro.geometry.transform import to_query_space
 from repro.index.rtree import RTree, RTreeNode
+from repro.prefs.model import support_dims
 from repro.skyline.dominance import is_dominated_by_any
 
 __all__ = ["bbs_skyline", "bbs_dynamic_skyline"]
@@ -42,21 +43,32 @@ def _bbs(
     tree: RTree,
     origin: np.ndarray | None,
     exclude: frozenset[int],
+    dims: "np.ndarray | None" = None,
 ) -> np.ndarray:
     counter = itertools.count()
     root = tree.root
     heap: list[tuple[float, int, int, object]] = []
-    start = _node_min_corner(root, origin)
+    width = tree.dim if dims is None else int(dims.size)
+
+    def search_value(full: np.ndarray) -> np.ndarray:
+        # Projection to the preference support: dominance, the priority
+        # key and node pruning all run in the support subspace (the
+        # min-corner bound holds per dimension, hence per subset).
+        return full if dims is None else full[dims]
+
+    start = search_value(_node_min_corner(root, origin))
     heapq.heappush(heap, (float(start.sum()), next(counter), 0, root))
     skyline_positions: list[int] = []
-    skyline_coords = np.empty((0, tree.dim))
+    skyline_coords = np.empty((0, width))
 
     while heap:
         _key, _tie, kind, payload = heapq.heappop(heap)
         if kind == 1:
             pos = payload  # type: ignore[assignment]
             coords = tree.points[pos]
-            value = coords if origin is None else to_query_space(coords, origin)
+            value = search_value(
+                coords if origin is None else to_query_space(coords, origin)
+            )
             if is_dominated_by_any(skyline_coords, value, DominancePolicy.WEAK):
                 continue
             skyline_positions.append(pos)
@@ -64,7 +76,7 @@ def _bbs(
             continue
         node: RTreeNode = payload  # type: ignore[assignment]
         tree.stats.node_accesses += 1
-        corner = _node_min_corner(node, origin)
+        corner = search_value(_node_min_corner(node, origin))
         if is_dominated_by_any(skyline_coords, corner, DominancePolicy.WEAK):
             continue
         if node.is_leaf:
@@ -72,14 +84,18 @@ def _bbs(
                 if pos in exclude:
                     continue
                 coords = tree.points[pos]
-                value = coords if origin is None else to_query_space(coords, origin)
+                value = search_value(
+                    coords
+                    if origin is None
+                    else to_query_space(coords, origin)
+                )
                 tree.stats.point_comparisons += 1
                 heapq.heappush(
                     heap, (float(value.sum()), next(counter), 1, pos)
                 )
         else:
             for child in node.children:
-                child_corner = _node_min_corner(child, origin)
+                child_corner = search_value(_node_min_corner(child, origin))
                 heapq.heappush(
                     heap,
                     (float(child_corner.sum()), next(counter), 0, child),
@@ -87,26 +103,45 @@ def _bbs(
     return np.array(sorted(skyline_positions), dtype=np.int64)
 
 
-def bbs_skyline(tree: RTree, exclude: Sequence[int] = ()) -> np.ndarray:
+def _support(weights, dim: int) -> "np.ndarray | None":
+    return support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        dim,
+    )
+
+
+def bbs_skyline(
+    tree: RTree,
+    exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
+) -> np.ndarray:
     """Positions of the (static) skyline of the indexed points."""
     if tree.size == 0:
         return np.empty(0, dtype=np.int64)
-    return _bbs(tree, None, frozenset(int(i) for i in exclude))
+    return _bbs(
+        tree, None, frozenset(int(i) for i in exclude),
+        _support(weights, tree.dim),
+    )
 
 
 def bbs_dynamic_skyline(
     tree: RTree,
     origin: Sequence[float],
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Positions of ``DSL(origin)`` computed with BBS on the R-tree.
 
     Node pruning is correct because the transformed minimum corner is
     dominated only if every point of the subtree is: each subtree point's
     transformed coordinates are ``>=`` the corner component-wise, and weak
-    dominance is preserved under such inflation.
+    dominance is preserved under such inflation (and under projection to
+    the preference support).
     """
     if tree.size == 0:
         return np.empty(0, dtype=np.int64)
     o = as_point(origin, dim=tree.dim)
-    return _bbs(tree, o, frozenset(int(i) for i in exclude))
+    return _bbs(
+        tree, o, frozenset(int(i) for i in exclude),
+        _support(weights, tree.dim),
+    )

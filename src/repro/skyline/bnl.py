@@ -22,12 +22,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import DominancePolicy
 from repro.geometry.point import as_points
+from repro.prefs.model import support_dims
+from repro.skyline.dominance import dominates
 
 __all__ = ["bnl_skyline_indices"]
 
 
-def bnl_skyline_indices(points: np.ndarray, window_size: int = 64) -> np.ndarray:
+def bnl_skyline_indices(
+    points: np.ndarray,
+    window_size: int = 64,
+    policy: DominancePolicy = DominancePolicy.WEAK,
+    weights: "np.ndarray | None" = None,
+) -> np.ndarray:
     """Positions of the weak-dominance skyline via multi-pass BNL.
 
     Parameters
@@ -37,8 +45,21 @@ def bnl_skyline_indices(points: np.ndarray, window_size: int = 64) -> np.ndarray
     window_size:
         Capacity of the in-memory window; smaller values force more
         passes (useful for exercising the overflow machinery in tests).
+    policy:
+        Boundary convention of the pairwise test — routed through the
+        shared :func:`repro.skyline.dominance.dominates` kernel so BNL
+        can never drift from the other algorithms' semantics.
+    weights:
+        Optional per-dimension preference weights; comparisons run over
+        their support only (see :mod:`repro.prefs`).
     """
     arr = as_points(points)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        arr.shape[1],
+    )
+    if dims is not None:
+        arr = arr[:, dims]
     n = arr.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.int64)
@@ -60,10 +81,10 @@ def bnl_skyline_indices(points: np.ndarray, window_size: int = 64) -> np.ndarray
             survivors: list[tuple[int, int]] = []
             for entry in window:
                 w = arr[entry[1]]
-                if not dominated and _dominates(w, p):
+                if not dominated and dominates(w, p, policy):
                     dominated = True
                     survivors.append(entry)
-                elif _dominates(p, w):
+                elif dominates(p, w, policy):
                     continue  # Window point defeated: eliminated for good.
                 else:
                     survivors.append(entry)
@@ -92,7 +113,3 @@ def bnl_skyline_indices(points: np.ndarray, window_size: int = 64) -> np.ndarray
                 overflow.append(row)
         stream = overflow
     return np.array(sorted(result), dtype=np.int64)
-
-
-def _dominates(a: np.ndarray, b: np.ndarray) -> bool:
-    return bool(np.all(a <= b) and np.any(a < b))

@@ -17,18 +17,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.point import as_points
+from repro.prefs.model import support_dims
 
 __all__ = ["dnc_skyline_indices"]
 
 _BASE_SIZE = 32
 
 
-def dnc_skyline_indices(points: np.ndarray) -> np.ndarray:
-    """Positions of the weak-dominance skyline via divide and conquer."""
+def dnc_skyline_indices(
+    points: np.ndarray, weights: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Positions of the weak-dominance skyline via divide and conquer.
+
+    With ``weights``, the recursion runs over the weights' support
+    columns only (projection semantics, :mod:`repro.prefs`)."""
     arr = as_points(points)
     n = arr.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.int64)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        arr.shape[1],
+    )
+    if dims is not None:
+        arr = arr[:, dims]
     positions = _solve(arr, np.arange(n, dtype=np.int64))
     return np.sort(positions)
 

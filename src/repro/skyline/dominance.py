@@ -4,6 +4,12 @@ All skylines in this library minimise every dimension; dynamic dominance is
 plain dominance after the ``|c - .|`` transform.  The :class:`DominancePolicy`
 distinguishes the textbook weak relation from the strict (open-window)
 relation the paper's constructions rely on — see DESIGN.md section 2.
+
+Every kernel takes an optional per-dimension ``weights`` vector (see
+:mod:`repro.prefs`): comparisons run over the weights' *support* only —
+a zero weight drops that dimension (projection semantics), and positive
+magnitudes never change a verdict (scale invariance), so ``weights=None``
+and any all-positive vector are bit-identical to the historical paths.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import numpy as np
 from repro.config import DominancePolicy
 from repro.geometry.point import as_point, as_points
 from repro.geometry.transform import to_query_space
+from repro.prefs.model import support_dims
 
 __all__ = [
     "dominates",
@@ -25,18 +32,35 @@ __all__ = [
 ]
 
 
+def _project(arr: np.ndarray, weights) -> np.ndarray:
+    """Slice the trailing axis to the weights' support (no-op for
+    ``None`` or full support)."""
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        arr.shape[-1],
+    )
+    if dims is None:
+        return arr
+    return arr[..., dims]
+
+
 def dominates(
     a: Sequence[float],
     b: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
+    weights: "Sequence[float] | None" = None,
 ) -> bool:
     """True when ``a`` dominates ``b`` (smaller is better).
 
     ``WEAK``: ``a <= b`` everywhere and ``a < b`` somewhere (Definition 1).
     ``STRICT``: ``a < b`` everywhere.
+    With ``weights``, "everywhere/somewhere" range over the support only.
     """
     pa = as_point(a)
     pb = as_point(b, dim=pa.size)
+    if weights is not None:
+        pa = _project(pa, weights)
+        pb = _project(pb, weights)
     if policy is DominancePolicy.STRICT:
         return bool(np.all(pa < pb))
     return bool(np.all(pa <= pb) and np.any(pa < pb))
@@ -46,12 +70,16 @@ def dominated_mask(
     points: np.ndarray,
     target: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
+    weights: "Sequence[float] | None" = None,
 ) -> np.ndarray:
     """Boolean mask: which rows of ``points`` are dominated by ``target``."""
     t = as_point(target)
     arr = as_points(points, dim=t.size)
     if arr.shape[0] == 0:
         return np.zeros(0, dtype=bool)
+    if weights is not None:
+        t = _project(t, weights)
+        arr = _project(arr, weights)
     if policy is DominancePolicy.STRICT:
         return np.all(t < arr, axis=1)
     return np.all(t <= arr, axis=1) & np.any(t < arr, axis=1)
@@ -61,12 +89,16 @@ def dominating_mask(
     points: np.ndarray,
     target: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
+    weights: "Sequence[float] | None" = None,
 ) -> np.ndarray:
     """Boolean mask: which rows of ``points`` dominate ``target``."""
     t = as_point(target)
     arr = as_points(points, dim=t.size)
     if arr.shape[0] == 0:
         return np.zeros(0, dtype=bool)
+    if weights is not None:
+        t = _project(t, weights)
+        arr = _project(arr, weights)
     if policy is DominancePolicy.STRICT:
         return np.all(arr < t, axis=1)
     return np.all(arr <= t, axis=1) & np.any(arr < t, axis=1)
@@ -76,9 +108,10 @@ def is_dominated_by_any(
     points: np.ndarray,
     target: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
+    weights: "Sequence[float] | None" = None,
 ) -> bool:
     """True when some row of ``points`` dominates ``target``."""
-    return bool(dominating_mask(points, target, policy).any())
+    return bool(dominating_mask(points, target, policy, weights).any())
 
 
 def dynamically_dominates(
@@ -86,9 +119,10 @@ def dynamically_dominates(
     p2: Sequence[float],
     origin: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
+    weights: "Sequence[float] | None" = None,
 ) -> bool:
     """True when ``p1`` dynamically dominates ``p2`` w.r.t. ``origin``
     (Definition 2): dominance after the absolute-distance transform."""
     t1 = to_query_space(as_point(p1), origin)
     t2 = to_query_space(as_point(p2), origin)
-    return dominates(t1, t2, policy)
+    return dominates(t1, t2, policy, weights)

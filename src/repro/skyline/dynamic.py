@@ -28,12 +28,14 @@ def dynamic_skyline_indices(
     points: np.ndarray,
     origin: Sequence[float],
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Positions of ``DSL(origin)`` within ``points``.
 
     ``exclude`` removes positions before the computation — the monochromatic
     experiments exclude the customer itself from the product set, exactly as
-    the paper's running example does with ``pt_1``.
+    the paper's running example does with ``pt_1``.  With ``weights``, the
+    transformed skyline runs over the weights' support dimensions only.
     """
     arr = as_points(points)
     o = as_point(origin, dim=arr.shape[1] if arr.size else None)
@@ -45,7 +47,7 @@ def dynamic_skyline_indices(
     if positions.size == 0:
         return np.empty(0, dtype=np.int64)
     transformed = to_query_space(arr[positions], o)
-    local = skyline_indices(transformed)
+    local = skyline_indices(transformed, weights)
     return positions[local]
 
 
@@ -53,10 +55,11 @@ def dynamic_skyline_points(
     points: np.ndarray,
     origin: Sequence[float],
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """The ``DSL(origin)`` rows themselves (original coordinates)."""
     arr = as_points(points)
-    return arr[dynamic_skyline_indices(arr, origin, exclude)]
+    return arr[dynamic_skyline_indices(arr, origin, exclude, weights)]
 
 
 def is_in_dynamic_skyline(

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.geometry.point import as_point, as_points
 from repro.geometry.transform import orthants_of, to_query_space
+from repro.prefs.model import support_dims
 from repro.skyline.algorithms import skyline_indices
 
 __all__ = ["global_skyline_candidates"]
@@ -30,6 +31,7 @@ def global_skyline_candidates(
     customers: np.ndarray,
     query: Sequence[float],
     self_exclude: bool = False,
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Positions (into ``customers``) that survive the BBRS pruning.
 
@@ -43,10 +45,22 @@ def global_skyline_candidates(
     self_exclude:
         When true, a product at the same position index as the customer is
         not allowed to prune it (the customer is not its own competitor).
+    weights:
+        Optional preference weights; the whole pruning argument runs in
+        the support subspace (projection semantics), where it is exactly
+        as conservative as the full-dimensional original.
     """
     q = as_point(query)
     prods = as_points(products, dim=q.size)
     custs = as_points(customers, dim=q.size)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        q.size,
+    )
+    if dims is not None:
+        q = q[dims]
+        prods = prods[:, dims]
+        custs = custs[:, dims]
     n_cust = custs.shape[0]
     if n_cust == 0:
         return np.empty(0, dtype=np.int64)

@@ -29,6 +29,7 @@ from repro.kernels.membership import (
     KernelCounters,
     batch_window_membership,
 )
+from repro.prefs.model import support_dims
 from repro.skyline.global_skyline import global_skyline_candidates
 from repro.skyline.window import window_is_empty
 
@@ -45,10 +46,13 @@ def is_reverse_skyline_member(
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> bool:
     """True when ``customer`` belongs to ``RSL(query)``: its window over the
     product set is empty (the Dellis-Seeger membership test)."""
-    return window_is_empty(product_index, customer, query, policy, exclude)
+    return window_is_empty(
+        product_index, customer, query, policy, exclude, weights
+    )
 
 
 def _check_self_exclude(custs: np.ndarray, index: SpatialIndex) -> None:
@@ -67,6 +71,7 @@ def reverse_skyline_naive(
     batch_kernels: bool = False,
     block_size: int = DEFAULT_BLOCK_SIZE,
     counters: KernelCounters | None = None,
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Positions (into ``customers``) of ``RSL(query)`` by direct testing.
 
@@ -78,6 +83,10 @@ def reverse_skyline_naive(
     custs = as_points(customers, dim=product_index.dim)
     if self_exclude:
         _check_self_exclude(custs, product_index)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        product_index.dim,
+    )
     if batch_kernels:
         mask = batch_window_membership(
             product_index.points,
@@ -91,6 +100,7 @@ def reverse_skyline_naive(
             ),
             block_size=block_size,
             counters=counters,
+            dims=dims,
         )
         return np.flatnonzero(mask).astype(np.int64)
     members = [
@@ -102,6 +112,7 @@ def reverse_skyline_naive(
             q,
             policy,
             exclude=(j,) if self_exclude else (),
+            weights=weights,
         )
     ]
     return np.asarray(members, dtype=np.int64)
@@ -116,6 +127,7 @@ def reverse_skyline_bbrs(
     batch_kernels: bool = False,
     block_size: int = DEFAULT_BLOCK_SIZE,
     counters: KernelCounters | None = None,
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Positions of ``RSL(query)`` via global-skyline pruning + verification.
 
@@ -127,8 +139,13 @@ def reverse_skyline_bbrs(
     custs = as_points(customers, dim=product_index.dim)
     if self_exclude:
         _check_self_exclude(custs, product_index)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        product_index.dim,
+    )
     candidates = global_skyline_candidates(
-        product_index.points, custs, q, self_exclude=self_exclude
+        product_index.points, custs, q, self_exclude=self_exclude,
+        weights=weights,
     )
     if batch_kernels:
         cand = np.asarray(candidates, dtype=np.int64)
@@ -142,6 +159,7 @@ def reverse_skyline_bbrs(
             self_positions=cand if self_exclude else None,
             block_size=block_size,
             counters=counters,
+            dims=dims,
         )
         return cand[mask]
     members = [
@@ -153,6 +171,7 @@ def reverse_skyline_bbrs(
             q,
             policy,
             exclude=(int(j),) if self_exclude else (),
+            weights=weights,
         )
     ]
     return np.asarray(members, dtype=np.int64)

@@ -9,6 +9,13 @@ first-aspect explanation ``Λ``.
 The dominance policy picks the boundary semantics: under ``WEAK`` a product
 inside the closed window counts unless it ties ``q``'s distance in every
 dimension; under ``STRICT`` only products in the open interior count.
+
+With a partial-support ``weights`` vector (see :mod:`repro.prefs`) the
+window constrains only the support dimensions — the dropped dimensions
+span the whole universe, so the index's box filter no longer applies and
+the test runs as one exact vectorised scan over the support columns.
+Full-support weights take the historical index-accelerated path
+unchanged (scale invariance makes the verdicts identical).
 """
 
 from __future__ import annotations
@@ -21,8 +28,17 @@ from repro.config import DominancePolicy
 from repro.geometry.point import as_point
 from repro.geometry.transform import to_query_space, window_box
 from repro.index.base import SpatialIndex
+from repro.prefs.model import support_dims
 
 __all__ = ["window_query_indices", "lambda_set", "window_is_empty"]
+
+
+def _keep_mask(
+    dists: np.ndarray, radii: np.ndarray, policy: DominancePolicy
+) -> np.ndarray:
+    if policy is DominancePolicy.STRICT:
+        return np.all(dists < radii, axis=1)
+    return np.all(dists <= radii, axis=1) & np.any(dists < radii, axis=1)
 
 
 def window_query_indices(
@@ -31,15 +47,33 @@ def window_query_indices(
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Positions of products that dynamically dominate ``query`` w.r.t.
     ``center`` under ``policy``.
 
     ``exclude`` removes index positions from the answer (self-exclusion in
-    the monochromatic setting).
+    the monochromatic setting).  ``weights`` restricts the window test to
+    the support dimensions (projection semantics, :mod:`repro.prefs`).
     """
     c = as_point(center, dim=index.dim)
     q = as_point(query, dim=index.dim)
+    dims = support_dims(
+        None if weights is None else np.asarray(weights, dtype=np.float64),
+        index.dim,
+    )
+    if dims is not None:
+        # Dropped dimensions are unconstrained, so the window box covers
+        # the whole data extent there — a spatial filter would keep
+        # everything anyway.  One exact scan over the support columns.
+        radii = np.abs(c - q)[dims]
+        dists = np.abs(index.points[:, dims] - c[dims])
+        keep = _keep_mask(dists, radii, policy)
+        if exclude is not None:
+            excluded = np.atleast_1d(np.asarray(exclude, dtype=np.int64))
+            if excluded.size:
+                keep[excluded] = False
+        return np.flatnonzero(keep).astype(np.int64, copy=False)
     box = window_box(c, q)
     hits = index.range_indices(box)
     if exclude is not None:
@@ -53,11 +87,7 @@ def window_query_indices(
         return hits
     radii = np.abs(c - q)
     dists = to_query_space(index.points[hits], c)
-    if policy is DominancePolicy.STRICT:
-        keep = np.all(dists < radii, axis=1)
-    else:
-        keep = np.all(dists <= radii, axis=1) & np.any(dists < radii, axis=1)
-    return hits[keep]
+    return hits[_keep_mask(dists, radii, policy)]
 
 
 def lambda_set(
@@ -66,11 +96,12 @@ def lambda_set(
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """The paper's ``Λ``: products whose deletion would admit ``why_not``
     into ``RSL(query)`` (Lemma 1).  Alias of :func:`window_query_indices`
     with the why-not point as the window centre."""
-    return window_query_indices(index, why_not, query, policy, exclude)
+    return window_query_indices(index, why_not, query, policy, exclude, weights)
 
 
 def window_is_empty(
@@ -79,7 +110,13 @@ def window_is_empty(
     query: Sequence[float],
     policy: DominancePolicy = DominancePolicy.WEAK,
     exclude: Sequence[int] = (),
+    weights: "np.ndarray | None" = None,
 ) -> bool:
     """True when no product dynamically dominates ``query`` w.r.t.
     ``center`` — i.e. ``center`` is in the reverse skyline of ``query``."""
-    return window_query_indices(index, center, query, policy, exclude).size == 0
+    return (
+        window_query_indices(
+            index, center, query, policy, exclude, weights
+        ).size
+        == 0
+    )

@@ -95,50 +95,70 @@ class WhyNotSession:
     # ------------------------------------------------------------------
     # Delegated read surface
     # ------------------------------------------------------------------
-    def reverse_skyline(self, query: Sequence[float]) -> np.ndarray:
+    def reverse_skyline(
+        self,
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
+    ) -> np.ndarray:
         self._check()
-        return self._engine.reverse_skyline(query)
+        return self._engine.reverse_skyline(query, weights=weights)
 
     def is_member(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> bool:
         self._check()
-        return self._engine.is_member(why_not, query)
+        return self._engine.is_member(why_not, query, weights=weights)
 
     def membership_mask(
         self,
         why_nots: Sequence["int | Sequence[float]"],
         query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> np.ndarray:
         self._check()
-        return self._engine.membership_mask(why_nots, query)
+        return self._engine.membership_mask(why_nots, query, weights=weights)
 
     def explain(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> "Explanation":
         self._check()
-        return self._engine.explain(why_not, query)
+        return self._engine.explain(why_not, query, weights=weights)
 
     def modify_why_not_point(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> "ModificationResult":
         self._check()
-        return self._engine.modify_why_not_point(why_not, query)
+        return self._engine.modify_why_not_point(why_not, query, weights=weights)
 
     def modify_query_point(
-        self, why_not: "int | Sequence[float]", query: Sequence[float]
+        self,
+        why_not: "int | Sequence[float]",
+        query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> "ModificationResult":
         self._check()
-        return self._engine.modify_query_point(why_not, query)
+        return self._engine.modify_query_point(why_not, query, weights=weights)
 
     def safe_region(
         self,
         query: Sequence[float],
         approximate: bool = False,
         k: int = 10,
+        weights: "Sequence[float] | None" = None,
     ) -> "SafeRegion":
         self._check()
-        return self._engine.safe_region(query, approximate=approximate, k=k)
+        return self._engine.safe_region(
+            query, approximate=approximate, k=k, weights=weights
+        )
 
     def modify_both(
         self,
@@ -146,17 +166,23 @@ class WhyNotSession:
         query: Sequence[float],
         approximate: bool = False,
         k: int = 10,
+        weights: "Sequence[float] | None" = None,
     ) -> "MWQResult":
         self._check()
         return self._engine.modify_both(
-            why_not, query, approximate=approximate, k=k
+            why_not, query, approximate=approximate, k=k, weights=weights
         )
 
     def lost_customers(
-        self, query: Sequence[float], refined_query: Sequence[float]
+        self,
+        query: Sequence[float],
+        refined_query: Sequence[float],
+        weights: "Sequence[float] | None" = None,
     ) -> np.ndarray:
         self._check()
-        return self._engine.lost_customers(query, refined_query)
+        return self._engine.lost_customers(
+            query, refined_query, weights=weights
+        )
 
     # ------------------------------------------------------------------
     # Planner surface

@@ -1,0 +1,129 @@
+"""Unit tests for the first-class preference model (repro.prefs)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DominancePolicy
+from repro.exceptions import InvalidParameterError
+from repro.prefs.model import (
+    UNIT_PREFS,
+    PreferenceModel,
+    as_weight_vector,
+    support_dims,
+)
+
+
+# ----------------------------------------------------------------------
+# as_weight_vector validation
+# ----------------------------------------------------------------------
+def test_as_weight_vector_accepts_valid():
+    w = as_weight_vector([1.0, 2.5, 0.0], dim=3)
+    assert w.dtype == np.float64
+    assert w.tolist() == [1.0, 2.5, 0.0]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        [1.0, -0.5],
+        [float("nan"), 1.0],
+        [float("inf"), 1.0],
+        [0.0, 0.0],
+        [[1.0, 2.0]],
+        "not numbers",
+    ],
+)
+def test_as_weight_vector_rejects_malformed(bad):
+    with pytest.raises(InvalidParameterError):
+        as_weight_vector(bad)
+
+
+def test_as_weight_vector_rejects_wrong_length():
+    with pytest.raises(InvalidParameterError):
+        as_weight_vector([1.0, 2.0], dim=3)
+
+
+# ----------------------------------------------------------------------
+# support_dims
+# ----------------------------------------------------------------------
+def test_support_dims_full_support_is_none():
+    assert support_dims(None, 4) is None
+    assert support_dims(np.array([1.0, 2.0, 3.0, 0.5]), 4) is None
+
+
+def test_support_dims_partial():
+    sel = support_dims(np.array([1.0, 0.0, 2.0]), 3)
+    assert sel.dtype == np.int64
+    assert sel.tolist() == [0, 2]
+
+
+def test_support_dims_length_mismatch_raises():
+    with pytest.raises(InvalidParameterError):
+        support_dims(np.array([1.0, 2.0]), 3)
+
+
+# ----------------------------------------------------------------------
+# PreferenceModel
+# ----------------------------------------------------------------------
+def test_model_is_frozen_and_validated():
+    model = PreferenceModel(weights=(2.0, 1.0), policy=DominancePolicy.WEAK)
+    with pytest.raises(AttributeError):
+        model.weights = (1.0,)
+    with pytest.raises(InvalidParameterError):
+        PreferenceModel(weights=(-1.0, 1.0))
+
+
+def test_resolve_none_is_unit():
+    model = PreferenceModel.resolve(None, DominancePolicy.WEAK, 2)
+    assert model.is_unit and model.full_support
+    assert model.weight_array(2) is None
+    assert model.support(5) is None
+    assert model.effective_dim(5) == 5
+
+
+def test_resolve_checks_dim():
+    with pytest.raises(InvalidParameterError):
+        PreferenceModel.resolve([1.0, 2.0], DominancePolicy.WEAK, 3)
+
+
+def test_resolve_rejects_model_instance():
+    with pytest.raises(InvalidParameterError):
+        PreferenceModel.resolve(UNIT_PREFS, DominancePolicy.WEAK, 2)
+
+
+def test_partial_support_views():
+    model = PreferenceModel.resolve([1.0, 0.0, 3.0], DominancePolicy.WEAK, 3)
+    assert not model.full_support and not model.is_unit
+    assert model.support(3).tolist() == [0, 2]
+    assert model.effective_dim(3) == 2
+    assert model.weight_array(3).tolist() == [1.0, 0.0, 3.0]
+
+
+def test_cost_weights_scale_without_renormalising():
+    model = PreferenceModel.resolve([2.0, 0.5], DominancePolicy.WEAK, 2)
+    base = np.array([0.5, 0.5])
+    assert model.cost_weights(base).tolist() == [1.0, 0.25]
+    assert UNIT_PREFS.cost_weights(base) is base
+
+
+def test_fingerprint_collapses_unit_spellings():
+    explicit = PreferenceModel.resolve([1.0, 1.0], DominancePolicy.WEAK, 2)
+    assert explicit.fingerprint() == UNIT_PREFS.fingerprint()
+    weighted = PreferenceModel.resolve([2.0, 1.0], DominancePolicy.WEAK, 2)
+    assert weighted.fingerprint() != UNIT_PREFS.fingerprint()
+    # policy is part of the identity
+    strict = PreferenceModel(weights=None, policy=DominancePolicy.STRICT)
+    assert strict.fingerprint() != UNIT_PREFS.fingerprint()
+
+
+def test_fingerprint_is_hashable_and_stable():
+    a = PreferenceModel.resolve([2.0, 3.0], DominancePolicy.WEAK, 2)
+    b = PreferenceModel.resolve(np.array([2.0, 3.0]), DominancePolicy.WEAK, 2)
+    assert hash(a.fingerprint()) == hash(b.fingerprint())
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_describe_labels():
+    assert UNIT_PREFS.describe() == "unit/weak"
+    model = PreferenceModel.resolve([2.0, 0.5], DominancePolicy.STRICT, 2)
+    assert model.describe() == "[2,0.5]/strict"

@@ -98,3 +98,58 @@ class TestDnC:
 
     def test_empty(self):
         assert dnc_skyline_indices(np.empty((0, 2))).size == 0
+
+
+class TestBNLSharedDominance:
+    """Regression: BNL must route every comparison through the shared
+    ``repro.skyline.dominance`` kernel — a private ``_dominates`` copy
+    drifted from the WEAK/STRICT and weighted semantics once."""
+
+    def test_no_private_dominance_helper(self):
+        import inspect
+
+        import repro.skyline.bnl as bnl_mod
+
+        source = inspect.getsource(bnl_mod)
+        assert "_dominates" not in source
+        assert "from repro.skyline.dominance import dominates" in source
+
+    def test_strict_policy_matches_naive(self):
+        from repro.config import DominancePolicy
+        from repro.skyline.dominance import dominates
+
+        rng = np.random.default_rng(21)
+        for _ in range(25):
+            pts = random_with_ties(rng, int(rng.integers(1, 40)), 2)
+            expected = [
+                i
+                for i in range(pts.shape[0])
+                if not any(
+                    dominates(pts[j], pts[i], DominancePolicy.STRICT)
+                    for j in range(pts.shape[0])
+                    if j != i
+                )
+            ]
+            got = bnl_skyline_indices(
+                pts, window_size=3, policy=DominancePolicy.STRICT
+            )
+            assert got.tolist() == expected, pts
+
+    def test_weighted_projection_matches_reference(self):
+        rng = np.random.default_rng(33)
+        for _ in range(25):
+            pts = random_with_ties(rng, int(rng.integers(2, 40)), 3)
+            weights = np.array([1.0, 0.0, 2.0])
+            got = bnl_skyline_indices(pts, window_size=4, weights=weights)
+            expected = skyline_indices(pts[:, [0, 2]])
+            assert np.array_equal(got, expected), pts
+
+    def test_unit_weights_bit_identical(self):
+        rng = np.random.default_rng(44)
+        pts = random_with_ties(rng, 50, 2)
+        assert np.array_equal(
+            bnl_skyline_indices(pts, window_size=5),
+            bnl_skyline_indices(
+                pts, window_size=5, weights=np.array([1.0, 1.0])
+            ),
+        )

@@ -48,6 +48,24 @@ RULES = {
         "repro.experiments",
         "repro.viz",
     ),
+    # The preference model is foundation-level: every dominance-consuming
+    # layer imports it, so it may depend on nothing above the shared
+    # config/exception modules (see the positive pin below).
+    "repro/prefs": (
+        "repro.core",
+        "repro.plan",
+        "repro.kernels",
+        "repro.index",
+        "repro.shard",
+        "repro.skyline",
+        "repro.geometry",
+        "repro.prune",
+        "repro.store",
+        "repro.obs",
+        "repro.serve",
+        "repro.experiments",
+        "repro.viz",
+    ),
 }
 
 IMPORT_RE = re.compile(
@@ -103,9 +121,28 @@ def test_serve_layer_has_only_allowed_dependencies():
         "repro.obs",
         "repro.config",
         "repro.exceptions",
+        "repro.prefs",
     )
     offending = []
     for path in (SRC / "repro/serve").rglob("*.py"):
+        for match in IMPORT_RE.finditer(path.read_text()):
+            module = match.group(1) or match.group(2)
+            if not module.startswith("repro"):
+                continue
+            if not any(
+                module == a or module.startswith(a + ".") for a in allowed
+            ):
+                offending.append(f"{path}: imports {module}")
+    assert not offending, "\n".join(offending)
+
+
+def test_prefs_layer_has_only_allowed_dependencies():
+    """Positive pin: the preference model sits at the foundation; inside
+    repro/prefs only the shared config/exception modules may be
+    imported."""
+    allowed = ("repro.prefs", "repro.config", "repro.exceptions")
+    offending = []
+    for path in (SRC / "repro/prefs").rglob("*.py"):
         for match in IMPORT_RE.finditer(path.read_text()):
             module = match.group(1) or match.group(2)
             if not module.startswith("repro"):
